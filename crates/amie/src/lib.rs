@@ -1,0 +1,22 @@
+//! `remi-amie` — an AMIE+-style ILP baseline for referring-expression
+//! mining, reimplemented from scratch for the runtime comparison of
+//! Table 4 (§4.2).
+//!
+//! AMIE+ mines closed Horn rules breadth-first with support/confidence
+//! thresholds. RE mining is encoded with a surrogate head `ψ(x, True)`
+//! holding for every target entity: a rule with support |T| and
+//! confidence 1.0 has a body that matches exactly the target set, i.e. a
+//! referring expression. The miner here preserves AMIE's algorithmic
+//! profile — breadth-first refinement, generic join evaluation, no
+//! RE-specific pruning — which is what makes it orders of magnitude
+//! slower than REMI on this task.
+
+#![warn(missing_docs)]
+
+pub mod miner;
+pub mod query;
+pub mod rule;
+
+pub use miner::{is_re, mine_re, rule_cost, AmieConfig, AmieLanguage, AmieOutcome};
+pub use query::{evaluate_rule, root_bindings, RuleQuality};
+pub use rule::{Arg, Rule, RuleAtom, ROOT_VAR};

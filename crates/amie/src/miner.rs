@@ -1,0 +1,556 @@
+//! The AMIE+-style breadth-first rule miner (§4.2.1).
+//!
+//! The system explores the space of rules level by level, applying the
+//! classic AMIE refinement operators — add an *instantiated* atom, add a
+//! *dangling* atom, add a *closing* atom — and keeps rules whose support
+//! is at least |T| (every target matched). A rule with confidence 1.0 is a
+//! referring expression. There is no RE-specific pruning and no
+//! intuitiveness-driven ordering: that asymmetry versus REMI is exactly
+//! what Table 4 measures. Output REs are ranked by `Ĉfr` afterwards, as
+//! the paper does for AMIE's output.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use remi_core::bits::Bits;
+use remi_core::complexity::CostModel;
+use remi_kb::fx::FxHashSet;
+use remi_kb::term::TermKind;
+use remi_kb::{KnowledgeBase, NodeId, PredId};
+
+use crate::query::{evaluate_rule, root_bindings};
+use crate::rule::{Arg, Rule, RuleAtom, ROOT_VAR};
+
+/// Language restriction for the baseline (mirrors §4.2.2's two settings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmieLanguage {
+    /// Bodies of instantiated atoms on the root variable only — the
+    /// state-of-the-art RE language.
+    Standard,
+    /// Full AMIE refinement: dangling, closing, and instantiated atoms on
+    /// any variable (covers REMI's language and more).
+    Extended,
+}
+
+/// Configuration of the miner.
+#[derive(Debug, Clone)]
+pub struct AmieConfig {
+    /// Language restriction.
+    pub language: AmieLanguage,
+    /// Maximum body atoms. The paper sets rule length `l = 4` counting the
+    /// head, i.e. 3 body atoms.
+    pub max_body_atoms: usize,
+    /// Wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Worker threads for level evaluation (AMIE+ is a parallel system).
+    pub threads: usize,
+    /// Cap on candidate rules evaluated (safety valve; hitting it flags a
+    /// timeout-equivalent).
+    pub max_rules_evaluated: u64,
+    /// Exclude `rdfs:label` from bodies (kept in sync with REMI's default).
+    pub exclude_label: bool,
+}
+
+impl Default for AmieConfig {
+    fn default() -> Self {
+        AmieConfig {
+            language: AmieLanguage::Extended,
+            max_body_atoms: 3,
+            timeout: None,
+            threads: 1,
+            max_rules_evaluated: 2_000_000,
+            exclude_label: true,
+        }
+    }
+}
+
+/// Outcome of a mining call.
+#[derive(Debug, Clone)]
+pub struct AmieOutcome {
+    /// All REs found (confidence 1.0, support |T|), unranked.
+    pub rules: Vec<Rule>,
+    /// The least complex RE under `Ĉfr`, with its cost.
+    pub best: Option<(Rule, Bits)>,
+    /// The search hit the timeout or the evaluation cap.
+    pub timed_out: bool,
+    /// Candidate rules evaluated.
+    pub rules_evaluated: u64,
+}
+
+/// Approximate `Ĉfr` of a rule body: predicates coded by global rank,
+/// constants coded conditionally on their atom's predicate. This matches
+/// REMI's `Ĉ` on shapes REMI can express and extends it naturally to the
+/// rest, which is all the ranking of AMIE's output needs.
+pub fn rule_cost(model: &CostModel<'_>, rule: &Rule) -> Bits {
+    if rule.body.is_empty() {
+        return Bits::INFINITY;
+    }
+    rule.body
+        .iter()
+        .map(|a| {
+            let mut bits = model.pred_bits(a.p);
+            if let Arg::Const(c) = a.o {
+                bits = bits + model.entity_bits(c, a.p);
+            }
+            if let Arg::Const(c) = a.s {
+                bits = bits + model.entity_bits(c, a.p);
+            }
+            bits
+        })
+        .sum()
+}
+
+struct SearchCtx<'kb> {
+    kb: &'kb KnowledgeBase,
+    targets_sorted: Vec<u32>,
+    config: AmieConfig,
+    deadline: Option<Instant>,
+    evaluated: AtomicU64,
+    over_budget: AtomicBool,
+}
+
+impl SearchCtx<'_> {
+    fn out_of_budget(&self) -> bool {
+        if self.over_budget.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.over_budget.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        if self.evaluated.load(Ordering::Relaxed) >= self.config.max_rules_evaluated {
+            self.over_budget.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    fn pred_usable(&self, p: PredId) -> bool {
+        !(self.config.exclude_label && Some(p) == self.kb.label_pred())
+    }
+}
+
+/// Generates the refinements of `rule` (AMIE's three operators), using the
+/// first target's neighbourhood to propose constants and predicates — the
+/// same fact-driven candidate generation AMIE uses.
+fn refinements(ctx: &SearchCtx<'_>, rule: &Rule) -> Vec<Rule> {
+    let kb = ctx.kb;
+    let mut out = Vec::new();
+    let t0 = NodeId(ctx.targets_sorted[0]);
+
+    // Representative bindings for each variable when x = t0 — used to
+    // propose constants/predicates for atoms on non-root variables.
+    let var_reps: Vec<(u8, Vec<NodeId>)> = {
+        let mut reps = Vec::new();
+        // The root variable is always present via the implicit head
+        // ψ(x, True), even when the body is still empty.
+        let mut vars = rule.variables();
+        if !vars.contains(&ROOT_VAR) {
+            vars.insert(0, ROOT_VAR);
+        }
+        for v in vars {
+            if v == ROOT_VAR {
+                reps.push((v, vec![t0]));
+            } else {
+                // Entities reachable as bindings of v with x = t0: rather
+                // than full enumeration, sample via the atoms that mention
+                // v with a bound other side.
+                let mut vals: Vec<NodeId> = Vec::new();
+                for a in &rule.body {
+                    match (a.s, a.o) {
+                        (Arg::Var(ROOT_VAR), Arg::Var(vv)) if vv == v => {
+                            vals.extend(kb.objects(a.p, t0).iter().map(|&n| NodeId(n)));
+                        }
+                        (Arg::Var(vv), Arg::Var(ROOT_VAR)) if vv == v => {
+                            vals.extend(kb.subjects(a.p, t0).iter().map(|&n| NodeId(n)));
+                        }
+                        (Arg::Var(vv), Arg::Const(c)) if vv == v => {
+                            vals.extend(kb.subjects(a.p, c).iter().map(|&n| NodeId(n)));
+                        }
+                        (Arg::Const(c), Arg::Var(vv)) if vv == v => {
+                            vals.extend(kb.objects(a.p, c).iter().map(|&n| NodeId(n)));
+                        }
+                        _ => {}
+                    }
+                }
+                vals.truncate(16);
+                reps.push((v, vals));
+            }
+        }
+        reps
+    };
+
+    // Operator 1: add an instantiated atom p(v, C).
+    for (v, reps) in &var_reps {
+        if ctx.config.language == AmieLanguage::Standard && *v != ROOT_VAR {
+            continue;
+        }
+        for &rep in reps {
+            for &p in kb.preds_of_subject(rep) {
+                let p = PredId(p);
+                if !ctx.pred_usable(p) {
+                    continue;
+                }
+                for &o in kb.objects(p, rep) {
+                    let o = NodeId(o);
+                    if kb.node_kind(o) == TermKind::Blank {
+                        continue;
+                    }
+                    let atom = RuleAtom {
+                        p,
+                        s: Arg::Var(*v),
+                        o: Arg::Const(o),
+                    };
+                    if rule.body.contains(&atom) {
+                        continue;
+                    }
+                    let mut body = rule.body.clone();
+                    body.push(atom);
+                    out.push(Rule { body });
+                }
+            }
+        }
+    }
+
+    if ctx.config.language == AmieLanguage::Standard {
+        return out;
+    }
+
+    let next_var = rule.max_var().map(|v| v + 1).unwrap_or(1);
+    // Operator 2: add a dangling atom p(v, fresh) — proposes predicates
+    // observed on representative bindings. Only when the body can still be
+    // closed (need one more atom available to bind the fresh variable).
+    if rule.len() + 2 <= ctx.config.max_body_atoms && next_var < 15 {
+        for (v, reps) in &var_reps {
+            for &rep in reps {
+                for &p in kb.preds_of_subject(rep) {
+                    let p = PredId(p);
+                    if !ctx.pred_usable(p) {
+                        continue;
+                    }
+                    let atom = RuleAtom {
+                        p,
+                        s: Arg::Var(*v),
+                        o: Arg::Var(next_var),
+                    };
+                    if rule.body.contains(&atom) {
+                        continue;
+                    }
+                    let mut body = rule.body.clone();
+                    body.push(atom);
+                    out.push(Rule { body });
+                }
+            }
+        }
+    }
+
+    // Operator 3: add a closing atom p(v1, v2) over existing variables.
+    let vars = rule.variables();
+    for &v1 in &vars {
+        for &v2 in &vars {
+            if v1 == v2 {
+                continue;
+            }
+            // Propose predicates from representative bindings of v1.
+            let reps = var_reps
+                .iter()
+                .find(|(v, _)| *v == v1)
+                .map(|(_, r)| r.as_slice())
+                .unwrap_or(&[]);
+            let mut preds: Vec<PredId> = Vec::new();
+            for &rep in reps {
+                preds.extend(kb.preds_of_subject(rep).iter().map(|&p| PredId(p)));
+            }
+            preds.sort_unstable();
+            preds.dedup();
+            for p in preds {
+                if !ctx.pred_usable(p) {
+                    continue;
+                }
+                let atom = RuleAtom {
+                    p,
+                    s: Arg::Var(v1),
+                    o: Arg::Var(v2),
+                };
+                if rule.body.contains(&atom) {
+                    continue;
+                }
+                let mut body = rule.body.clone();
+                body.push(atom);
+                out.push(Rule { body });
+            }
+        }
+    }
+
+    out
+}
+
+/// Mines referring-expression rules for `targets`.
+pub fn mine_re(
+    kb: &KnowledgeBase,
+    targets: &[NodeId],
+    config: AmieConfig,
+    model: Option<&CostModel<'_>>,
+) -> AmieOutcome {
+    assert!(!targets.is_empty(), "need at least one target");
+    let mut targets_sorted: Vec<u32> = targets.iter().map(|t| t.0).collect();
+    targets_sorted.sort_unstable();
+    targets_sorted.dedup();
+
+    let deadline = config.timeout.map(|t| Instant::now() + t);
+    let threads = config.threads.max(1);
+    let ctx = SearchCtx {
+        kb,
+        targets_sorted: targets_sorted.clone(),
+        config,
+        deadline,
+        evaluated: AtomicU64::new(0),
+        over_budget: AtomicBool::new(false),
+    };
+
+    let mut seen: FxHashSet<Rule> = FxHashSet::default();
+    let mut frontier: Vec<Rule> = vec![Rule::empty()];
+    let accepted: Mutex<Vec<Rule>> = Mutex::new(Vec::new());
+
+    while !frontier.is_empty() && !ctx.out_of_budget() {
+        // Expand the frontier.
+        let mut candidates: Vec<Rule> = Vec::new();
+        for rule in &frontier {
+            if rule.len() >= ctx.config.max_body_atoms {
+                continue;
+            }
+            if ctx.out_of_budget() {
+                break;
+            }
+            for refined in refinements(&ctx, rule) {
+                let canon = refined.canonical();
+                if seen.insert(canon) {
+                    candidates.push(refined);
+                }
+            }
+        }
+
+        // Evaluate candidates (in parallel if configured) and classify.
+        let survivors: Mutex<Vec<Rule>> = Mutex::new(Vec::new());
+        let chunk = candidates.len().div_ceil(threads).max(1);
+        let (ctx_ref, survivors_ref, accepted_ref) = (&ctx, &survivors, &accepted);
+        crossbeam::scope(|scope| {
+            for chunk_rules in candidates.chunks(chunk) {
+                scope.spawn(move |_| {
+                    let mut local_survivors = Vec::new();
+                    let mut local_accepted = Vec::new();
+                    for rule in chunk_rules {
+                        if ctx_ref.out_of_budget() {
+                            break;
+                        }
+                        ctx_ref.evaluated.fetch_add(1, Ordering::Relaxed);
+                        if !rule.is_connected() {
+                            continue;
+                        }
+                        let q = evaluate_rule(ctx_ref.kb, rule, &ctx_ref.targets_sorted);
+                        // Support threshold |T|: every target must match.
+                        if q.support < ctx_ref.targets_sorted.len() {
+                            continue;
+                        }
+                        if q.confidence >= 1.0 && rule.is_closed() {
+                            local_accepted.push(rule.clone());
+                            // REs need no further refinement: extensions
+                            // stay REs but grow longer.
+                            continue;
+                        }
+                        local_survivors.push(rule.clone());
+                    }
+                    survivors_ref.lock().extend(local_survivors);
+                    accepted_ref.lock().extend(local_accepted);
+                });
+            }
+        })
+        .expect("AMIE workers do not panic");
+
+        frontier = survivors.into_inner();
+    }
+
+    let rules = accepted.into_inner();
+    let best = model.and_then(|m| {
+        rules
+            .iter()
+            .map(|r| (r.clone(), rule_cost(m, r)))
+            .min_by(|a, b| a.1.cmp(&b.1))
+    });
+
+    AmieOutcome {
+        timed_out: ctx.over_budget.load(Ordering::Relaxed),
+        rules_evaluated: ctx.evaluated.load(Ordering::Relaxed),
+        rules,
+        best,
+    }
+}
+
+/// Verifies that a rule is a genuine RE for the targets (exact bindings).
+pub fn is_re(kb: &KnowledgeBase, rule: &Rule, targets: &[NodeId]) -> bool {
+    let mut sorted: Vec<u32> = targets.iter().map(|t| t.0).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut bindings = root_bindings(kb, rule);
+    bindings.sort_unstable();
+    bindings == sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remi_core::complexity::{EntityCodeMode, Prominence};
+    use remi_kb::KbBuilder;
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        for city in ["Rennes", "Nantes"] {
+            b.add_iri(&format!("e:{city}"), "p:in", "e:Brittany");
+            b.add_iri(&format!("e:{city}"), "p:mayor", &format!("e:mayor{city}"));
+            b.add_iri(&format!("e:mayor{city}"), "p:party", "e:Socialist");
+        }
+        b.add_iri("e:Vannes", "p:in", "e:Brittany");
+        b.add_iri("e:Vannes", "p:mayor", "e:mayorVannes");
+        b.add_iri("e:mayorVannes", "p:party", "e:Green");
+        b.add_iri("e:Lille", "p:mayor", "e:mayorLille");
+        b.add_iri("e:mayorLille", "p:party", "e:Socialist");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_res_for_pair() {
+        let kb = kb();
+        let targets = [
+            kb.node_id_by_iri("e:Rennes").unwrap(),
+            kb.node_id_by_iri("e:Nantes").unwrap(),
+        ];
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let outcome = mine_re(&kb, &targets, AmieConfig::default(), Some(&model));
+        assert!(!outcome.timed_out);
+        assert!(!outcome.rules.is_empty(), "at least one RE exists");
+        for rule in &outcome.rules {
+            assert!(is_re(&kb, rule, &targets), "{rule:?} is not an RE");
+        }
+        let (best, cost) = outcome.best.expect("model provided");
+        assert!(is_re(&kb, &best, &targets));
+        assert!(!cost.is_infinite());
+    }
+
+    #[test]
+    fn standard_language_finds_atom_res() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:Paris", "p:capitalOf", "e:France");
+        b.add_iri("e:Paris", "p:in", "e:France");
+        b.add_iri("e:Lyon", "p:in", "e:France");
+        let kb = b.build().unwrap();
+        let paris = kb.node_id_by_iri("e:Paris").unwrap();
+        let cfg = AmieConfig {
+            language: AmieLanguage::Standard,
+            ..Default::default()
+        };
+        let outcome = mine_re(&kb, &[paris], cfg, None);
+        assert!(!outcome.rules.is_empty());
+        for rule in &outcome.rules {
+            assert!(is_re(&kb, rule, &[paris]));
+            // Standard language: all atoms instantiated on x.
+            for a in &rule.body {
+                assert_eq!(a.s, Arg::Var(ROOT_VAR));
+                assert!(matches!(a.o, Arg::Const(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn no_solution_when_targets_indistinguishable() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:twin1", "p:in", "e:Town");
+        b.add_iri("e:twin2", "p:in", "e:Town");
+        let kb = b.build().unwrap();
+        let t1 = kb.node_id_by_iri("e:twin1").unwrap();
+        let outcome = mine_re(&kb, &[t1], AmieConfig::default(), None);
+        assert!(outcome.rules.is_empty());
+        assert!(!outcome.timed_out);
+    }
+
+    #[test]
+    fn timeout_flags_and_stops() {
+        let kb = kb();
+        let targets = [kb.node_id_by_iri("e:Rennes").unwrap()];
+        let cfg = AmieConfig {
+            timeout: Some(Duration::from_nanos(1)),
+            ..Default::default()
+        };
+        let outcome = mine_re(&kb, &targets, cfg, None);
+        assert!(outcome.timed_out);
+    }
+
+    #[test]
+    fn evaluation_cap_flags() {
+        let kb = kb();
+        let targets = [kb.node_id_by_iri("e:Rennes").unwrap()];
+        let cfg = AmieConfig {
+            max_rules_evaluated: 3,
+            ..Default::default()
+        };
+        let outcome = mine_re(&kb, &targets, cfg, None);
+        assert!(outcome.timed_out);
+        assert!(outcome.rules_evaluated >= 3);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let kb = kb();
+        let targets = [
+            kb.node_id_by_iri("e:Rennes").unwrap(),
+            kb.node_id_by_iri("e:Nantes").unwrap(),
+        ];
+        let seq = mine_re(&kb, &targets, AmieConfig::default(), None);
+        let par = mine_re(
+            &kb,
+            &targets,
+            AmieConfig {
+                threads: 4,
+                ..Default::default()
+            },
+            None,
+        );
+        let canon = |rules: &[Rule]| {
+            let mut v: Vec<Rule> = rules.iter().map(Rule::canonical).collect();
+            v.sort_by_key(|r| format!("{r:?}"));
+            v
+        };
+        assert_eq!(canon(&seq.rules), canon(&par.rules));
+    }
+
+    #[test]
+    fn rule_cost_ranks_prominent_constants_cheaper() {
+        let mut b = KbBuilder::new();
+        for i in 0..9 {
+            b.add_iri(&format!("e:c{i}"), "p:in", "e:Big");
+        }
+        b.add_iri("e:c9", "p:in", "e:Small");
+        let kb = b.build().unwrap();
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let p = kb.pred_id("p:in").unwrap();
+        let big = Rule {
+            body: vec![RuleAtom {
+                p,
+                s: Arg::Var(ROOT_VAR),
+                o: Arg::Const(kb.node_id_by_iri("e:Big").unwrap()),
+            }],
+        };
+        let small = Rule {
+            body: vec![RuleAtom {
+                p,
+                s: Arg::Var(ROOT_VAR),
+                o: Arg::Const(kb.node_id_by_iri("e:Small").unwrap()),
+            }],
+        };
+        assert!(rule_cost(&model, &big) < rule_cost(&model, &small));
+        assert!(rule_cost(&model, &Rule::empty()).is_infinite());
+    }
+}

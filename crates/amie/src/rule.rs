@@ -1,0 +1,344 @@
+//! Horn rules for the AMIE+-style baseline (§4.2.1).
+//!
+//! RE mining is formulated as rule mining: rules have the surrogate head
+//! `ψ(x, True)` where `ψ(t, True)` holds for every target `t`, and bodies
+//! are conjunctions of atoms over variables and constants. The body of an
+//! accepted rule (support ≥ |T|, confidence = 1.0) *is* the referring
+//! expression.
+
+use std::fmt;
+
+use remi_kb::{KnowledgeBase, NodeId, PredId};
+
+/// The root variable `x` — always variable 0.
+pub const ROOT_VAR: u8 = 0;
+
+/// An argument of a rule atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arg {
+    /// A variable, identified by a small index (0 is the head variable).
+    Var(u8),
+    /// A constant entity/literal.
+    Const(NodeId),
+}
+
+impl Arg {
+    /// The variable index, if this is a variable.
+    pub fn var(self) -> Option<u8> {
+        match self {
+            Arg::Var(v) => Some(v),
+            Arg::Const(_) => None,
+        }
+    }
+}
+
+/// One body atom `p(s, o)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleAtom {
+    /// Predicate.
+    pub p: PredId,
+    /// Subject argument.
+    pub s: Arg,
+    /// Object argument.
+    pub o: Arg,
+}
+
+impl RuleAtom {
+    /// Variables appearing in this atom.
+    pub fn vars(&self) -> impl Iterator<Item = u8> {
+        self.s.var().into_iter().chain(self.o.var())
+    }
+}
+
+/// A rule `ψ(x, True) ⇐ body`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Rule {
+    /// The body atoms.
+    pub body: Vec<RuleAtom>,
+}
+
+impl Rule {
+    /// The empty rule (body ⊤).
+    pub fn empty() -> Rule {
+        Rule::default()
+    }
+
+    /// Number of body atoms. The paper's length bound `l = 4` counts the
+    /// head, so bodies have at most 3 atoms.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// The highest variable index used, if any.
+    pub fn max_var(&self) -> Option<u8> {
+        self.body.iter().flat_map(|a| a.vars()).max()
+    }
+
+    /// Variables in use.
+    pub fn variables(&self) -> Vec<u8> {
+        let mut vs: Vec<u8> = self.body.iter().flat_map(|a| a.vars()).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// A rule is *closed* (AMIE's output condition) when every variable
+    /// appears in at least two atom positions, counting the implicit head
+    /// occurrence of `x`.
+    pub fn is_closed(&self) -> bool {
+        let mut counts = [0u8; 16];
+        for a in &self.body {
+            for v in a.vars() {
+                counts[v as usize] = counts[v as usize].saturating_add(1);
+            }
+        }
+        counts[ROOT_VAR as usize] = counts[ROOT_VAR as usize].saturating_add(1); // head ψ(x, True)
+        self.variables()
+            .into_iter()
+            .all(|v| counts[v as usize] >= 2)
+    }
+
+    /// True when the body mentions the root variable (a requirement for
+    /// the rule to describe anything).
+    pub fn mentions_root(&self) -> bool {
+        self.body
+            .iter()
+            .any(|a| a.vars().any(|v| v == ROOT_VAR))
+    }
+
+    /// True when the body is connected: every atom reachable from the root
+    /// variable through shared variables.
+    pub fn is_connected(&self) -> bool {
+        if self.body.is_empty() {
+            return true;
+        }
+        if !self.mentions_root() {
+            return false;
+        }
+        let mut reached_vars = vec![ROOT_VAR];
+        let mut reached_atoms = vec![false; self.body.len()];
+        loop {
+            let mut progress = false;
+            for (i, a) in self.body.iter().enumerate() {
+                if reached_atoms[i] {
+                    continue;
+                }
+                if a.vars().any(|v| reached_vars.contains(&v)) {
+                    reached_atoms[i] = true;
+                    progress = true;
+                    for v in a.vars() {
+                        if !reached_vars.contains(&v) {
+                            reached_vars.push(v);
+                        }
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        reached_atoms.into_iter().all(|r| r)
+    }
+
+    /// A canonical form for duplicate elimination: atoms sorted after
+    /// renaming variables in first-appearance order (the root keeps 0).
+    pub fn canonical(&self) -> Rule {
+        // Try the identity ordering first, then settle on the
+        // lexicographically smallest atom ordering after renaming. Bodies
+        // have ≤ 3 atoms, so trying all permutations is cheap.
+        let n = self.body.len();
+        let mut best: Option<Vec<RuleAtom>> = None;
+        let mut index_perm: Vec<usize> = (0..n).collect();
+        permute(&mut index_perm, 0, &mut |perm| {
+            let mut mapping: Vec<Option<u8>> = vec![None; 16];
+            mapping[ROOT_VAR as usize] = Some(ROOT_VAR);
+            let mut next = 1u8;
+            let renamed: Vec<RuleAtom> = perm
+                .iter()
+                .map(|&i| {
+                    let a = self.body[i];
+                    let mut rename = |arg: Arg| match arg {
+                        Arg::Const(c) => Arg::Const(c),
+                        Arg::Var(v) => {
+                            let slot = &mut mapping[v as usize];
+                            if slot.is_none() {
+                                *slot = Some(next);
+                                next += 1;
+                            }
+                            Arg::Var(slot.expect("just set"))
+                        }
+                    };
+                    RuleAtom {
+                        p: a.p,
+                        s: rename(a.s),
+                        o: rename(a.o),
+                    }
+                })
+                .collect();
+            let mut sorted = renamed;
+            // Keep the permutation order for renaming but compare sorted.
+            sorted.sort_unstable();
+            match &best {
+                Some(b) if *b <= sorted => {}
+                _ => best = Some(sorted),
+            }
+        });
+        Rule {
+            body: best.unwrap_or_default(),
+        }
+    }
+
+    /// Renders the rule with KB names.
+    pub fn display<'a>(&'a self, kb: &'a KnowledgeBase) -> DisplayRule<'a> {
+        DisplayRule { rule: self, kb }
+    }
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+/// Display adaptor.
+pub struct DisplayRule<'a> {
+    rule: &'a Rule,
+    kb: &'a KnowledgeBase,
+}
+
+impl fmt::Display for DisplayRule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ψ(x, True) ⇐ ")?;
+        if self.rule.body.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, a) in self.rule.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            let arg = |arg: Arg| match arg {
+                Arg::Var(0) => "x".to_string(),
+                Arg::Var(v) => format!("y{v}"),
+                Arg::Const(c) => self.kb.node_name(c),
+            };
+            write!(f, "{}({}, {})", self.kb.pred_name(a.p), arg(a.s), arg(a.o))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(p: u32, s: Arg, o: Arg) -> RuleAtom {
+        RuleAtom {
+            p: PredId(p),
+            s,
+            o,
+        }
+    }
+
+    #[test]
+    fn closedness() {
+        // ψ(x) ⇐ p0(x, C) — x appears in head + body: closed.
+        let r = Rule {
+            body: vec![atom(0, Arg::Var(0), Arg::Const(NodeId(5)))],
+        };
+        assert!(r.is_closed());
+
+        // ψ(x) ⇐ p0(x, y) — y appears once: open.
+        let r = Rule {
+            body: vec![atom(0, Arg::Var(0), Arg::Var(1))],
+        };
+        assert!(!r.is_closed());
+
+        // ψ(x) ⇐ p0(x, y) ∧ p1(y, C) — closed.
+        let r = Rule {
+            body: vec![
+                atom(0, Arg::Var(0), Arg::Var(1)),
+                atom(1, Arg::Var(1), Arg::Const(NodeId(5))),
+            ],
+        };
+        assert!(r.is_closed());
+    }
+
+    #[test]
+    fn connectivity() {
+        // p0(x, y) ∧ p1(z, w): second atom unreachable.
+        let r = Rule {
+            body: vec![
+                atom(0, Arg::Var(0), Arg::Var(1)),
+                atom(1, Arg::Var(2), Arg::Var(3)),
+            ],
+        };
+        assert!(!r.is_connected());
+
+        // p0(x, y) ∧ p1(y, z): chain is connected.
+        let r = Rule {
+            body: vec![
+                atom(0, Arg::Var(0), Arg::Var(1)),
+                atom(1, Arg::Var(1), Arg::Var(2)),
+            ],
+        };
+        assert!(r.is_connected());
+
+        // Body without the root variable at all.
+        let r = Rule {
+            body: vec![atom(0, Arg::Var(1), Arg::Var(2))],
+        };
+        assert!(!r.is_connected());
+        assert!(Rule::empty().is_connected());
+    }
+
+    #[test]
+    fn canonicalisation_merges_variants() {
+        // Same rule with different variable numbering and atom order.
+        let a = Rule {
+            body: vec![
+                atom(0, Arg::Var(0), Arg::Var(1)),
+                atom(1, Arg::Var(1), Arg::Const(NodeId(9))),
+            ],
+        };
+        let b = Rule {
+            body: vec![
+                atom(1, Arg::Var(3), Arg::Const(NodeId(9))),
+                atom(0, Arg::Var(0), Arg::Var(3)),
+            ],
+        };
+        assert_eq!(a.canonical(), b.canonical());
+
+        // Genuinely different rules stay different.
+        let c = Rule {
+            body: vec![
+                atom(0, Arg::Var(0), Arg::Var(1)),
+                atom(1, Arg::Const(NodeId(9)), Arg::Var(1)),
+            ],
+        };
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn variables_and_max_var() {
+        let r = Rule {
+            body: vec![
+                atom(0, Arg::Var(0), Arg::Var(2)),
+                atom(1, Arg::Var(2), Arg::Const(NodeId(1))),
+            ],
+        };
+        assert_eq!(r.variables(), vec![0, 2]);
+        assert_eq!(r.max_var(), Some(2));
+        assert!(Rule::empty().max_var().is_none());
+    }
+}

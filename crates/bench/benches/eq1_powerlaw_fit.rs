@@ -1,0 +1,26 @@
+//! Eq. 1 — the power-law compression: R² regenerated, fit construction
+//! benchmarked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remi_bench::{dbpedia, wikidata};
+use remi_core::complexity::{CostModel, EntityCodeMode, Prominence};
+use remi_eval::experiments::fit;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fit::run(dbpedia(), 10));
+    println!("{}", fit::run(wikidata(), 10));
+
+    let kb = &dbpedia().kb;
+    let mut group = c.benchmark_group("eq1_fit");
+    group.sample_size(20);
+    group.bench_function("build_cost_model_powerlaw_fr", |b| {
+        b.iter(|| CostModel::new(kb, Prominence::Frequency, EntityCodeMode::PowerLaw))
+    });
+    group.bench_function("build_cost_model_exact_fr", |b| {
+        b.iter(|| CostModel::new(kb, Prominence::Frequency, EntityCodeMode::ExactRank))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 1 — the DFS over conjunctions: pruning-by-depth and side
+//! pruning exercised on a Rennes/Nantes-style workload, benchmarked for
+//! the three search variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remi_bench::dbpedia;
+use remi_core::eval::Evaluator;
+use remi_core::search::{parallel_or_sequential, remi_search};
+use remi_core::{Remi, RemiConfig};
+
+fn bench(c: &mut Criterion) {
+    let synth = dbpedia();
+    let kb = &synth.kb;
+    let remi = Remi::new(kb, RemiConfig::default());
+    // A pair of same-class prominent entities — the Figure 1 situation.
+    let targets = [synth.members("Settlement")[0], synth.members("Settlement")[1]];
+    let (queue, _) = remi.ranked_common_expressions(&targets);
+    println!("\nfig1 workload: {} common subgraph expressions", queue.len());
+
+    let mut group = c.benchmark_group("fig1_search");
+    group.bench_function("queue_construction", |b| {
+        b.iter(|| remi.ranked_common_expressions(&targets))
+    });
+    group.bench_function("dfs_sequential", |b| {
+        b.iter(|| {
+            let eval = Evaluator::new(kb, 4096);
+            remi_search(&eval, &queue, &targets, None, true)
+        })
+    });
+    group.bench_function("dfs_parallel_8", |b| {
+        b.iter(|| {
+            let eval = Evaluator::new(kb, 4096);
+            parallel_or_sequential(&eval, &queue, &targets, None, 8, true)
+        })
+    });
+    group.finish();
+
+    // Show the rebuilt queue head once, mirroring the figure.
+    let model = remi.model();
+    let _ = model;
+    for (i, s) in queue.iter().take(3).enumerate() {
+        println!("  ρ{} ({:.1} bits): {}", i + 1, s.cost.value(), s.expr.display(kb));
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §3.2 — search-space growth across language-bias tiers, regenerated and
+//! benchmarked (enumeration throughput per tier).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remi_bench::dbpedia;
+use remi_core::enumerate::{space_growth_counts, subgraph_expressions, EnumContext};
+use remi_core::{EnumerationConfig, LanguageBias};
+use remi_eval::experiments::space;
+
+fn bench(c: &mut Criterion) {
+    let synth = dbpedia();
+    let kb = &synth.kb;
+    let result = space::run(synth, &["Person", "Settlement", "Organization"], 20, 500_000, 42);
+    println!("\n{result}");
+
+    let t = synth.members("Person")[0];
+    let remi_cfg = EnumerationConfig::default();
+    let std_cfg = EnumerationConfig {
+        language: LanguageBias::Standard,
+        ..Default::default()
+    };
+    let ctx = EnumContext::new(kb, &remi_cfg);
+
+    let mut group = c.benchmark_group("space_growth");
+    group.bench_function("enumerate_standard", |b| {
+        b.iter(|| subgraph_expressions(kb, t, &std_cfg, &ctx))
+    });
+    group.bench_function("enumerate_remi_language", |b| {
+        b.iter(|| subgraph_expressions(kb, t, &remi_cfg, &ctx))
+    });
+    group.bench_function("count_two_var_tier", |b| {
+        b.iter(|| space_growth_counts(kb, t, &remi_cfg, &ctx, 100_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

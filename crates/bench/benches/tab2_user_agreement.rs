@@ -1,0 +1,23 @@
+//! Table 2 — the Ĉ-vs-users agreement experiment as a benchmark: how fast
+//! the queue construction + candidate ranking protocol runs, printing the
+//! regenerated table once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remi_bench::{dbpedia, DBPEDIA_CLASSES};
+use remi_eval::experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    let synth = dbpedia();
+    let result = table2::run(synth, &DBPEDIA_CLASSES, 24, 2, 42);
+    println!("\n{result}");
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("protocol_24_sets", |b| {
+        b.iter(|| table2::run(synth, &DBPEDIA_CLASSES, 24, 2, 42))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

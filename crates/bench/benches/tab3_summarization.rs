@@ -1,0 +1,33 @@
+//! Table 3 — entity-summarisation quality, regenerated and benchmarked
+//! per summariser.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remi_bench::dbpedia;
+use remi_core::complexity::{CostModel, EntityCodeMode, Prominence};
+use remi_essum::{faces_summary, linksum_summary, remi_summary};
+use remi_eval::experiments::table3;
+use remi_kb::pagerank::{pagerank, PageRankConfig};
+
+fn bench(c: &mut Criterion) {
+    let synth = dbpedia();
+    let kb = &synth.kb;
+    let result = table3::run(synth, &["Person", "Settlement", "Film", "Organization"], 80, 42);
+    println!("\n{result}");
+
+    let pr = pagerank(kb, PageRankConfig::default());
+    let model = CostModel::new(kb, Prominence::Frequency, EntityCodeMode::PowerLaw);
+    let entity = synth.members("Person")[0];
+
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("faces_top10", |b| b.iter(|| faces_summary(kb, entity, 10)));
+    group.bench_function("linksum_top10", |b| {
+        b.iter(|| linksum_summary(kb, &pr, entity, 10))
+    });
+    group.bench_function("remi_top10", |b| {
+        b.iter(|| remi_summary(kb, &model, entity, 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

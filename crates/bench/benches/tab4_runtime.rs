@@ -1,0 +1,59 @@
+//! Table 4 — the headline runtime comparison: AMIE+ vs REMI vs P-REMI on
+//! both KB profiles and both language biases. The full table is printed
+//! once; Criterion then times representative single-set minings.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remi_amie::{mine_re, AmieConfig, AmieLanguage};
+use remi_bench::{dbpedia, wikidata, DBPEDIA_CLASSES, WIKIDATA_CLASSES};
+use remi_core::{LanguageBias, Remi, RemiConfig};
+use remi_eval::experiments::table4;
+
+fn bench(c: &mut Criterion) {
+    let cfg = table4::Table4Config {
+        n_sets: 30,
+        timeout: Duration::from_millis(300),
+        threads: 8,
+        seed: 42,
+    };
+    for (synth, classes) in [
+        (dbpedia(), &DBPEDIA_CLASSES[..]),
+        (wikidata(), &WIKIDATA_CLASSES[..]),
+    ] {
+        for language in [LanguageBias::Standard, LanguageBias::Remi] {
+            let block = table4::run_block(synth, classes, language, &cfg);
+            println!("\n{block}");
+        }
+    }
+
+    // Per-system single-set timings on a fixed target.
+    let synth = dbpedia();
+    let kb = &synth.kb;
+    let target = [synth.members("Settlement")[3]];
+    let remi1 = Remi::new(kb, RemiConfig::default());
+    let remi8 = Remi::new(kb, RemiConfig::default().with_threads(8));
+
+    let mut group = c.benchmark_group("table4_single_set");
+    group.sample_size(20);
+    group.bench_function("remi_sequential", |b| b.iter(|| remi1.describe(&target)));
+    group.bench_function("p_remi_8_threads", |b| b.iter(|| remi8.describe(&target)));
+    group.bench_function("amie_standard", |b| {
+        b.iter(|| {
+            mine_re(
+                kb,
+                &target,
+                AmieConfig {
+                    language: AmieLanguage::Standard,
+                    timeout: Some(Duration::from_millis(200)),
+                    ..Default::default()
+                },
+                None,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,399 @@
+//! `remi-cli` — library backing for the `remi` command-line tool.
+//!
+//! The CLI logic lives here (rather than in `main.rs`) so it is unit
+//! testable: every subcommand is a function from parsed arguments to a
+//! `Result<String>` of human-readable output.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use remi_core::complexity::Prominence;
+use remi_core::exceptions::{describe_with_exceptions, verbalize_with_exceptions};
+use remi_core::eval::Evaluator;
+use remi_core::{LanguageBias, Remi, RemiConfig, SearchStatus};
+use remi_kb::{KnowledgeBase, NodeId, PredId};
+
+/// CLI errors: message + suggestion.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<remi_kb::KbError> for CliError {
+    fn from(e: remi_kb::KbError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Loads a KB from a path, dispatching on the extension:
+/// `.nt`/`.ntriples` → N-Triples, anything else → the binary format.
+/// Inverse predicates are rebuilt for the top `inverse_fraction`.
+pub fn load_kb(path: &Path, inverse_fraction: f64) -> Result<KnowledgeBase> {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    if ext == "nt" || ext == "ntriples" {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))?;
+        let builder = remi_kb::ntriples::parse_document(&text)?;
+        Ok(builder.build_with_inverses(inverse_fraction)?)
+    } else {
+        Ok(remi_kb::binfmt::load(path, inverse_fraction)?)
+    }
+}
+
+/// Saves a KB to a path, dispatching on the extension as in [`load_kb`].
+pub fn save_kb(kb: &KnowledgeBase, path: &Path) -> Result<()> {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    if ext == "nt" || ext == "ntriples" {
+        let f = std::fs::File::create(path)
+            .map_err(|e| CliError(format!("cannot create {}: {e}", path.display())))?;
+        remi_kb::ntriples::write_kb(kb, std::io::BufWriter::new(f))?;
+        Ok(())
+    } else {
+        Ok(remi_kb::binfmt::save(kb, path)?)
+    }
+}
+
+/// `remi gen`: generates a synthetic KB and writes it out.
+pub fn cmd_gen(profile: &str, scale: f64, seed: u64, out: &Path) -> Result<String> {
+    let profile = match profile {
+        "dbpedia" => remi_synth::dbpedia_like(),
+        "wikidata" => remi_synth::wikidata_like(),
+        other => {
+            return Err(CliError(format!(
+                "unknown profile {other:?} (expected dbpedia or wikidata)"
+            )))
+        }
+    };
+    let synth = remi_synth::generate(&profile, scale, seed);
+    save_kb(&synth.kb, out)?;
+    Ok(format!(
+        "wrote {} ({} base triples, {} with inverses, {} nodes, {} predicates)",
+        out.display(),
+        synth.kb.num_triples(),
+        synth.kb.num_triples_with_inverses(),
+        synth.kb.num_nodes(),
+        synth.kb.num_preds()
+    ))
+}
+
+/// `remi convert`: transcodes between N-Triples and the binary format.
+pub fn cmd_convert(input: &Path, output: &Path) -> Result<String> {
+    let kb = load_kb(input, 0.0)?;
+    save_kb(&kb, output)?;
+    Ok(format!(
+        "converted {} → {} ({} triples)",
+        input.display(),
+        output.display(),
+        kb.num_triples()
+    ))
+}
+
+/// `remi stats`: prints KB statistics — sizes, the most frequent
+/// predicates and entities (the head of the prominence ranking `Ĉ`
+/// builds on).
+pub fn cmd_stats(path: &Path) -> Result<String> {
+    let kb = load_kb(path, 0.01)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} base triples ({} with inverses), {} nodes, {} predicates",
+        path.display(),
+        kb.num_triples(),
+        kb.num_triples_with_inverses(),
+        kb.num_nodes(),
+        kb.num_preds()
+    );
+
+    let mut preds: Vec<PredId> = kb.pred_ids().filter(|&p| !kb.is_inverse(p)).collect();
+    preds.sort_by_key(|&p| std::cmp::Reverse(kb.pred_frequency(p)));
+    let _ = writeln!(out, "\ntop predicates by frequency:");
+    for &p in preds.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "  {:>8}  {}",
+            kb.pred_frequency(p),
+            kb.pred_name(p)
+        );
+    }
+
+    let top = kb.top_frequent_entities(1.0);
+    let _ = writeln!(out, "\ntop entities by frequency:");
+    for &e in top.iter().take(10) {
+        let _ = writeln!(out, "  {:>8}  {}", kb.node_frequency(e), kb.node_name(e));
+    }
+    Ok(out)
+}
+
+/// Options for `remi describe`.
+#[derive(Debug, Clone)]
+pub struct DescribeOpts {
+    /// Language bias.
+    pub language: LanguageBias,
+    /// Worker threads.
+    pub threads: usize,
+    /// Timeout in milliseconds (0 = none).
+    pub timeout_ms: u64,
+    /// Use PageRank prominence instead of frequency.
+    pub pagerank: bool,
+    /// Allow up to this many exceptions (§6 extension).
+    pub exceptions: usize,
+}
+
+impl Default for DescribeOpts {
+    fn default() -> Self {
+        DescribeOpts {
+            language: LanguageBias::Remi,
+            threads: 1,
+            timeout_ms: 0,
+            pagerank: false,
+            exceptions: 0,
+        }
+    }
+}
+
+/// `remi describe`: mines the most intuitive RE for the given entity IRIs.
+pub fn cmd_describe(path: &Path, iris: &[String], opts: &DescribeOpts) -> Result<String> {
+    let kb = load_kb(path, 0.01)?;
+    let targets: Vec<NodeId> = iris
+        .iter()
+        .map(|iri| {
+            kb.node_id_by_iri(iri)
+                .ok_or_else(|| CliError(format!("entity not found in KB: {iri}")))
+        })
+        .collect::<Result<_>>()?;
+
+    let mut config = RemiConfig {
+        enumeration: remi_core::EnumerationConfig {
+            language: opts.language,
+            ..Default::default()
+        },
+        threads: opts.threads,
+        ..Default::default()
+    };
+    if opts.timeout_ms > 0 {
+        config.timeout = Some(std::time::Duration::from_millis(opts.timeout_ms));
+    }
+    if opts.pagerank {
+        config.prominence = Prominence::PageRank;
+    }
+    let remi = Remi::new(&kb, config);
+    let outcome = remi.describe(&targets);
+
+    let mut out = String::new();
+    match (&outcome.best, outcome.status) {
+        (Some((expr, cost)), _) => {
+            let _ = writeln!(out, "expression:  {}", expr.display(&kb));
+            let _ = writeln!(out, "verbalised:  {}", remi_core::verbalize::verbalize(&kb, expr));
+            let _ = writeln!(out, "complexity:  {cost}");
+        }
+        (None, SearchStatus::NoSolution) if opts.exceptions > 0 => {
+            let (queue, _) = remi.ranked_common_expressions(&targets);
+            let eval = Evaluator::new(&kb, 4096);
+            match describe_with_exceptions(
+                &kb,
+                remi.model(),
+                &eval,
+                &queue,
+                &targets,
+                opts.exceptions,
+            ) {
+                Some(re) => {
+                    let _ = writeln!(out, "no exact RE; best with exceptions:");
+                    let _ = writeln!(out, "expression:  {}", re.expr.display(&kb));
+                    let _ = writeln!(out, "verbalised:  {}", verbalize_with_exceptions(&kb, &re));
+                    let _ = writeln!(out, "complexity:  {}", re.cost);
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "no RE exists even with {} exceptions",
+                        opts.exceptions
+                    );
+                }
+            }
+        }
+        (None, status) => {
+            let _ = writeln!(out, "no referring expression found ({status:?})");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "stats: queue {} | {} RE tests | cache {}/{} hits | {:.1?} queue + {:.1?} search",
+        outcome.stats.queue_size,
+        outcome.stats.re_tests,
+        outcome.stats.cache_hits,
+        outcome.stats.cache_hits + outcome.stats.cache_misses,
+        outcome.stats.queue_time,
+        outcome.stats.search_time,
+    );
+    Ok(out)
+}
+
+/// `remi summarize`: prints a top-k summary of one entity.
+pub fn cmd_summarize(path: &Path, iri: &str, k: usize, method: &str) -> Result<String> {
+    let kb = load_kb(path, 0.01)?;
+    let entity = kb
+        .node_id_by_iri(iri)
+        .ok_or_else(|| CliError(format!("entity not found in KB: {iri}")))?;
+    let summary = match method {
+        "remi" => {
+            let model = remi_core::complexity::CostModel::new(
+                &kb,
+                Prominence::Frequency,
+                remi_core::complexity::EntityCodeMode::PowerLaw,
+            );
+            remi_essum::remi_summary(&kb, &model, entity, k)
+        }
+        "faces" => remi_essum::faces_summary(&kb, entity, k),
+        "linksum" => {
+            let pr = remi_kb::pagerank::pagerank(&kb, remi_kb::pagerank::PageRankConfig::default());
+            remi_essum::linksum_summary(&kb, &pr, entity, k)
+        }
+        other => {
+            return Err(CliError(format!(
+                "unknown method {other:?} (expected remi, faces, or linksum)"
+            )))
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "summary of {} ({method}, top {k}):", kb.node_name(entity));
+    for (p, o) in summary {
+        let _ = writeln!(out, "  {} → {}", kb.pred_name(p), kb.node_name(o));
+    }
+    Ok(out)
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+remi — mine intuitive referring expressions on RDF knowledge bases
+
+USAGE:
+  remi gen --profile dbpedia|wikidata [--scale F] [--seed N] -o <kb.{rkb,nt}>
+  remi convert <in.{rkb,nt}> <out.{rkb,nt}>
+  remi stats <kb>
+  remi describe <kb> <iri>... [--standard] [--threads N] [--timeout-ms N]
+                              [--pagerank] [--exceptions N]
+  remi summarize <kb> <iri> [--k N] [--method remi|faces|linksum]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "remi_cli_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn gen_stats_describe_roundtrip() {
+        let dir = tmpdir();
+        let kb_path = dir.join("test.rkb");
+        let msg = cmd_gen("dbpedia", 0.2, 5, &kb_path).unwrap();
+        assert!(msg.contains("base triples"));
+
+        let stats = cmd_stats(&kb_path).unwrap();
+        assert!(stats.contains("top predicates"));
+
+        let out = cmd_describe(
+            &kb_path,
+            &["e:Settlement_0".to_string()],
+            &DescribeOpts::default(),
+        )
+        .unwrap();
+        assert!(
+            out.contains("expression:") || out.contains("no referring expression"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let dir = tmpdir();
+        let bin = dir.join("kb.rkb");
+        let nt = dir.join("kb.nt");
+        cmd_gen("wikidata", 0.1, 3, &bin).unwrap();
+        let msg = cmd_convert(&bin, &nt).unwrap();
+        assert!(msg.contains("converted"));
+        // And back.
+        let bin2 = dir.join("kb2.rkb");
+        cmd_convert(&nt, &bin2).unwrap();
+        let kb1 = load_kb(&bin, 0.0).unwrap();
+        let kb2 = load_kb(&bin2, 0.0).unwrap();
+        assert_eq!(kb1.num_triples(), kb2.num_triples());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_entities_and_profiles_error() {
+        let dir = tmpdir();
+        let kb_path = dir.join("kb.rkb");
+        cmd_gen("dbpedia", 0.1, 1, &kb_path).unwrap();
+        assert!(cmd_gen("freebase", 1.0, 1, &kb_path).is_err());
+        let err = cmd_describe(
+            &kb_path,
+            &["e:DoesNotExist".to_string()],
+            &DescribeOpts::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not found"));
+        assert!(cmd_summarize(&kb_path, "e:Person_0", 5, "magic").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summarize_all_methods() {
+        let dir = tmpdir();
+        let kb_path = dir.join("kb.rkb");
+        cmd_gen("dbpedia", 0.2, 9, &kb_path).unwrap();
+        for method in ["remi", "faces", "linksum"] {
+            let out = cmd_summarize(&kb_path, "e:Person_0", 5, method).unwrap();
+            assert!(out.contains("summary of"), "{method}: {out}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn describe_with_exceptions_flag() {
+        // Build a KB where the target has no exact RE.
+        let dir = tmpdir();
+        let nt_path = dir.join("twins.nt");
+        std::fs::write(
+            &nt_path,
+            "<e:twin1> <p:in> <e:Town> .\n<e:twin2> <p:in> <e:Town> .\n<e:x> <p:in> <e:City> .\n",
+        )
+        .unwrap();
+        let opts = DescribeOpts {
+            exceptions: 1,
+            ..Default::default()
+        };
+        let out = cmd_describe(&nt_path, &["e:twin1".to_string()], &opts).unwrap();
+        assert!(out.contains("except"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,134 @@
+//! The `remi` command-line entry point. Argument parsing only; the
+//! subcommand logic lives in the library for testability.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use remi_cli::{
+    cmd_convert, cmd_describe, cmd_gen, cmd_stats, cmd_summarize, DescribeOpts, USAGE,
+};
+use remi_core::LanguageBias;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> remi_cli::Result<String> {
+    let err = |msg: &str| remi_cli::CliError(msg.to_string());
+    let Some(cmd) = args.first() else {
+        return Err(err("missing subcommand"));
+    };
+    match cmd.as_str() {
+        "gen" => {
+            let mut profile = "dbpedia".to_string();
+            let mut scale = 1.0f64;
+            let mut seed = 42u64;
+            let mut out: Option<PathBuf> = None;
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err("missing flag value"))
+                };
+                match flag.as_str() {
+                    "--profile" => profile = value()?,
+                    "--scale" => {
+                        scale = value()?.parse().map_err(|_| err("--scale takes a float"))?
+                    }
+                    "--seed" => {
+                        seed = value()?.parse().map_err(|_| err("--seed takes an int"))?
+                    }
+                    "-o" | "--out" => out = Some(PathBuf::from(value()?)),
+                    other => return Err(err(&format!("unknown flag {other}"))),
+                }
+            }
+            let out = out.ok_or_else(|| err("gen requires -o <path>"))?;
+            cmd_gen(&profile, scale, seed, &out).map(|s| s + "\n")
+        }
+        "convert" => {
+            let [input, output] = &args[1..] else {
+                return Err(err("convert takes exactly two paths"));
+            };
+            cmd_convert(&PathBuf::from(input), &PathBuf::from(output)).map(|s| s + "\n")
+        }
+        "stats" => {
+            let Some(path) = args.get(1) else {
+                return Err(err("stats takes a KB path"));
+            };
+            cmd_stats(&PathBuf::from(path))
+        }
+        "describe" => {
+            let Some(path) = args.get(1) else {
+                return Err(err("describe takes a KB path and entity IRIs"));
+            };
+            let mut opts = DescribeOpts::default();
+            let mut iris = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err("missing flag value"))
+                };
+                match a.as_str() {
+                    "--standard" => opts.language = LanguageBias::Standard,
+                    "--pagerank" => opts.pagerank = true,
+                    "--threads" => {
+                        opts.threads =
+                            value()?.parse().map_err(|_| err("--threads takes an int"))?
+                    }
+                    "--timeout-ms" => {
+                        opts.timeout_ms = value()?
+                            .parse()
+                            .map_err(|_| err("--timeout-ms takes an int"))?
+                    }
+                    "--exceptions" => {
+                        opts.exceptions = value()?
+                            .parse()
+                            .map_err(|_| err("--exceptions takes an int"))?
+                    }
+                    iri if !iri.starts_with("--") => iris.push(iri.to_string()),
+                    other => return Err(err(&format!("unknown flag {other}"))),
+                }
+            }
+            if iris.is_empty() {
+                return Err(err("describe needs at least one entity IRI"));
+            }
+            cmd_describe(&PathBuf::from(path), &iris, &opts)
+        }
+        "summarize" => {
+            let (Some(path), Some(iri)) = (args.get(1), args.get(2)) else {
+                return Err(err("summarize takes a KB path and an entity IRI"));
+            };
+            let mut k = 5usize;
+            let mut method = "remi".to_string();
+            let mut it = args[3..].iter();
+            while let Some(a) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| err("missing flag value"))
+                };
+                match a.as_str() {
+                    "--k" => k = value()?.parse().map_err(|_| err("--k takes an int"))?,
+                    "--method" => method = value()?,
+                    other => return Err(err(&format!("unknown flag {other}"))),
+                }
+            }
+            cmd_summarize(&PathBuf::from(path), iri, k, &method)
+        }
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(err(&format!("unknown subcommand {other}"))),
+    }
+}

@@ -1,0 +1,130 @@
+//! Cost values in bits, with a total order.
+//!
+//! The paper quantifies intuitiveness as estimated Kolmogorov complexity in
+//! bits and defines `Ĉ(⊤) = ∞` for the empty expression. Costs are finite
+//! non-negative `f64`s plus infinity; [`Bits`] gives them `Ord` so they can
+//! drive priority queues and comparisons without `partial_cmp` noise.
+
+use std::fmt;
+use std::ops::Add;
+
+/// A cost in bits. Totally ordered; `Bits::INFINITY` encodes `Ĉ(⊤)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bits(f64);
+
+impl Bits {
+    /// Zero bits — the cost of the single most prominent concept.
+    pub const ZERO: Bits = Bits(0.0);
+    /// The cost of the empty expression `⊤` (paper footnote 6).
+    pub const INFINITY: Bits = Bits(f64::INFINITY);
+
+    /// Creates a cost, clamping negatives (power-law extrapolation can dip
+    /// below zero for ultra-prominent concepts) and rejecting NaN.
+    pub fn new(v: f64) -> Bits {
+        assert!(!v.is_nan(), "bit costs cannot be NaN");
+        Bits(v.max(0.0))
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True for `Bits::INFINITY`.
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// `log2(rank)` for a 1-based rank.
+    pub fn from_rank(rank: u64) -> Bits {
+        debug_assert!(rank >= 1, "ranks are 1-based");
+        Bits((rank.max(1) as f64).log2())
+    }
+}
+
+impl Eq for Bits {}
+
+impl PartialOrd for Bits {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bits {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // NaN is excluded at construction, so this is total.
+        self.0.partial_cmp(&other.0).expect("bits are never NaN")
+    }
+}
+
+impl Add for Bits {
+    type Output = Bits;
+
+    fn add(self, rhs: Bits) -> Bits {
+        Bits(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for Bits {
+    fn sum<I: Iterator<Item = Bits>>(iter: I) -> Bits {
+        iter.fold(Bits::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{:.2} bits", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_values_clamp_to_zero() {
+        assert_eq!(Bits::new(-3.5), Bits::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        Bits::new(f64::NAN);
+    }
+
+    #[test]
+    fn ordering_is_total_including_infinity() {
+        let a = Bits::new(1.0);
+        let b = Bits::new(2.0);
+        assert!(a < b);
+        assert!(b < Bits::INFINITY);
+        assert_eq!(Bits::INFINITY, Bits::INFINITY);
+        let mut v = vec![Bits::INFINITY, b, a, Bits::ZERO];
+        v.sort();
+        assert_eq!(v, vec![Bits::ZERO, a, b, Bits::INFINITY]);
+    }
+
+    #[test]
+    fn rank_codes() {
+        assert_eq!(Bits::from_rank(1), Bits::ZERO);
+        assert_eq!(Bits::from_rank(2).value(), 1.0);
+        assert!((Bits::from_rank(1024).value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn addition_and_sum() {
+        let total: Bits = [Bits::new(1.0), Bits::new(2.5)].into_iter().sum();
+        assert_eq!(total, Bits::new(3.5));
+        assert!((Bits::new(1.0) + Bits::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Bits::new(3.14159).to_string(), "3.14 bits");
+        assert_eq!(Bits::INFINITY.to_string(), "∞");
+    }
+}

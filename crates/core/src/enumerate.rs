@@ -1,0 +1,598 @@
+//! Enumeration of the subgraph expressions of an entity — the
+//! `subgraphs-expressions(t)` routine of Algorithm 1 (line 1).
+//!
+//! The routine performs a breadth-first derivation (§3.3): atomic
+//! expressions `p(x, I)` first, then paths `p0(x,y) ∧ p1(y,I)` and closed
+//! pairs, then path+star and closed triples, following Table 1.
+//!
+//! Pruning heuristics of §3.5.2, all implemented here:
+//! * atoms `p(x, B)` with a blank-node object are skipped, but paths that
+//!   "hide" the blank node are always derived;
+//! * multi-atom expressions are *not* derived from atoms whose object is
+//!   among the top-5 % most prominent entities;
+//! * (ours, bounded-resource) a cap on star pairs per intermediate and on
+//!   total expressions per entity, reported in the stats.
+
+use remi_kb::fx::FxHashSet;
+use remi_kb::term::TermKind;
+use remi_kb::{KnowledgeBase, NodeId, PredId};
+
+use crate::config::{EnumerationConfig, LanguageBias};
+use crate::expr::SubgraphExpr;
+
+/// Statistics of one enumeration run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnumStats {
+    /// Expressions produced.
+    pub produced: usize,
+    /// True if a cap truncated the enumeration (results may be incomplete).
+    pub truncated: bool,
+}
+
+/// Precomputed, KB-wide context shared by enumeration calls: the set of
+/// entities considered "too prominent to expand".
+#[derive(Debug, Clone)]
+pub struct EnumContext {
+    prominent: FxHashSet<u32>,
+}
+
+impl EnumContext {
+    /// Builds the context for a KB under the given configuration.
+    pub fn new(kb: &KnowledgeBase, config: &EnumerationConfig) -> Self {
+        let prominent: FxHashSet<u32> = if config.prominent_cutoff > 0.0 {
+            kb.top_frequent_entities(config.prominent_cutoff)
+                .into_iter()
+                .map(|n| n.0)
+                .collect()
+        } else {
+            FxHashSet::default()
+        };
+        EnumContext { prominent }
+    }
+
+    /// Is the entity in the do-not-expand prominent set?
+    pub fn is_prominent(&self, n: NodeId) -> bool {
+        self.prominent.contains(&n.0)
+    }
+}
+
+fn pred_excluded(kb: &KnowledgeBase, p: PredId, config: &EnumerationConfig) -> bool {
+    if config.exclude_label && Some(p) == kb.label_pred() {
+        return true;
+    }
+    if config.exclude_type && Some(p) == kb.type_pred() {
+        return true;
+    }
+    if config.exclude_inverse && kb.is_inverse(p) {
+        return true;
+    }
+    false
+}
+
+/// Enumerates the subgraph expressions of entity `t` (all of which match
+/// `t` by construction).
+pub fn subgraph_expressions(
+    kb: &KnowledgeBase,
+    t: NodeId,
+    config: &EnumerationConfig,
+    ctx: &EnumContext,
+) -> (FxHashSet<SubgraphExpr>, EnumStats) {
+    let mut out: FxHashSet<SubgraphExpr> = FxHashSet::default();
+    let mut stats = EnumStats::default();
+    let cap = config.max_exprs_per_entity;
+
+    let preds: Vec<PredId> = kb
+        .preds_of_subject(t)
+        .iter()
+        .map(|&p| PredId(p))
+        .filter(|&p| !pred_excluded(kb, p, config))
+        .collect();
+
+    // Level 1: atoms p(x, o), skipping blank-node objects.
+    for &p in &preds {
+        for &o in kb.objects(p, t) {
+            let o = NodeId(o);
+            if kb.node_kind(o) == TermKind::Blank {
+                continue;
+            }
+            out.insert(SubgraphExpr::Atom { p, o });
+            if out.len() >= cap {
+                stats.truncated = true;
+                stats.produced = out.len();
+                return (out, stats);
+            }
+        }
+    }
+
+    if config.language == LanguageBias::Standard {
+        stats.produced = out.len();
+        return (out, stats);
+    }
+
+    // Level 2a: closed pairs p0(x,y) ∧ p1(x,y) — predicates of t sharing
+    // an object; then level 3a: closed triples.
+    'closed: for i in 0..preds.len() {
+        for j in (i + 1)..preds.len() {
+            let (pi, pj) = (preds[i], preds[j]);
+            let shared =
+                crate::eval::intersect_sorted(kb.objects(pi, t), kb.objects(pj, t));
+            if shared.is_empty() {
+                continue;
+            }
+            out.insert(SubgraphExpr::closed2(pi, pj));
+            if out.len() >= cap {
+                stats.truncated = true;
+                break 'closed;
+            }
+            for k in (j + 1)..preds.len() {
+                let pk = preds[k];
+                if crate::eval::sorted_intersects(&shared, kb.objects(pk, t)) {
+                    out.insert(SubgraphExpr::closed3(pi, pj, pk));
+                    if out.len() >= cap {
+                        stats.truncated = true;
+                        break 'closed;
+                    }
+                }
+            }
+        }
+    }
+
+    // Level 2b: paths p0(x,y) ∧ p1(y,o1); level 3b: path+star.
+    // Paths through blank intermediates are always derived (they "hide"
+    // the blank); prominent intermediates are never expanded.
+    'paths: for &p0 in &preds {
+        for &y in kb.objects(p0, t) {
+            let y = NodeId(y);
+            match kb.node_kind(y) {
+                TermKind::Literal => continue,
+                TermKind::Blank => {} // expand to hide the blank
+                TermKind::Iri => {
+                    if ctx.is_prominent(y) {
+                        continue; // §3.5.2 prominent-object pruning
+                    }
+                }
+            }
+            // Collect the facts describing y (the candidate star atoms).
+            let mut facts: Vec<(PredId, NodeId)> = Vec::new();
+            for &p1 in kb.preds_of_subject(y) {
+                let p1 = PredId(p1);
+                if pred_excluded(kb, p1, config) {
+                    continue;
+                }
+                for &o1 in kb.objects(p1, y) {
+                    let o1 = NodeId(o1);
+                    if kb.node_kind(o1) == TermKind::Blank {
+                        continue;
+                    }
+                    if o1 == t {
+                        continue; // avoid trivial back-loops p0(x,y) ∧ p1(y,x)
+                    }
+                    facts.push((p1, o1));
+                }
+            }
+            for &(p1, o1) in &facts {
+                out.insert(SubgraphExpr::Path { p0, p1, o: o1 });
+                if out.len() >= cap {
+                    stats.truncated = true;
+                    break 'paths;
+                }
+            }
+            // Path + star: pairs of distinct facts on y, capped.
+            let limit = config.max_star_pairs;
+            let mut pairs = 0usize;
+            'stars: for a in 0..facts.len() {
+                for b in (a + 1)..facts.len() {
+                    if pairs >= limit {
+                        stats.truncated = true;
+                        break 'stars;
+                    }
+                    pairs += 1;
+                    out.insert(SubgraphExpr::path_star(p0, facts[a], facts[b]));
+                    if out.len() >= cap {
+                        stats.truncated = true;
+                        break 'paths;
+                    }
+                }
+            }
+        }
+    }
+
+    stats.produced = out.len();
+    (out, stats)
+}
+
+/// The subgraph expressions *common to all targets* (line 1 of Alg. 1):
+/// the intersection of the per-entity sets. Expressions generated from an
+/// entity match it by construction, so the intersection contains exactly
+/// the expressions matching every target.
+pub fn common_subgraph_expressions(
+    kb: &KnowledgeBase,
+    targets: &[NodeId],
+    config: &EnumerationConfig,
+    ctx: &EnumContext,
+) -> (Vec<SubgraphExpr>, EnumStats) {
+    assert!(!targets.is_empty(), "need at least one target entity");
+    let (mut acc, mut stats) = subgraph_expressions(kb, targets[0], config, ctx);
+    for &t in &targets[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        let (other, s) = subgraph_expressions(kb, t, config, ctx);
+        stats.truncated |= s.truncated;
+        acc.retain(|e| other.contains(e));
+    }
+    let mut v: Vec<SubgraphExpr> = acc.into_iter().collect();
+    // Deterministic order regardless of hash iteration.
+    v.sort_unstable();
+    stats.produced = v.len();
+    (v, stats)
+}
+
+/// Search-space sizes under increasingly permissive language biases — the
+/// §3.2 observation experiment. The paper reports that admitting a second
+/// existential variable grows the space of subgraph expressions by more
+/// than 270 %, while going from 2 to 3 atoms with one variable adds ~40 %.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpaceCounts {
+    /// ≤ 2 atoms, ≤ 1 extra variable (atoms, paths, 2-closed).
+    pub one_var_two_atoms: usize,
+    /// ≤ 3 atoms, ≤ 1 extra variable (full Table 1).
+    pub one_var_three_atoms: usize,
+    /// ≤ 3 atoms, ≤ 2 extra variables (Table 1 plus 3-atom chain paths
+    /// `p0(x,y) ∧ p1(y,z) ∧ p2(z,I)`).
+    pub two_var_three_atoms: usize,
+}
+
+/// Counts the subgraph expressions of `t` under the three language-bias
+/// tiers. Counting is exact up to `cap` expressions per tier (the result
+/// saturates at `cap`, mirroring how the measurement would time out).
+pub fn space_growth_counts(
+    kb: &KnowledgeBase,
+    t: NodeId,
+    config: &EnumerationConfig,
+    ctx: &EnumContext,
+    cap: usize,
+) -> SpaceCounts {
+    let (full, _) = subgraph_expressions(kb, t, config, ctx);
+    let one_var_two_atoms = full
+        .iter()
+        .filter(|e| e.num_atoms() <= 2)
+        .count()
+        .min(cap);
+    let one_var_three_atoms = full.len().min(cap);
+
+    // Tier 3: additionally count distinct two-variable chain paths.
+    let mut chains: FxHashSet<(PredId, PredId, PredId, NodeId)> = FxHashSet::default();
+    'outer: for &p0 in kb.preds_of_subject(t) {
+        let p0 = PredId(p0);
+        if pred_excluded(kb, p0, config) {
+            continue;
+        }
+        for &y in kb.objects(p0, t) {
+            let y = NodeId(y);
+            if kb.node_kind(y) == TermKind::Literal || ctx.is_prominent(y) {
+                continue;
+            }
+            for &p1 in kb.preds_of_subject(y) {
+                let p1 = PredId(p1);
+                if pred_excluded(kb, p1, config) {
+                    continue;
+                }
+                for &z in kb.objects(p1, y) {
+                    let z = NodeId(z);
+                    // The §3.5.2 prominence pruning applies to the object
+                    // of the atom being *expanded* (y); the growth
+                    // measurement counts the raw language-bias space below
+                    // it, so z is not filtered by prominence.
+                    if kb.node_kind(z) == TermKind::Literal || z == t {
+                        continue;
+                    }
+                    for &p2 in kb.preds_of_subject(z) {
+                        let p2 = PredId(p2);
+                        if pred_excluded(kb, p2, config) {
+                            continue;
+                        }
+                        for &o in kb.objects(p2, z) {
+                            let o = NodeId(o);
+                            if kb.node_kind(o) == TermKind::Blank || o == t || o == y {
+                                continue;
+                            }
+                            chains.insert((p0, p1, p2, o));
+                            if one_var_three_atoms + chains.len() >= cap {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    SpaceCounts {
+        one_var_two_atoms,
+        one_var_three_atoms,
+        two_var_three_atoms: (one_var_three_atoms + chains.len()).min(cap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remi_kb::{KbBuilder, Term};
+
+    fn config() -> EnumerationConfig {
+        EnumerationConfig {
+            prominent_cutoff: 0.0, // disable for small hand-built KBs
+            ..Default::default()
+        }
+    }
+
+    fn rennes_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        for city in ["Rennes", "Nantes"] {
+            b.add_iri(&format!("e:{city}"), "p:in", "e:Brittany");
+            b.add_iri(&format!("e:{city}"), "p:mayor", &format!("e:mayor{city}"));
+            b.add_iri(&format!("e:mayor{city}"), "p:party", "e:Socialist");
+        }
+        b.add_iri("e:Vannes", "p:in", "e:Brittany");
+        b.add_iri("e:Vannes", "p:mayor", "e:mayorVannes");
+        b.add_iri("e:mayorVannes", "p:party", "e:Green");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn atoms_and_paths_are_enumerated() {
+        let kb = rennes_kb();
+        let cfg = config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        let rennes = kb.node_id_by_iri("e:Rennes").unwrap();
+        let (exprs, stats) = subgraph_expressions(&kb, rennes, &cfg, &ctx);
+        assert!(!stats.truncated);
+
+        let in_p = kb.pred_id("p:in").unwrap();
+        let brittany = kb.node_id_by_iri("e:Brittany").unwrap();
+        assert!(exprs.contains(&SubgraphExpr::Atom { p: in_p, o: brittany }));
+
+        let mayor = kb.pred_id("p:mayor").unwrap();
+        let party = kb.pred_id("p:party").unwrap();
+        let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
+        assert!(exprs.contains(&SubgraphExpr::Path { p0: mayor, p1: party, o: socialist }));
+    }
+
+    #[test]
+    fn every_enumerated_expression_matches_the_entity() {
+        let kb = rennes_kb();
+        let cfg = config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        let rennes = kb.node_id_by_iri("e:Rennes").unwrap();
+        let (exprs, _) = subgraph_expressions(&kb, rennes, &cfg, &ctx);
+        for e in &exprs {
+            let bindings = crate::eval::raw_bindings(&kb, e);
+            assert!(
+                bindings.contains(&rennes.0),
+                "{e:?} does not match its source entity"
+            );
+        }
+    }
+
+    #[test]
+    fn common_expressions_match_all_targets() {
+        let kb = rennes_kb();
+        let cfg = config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        let rennes = kb.node_id_by_iri("e:Rennes").unwrap();
+        let nantes = kb.node_id_by_iri("e:Nantes").unwrap();
+        let (common, _) = common_subgraph_expressions(&kb, &[rennes, nantes], &cfg, &ctx);
+        assert!(!common.is_empty());
+        for e in &common {
+            let bindings = crate::eval::raw_bindings(&kb, e);
+            assert!(bindings.contains(&rennes.0));
+            assert!(bindings.contains(&nantes.0));
+        }
+        // The Socialist-mayor path distinguishes Rennes+Nantes from Vannes.
+        let mayor = kb.pred_id("p:mayor").unwrap();
+        let party = kb.pred_id("p:party").unwrap();
+        let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
+        assert!(common.contains(&SubgraphExpr::Path { p0: mayor, p1: party, o: socialist }));
+    }
+
+    #[test]
+    fn standard_language_yields_only_atoms() {
+        let kb = rennes_kb();
+        let cfg = EnumerationConfig {
+            language: LanguageBias::Standard,
+            prominent_cutoff: 0.0,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        let rennes = kb.node_id_by_iri("e:Rennes").unwrap();
+        let (exprs, _) = subgraph_expressions(&kb, rennes, &cfg, &ctx);
+        assert!(!exprs.is_empty());
+        assert!(exprs.iter().all(SubgraphExpr::is_standard));
+    }
+
+    #[test]
+    fn blank_objects_are_hidden_behind_paths() {
+        let mut b = KbBuilder::new();
+        b.add(&Term::iri("e:x"), "p:via", &Term::blank("b0"));
+        b.add(&Term::blank("b0"), "p:to", &Term::iri("e:target"));
+        let kb = b.build().unwrap();
+        let cfg = config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        let x = kb.node_id_by_iri("e:x").unwrap();
+        let (exprs, _) = subgraph_expressions(&kb, x, &cfg, &ctx);
+        let via = kb.pred_id("p:via").unwrap();
+        let to = kb.pred_id("p:to").unwrap();
+        let target = kb.node_id_by_iri("e:target").unwrap();
+        // No atom with the blank object…
+        assert!(exprs
+            .iter()
+            .all(|e| !matches!(e, SubgraphExpr::Atom { o, .. } if kb.node_kind(*o) == TermKind::Blank)));
+        // …but the hiding path exists.
+        assert!(exprs.contains(&SubgraphExpr::Path { p0: via, p1: to, o: target }));
+    }
+
+    #[test]
+    fn prominent_objects_are_not_expanded() {
+        let mut b = KbBuilder::new();
+        // Germany is the hub: every city links to it → top of frequency.
+        for i in 0..20 {
+            b.add_iri(&format!("e:city{i}"), "p:capitalOf", "e:Germany");
+        }
+        b.add_iri("e:Germany", "p:locatedIn", "e:Europe");
+        let kb = b.build().unwrap();
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.05,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        assert!(ctx.is_prominent(kb.node_id_by_iri("e:Germany").unwrap()));
+        let city0 = kb.node_id_by_iri("e:city0").unwrap();
+        let (exprs, _) = subgraph_expressions(&kb, city0, &cfg, &ctx);
+        // The atom survives; the path capitalOf(x,y) ∧ locatedIn(y,Europe)
+        // is pruned because Germany is prominent.
+        let capital = kb.pred_id("p:capitalOf").unwrap();
+        let germany = kb.node_id_by_iri("e:Germany").unwrap();
+        assert!(exprs.contains(&SubgraphExpr::Atom { p: capital, o: germany }));
+        assert!(exprs.iter().all(|e| !matches!(e, SubgraphExpr::Path { .. })));
+    }
+
+    #[test]
+    fn closed_shapes_are_found() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:h", "p:bornIn", "e:Paris");
+        b.add_iri("e:h", "p:livedIn", "e:Paris");
+        b.add_iri("e:h", "p:diedIn", "e:Paris");
+        let kb = b.build().unwrap();
+        let cfg = config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        let h = kb.node_id_by_iri("e:h").unwrap();
+        let (exprs, _) = subgraph_expressions(&kb, h, &cfg, &ctx);
+        let born = kb.pred_id("p:bornIn").unwrap();
+        let lived = kb.pred_id("p:livedIn").unwrap();
+        let died = kb.pred_id("p:diedIn").unwrap();
+        assert!(exprs.contains(&SubgraphExpr::closed2(born, lived)));
+        assert!(exprs.contains(&SubgraphExpr::closed3(born, lived, died)));
+    }
+
+    #[test]
+    fn star_pairs_respect_cap() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:x", "p:knows", "e:hubPerson");
+        for i in 0..30 {
+            b.add_iri("e:hubPerson", "p:likes", &format!("e:thing{i}"));
+        }
+        let kb = b.build().unwrap();
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            max_star_pairs: 10,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        let x = kb.node_id_by_iri("e:x").unwrap();
+        let (exprs, stats) = subgraph_expressions(&kb, x, &cfg, &ctx);
+        let stars = exprs
+            .iter()
+            .filter(|e| matches!(e, SubgraphExpr::PathStar { .. }))
+            .count();
+        assert!(stars <= 10);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn label_predicate_is_excluded_by_default() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:x", "p:in", "e:place");
+        b.add(
+            &Term::iri("e:x"),
+            remi_kb::store::RDFS_LABEL,
+            &Term::literal("X"),
+        );
+        let kb = b.build().unwrap();
+        let cfg = config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        let x = kb.node_id_by_iri("e:x").unwrap();
+        let (exprs, _) = subgraph_expressions(&kb, x, &cfg, &ctx);
+        let label = kb.label_pred().unwrap();
+        assert!(exprs.iter().all(|e| !e.predicates().contains(&label)));
+    }
+
+    #[test]
+    fn expression_cap_truncates() {
+        let mut b = KbBuilder::new();
+        for i in 0..100 {
+            b.add_iri("e:x", &format!("p:q{i}"), &format!("e:o{i}"));
+        }
+        let kb = b.build().unwrap();
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            max_exprs_per_entity: 10,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        let x = kb.node_id_by_iri("e:x").unwrap();
+        let (exprs, stats) = subgraph_expressions(&kb, x, &cfg, &ctx);
+        assert_eq!(exprs.len(), 10);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn space_counts_are_monotone_across_tiers() {
+        let mut b = KbBuilder::new();
+        // Build a 3-level chain fan-out: t → mids → leaves → ends.
+        for m in 0..3 {
+            b.add_iri("e:t", "p:r0", &format!("e:m{m}"));
+            for l in 0..3 {
+                b.add_iri(&format!("e:m{m}"), "p:r1", &format!("e:l{m}{l}"));
+                b.add_iri(&format!("e:l{m}{l}"), "p:r2", &format!("e:end{m}{l}"));
+            }
+        }
+        let kb = b.build().unwrap();
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        let t = kb.node_id_by_iri("e:t").unwrap();
+        let counts = space_growth_counts(&kb, t, &cfg, &ctx, 100_000);
+        assert!(counts.one_var_two_atoms <= counts.one_var_three_atoms);
+        assert!(counts.one_var_three_atoms < counts.two_var_three_atoms);
+        // 9 distinct 3-chains exist (3 mids × 3 leaves → 1 end each).
+        assert_eq!(
+            counts.two_var_three_atoms - counts.one_var_three_atoms,
+            9
+        );
+    }
+
+    #[test]
+    fn space_counts_saturate_at_cap() {
+        let mut b = KbBuilder::new();
+        for i in 0..50 {
+            b.add_iri("e:t", &format!("p:q{i}"), &format!("e:o{i}"));
+        }
+        let kb = b.build().unwrap();
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        let t = kb.node_id_by_iri("e:t").unwrap();
+        let counts = space_growth_counts(&kb, t, &cfg, &ctx, 10);
+        assert!(counts.one_var_three_atoms <= 10);
+        assert!(counts.two_var_three_atoms <= 10);
+    }
+
+    #[test]
+    fn common_with_disjoint_targets_is_empty() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:a", "p:p1", "e:v1");
+        b.add_iri("e:b", "p:p2", "e:v2");
+        let kb = b.build().unwrap();
+        let cfg = config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        let a = kb.node_id_by_iri("e:a").unwrap();
+        let b_ = kb.node_id_by_iri("e:b").unwrap();
+        let (common, _) = common_subgraph_expressions(&kb, &[a, b_], &cfg, &ctx);
+        assert!(common.is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! REMI's language of subgraph expressions and referring expressions.
+//!
+//! Table 1 of the paper fixes the language bias to five shapes rooted at
+//! the variable `x`, with at most one additional existentially quantified
+//! variable `y` and at most three atoms:
+//!
+//! | shape            | form                                          |
+//! |------------------|-----------------------------------------------|
+//! | single atom      | `p0(x, I0)`                                   |
+//! | path             | `p0(x, y) ∧ p1(y, I1)`                        |
+//! | path + star      | `p0(x, y) ∧ p1(y, I1) ∧ p2(y, I2)`            |
+//! | 2 closed atoms   | `p0(x, y) ∧ p1(x, y)`                         |
+//! | 3 closed atoms   | `p0(x, y) ∧ p1(x, y) ∧ p2(x, y)`              |
+//!
+//! A referring expression is a conjunction of subgraph expressions sharing
+//! only the root variable `x` (§2.2.2).
+
+use std::fmt;
+
+use remi_kb::{KnowledgeBase, NodeId, PredId};
+
+/// One subgraph expression in REMI's language bias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SubgraphExpr {
+    /// `p(x, o)` — the state-of-the-art single bound atom.
+    Atom {
+        /// The predicate.
+        p: PredId,
+        /// The bound object.
+        o: NodeId,
+    },
+    /// `p0(x, y) ∧ p1(y, o)` — a two-atom path through an existential `y`.
+    Path {
+        /// Predicate from the root to the intermediate variable.
+        p0: PredId,
+        /// Predicate from the intermediate variable to the bound object.
+        p1: PredId,
+        /// The bound object.
+        o: NodeId,
+    },
+    /// `p0(x, y) ∧ p1(y, o1) ∧ p2(y, o2)` — a path plus a star atom on `y`.
+    /// Invariant: `(p1, o1) < (p2, o2)` to canonicalise.
+    PathStar {
+        /// Predicate from the root to the intermediate variable.
+        p0: PredId,
+        /// First predicate describing `y`.
+        p1: PredId,
+        /// First bound object.
+        o1: NodeId,
+        /// Second predicate describing `y`.
+        p2: PredId,
+        /// Second bound object.
+        o2: NodeId,
+    },
+    /// `p0(x, y) ∧ p1(x, y)` — two closed atoms. Invariant: `p0 < p1`.
+    Closed2 {
+        /// First predicate.
+        p0: PredId,
+        /// Second predicate.
+        p1: PredId,
+    },
+    /// `p0(x, y) ∧ p1(x, y) ∧ p2(x, y)` — three closed atoms.
+    /// Invariant: `p0 < p1 < p2`.
+    Closed3 {
+        /// First predicate.
+        p0: PredId,
+        /// Second predicate.
+        p1: PredId,
+        /// Third predicate.
+        p2: PredId,
+    },
+}
+
+impl SubgraphExpr {
+    /// Canonical path+star constructor (orders the two star atoms).
+    pub fn path_star(p0: PredId, a: (PredId, NodeId), b: (PredId, NodeId)) -> SubgraphExpr {
+        let ((p1, o1), (p2, o2)) = if a <= b { (a, b) } else { (b, a) };
+        SubgraphExpr::PathStar { p0, p1, o1, p2, o2 }
+    }
+
+    /// Canonical 2-closed constructor (orders the predicates).
+    pub fn closed2(a: PredId, b: PredId) -> SubgraphExpr {
+        let (p0, p1) = if a <= b { (a, b) } else { (b, a) };
+        SubgraphExpr::Closed2 { p0, p1 }
+    }
+
+    /// Canonical 3-closed constructor (orders the predicates).
+    pub fn closed3(a: PredId, b: PredId, c: PredId) -> SubgraphExpr {
+        let mut v = [a, b, c];
+        v.sort_unstable();
+        SubgraphExpr::Closed3 {
+            p0: v[0],
+            p1: v[1],
+            p2: v[2],
+        }
+    }
+
+    /// Number of atoms (Table 1 caps this at 3).
+    pub fn num_atoms(&self) -> usize {
+        match self {
+            SubgraphExpr::Atom { .. } => 1,
+            SubgraphExpr::Path { .. } | SubgraphExpr::Closed2 { .. } => 2,
+            SubgraphExpr::PathStar { .. } | SubgraphExpr::Closed3 { .. } => 3,
+        }
+    }
+
+    /// Number of existentially quantified variables besides the root
+    /// (at most 1 in REMI's language).
+    pub fn num_extra_vars(&self) -> usize {
+        match self {
+            SubgraphExpr::Atom { .. } => 0,
+            _ => 1,
+        }
+    }
+
+    /// True for shapes allowed under the *state-of-the-art* language bias
+    /// (conjunctions of bound atoms only, §3.2).
+    pub fn is_standard(&self) -> bool {
+        matches!(self, SubgraphExpr::Atom { .. })
+    }
+
+    /// The predicates used, in shape order.
+    pub fn predicates(&self) -> Vec<PredId> {
+        match *self {
+            SubgraphExpr::Atom { p, .. } => vec![p],
+            SubgraphExpr::Path { p0, p1, .. } => vec![p0, p1],
+            SubgraphExpr::PathStar { p0, p1, p2, .. } => vec![p0, p1, p2],
+            SubgraphExpr::Closed2 { p0, p1 } => vec![p0, p1],
+            SubgraphExpr::Closed3 { p0, p1, p2 } => vec![p0, p1, p2],
+        }
+    }
+
+    /// The bound objects used, in shape order.
+    pub fn objects(&self) -> Vec<NodeId> {
+        match *self {
+            SubgraphExpr::Atom { o, .. } => vec![o],
+            SubgraphExpr::Path { o, .. } => vec![o],
+            SubgraphExpr::PathStar { o1, o2, .. } => vec![o1, o2],
+            SubgraphExpr::Closed2 { .. } | SubgraphExpr::Closed3 { .. } => vec![],
+        }
+    }
+
+    /// Renders the expression with names from the KB.
+    pub fn display<'a>(&'a self, kb: &'a KnowledgeBase) -> DisplaySubgraph<'a> {
+        DisplaySubgraph { expr: self, kb }
+    }
+}
+
+/// A referring-expression candidate: a conjunction of subgraph expressions
+/// rooted at the same variable `x`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Expression {
+    /// The conjuncts, in the order they were assembled by the search.
+    pub parts: Vec<SubgraphExpr>,
+}
+
+impl Expression {
+    /// The empty expression `⊤` (matches everything, `Ĉ = ∞`).
+    pub fn top() -> Expression {
+        Expression { parts: Vec::new() }
+    }
+
+    /// A single-conjunct expression.
+    pub fn single(e: SubgraphExpr) -> Expression {
+        Expression { parts: vec![e] }
+    }
+
+    /// True for `⊤`.
+    pub fn is_top(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Total number of atoms across conjuncts.
+    pub fn num_atoms(&self) -> usize {
+        self.parts.iter().map(SubgraphExpr::num_atoms).sum()
+    }
+
+    /// Renders the expression with names from the KB.
+    pub fn display<'a>(&'a self, kb: &'a KnowledgeBase) -> DisplayExpression<'a> {
+        DisplayExpression { expr: self, kb }
+    }
+}
+
+/// Helper for naming objects compactly.
+fn obj_name(kb: &KnowledgeBase, o: NodeId) -> String {
+    kb.node_name(o)
+}
+
+/// Display adaptor for a [`SubgraphExpr`].
+pub struct DisplaySubgraph<'a> {
+    expr: &'a SubgraphExpr,
+    kb: &'a KnowledgeBase,
+}
+
+impl fmt::Display for DisplaySubgraph<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        as_display_subgraph(self, f)
+    }
+}
+
+fn as_display_subgraph(d: &DisplaySubgraph<'_>, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let kb = d.kb;
+    match *d.expr {
+        SubgraphExpr::Atom { p, o } => {
+            write!(f, "{}(x, {})", kb.pred_name(p), obj_name(kb, o))
+        }
+        SubgraphExpr::Path { p0, p1, o } => write!(
+            f,
+            "{}(x, y) ∧ {}(y, {})",
+            kb.pred_name(p0),
+            kb.pred_name(p1),
+            obj_name(kb, o)
+        ),
+        SubgraphExpr::PathStar { p0, p1, o1, p2, o2 } => write!(
+            f,
+            "{}(x, y) ∧ {}(y, {}) ∧ {}(y, {})",
+            kb.pred_name(p0),
+            kb.pred_name(p1),
+            obj_name(kb, o1),
+            kb.pred_name(p2),
+            obj_name(kb, o2)
+        ),
+        SubgraphExpr::Closed2 { p0, p1 } => write!(
+            f,
+            "{}(x, y) ∧ {}(x, y)",
+            kb.pred_name(p0),
+            kb.pred_name(p1)
+        ),
+        SubgraphExpr::Closed3 { p0, p1, p2 } => write!(
+            f,
+            "{}(x, y) ∧ {}(x, y) ∧ {}(x, y)",
+            kb.pred_name(p0),
+            kb.pred_name(p1),
+            kb.pred_name(p2)
+        ),
+    }
+}
+
+/// Display adaptor for an [`Expression`].
+pub struct DisplayExpression<'a> {
+    expr: &'a Expression,
+    kb: &'a KnowledgeBase,
+}
+
+impl fmt::Display for DisplayExpression<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.expr.is_top() {
+            return write!(f, "⊤");
+        }
+        for (i, part) in self.expr.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ∧  ")?;
+            }
+            write!(f, "{}", part.display(self.kb))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remi_kb::KbBuilder;
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:Rennes", "p:mayor", "e:Alice");
+        b.add_iri("e:Alice", "p:party", "e:Socialist");
+        b.add_iri("e:Rennes", "p:in", "e:Brittany");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn canonical_constructors_order_arguments() {
+        let a = SubgraphExpr::closed2(PredId(5), PredId(2));
+        assert_eq!(a, SubgraphExpr::Closed2 { p0: PredId(2), p1: PredId(5) });
+        let b = SubgraphExpr::closed3(PredId(9), PredId(1), PredId(4));
+        assert_eq!(
+            b,
+            SubgraphExpr::Closed3 { p0: PredId(1), p1: PredId(4), p2: PredId(9) }
+        );
+        let s1 = SubgraphExpr::path_star(
+            PredId(0),
+            (PredId(3), NodeId(7)),
+            (PredId(2), NodeId(9)),
+        );
+        let s2 = SubgraphExpr::path_star(
+            PredId(0),
+            (PredId(2), NodeId(9)),
+            (PredId(3), NodeId(7)),
+        );
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn atom_counts_match_table_1() {
+        let atom = SubgraphExpr::Atom { p: PredId(0), o: NodeId(0) };
+        let path = SubgraphExpr::Path { p0: PredId(0), p1: PredId(1), o: NodeId(0) };
+        let star = SubgraphExpr::path_star(PredId(0), (PredId(1), NodeId(0)), (PredId(2), NodeId(1)));
+        let c2 = SubgraphExpr::closed2(PredId(0), PredId(1));
+        let c3 = SubgraphExpr::closed3(PredId(0), PredId(1), PredId(2));
+        assert_eq!(atom.num_atoms(), 1);
+        assert_eq!(path.num_atoms(), 2);
+        assert_eq!(star.num_atoms(), 3);
+        assert_eq!(c2.num_atoms(), 2);
+        assert_eq!(c3.num_atoms(), 3);
+        assert_eq!(atom.num_extra_vars(), 0);
+        for e in [path, star, c2, c3] {
+            assert_eq!(e.num_extra_vars(), 1, "{e:?}");
+        }
+        assert!(atom.is_standard());
+        assert!(!path.is_standard());
+    }
+
+    #[test]
+    fn display_renders_paper_style() {
+        let kb = kb();
+        let mayor = kb.pred_id("p:mayor").unwrap();
+        let party = kb.pred_id("p:party").unwrap();
+        let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
+        let e = SubgraphExpr::Path { p0: mayor, p1: party, o: socialist };
+        assert_eq!(
+            e.display(&kb).to_string(),
+            "mayor(x, y) ∧ party(y, Socialist)"
+        );
+    }
+
+    #[test]
+    fn expression_display_joins_conjuncts() {
+        let kb = kb();
+        let in_p = kb.pred_id("p:in").unwrap();
+        let brittany = kb.node_id_by_iri("e:Brittany").unwrap();
+        let mayor = kb.pred_id("p:mayor").unwrap();
+        let party = kb.pred_id("p:party").unwrap();
+        let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
+        let e = Expression {
+            parts: vec![
+                SubgraphExpr::Atom { p: in_p, o: brittany },
+                SubgraphExpr::Path { p0: mayor, p1: party, o: socialist },
+            ],
+        };
+        assert_eq!(
+            e.display(&kb).to_string(),
+            "in(x, Brittany)  ∧  mayor(x, y) ∧ party(y, Socialist)"
+        );
+        assert_eq!(Expression::top().display(&kb).to_string(), "⊤");
+        assert_eq!(e.num_atoms(), 3);
+    }
+
+    #[test]
+    fn predicates_and_objects_accessors() {
+        let star = SubgraphExpr::path_star(
+            PredId(0),
+            (PredId(1), NodeId(10)),
+            (PredId(2), NodeId(11)),
+        );
+        assert_eq!(star.predicates(), vec![PredId(0), PredId(1), PredId(2)]);
+        assert_eq!(star.objects(), vec![NodeId(10), NodeId(11)]);
+        let c2 = SubgraphExpr::closed2(PredId(0), PredId(1));
+        assert!(c2.objects().is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! P-REMI — the parallel variant (§3.4, Algorithm 3).
+//!
+//! Worker threads dequeue root subgraph expressions concurrently and
+//! explore the subtrees rooted at them. Three coordination rules
+//! distinguish P-REMI from the sequential algorithm:
+//!
+//! 1. the incumbent solution `e` is shared (read and written) by all
+//!    threads;
+//! 2. a thread whose exploration rooted at `ρᵢ` finds *no* solution
+//!    signals all threads working on roots `ρⱼ (j > i)` to stop — those
+//!    subtrees only cover less specific expression sets;
+//! 3. before testing an expression, a thread backtracks while the stack's
+//!    cost is at least the incumbent's (Alg. 3 line 6).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use remi_kb::NodeId;
+
+use crate::bits::Bits;
+use crate::eval::Evaluator;
+use crate::expr::{Expression, SubgraphExpr};
+use crate::search::{ScoredExpr, SearchCounters, SearchResult, SearchStatus};
+
+struct Shared {
+    /// Incumbent: cost + expression. Cost duplicated outside the mutex is
+    /// not worth the complexity; the mutex is cheap at this granularity.
+    best: Mutex<Option<(Expression, Bits)>>,
+    /// Lowest root index whose subtree exploration found no solution.
+    /// Roots at or beyond this index are superfluous (§3.4, rule 2).
+    no_solution_floor: AtomicUsize,
+    /// Work-stealing cursor over root indices.
+    next_root: AtomicUsize,
+    /// Deadline fired.
+    timed_out: AtomicBool,
+}
+
+impl Shared {
+    fn best_cost(&self) -> Bits {
+        self.best
+            .lock()
+            .as_ref()
+            .map(|(_, c)| *c)
+            .unwrap_or(Bits::INFINITY)
+    }
+
+    fn offer(&self, expr: Expression, cost: Bits) {
+        let mut guard = self.best.lock();
+        let better = match guard.as_ref() {
+            Some((_, incumbent)) => cost < *incumbent,
+            None => true,
+        };
+        if better {
+            *guard = Some((expr, cost));
+        }
+    }
+}
+
+/// Outcome of one P-DFS-REMI subtree exploration.
+struct SubtreeOutcome {
+    /// The subtree yielded at least one RE.
+    found: bool,
+    /// The exploration ran to genuine exhaustion: it was never cut short
+    /// by the incumbent, the stop floor, or the deadline. Only a complete,
+    /// solution-free exploration licenses the §3.4 stop signal — an
+    /// incumbent-pruned subtree may have skipped conjunctions whose
+    /// *constituents* are still cheap enough to seed later roots.
+    complete: bool,
+}
+
+/// Algorithm 3 — P-DFS-REMI for the subtree rooted at `queue[root]`.
+fn p_dfs_remi(
+    eval: &Evaluator<'_>,
+    queue: &[ScoredExpr],
+    root: usize,
+    sorted_targets: &[u32],
+    shared: &Shared,
+    deadline: Option<Instant>,
+    counters: &mut SearchCounters,
+) -> SubtreeOutcome {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut stack_cost = Bits::ZERO;
+    let mut found_any = false;
+    let mut complete = true;
+
+    let mut i = root;
+    while i < queue.len() {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                shared.timed_out.store(true, Ordering::Relaxed);
+                return SubtreeOutcome { found: found_any, complete: false };
+            }
+        }
+        // §3.4 rule 2: a lower root found no solution — this subtree is
+        // superfluous.
+        if root >= shared.no_solution_floor.load(Ordering::Relaxed) {
+            return SubtreeOutcome { found: found_any, complete: false };
+        }
+
+        // Line 4–5: dequeue ρ′ and push.
+        stack.push(i);
+        stack_cost = stack_cost + queue[i].cost;
+        counters.nodes_visited += 1;
+
+        // Line 6: backtrack while the stack is at least as complex as the
+        // shared incumbent. (The paper's S contains ⊤ as an element, so its
+        // `|S| > 1` is our "stack non-empty".)
+        let incumbent = shared.best_cost();
+        let mut pruned = false;
+        while !stack.is_empty() && stack_cost >= incumbent {
+            stack.pop();
+            stack_cost = sum_cost(queue, &stack);
+            pruned = true;
+        }
+        if pruned {
+            complete = false;
+        }
+        // Line 7: backtracked to the root node ⊤ — no better solution can
+        // appear under this subtree.
+        if stack.is_empty() {
+            return SubtreeOutcome { found: found_any, complete };
+        }
+        // Line 8: only proceed when the stack still ends with ρ′ (i.e. the
+        // pruning loop did not remove the freshly pushed expression).
+        if !pruned {
+            let parts: Vec<SubgraphExpr> = stack.iter().map(|&k| queue[k].expr).collect();
+            if eval.is_referring_expression(&parts, sorted_targets) {
+                found_any = true;
+                // Line 11: update the shared best.
+                shared.offer(Expression { parts }, stack_cost);
+                // Lines 12–13: pruning by depth + side pruning.
+                stack.pop();
+                stack.pop();
+                stack_cost = sum_cost(queue, &stack);
+                // Line 14: backtracked past the root — done.
+                if stack.is_empty() {
+                    return SubtreeOutcome { found: found_any, complete };
+                }
+            }
+        }
+        i += 1;
+    }
+    SubtreeOutcome { found: found_any, complete }
+}
+
+fn sum_cost(queue: &[ScoredExpr], stack: &[usize]) -> Bits {
+    stack.iter().map(|&k| queue[k].cost).sum()
+}
+
+/// P-REMI (§3.4): Algorithm 1 with the root loop executed by `threads`
+/// workers over a shared queue, incumbent, and stop signal.
+pub fn parallel_remi_search(
+    eval: &Evaluator<'_>,
+    queue: &[ScoredExpr],
+    targets: &[NodeId],
+    deadline: Option<Instant>,
+    threads: usize,
+) -> SearchResult {
+    let mut sorted_targets: Vec<u32> = targets.iter().map(|t| t.0).collect();
+    sorted_targets.sort_unstable();
+    sorted_targets.dedup();
+
+    let shared = Shared {
+        best: Mutex::new(None),
+        no_solution_floor: AtomicUsize::new(usize::MAX),
+        next_root: AtomicUsize::new(0),
+        timed_out: AtomicBool::new(false),
+    };
+    let counters_total = Mutex::new(SearchCounters::default());
+
+    let threads = threads.max(1).min(queue.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut counters = SearchCounters::default();
+                loop {
+                    let root = shared.next_root.fetch_add(1, Ordering::Relaxed);
+                    if root >= queue.len() {
+                        break;
+                    }
+                    if root >= shared.no_solution_floor.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(d) = deadline {
+                        if Instant::now() >= d {
+                            shared.timed_out.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    // Root-level incumbent cutoff (the parallel counterpart
+                    // of Alg. 3 line 6 applied at depth one).
+                    if queue[root].cost >= shared.best_cost() {
+                        break;
+                    }
+                    let outcome = p_dfs_remi(
+                        eval,
+                        queue,
+                        root,
+                        &sorted_targets,
+                        &shared,
+                        deadline,
+                        &mut counters,
+                    );
+                    counters.roots_explored += 1;
+                    if !outcome.found && outcome.complete {
+                        // Rule 2: a *complete* solution-free exploration
+                        // rooted at ρᵢ proves even the most specific
+                        // suffix conjunction fails, so all subtrees rooted
+                        // at ρⱼ (j > i) — which cover less specific
+                        // expression sets — are superfluous.
+                        shared
+                            .no_solution_floor
+                            .fetch_min(root, Ordering::Relaxed);
+                    }
+                }
+                let mut total = counters_total.lock();
+                total.nodes_visited += counters.nodes_visited;
+                total.roots_explored += counters.roots_explored;
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let best = shared.best.lock().take();
+    let status = if shared.timed_out.load(Ordering::Relaxed) && best.is_none() {
+        SearchStatus::TimedOut
+    } else if best.is_some() {
+        SearchStatus::Completed
+    } else {
+        SearchStatus::NoSolution
+    };
+    let counters = *counters_total.lock();
+    SearchResult {
+        best,
+        status,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complexity::{CostModel, EntityCodeMode, Prominence};
+    use crate::config::EnumerationConfig;
+    use crate::enumerate::{common_subgraph_expressions, EnumContext};
+    use crate::search::{build_queue, remi_search};
+    use remi_kb::{KbBuilder, KnowledgeBase};
+
+    fn rennes_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        for city in ["Rennes", "Nantes"] {
+            b.add_iri(&format!("e:{city}"), "p:in", "e:Brittany");
+            b.add_iri(&format!("e:{city}"), "p:mayor", &format!("e:mayor{city}"));
+            b.add_iri(&format!("e:mayor{city}"), "p:party", "e:Socialist");
+        }
+        b.add_iri("e:Vannes", "p:in", "e:Brittany");
+        b.add_iri("e:Vannes", "p:mayor", "e:mayorVannes");
+        b.add_iri("e:mayorVannes", "p:party", "e:Green");
+        b.add_iri("e:Lille", "p:mayor", "e:mayorLille");
+        b.add_iri("e:mayorLille", "p:party", "e:Socialist");
+        b.build().unwrap()
+    }
+
+    fn setup<'a>(
+        kb: &'a KnowledgeBase,
+        targets: &[&str],
+    ) -> (Vec<ScoredExpr>, Vec<remi_kb::NodeId>, CostModel<'a>) {
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(kb, &cfg);
+        let ids: Vec<remi_kb::NodeId> = targets
+            .iter()
+            .map(|t| kb.node_id_by_iri(t).unwrap())
+            .collect();
+        let (common, _) = common_subgraph_expressions(kb, &ids, &cfg, &ctx);
+        let model = CostModel::new(kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let queue = build_queue(&model, &common);
+        (queue, ids, model)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_cost() {
+        let kb = rennes_kb();
+        let (queue, ids, _model) = setup(&kb, &["e:Rennes", "e:Nantes"]);
+        let eval = Evaluator::new(&kb, 1024);
+        let seq = remi_search(&eval, &queue, &ids, None, true);
+        for threads in [1, 2, 4, 8] {
+            let eval_p = Evaluator::new(&kb, 1024);
+            let par = parallel_remi_search(&eval_p, &queue, &ids, None, threads);
+            assert_eq!(par.status, SearchStatus::Completed, "threads={threads}");
+            assert_eq!(
+                par.best.as_ref().map(|(_, c)| *c),
+                seq.best.as_ref().map(|(_, c)| *c),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_result_is_a_valid_re() {
+        let kb = rennes_kb();
+        let (queue, ids, _) = setup(&kb, &["e:Rennes", "e:Nantes"]);
+        let eval = Evaluator::new(&kb, 1024);
+        let par = parallel_remi_search(&eval, &queue, &ids, None, 4);
+        let (expr, _) = par.best.expect("solution exists");
+        let mut t: Vec<u32> = ids.iter().map(|n| n.0).collect();
+        t.sort_unstable();
+        let check = Evaluator::new(&kb, 16);
+        assert!(check.is_referring_expression(&expr.parts, &t));
+    }
+
+    #[test]
+    fn parallel_no_solution() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:twin1", "p:in", "e:Town");
+        b.add_iri("e:twin2", "p:in", "e:Town");
+        let kb = b.build().unwrap();
+        let (queue, ids, _) = setup(&kb, &["e:twin1"]);
+        let eval = Evaluator::new(&kb, 64);
+        let par = parallel_remi_search(&eval, &queue, &ids, None, 4);
+        assert_eq!(par.status, SearchStatus::NoSolution);
+        assert!(par.best.is_none());
+    }
+
+    #[test]
+    fn parallel_empty_queue() {
+        let kb = rennes_kb();
+        let eval = Evaluator::new(&kb, 16);
+        let rennes = kb.node_id_by_iri("e:Rennes").unwrap();
+        let par = parallel_remi_search(&eval, &[], &[rennes], None, 4);
+        assert_eq!(par.status, SearchStatus::NoSolution);
+    }
+
+    #[test]
+    fn parallel_timeout() {
+        let kb = rennes_kb();
+        let (queue, ids, _) = setup(&kb, &["e:Rennes", "e:Nantes"]);
+        let eval = Evaluator::new(&kb, 16);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let par = parallel_remi_search(&eval, &queue, &ids, Some(past), 2);
+        assert_eq!(par.status, SearchStatus::TimedOut);
+    }
+
+    #[test]
+    fn many_threads_on_tiny_queue_is_safe() {
+        let kb = rennes_kb();
+        let (queue, ids, _) = setup(&kb, &["e:Rennes", "e:Nantes"]);
+        let eval = Evaluator::new(&kb, 64);
+        let par = parallel_remi_search(&eval, &queue, &ids, None, 64);
+        assert!(par.best.is_some());
+    }
+
+    /// Determinism of *cost*: thread interleaving may change which of
+    /// several equal-cost REs is reported, but never the optimal cost.
+    #[test]
+    fn repeated_parallel_runs_agree_on_cost() {
+        let kb = rennes_kb();
+        let (queue, ids, _) = setup(&kb, &["e:Rennes", "e:Nantes"]);
+        let mut costs = Vec::new();
+        for _ in 0..10 {
+            let eval = Evaluator::new(&kb, 256);
+            let par = parallel_remi_search(&eval, &queue, &ids, None, 4);
+            costs.push(par.best.map(|(_, c)| c));
+        }
+        assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
+    }
+}

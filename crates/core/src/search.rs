@@ -1,0 +1,483 @@
+//! Sequential REMI search — Algorithms 1 (REMI) and 2 (DFS-REMI).
+//!
+//! Algorithm 1 sorts the common subgraph expressions by `Ĉ` into a priority
+//! queue, then explores conjunctions depth-first. When a conjunction is an
+//! RE, all of its extensions are REs too but strictly more complex, so the
+//! search *prunes by depth* (abandons descendants) and *prunes sideways*
+//! (abandons more-complex siblings) — the two rules of §3.3.
+
+use std::time::Instant;
+
+use remi_kb::NodeId;
+
+use crate::bits::Bits;
+use crate::complexity::CostModel;
+use crate::eval::Evaluator;
+use crate::expr::{Expression, SubgraphExpr};
+
+/// A subgraph expression with its precomputed cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredExpr {
+    /// The expression.
+    pub expr: SubgraphExpr,
+    /// Its `Ĉ` in bits.
+    pub cost: Bits,
+}
+
+/// Why the search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStatus {
+    /// The space was exhausted (the returned solution, if any, is optimal
+    /// under `Ĉ` within the language bias).
+    Completed,
+    /// The deadline fired; the result is the best found so far.
+    TimedOut,
+    /// The target set admits no RE in this language.
+    NoSolution,
+}
+
+/// Counters for one search run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchCounters {
+    /// Search-tree nodes visited (conjunctions pushed).
+    pub nodes_visited: u64,
+    /// Subtree roots fully explored.
+    pub roots_explored: u64,
+}
+
+/// Result of the DFS phase.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best RE found with its cost, or `None`.
+    pub best: Option<(Expression, Bits)>,
+    /// Termination status.
+    pub status: SearchStatus,
+    /// Counters.
+    pub counters: SearchCounters,
+}
+
+/// Builds the priority queue of Algorithm 1, line 2: the input expressions
+/// scored by `Ĉ` and sorted ascending (ties broken structurally so runs
+/// are deterministic).
+pub fn build_queue(model: &CostModel<'_>, exprs: &[SubgraphExpr]) -> Vec<ScoredExpr> {
+    let mut queue: Vec<ScoredExpr> = exprs
+        .iter()
+        .map(|&expr| ScoredExpr {
+            expr,
+            cost: model.subgraph_cost(&expr),
+        })
+        .collect();
+    queue.sort_by(|a, b| a.cost.cmp(&b.cost).then(a.expr.cmp(&b.expr)));
+    queue
+}
+
+/// Algorithm 2 — DFS-REMI. Explores the subtree rooted at `queue[root]`,
+/// combining it with the remaining (more complex) expressions.
+///
+/// Returns the least-complex RE prefixed with the root, or `None`.
+pub fn dfs_remi(
+    eval: &Evaluator<'_>,
+    queue: &[ScoredExpr],
+    root: usize,
+    sorted_targets: &[u32],
+    deadline: Option<Instant>,
+    counters: &mut SearchCounters,
+) -> Option<(Expression, Bits)> {
+    // G' = {ρ} ∪ G — the root followed by everything after it.
+    let mut stack: Vec<usize> = Vec::new(); // S := {⊤}: indices into queue
+    let mut best: Option<(Expression, Bits)> = None;
+
+    let mut i = root;
+    while i < queue.len() {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return best;
+            }
+        }
+        // Line 3: push ρ′.
+        stack.push(i);
+        counters.nodes_visited += 1;
+
+        // Line 4–5: e′ := ∧ S; test e′(K) = T.
+        let parts: Vec<SubgraphExpr> = stack.iter().map(|&k| queue[k].expr).collect();
+        if eval.is_referring_expression(&parts, sorted_targets) {
+            // Line 6: remember the least complex RE.
+            let cost: Bits = stack.iter().map(|&k| queue[k].cost).sum();
+            let better = match &best {
+                Some((_, b)) => cost < *b,
+                None => true,
+            };
+            if better {
+                best = Some((Expression { parts }, cost));
+            }
+            // Line 7: pruning by depth; line 8: side pruning.
+            stack.pop();
+            stack.pop();
+            // Line 9: nothing left to backtrack into — done.
+            if stack.is_empty() && best.is_some() {
+                // All remaining combinations are prefixed by strictly more
+                // complex roots of this subtree; the best here is final.
+                return best;
+            }
+        }
+        i += 1;
+    }
+    best
+}
+
+/// Algorithm 1 — REMI. `queue` must be sorted ascending by cost
+/// (see [`build_queue`]).
+///
+/// `incumbent_root_cutoff` adds the sound optimisation of stopping the
+/// root loop once the next root alone costs at least as much as the
+/// incumbent (conjunction costs only grow, and the queue is sorted).
+pub fn remi_search(
+    eval: &Evaluator<'_>,
+    queue: &[ScoredExpr],
+    targets: &[NodeId],
+    deadline: Option<Instant>,
+    incumbent_root_cutoff: bool,
+) -> SearchResult {
+    let mut sorted_targets: Vec<u32> = targets.iter().map(|t| t.0).collect();
+    sorted_targets.sort_unstable();
+    sorted_targets.dedup();
+
+    let mut counters = SearchCounters::default();
+    let mut best: Option<(Expression, Bits)> = None;
+
+    for root in 0..queue.len() {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return SearchResult {
+                    best,
+                    status: SearchStatus::TimedOut,
+                    counters,
+                };
+            }
+        }
+        if incumbent_root_cutoff {
+            if let Some((_, b)) = &best {
+                if queue[root].cost >= *b {
+                    // Every expression rooted here or later costs ≥ the
+                    // incumbent; the incumbent is optimal.
+                    return SearchResult {
+                        best,
+                        status: SearchStatus::Completed,
+                        counters,
+                    };
+                }
+            }
+        }
+        let found = dfs_remi(
+            eval,
+            queue,
+            root,
+            &sorted_targets,
+            deadline,
+            &mut counters,
+        );
+        counters.roots_explored += 1;
+        match (found, &mut best) {
+            (Some((e, c)), Some((be, bc))) => {
+                if c < *bc {
+                    *be = e;
+                    *bc = c;
+                }
+            }
+            (Some(pair), slot @ None) => *slot = Some(pair),
+            (None, best) => {
+                // Line 8 of Alg. 1: the first root is combined with every
+                // other expression; if even that finds nothing, no RE
+                // exists for T in this language.
+                if root == 0 && best.is_none() {
+                    return SearchResult {
+                        best: None,
+                        status: SearchStatus::NoSolution,
+                        counters,
+                    };
+                }
+            }
+        }
+    }
+
+    let status = if best.is_some() {
+        SearchStatus::Completed
+    } else {
+        SearchStatus::NoSolution
+    };
+    SearchResult {
+        best,
+        status,
+        counters,
+    }
+}
+
+/// Parallel variant of [`build_queue`]: scores expressions on `threads`
+/// workers before sorting. §3.5.2: *"we parallelized the construction and
+/// sorting of the queue"* — scoring dominates queue construction because
+/// each `Ĉ` evaluation may materialise join rankings.
+pub fn build_queue_parallel(
+    model: &CostModel<'_>,
+    exprs: &[SubgraphExpr],
+    threads: usize,
+) -> Vec<ScoredExpr> {
+    let threads = threads.max(1);
+    if threads == 1 || exprs.len() < 256 {
+        return build_queue(model, exprs);
+    }
+    let chunk = exprs.len().div_ceil(threads);
+    let mut queue: Vec<ScoredExpr> = Vec::with_capacity(exprs.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = exprs
+            .chunks(chunk)
+            .map(|chunk_exprs| {
+                scope.spawn(move |_| {
+                    chunk_exprs
+                        .iter()
+                        .map(|&expr| ScoredExpr {
+                            expr,
+                            cost: model.subgraph_cost(&expr),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            queue.extend(h.join().expect("scoring workers do not panic"));
+        }
+    })
+    .expect("scoring scope does not panic");
+    queue.sort_by(|a, b| a.cost.cmp(&b.cost).then(a.expr.cmp(&b.expr)));
+    queue
+}
+
+/// Dispatches to sequential REMI or P-REMI depending on `threads`.
+pub fn parallel_or_sequential(
+    eval: &Evaluator<'_>,
+    queue: &[ScoredExpr],
+    targets: &[NodeId],
+    deadline: Option<Instant>,
+    threads: usize,
+    incumbent_root_cutoff: bool,
+) -> SearchResult {
+    if threads > 1 {
+        crate::parallel::parallel_remi_search(eval, queue, targets, deadline, threads)
+    } else {
+        remi_search(eval, queue, targets, deadline, incumbent_root_cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complexity::{CostModel, EntityCodeMode, Prominence};
+    use crate::config::EnumerationConfig;
+    use crate::enumerate::{common_subgraph_expressions, EnumContext};
+    use remi_kb::{KbBuilder, KnowledgeBase};
+
+    fn rennes_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        for city in ["Rennes", "Nantes"] {
+            b.add_iri(&format!("e:{city}"), "p:in", "e:Brittany");
+            b.add_iri(&format!("e:{city}"), "p:mayor", &format!("e:mayor{city}"));
+            b.add_iri(&format!("e:mayor{city}"), "p:party", "e:Socialist");
+        }
+        // Distractors sharing parts of the description.
+        b.add_iri("e:Vannes", "p:in", "e:Brittany");
+        b.add_iri("e:Vannes", "p:mayor", "e:mayorVannes");
+        b.add_iri("e:mayorVannes", "p:party", "e:Green");
+        b.add_iri("e:Lille", "p:mayor", "e:mayorLille");
+        b.add_iri("e:mayorLille", "p:party", "e:Socialist");
+        b.build().unwrap()
+    }
+
+    fn mine<'a>(
+        kb: &'a KnowledgeBase,
+        targets: &[&str],
+        cutoff: bool,
+    ) -> (SearchResult, CostModel<'a>) {
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(kb, &cfg);
+        let ids: Vec<remi_kb::NodeId> = targets
+            .iter()
+            .map(|t| kb.node_id_by_iri(t).unwrap())
+            .collect();
+        let (common, _) = common_subgraph_expressions(kb, &ids, &cfg, &ctx);
+        let model = CostModel::new(kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let queue = build_queue(&model, &common);
+        let eval = Evaluator::new(kb, 1024);
+        let result = remi_search(&eval, &queue, &ids, None, cutoff);
+        (result, model)
+    }
+
+    #[test]
+    fn finds_the_rennes_nantes_re() {
+        let kb = rennes_kb();
+        let (result, _) = mine(&kb, &["e:Rennes", "e:Nantes"], true);
+        assert_eq!(result.status, SearchStatus::Completed);
+        let (expr, cost) = result.best.expect("an RE exists");
+        assert!(!cost.is_infinite());
+        // Verify it really is an RE: bindings == {Rennes, Nantes}.
+        let eval = Evaluator::new(&kb, 16);
+        let mut targets = vec![
+            kb.node_id_by_iri("e:Rennes").unwrap().0,
+            kb.node_id_by_iri("e:Nantes").unwrap().0,
+        ];
+        targets.sort_unstable();
+        assert!(eval.is_referring_expression(&expr.parts, &targets));
+        // The canonical answer needs both conjuncts: in(x, Brittany) alone
+        // also matches Vannes, the Socialist-mayor path alone also matches
+        // Lille.
+        assert!(expr.parts.len() >= 2, "{expr:?}");
+    }
+
+    #[test]
+    fn single_entity_with_unique_atom() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:Paris", "p:capitalOf", "e:France");
+        b.add_iri("e:Paris", "p:in", "e:France");
+        b.add_iri("e:Lyon", "p:in", "e:France");
+        let kb = b.build().unwrap();
+        let (result, model) = mine(&kb, &["e:Paris"], true);
+        let (expr, cost) = result.best.expect("capitalOf(x, France) is an RE");
+        let capital = kb.pred_id("p:capitalOf").unwrap();
+        let france = kb.node_id_by_iri("e:France").unwrap();
+        // capitalOf(x, France) is an RE; the search may report it alone or
+        // in a cost-tied conjunction (ties are allowed by the algorithm),
+        // but the returned cost can never exceed the single atom's.
+        let atom = SubgraphExpr::Atom { p: capital, o: france };
+        assert!(expr.parts.contains(&atom), "{expr:?}");
+        assert!(cost <= model.subgraph_cost(&atom));
+    }
+
+    #[test]
+    fn no_solution_when_targets_are_indistinguishable() {
+        let mut b = KbBuilder::new();
+        // twin1 and twin2 have identical descriptions; asking for just one
+        // of them cannot succeed.
+        b.add_iri("e:twin1", "p:in", "e:Town");
+        b.add_iri("e:twin2", "p:in", "e:Town");
+        let kb = b.build().unwrap();
+        let (result, _) = mine(&kb, &["e:twin1"], true);
+        assert_eq!(result.status, SearchStatus::NoSolution);
+        assert!(result.best.is_none());
+    }
+
+    #[test]
+    fn pair_of_indistinguishable_twins_is_describable_together() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:twin1", "p:in", "e:Town");
+        b.add_iri("e:twin2", "p:in", "e:Town");
+        b.add_iri("e:other", "p:in", "e:City");
+        let kb = b.build().unwrap();
+        let (result, _) = mine(&kb, &["e:twin1", "e:twin2"], true);
+        let (expr, _) = result.best.expect("in(x, Town) describes both twins");
+        let in_p = kb.pred_id("p:in").unwrap();
+        let town = kb.node_id_by_iri("e:Town").unwrap();
+        assert_eq!(expr.parts, vec![SubgraphExpr::Atom { p: in_p, o: town }]);
+    }
+
+    #[test]
+    fn returned_solution_is_cost_minimal() {
+        // Exhaustively verify optimality on a small instance: enumerate all
+        // subsets of common expressions and find the true minimum-cost RE.
+        let kb = rennes_kb();
+        let (result, model) = mine(&kb, &["e:Rennes", "e:Nantes"], true);
+        let (_, reported_cost) = result.best.expect("solution exists");
+
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        let targets = [
+            kb.node_id_by_iri("e:Rennes").unwrap(),
+            kb.node_id_by_iri("e:Nantes").unwrap(),
+        ];
+        let (common, _) = common_subgraph_expressions(&kb, &targets, &cfg, &ctx);
+        let eval = Evaluator::new(&kb, 1024);
+        let mut sorted_targets: Vec<u32> = targets.iter().map(|t| t.0).collect();
+        sorted_targets.sort_unstable();
+
+        let n = common.len();
+        assert!(n <= 16, "exhaustive check needs a small space, got {n}");
+        let mut true_min = Bits::INFINITY;
+        for mask in 1u32..(1 << n) {
+            let parts: Vec<SubgraphExpr> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| common[i])
+                .collect();
+            if eval.is_referring_expression(&parts, &sorted_targets) {
+                let cost = model.parts_cost(&parts);
+                if cost < true_min {
+                    true_min = cost;
+                }
+            }
+        }
+        assert_eq!(reported_cost, true_min);
+    }
+
+    #[test]
+    fn cutoff_and_no_cutoff_agree_on_cost() {
+        let kb = rennes_kb();
+        let (with, _) = mine(&kb, &["e:Rennes", "e:Nantes"], true);
+        let (without, _) = mine(&kb, &["e:Rennes", "e:Nantes"], false);
+        assert_eq!(
+            with.best.as_ref().map(|(_, c)| *c),
+            without.best.as_ref().map(|(_, c)| *c)
+        );
+        // The cutoff must not explore more roots than the full loop.
+        assert!(with.counters.roots_explored <= without.counters.roots_explored);
+    }
+
+    #[test]
+    fn timeout_reports_timed_out() {
+        let kb = rennes_kb();
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        let targets = [
+            kb.node_id_by_iri("e:Rennes").unwrap(),
+            kb.node_id_by_iri("e:Nantes").unwrap(),
+        ];
+        let (common, _) = common_subgraph_expressions(&kb, &targets, &cfg, &ctx);
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let queue = build_queue(&model, &common);
+        drop(model);
+        let eval = Evaluator::new(&kb, 16);
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let result = remi_search(&eval, &queue, &targets, Some(past), true);
+        assert_eq!(result.status, SearchStatus::TimedOut);
+    }
+
+    #[test]
+    fn queue_is_sorted_ascending() {
+        let kb = rennes_kb();
+        let cfg = EnumerationConfig {
+            prominent_cutoff: 0.0,
+            ..Default::default()
+        };
+        let ctx = EnumContext::new(&kb, &cfg);
+        let rennes = kb.node_id_by_iri("e:Rennes").unwrap();
+        let (exprs, _) = common_subgraph_expressions(&kb, &[rennes], &cfg, &ctx);
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let queue = build_queue(&model, &exprs);
+        for w in queue.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+        }
+    }
+
+    #[test]
+    fn empty_queue_means_no_solution() {
+        let kb = rennes_kb();
+        let eval = Evaluator::new(&kb, 16);
+        let rennes = kb.node_id_by_iri("e:Rennes").unwrap();
+        let result = remi_search(&eval, &[], &[rennes], None, true);
+        assert_eq!(result.status, SearchStatus::NoSolution);
+    }
+}

@@ -1,0 +1,170 @@
+//! Top-k mining: the k least-complex *distinct* referring expressions.
+//!
+//! Algorithm 1 returns one RE; applications like the §4.1.2 study (and any
+//! UI offering alternatives) want several. This module harvests the
+//! per-root results of DFS-REMI: each subtree rooted at a queue element
+//! yields its best RE, and the roots are cut off exactly when they can no
+//! longer contribute (root cost ≥ the incumbent best) — so the cheapest
+//! returned RE matches [`Remi::describe`](crate::Remi::describe) in cost.
+
+use std::time::Instant;
+
+use remi_kb::NodeId;
+
+use crate::bits::Bits;
+use crate::eval::Evaluator;
+use crate::expr::Expression;
+use crate::miner::Remi;
+use crate::search::{dfs_remi, SearchCounters};
+
+/// A scored referring expression.
+#[derive(Debug, Clone)]
+pub struct RankedRe {
+    /// The expression.
+    pub expr: Expression,
+    /// Its `Ĉ`.
+    pub cost: Bits,
+}
+
+/// Mines up to `k` distinct REs for `targets`, cheapest first.
+///
+/// The first element (when any exists) has the same cost as the single
+/// answer of [`Remi::describe`]. Later elements are the best REs of other
+/// DFS subtrees — the "other REs encountered during search space
+/// traversal" of the paper's §4.1.2 protocol.
+pub fn describe_top_k(remi: &Remi<'_>, targets: &[NodeId], k: usize) -> Vec<RankedRe> {
+    assert!(k >= 1, "k must be at least 1");
+    let (queue, _) = remi.ranked_common_expressions(targets);
+    let eval = Evaluator::new(remi.kb(), remi.config().cache_capacity);
+    let deadline = remi.config().timeout.map(|t| Instant::now() + t);
+
+    let mut sorted_targets: Vec<u32> = targets.iter().map(|t| t.0).collect();
+    sorted_targets.sort_unstable();
+    sorted_targets.dedup();
+
+    let mut found: Vec<RankedRe> = Vec::new();
+    let mut min_cost = Bits::INFINITY;
+    let mut counters = SearchCounters::default();
+
+    for root in 0..queue.len() {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break;
+            }
+        }
+        // Sound cutoff: roots at or above the incumbent cannot improve the
+        // minimum; once k alternatives exist, stop there.
+        if queue[root].cost >= min_cost && found.len() >= k {
+            break;
+        }
+        if let Some((expr, cost)) =
+            dfs_remi(&eval, &queue, root, &sorted_targets, deadline, &mut counters)
+        {
+            if found.iter().any(|r| r.expr == expr) {
+                continue;
+            }
+            if cost < min_cost {
+                min_cost = cost;
+            }
+            found.push(RankedRe { expr, cost });
+        }
+    }
+    found.sort_by(|a, b| a.cost.cmp(&b.cost));
+    found.truncate(k);
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EnumerationConfig, RemiConfig};
+    use remi_kb::{KbBuilder, KnowledgeBase};
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        // Rennes/Nantes with three independent distinguishing signals.
+        for city in ["Rennes", "Nantes"] {
+            b.add_iri(&format!("e:{city}"), "p:belongedTo", "e:Brittany");
+            b.add_iri(&format!("e:{city}"), "p:placeOf", "e:Epitech");
+            b.add_iri(&format!("e:{city}"), "p:mayor", &format!("e:mayor{city}"));
+            b.add_iri(&format!("e:mayor{city}"), "p:party", "e:Socialist");
+        }
+        b.add_iri("e:Vannes", "p:belongedTo", "e:Brittany");
+        b.add_iri("e:Paris", "p:placeOf", "e:Epitech");
+        b.add_iri("e:Lille", "p:mayor", "e:mayorLille");
+        b.add_iri("e:mayorLille", "p:party", "e:Socialist");
+        b.build().unwrap()
+    }
+
+    fn remi(kb: &KnowledgeBase) -> Remi<'_> {
+        Remi::new(
+            kb,
+            RemiConfig {
+                enumeration: EnumerationConfig {
+                    prominent_cutoff: 0.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn first_result_matches_describe() {
+        let kb = kb();
+        let remi = remi(&kb);
+        let targets = [
+            kb.node_id_by_iri("e:Rennes").unwrap(),
+            kb.node_id_by_iri("e:Nantes").unwrap(),
+        ];
+        let single = remi.describe(&targets);
+        let top = describe_top_k(&remi, &targets, 3);
+        assert!(!top.is_empty());
+        assert_eq!(Some(top[0].cost), single.cost());
+    }
+
+    #[test]
+    fn results_are_distinct_valid_and_sorted() {
+        let kb = kb();
+        let remi = remi(&kb);
+        let targets = [
+            kb.node_id_by_iri("e:Rennes").unwrap(),
+            kb.node_id_by_iri("e:Nantes").unwrap(),
+        ];
+        let top = describe_top_k(&remi, &targets, 5);
+        assert!(top.len() >= 2, "multiple distinct REs exist");
+        let eval = Evaluator::new(&kb, 64);
+        let mut t: Vec<u32> = targets.iter().map(|n| n.0).collect();
+        t.sort_unstable();
+        for w in top.windows(2) {
+            assert!(w[0].cost <= w[1].cost);
+            assert_ne!(w[0].expr, w[1].expr);
+        }
+        for r in &top {
+            assert!(eval.is_referring_expression(&r.expr.parts, &t));
+        }
+    }
+
+    #[test]
+    fn k_caps_the_result() {
+        let kb = kb();
+        let remi = remi(&kb);
+        let targets = [
+            kb.node_id_by_iri("e:Rennes").unwrap(),
+            kb.node_id_by_iri("e:Nantes").unwrap(),
+        ];
+        let top = describe_top_k(&remi, &targets, 1);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn no_solution_yields_empty() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:t1", "p:in", "e:Town");
+        b.add_iri("e:t2", "p:in", "e:Town");
+        let kb = b.build().unwrap();
+        let remi = remi(&kb);
+        let t1 = kb.node_id_by_iri("e:t1").unwrap();
+        assert!(describe_top_k(&remi, &[t1], 3).is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Verbalisation: rendering referring expressions as English-ish prose.
+//!
+//! §4.1.1: *"We manually translated the subgraph expressions to natural
+//! language statements in the shortest possible way by using the textual
+//! descriptions (predicate rdfs:label) of the concepts when available."*
+//! This module automates that translation with templates per shape; it is
+//! what the examples and the simulated user studies show to "users".
+
+use remi_kb::{KnowledgeBase, PredId};
+
+use crate::expr::{Expression, SubgraphExpr};
+
+/// Splits a camelCase or snake_case predicate name into lowercase words:
+/// `officialLanguage` → `official language`.
+pub fn humanize_predicate(name: &str) -> String {
+    let (core, inverted) = match name.strip_suffix(remi_kb::store::INVERSE_SUFFIX) {
+        Some(b) => (b, true),
+        None => (name, false),
+    };
+    let mut out = String::with_capacity(core.len() + 8);
+    for (i, c) in core.chars().enumerate() {
+        if c == '_' || c == '-' {
+            out.push(' ');
+        } else if c.is_uppercase() && i > 0 {
+            out.push(' ');
+            out.extend(c.to_lowercase());
+        } else {
+            out.extend(c.to_lowercase());
+        }
+    }
+    if inverted {
+        // `capitalOf⁻¹` reads best as "is the capital of".
+        let stem = out.strip_suffix(" of").unwrap_or(&out);
+        format!("is the {stem} of")
+    } else {
+        out
+    }
+}
+
+fn pred_phrase(kb: &KnowledgeBase, p: PredId) -> String {
+    humanize_predicate(&kb.pred_name(p))
+}
+
+/// Verbalises a single subgraph expression ("its mayor is a member of the
+/// Socialist party" style).
+pub fn verbalize_subgraph(kb: &KnowledgeBase, e: &SubgraphExpr) -> String {
+    match *e {
+        SubgraphExpr::Atom { p, o } => {
+            if Some(p) == kb.type_pred() {
+                format!("it is a {}", kb.node_name(o))
+            } else {
+                format!("its {} is {}", pred_phrase(kb, p), kb.node_name(o))
+            }
+        }
+        SubgraphExpr::Path { p0, p1, o } => format!(
+            "its {} is something whose {} is {}",
+            pred_phrase(kb, p0),
+            pred_phrase(kb, p1),
+            kb.node_name(o)
+        ),
+        SubgraphExpr::PathStar { p0, p1, o1, p2, o2 } => format!(
+            "its {} is something whose {} is {} and whose {} is {}",
+            pred_phrase(kb, p0),
+            pred_phrase(kb, p1),
+            kb.node_name(o1),
+            pred_phrase(kb, p2),
+            kb.node_name(o2)
+        ),
+        SubgraphExpr::Closed2 { p0, p1 } => format!(
+            "its {} and its {} coincide",
+            pred_phrase(kb, p0),
+            pred_phrase(kb, p1)
+        ),
+        SubgraphExpr::Closed3 { p0, p1, p2 } => format!(
+            "its {}, its {} and its {} all coincide",
+            pred_phrase(kb, p0),
+            pred_phrase(kb, p1),
+            pred_phrase(kb, p2)
+        ),
+    }
+}
+
+/// Verbalises a full referring expression.
+pub fn verbalize(kb: &KnowledgeBase, e: &Expression) -> String {
+    if e.is_top() {
+        return "anything".to_string();
+    }
+    let parts: Vec<String> = e
+        .parts
+        .iter()
+        .map(|p| verbalize_subgraph(kb, p))
+        .collect();
+    match parts.len() {
+        1 => format!("the one such that {}", parts[0]),
+        _ => format!("the one such that {}", parts.join(", and ")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remi_kb::KbBuilder;
+
+    fn kb() -> remi_kb::KnowledgeBase {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:Rennes", "p:mayor", "e:Alice");
+        b.add_iri("e:Alice", "p:partyMembership", "e:Socialist");
+        b.add_iri("e:Rennes", "p:officialLanguage", "e:French");
+        b.add_iri("e:Rennes", remi_kb::store::RDF_TYPE, "e:City");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn humanizes_camel_case() {
+        assert_eq!(humanize_predicate("officialLanguage"), "official language");
+        assert_eq!(humanize_predicate("birth_place"), "birth place");
+        assert_eq!(humanize_predicate("mayor"), "mayor");
+        assert_eq!(humanize_predicate("capitalOf⁻¹"), "is the capital of");
+        assert_eq!(humanize_predicate("mayor⁻¹"), "is the mayor of");
+    }
+
+    #[test]
+    fn verbalizes_atom() {
+        let kb = kb();
+        let p = kb.pred_id("p:officialLanguage").unwrap();
+        let o = kb.node_id_by_iri("e:French").unwrap();
+        let s = verbalize_subgraph(&kb, &SubgraphExpr::Atom { p, o });
+        assert_eq!(s, "its official language is French");
+    }
+
+    #[test]
+    fn verbalizes_type_atom_specially() {
+        let kb = kb();
+        let p = kb.type_pred().unwrap();
+        let o = kb.node_id_by_iri("e:City").unwrap();
+        let s = verbalize_subgraph(&kb, &SubgraphExpr::Atom { p, o });
+        assert_eq!(s, "it is a City");
+    }
+
+    #[test]
+    fn verbalizes_path() {
+        let kb = kb();
+        let mayor = kb.pred_id("p:mayor").unwrap();
+        let party = kb.pred_id("p:partyMembership").unwrap();
+        let soc = kb.node_id_by_iri("e:Socialist").unwrap();
+        let s = verbalize_subgraph(
+            &kb,
+            &SubgraphExpr::Path { p0: mayor, p1: party, o: soc },
+        );
+        assert_eq!(
+            s,
+            "its mayor is something whose party membership is Socialist"
+        );
+    }
+
+    #[test]
+    fn verbalizes_closed_shapes() {
+        let kb = kb();
+        let mayor = kb.pred_id("p:mayor").unwrap();
+        let lang = kb.pred_id("p:officialLanguage").unwrap();
+        let s = verbalize_subgraph(&kb, &SubgraphExpr::closed2(mayor, lang));
+        assert!(s.contains("coincide"));
+        let party = kb.pred_id("p:partyMembership").unwrap();
+        let s3 = verbalize_subgraph(&kb, &SubgraphExpr::closed3(mayor, lang, party));
+        assert!(s3.contains("all coincide"));
+    }
+
+    #[test]
+    fn verbalizes_expression() {
+        let kb = kb();
+        let lang = kb.pred_id("p:officialLanguage").unwrap();
+        let french = kb.node_id_by_iri("e:French").unwrap();
+        let e = Expression::single(SubgraphExpr::Atom { p: lang, o: french });
+        assert_eq!(
+            verbalize(&kb, &e),
+            "the one such that its official language is French"
+        );
+        assert_eq!(verbalize(&kb, &Expression::top()), "anything");
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment drivers, one per table/figure of the paper.
+//!
+//! Every driver takes a seeded synthetic KB and returns a typed result
+//! struct whose `Display` prints the measured numbers next to the paper's
+//! reference values. EXPERIMENTS.md is generated from these.
+
+pub mod ablation;
+pub mod fit;
+pub mod map_study;
+pub mod perceived;
+pub mod space;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use remi_synth::{generate, SynthKb};
+
+/// The default experiment scale for the DBpedia-like profile (keeps the
+/// full table run in CI-friendly time; raise for heavier runs).
+pub const DEFAULT_DBPEDIA_SCALE: f64 = 4.0;
+/// The default experiment scale for the Wikidata-like profile.
+pub const DEFAULT_WIKIDATA_SCALE: f64 = 4.0;
+
+/// Builds the DBpedia-like evaluation KB.
+pub fn dbpedia_kb(scale: f64, seed: u64) -> SynthKb {
+    generate(&remi_synth::dbpedia_like(), scale, seed)
+}
+
+/// Builds the Wikidata-like evaluation KB.
+pub fn wikidata_kb(scale: f64, seed: u64) -> SynthKb {
+    generate(&remi_synth::wikidata_like(), scale, seed)
+}
+
+/// Formats a `mean ± std` cell.
+pub fn pm(mean: f64, std: f64) -> String {
+    format!("{mean:.2}±{std:.2}")
+}

@@ -1,0 +1,221 @@
+//! Table 2 — do users' simplicity rankings agree with `Ĉ`? (§4.1.1)
+//!
+//! Protocol: entity sets (sizes 1–3) sampled from the 5 % most frequent
+//! entities of the evaluation classes. For each set, the common subgraph
+//! expressions are ranked by `Ĉ` (Alg. 1 line 2); participants rank five
+//! of them — the `Ĉ` top 3, the worst ranked, and a random one — by
+//! simplicity. The statistic is precision@k between `Ĉ`'s top-k and the
+//! participant's top-k, for k ∈ {1, 2, 3}, reported for `Ĉfr` and `Ĉpr`.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use remi_core::complexity::Prominence;
+use remi_core::{Remi, RemiConfig};
+use remi_synth::{sample_target_sets, SynthKb, TargetSpec};
+
+use crate::metrics::{mean_std, precision_at_k};
+use crate::user_model::{UserModelConfig, UserPopulation};
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// `Ĉfr` or `Ĉpr`.
+    pub metric: String,
+    /// Number of simulated responses aggregated.
+    pub responses: usize,
+    /// precision@1 (mean, std).
+    pub p1: (f64, f64),
+    /// precision@2 (mean, std).
+    pub p2: (f64, f64),
+    /// precision@3 (mean, std).
+    pub p3: (f64, f64),
+}
+
+/// Full Table 2 result.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// One row per `Ĉ` variant.
+    pub rows: Vec<Table2Row>,
+    /// Sets that had at least five candidate expressions.
+    pub usable_sets: usize,
+}
+
+/// Paper reference values for the caption.
+pub const PAPER_FR: (f64, f64, f64) = (0.38, 0.66, 0.88);
+/// Paper reference values for `Ĉpr`.
+pub const PAPER_PR: (f64, f64, f64) = (0.43, 0.53, 0.72);
+
+/// Runs the Table 2 experiment.
+pub fn run(
+    synth: &SynthKb,
+    classes: &[&str],
+    n_sets: usize,
+    responses_per_set: usize,
+    seed: u64,
+) -> Table2Result {
+    let kb = &synth.kb;
+    // The paper's sets were chosen so that the entities "have enough
+    // subgraph expressions to rank"; we oversample and keep the first
+    // `n_sets` sets that produce ≥5 candidates.
+    let spec = TargetSpec {
+        count: n_sets * 6,
+        size_proportions: [0.5, 0.3, 0.2],
+        top_fraction: 0.05, // §4.1.1: top of the frequency ranking
+    };
+    let sets = sample_target_sets(synth, classes, &spec, seed);
+
+    // The perception ground truth is always frequency-based Ĉ plus the
+    // type preference; both Ĉ variants are evaluated against it.
+    let fr_config = RemiConfig::default();
+    let remi_fr = Remi::new(kb, fr_config);
+    let pr_config = RemiConfig::default().with_prominence(Prominence::PageRank);
+    let remi_pr = Remi::new(kb, pr_config);
+
+    let mut rows = Vec::new();
+    let mut usable_sets = 0;
+    for (metric_name, remi) in [("Ĉfr", &remi_fr), ("Ĉpr", &remi_pr)] {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut pop = UserPopulation::new(
+            kb,
+            remi_fr.model(),
+            UserModelConfig::default(),
+            seed ^ 0xca11,
+        );
+        let mut p1s = Vec::new();
+        let mut p2s = Vec::new();
+        let mut p3s = Vec::new();
+        let mut usable = 0usize;
+
+        for set in &sets {
+            if usable >= n_sets {
+                break;
+            }
+            let (queue, _) = remi.ranked_common_expressions(&set.entities);
+            if queue.len() < 5 {
+                continue;
+            }
+            usable += 1;
+            // Candidates: top 3 by Ĉ, the worst ranked, and a random
+            // middle expression (§4.1.1's baseline).
+            let worst = queue.len() - 1;
+            let mid = if queue.len() > 5 {
+                3 + rng.gen_range(0..(queue.len() - 4))
+            } else {
+                3
+            };
+            let mut chosen: Vec<usize> = vec![0, 1, 2, worst, mid];
+            chosen.dedup();
+            let candidates: Vec<_> = chosen.iter().map(|&i| queue[i].expr).collect();
+            // Ĉ's ranking of the candidates is just 0,1,2,… because
+            // `chosen` preserves queue (cost) order except the final two,
+            // which we re-sort by cost.
+            let mut reference: Vec<usize> = (0..candidates.len()).collect();
+            reference.sort_by(|&a, &b| {
+                queue[chosen[a]]
+                    .cost
+                    .cmp(&queue[chosen[b]].cost)
+                    .then(a.cmp(&b))
+            });
+
+            for _ in 0..responses_per_set {
+                let user_rank = pop.rank_subgraphs(&candidates);
+                p1s.push(precision_at_k(&reference, &user_rank, 1));
+                p2s.push(precision_at_k(&reference, &user_rank, 2));
+                p3s.push(precision_at_k(&reference, &user_rank, 3));
+            }
+        }
+        if metric_name == "Ĉfr" {
+            usable_sets = usable;
+        }
+        rows.push(Table2Row {
+            metric: metric_name.to_string(),
+            responses: p1s.len(),
+            p1: mean_std(&p1s),
+            p2: mean_std(&p2s),
+            p3: mean_std(&p3s),
+        });
+    }
+
+    Table2Result { rows, usable_sets }
+}
+
+impl fmt::Display for Table2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 2 — precision@k of Ĉ rankings vs simulated users ({} usable sets)",
+            self.usable_sets
+        )?;
+        writeln!(
+            f,
+            "{:<6} {:>10} {:>12} {:>12} {:>12}   (paper fr: {:.2}/{:.2}/{:.2}, pr: {:.2}/{:.2}/{:.2})",
+            "metric", "#resp", "p@1", "p@2", "p@3",
+            PAPER_FR.0, PAPER_FR.1, PAPER_FR.2, PAPER_PR.0, PAPER_PR.1, PAPER_PR.2
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<6} {:>10} {:>12} {:>12} {:>12}",
+                r.metric,
+                r.responses,
+                super::pm(r.p1.0, r.p1.1),
+                super::pm(r.p2.0, r.p2.1),
+                super::pm(r.p3.0, r.p3.1),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::dbpedia_kb;
+
+    #[test]
+    fn runs_and_shows_positive_correlation() {
+        let synth = dbpedia_kb(1.0, 11);
+        let result = run(
+            &synth,
+            &["Person", "Settlement", "Album", "Film", "Organization"],
+            24,
+            2,
+            5,
+        );
+        assert_eq!(result.rows.len(), 2);
+        assert!(result.usable_sets > 0, "some sets must have ≥5 expressions");
+        for row in &result.rows {
+            assert!(row.responses > 0);
+            // Positive correlation: p@3 should be well above chance (3/5
+            // of the candidates are the reference top-3, so chance for a
+            // random ranker is 0.6; an aligned ranker should beat it).
+            assert!(
+                row.p3.0 > 0.6,
+                "{}: p@3 = {} not above chance",
+                row.metric,
+                row.p3.0
+            );
+            // Values are probabilities.
+            for (m, _) in [row.p1, row.p2, row.p3] {
+                assert!((0.0..=1.0).contains(&m));
+            }
+        }
+        // Note: the paper's "p@1 is the weakest statistic" signature
+        // depends on DBpedia's huge class vocabulary making type atoms
+        // rank 2nd/3rd under Ĉ; our synthetic class vocabulary is small,
+        // so users and Ĉ agree on type atoms more often (EXPERIMENTS.md
+        // discusses this). We only require the rankings to be probability
+        // valued and positively correlated, asserted above.
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let synth = dbpedia_kb(0.5, 3);
+        let a = run(&synth, &["Person", "Settlement"], 10, 2, 9);
+        let b = run(&synth, &["Person", "Settlement"], 10, 2, 9);
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+}

@@ -1,0 +1,23 @@
+//! `remi-eval` — experiment drivers reproducing every table and figure of
+//! the REMI paper on the synthetic KBs of `remi-synth`.
+//!
+//! | artifact | module |
+//! |---|---|
+//! | Table 2 (p@k of Ĉ vs users)           | [`experiments::table2`] |
+//! | Table 3 (entity-summarisation quality) | [`experiments::table3`] |
+//! | Table 4 (runtimes: AMIE+/REMI/P-REMI)  | [`experiments::table4`] |
+//! | Eq. 1 fit (R² of the power law)        | [`experiments::fit`]    |
+//! | §3.2 search-space growth               | [`experiments::space`]  |
+//! | §4.1.2 MAP study                       | [`experiments::map_study`] |
+//! | §4.1.3 perceived interestingness       | [`experiments::perceived`] |
+//!
+//! Human raters are simulated by [`user_model`] (see DESIGN.md §2 for the
+//! substitution argument); all drivers are seed-deterministic.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod user_model;
+
+pub use experiments::{dbpedia_kb, wikidata_kb};

@@ -1,0 +1,79 @@
+//! Agreement metrics used by the qualitative evaluation.
+
+/// `precision@k` between two rankings given as index sequences (best
+/// first): the fraction of the reference's top-k that appears in the
+/// candidate's top-k. This is the Table 2 statistic.
+pub fn precision_at_k(candidate: &[usize], reference: &[usize], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let k = k.min(candidate.len()).min(reference.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let cand_top: &[usize] = &candidate[..k];
+    let ref_top: &[usize] = &reference[..k];
+    let hits = cand_top.iter().filter(|i| ref_top.contains(i)).count();
+    hits as f64 / k as f64
+}
+
+/// Average precision when exactly one item (`relevant`) is relevant: the
+/// reciprocal of its 1-based rank in the user ordering. Averaging this
+/// over responses gives the MAP the paper reports in §4.1.2.
+pub fn average_precision_single(ranking: &[usize], relevant: usize) -> f64 {
+    match ranking.iter().position(|&i| i == relevant) {
+        Some(pos) => 1.0 / (pos + 1) as f64,
+        None => 0.0,
+    }
+}
+
+/// Mean and population standard deviation.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_at_k_basics() {
+        let cand = vec![0, 1, 2, 3, 4];
+        let user = vec![1, 0, 3, 2, 4];
+        // top-1: {0} vs {1} → 0; top-2: {0,1} vs {1,0} → 1.
+        assert_eq!(precision_at_k(&cand, &user, 1), 0.0);
+        assert_eq!(precision_at_k(&cand, &user, 2), 1.0);
+        // top-3: {0,1,2} vs {1,0,3} → 2/3.
+        assert!((precision_at_k(&cand, &user, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&cand, &user, 5), 1.0);
+    }
+
+    #[test]
+    fn precision_handles_degenerate_inputs() {
+        assert_eq!(precision_at_k(&[], &[], 3), 0.0);
+        assert_eq!(precision_at_k(&[0], &[0], 0), 0.0);
+        // k larger than the lists: clamps.
+        assert_eq!(precision_at_k(&[0], &[0], 5), 1.0);
+    }
+
+    #[test]
+    fn ap_single_is_reciprocal_rank() {
+        assert_eq!(average_precision_single(&[2, 0, 1], 2), 1.0);
+        assert_eq!(average_precision_single(&[2, 0, 1], 0), 0.5);
+        assert!((average_precision_single(&[2, 0, 1], 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(average_precision_single(&[2, 0, 1], 9), 0.0);
+    }
+
+    #[test]
+    fn mean_std_works() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

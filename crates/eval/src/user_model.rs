@@ -1,0 +1,251 @@
+//! Simulated study participants.
+//!
+//! The paper's §4.1 user studies measure how well `Ĉ` agrees with human
+//! rankings of expression simplicity. Humans are unavailable to this
+//! reproduction, so we model them (DESIGN.md §2): a participant perceives
+//! the complexity of an expression as the frequency-grounded `Ĉfr` value
+//! distorted by (a) multiplicative lognormal-ish noise and (b) a strong
+//! *preference for the `rdf:type` predicate* — the paper's key observed
+//! discrepancy ("people usually deem the predicate type the simplest
+//! whereas REMI often ranks it second or third", §4.1.1). The model also
+//! penalises extra existential variables slightly, reflecting the §4.1.3
+//! comments that multi-hop expressions are harder to read.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use remi_core::complexity::CostModel;
+use remi_core::expr::{Expression, SubgraphExpr};
+use remi_kb::KnowledgeBase;
+
+/// Parameters of the simulated population.
+#[derive(Debug, Clone)]
+pub struct UserModelConfig {
+    /// Relative noise amplitude on perceived complexity (0.0 = ideal
+    /// Ĉ-aligned raters, larger = noisier crowd).
+    pub noise: f64,
+    /// Bits subtracted when an expression uses `rdf:type` (the human
+    /// type-first preference).
+    pub type_bonus: f64,
+    /// Bits added per additional existential variable (reading effort).
+    pub var_penalty: f64,
+}
+
+impl Default for UserModelConfig {
+    fn default() -> Self {
+        UserModelConfig {
+            noise: 0.35,
+            type_bonus: 6.0,
+            var_penalty: 1.5,
+        }
+    }
+}
+
+/// A population of simulated raters with a shared perception model and
+/// per-draw randomness.
+pub struct UserPopulation<'m, 'kb> {
+    kb: &'kb KnowledgeBase,
+    model: &'m CostModel<'kb>,
+    config: UserModelConfig,
+    rng: StdRng,
+}
+
+impl<'m, 'kb> UserPopulation<'m, 'kb> {
+    /// Creates a population grounded in the given (frequency-based) cost
+    /// model.
+    pub fn new(
+        kb: &'kb KnowledgeBase,
+        model: &'m CostModel<'kb>,
+        config: UserModelConfig,
+        seed: u64,
+    ) -> Self {
+        UserPopulation {
+            kb,
+            model,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One rater's perceived complexity of a subgraph expression (lower =
+    /// simpler).
+    pub fn perceived_subgraph(&mut self, e: &SubgraphExpr) -> f64 {
+        let base = self.model.subgraph_cost(e).value();
+        let mut v = base;
+        if let Some(tp) = self.kb.type_pred() {
+            if e.predicates().contains(&tp) {
+                v -= self.config.type_bonus;
+            }
+        }
+        v += self.config.var_penalty * e.num_extra_vars() as f64;
+        let factor = 1.0 + (self.rng.gen::<f64>() * 2.0 - 1.0) * self.config.noise;
+        v * factor
+    }
+
+    /// One rater's perceived complexity of a full expression.
+    pub fn perceived_expression(&mut self, e: &Expression) -> f64 {
+        if e.is_top() {
+            return f64::INFINITY;
+        }
+        e.parts.iter().map(|p| self.perceived_subgraph(p)).sum()
+    }
+
+    /// A rater ranks candidate subgraph expressions by perceived
+    /// simplicity; returns indices into `candidates`, simplest first.
+    pub fn rank_subgraphs(&mut self, candidates: &[SubgraphExpr]) -> Vec<usize> {
+        let scores: Vec<f64> = candidates
+            .iter()
+            .map(|e| self.perceived_subgraph(e))
+            .collect();
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("perceived scores are finite")
+        });
+        order
+    }
+
+    /// A rater ranks candidate expressions; returns indices, simplest
+    /// first.
+    pub fn rank_expressions(&mut self, candidates: &[Expression]) -> Vec<usize> {
+        let scores: Vec<f64> = candidates
+            .iter()
+            .map(|e| self.perceived_expression(e))
+            .collect();
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("perceived scores are finite")
+        });
+        order
+    }
+
+    /// A rater grades the *interestingness* of an RE on the paper's 1–5
+    /// scale (§4.1.3). Short prominent descriptions score high; long or
+    /// obscure ones low. The mapping is an explicit model, not data.
+    pub fn grade_interestingness(&mut self, e: &Expression) -> f64 {
+        let perceived = self.perceived_expression(e);
+        // Map perceived bits into 1..5. The slope is a calibration
+        // constant of the simulated grader (documented in EXPERIMENTS.md):
+        // ~4 bits (one crisp prominent fact) grades near 4, ~16 bits near
+        // the paper's observed 2.65 average, 25+ bits bottoms out.
+        let raw = 5.0 - perceived / 4.0;
+        let noise = (self.rng.gen::<f64>() * 2.0 - 1.0) * 0.8;
+        (raw + noise).clamp(1.0, 5.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remi_core::complexity::{EntityCodeMode, Prominence};
+    use remi_kb::{KbBuilder, NodeId, PredId};
+
+    fn kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        for i in 0..10 {
+            b.add_iri(&format!("e:c{i}"), "p:in", "e:Hub");
+            b.add_iri(&format!("e:c{i}"), remi_kb::store::RDF_TYPE, "e:City");
+        }
+        b.add_iri("e:c0", "p:rare", "e:Obscure");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn noiseless_users_follow_the_model() {
+        let kb = kb();
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let cfg = UserModelConfig {
+            noise: 0.0,
+            type_bonus: 0.0,
+            var_penalty: 0.0,
+        };
+        let mut pop = UserPopulation::new(&kb, &model, cfg, 1);
+        let in_p = kb.pred_id("p:in").unwrap();
+        let rare = kb.pred_id("p:rare").unwrap();
+        let hub = kb.node_id_by_iri("e:Hub").unwrap();
+        let obscure = kb.node_id_by_iri("e:Obscure").unwrap();
+        let cheap = SubgraphExpr::Atom { p: in_p, o: hub };
+        let costly = SubgraphExpr::Atom { p: rare, o: obscure };
+        assert!(pop.perceived_subgraph(&cheap) < pop.perceived_subgraph(&costly));
+        let order = pop.rank_subgraphs(&[costly, cheap]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn type_preference_promotes_type_atoms() {
+        let kb = kb();
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let cfg = UserModelConfig {
+            noise: 0.0,
+            type_bonus: 100.0, // extreme preference for the test
+            var_penalty: 0.0,
+        };
+        let mut pop = UserPopulation::new(&kb, &model, cfg, 1);
+        let tp = kb.type_pred().unwrap();
+        let city = kb.node_id_by_iri("e:City").unwrap();
+        let in_p = kb.pred_id("p:in").unwrap();
+        let hub = kb.node_id_by_iri("e:Hub").unwrap();
+        let type_atom = SubgraphExpr::Atom { p: tp, o: city };
+        let other = SubgraphExpr::Atom { p: in_p, o: hub };
+        let order = pop.rank_subgraphs(&[other, type_atom]);
+        assert_eq!(order[0], 1, "type atom must come first for type-lovers");
+    }
+
+    #[test]
+    fn noise_varies_between_draws_but_is_seed_deterministic() {
+        let kb = kb();
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        // Use an expression with non-zero Ĉ: multiplicative noise on a
+        // zero-cost expression is invisible.
+        let e = SubgraphExpr::Atom {
+            p: kb.pred_id("p:rare").unwrap(),
+            o: kb.node_id_by_iri("e:Obscure").unwrap(),
+        };
+        let draws = |seed: u64| -> Vec<f64> {
+            let mut pop =
+                UserPopulation::new(&kb, &model, UserModelConfig::default(), seed);
+            (0..5).map(|_| pop.perceived_subgraph(&e)).collect()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
+
+    #[test]
+    fn grades_stay_in_range() {
+        let kb = kb();
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let mut pop = UserPopulation::new(&kb, &model, UserModelConfig::default(), 3);
+        let e = Expression::single(SubgraphExpr::Atom {
+            p: kb.pred_id("p:rare").unwrap(),
+            o: kb.node_id_by_iri("e:Obscure").unwrap(),
+        });
+        for _ in 0..50 {
+            let g = pop.grade_interestingness(&e);
+            assert!((1.0..=5.0).contains(&g));
+        }
+        assert!(pop
+            .perceived_expression(&Expression::top())
+            .is_infinite());
+    }
+
+    #[test]
+    fn extra_variables_are_penalised() {
+        let kb = kb();
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let cfg = UserModelConfig {
+            noise: 0.0,
+            type_bonus: 0.0,
+            var_penalty: 50.0,
+        };
+        let mut pop = UserPopulation::new(&kb, &model, cfg, 1);
+        let in_p = kb.pred_id("p:in").unwrap();
+        let hub = kb.node_id_by_iri("e:Hub").unwrap();
+        let atom = SubgraphExpr::Atom { p: in_p, o: hub };
+        let path = SubgraphExpr::Path { p0: in_p, p1: in_p, o: hub };
+        assert!(pop.perceived_subgraph(&atom) < pop.perceived_subgraph(&path));
+        let _ = (PredId(0), NodeId(0));
+    }
+}

@@ -1,0 +1,369 @@
+//! An HDT-like compressed binary format for knowledge bases.
+//!
+//! The paper stores its KBs as HDT files: a binary, dictionary-compressed
+//! representation that supports atom-level retrieval without full
+//! decompression (§3.5.1). This module implements the same idea, tuned to
+//! our store layout:
+//!
+//! ```text
+//! magic "RKB1" | flags u8
+//! node dictionary:  count, then (kind u8, front-coded key)
+//! pred dictionary:  count, then front-coded IRI
+//! triple section:   per predicate: fact count, delta-encoded (s, o) runs
+//! footer:           FNV-1a checksum of everything before it
+//! ```
+//!
+//! Keys are *front-coded*: each entry stores the length of the prefix shared
+//! with its predecessor plus the differing suffix — the classic dictionary
+//! compression used by HDT. Triples are stored sorted by `(s, o)` per
+//! predicate with LEB128 gap encoding, so loading rebuilds CSR indexes
+//! directly.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::{KbError, Result};
+use crate::ids::{NodeId, PredId};
+use crate::store::{KbBuilder, KnowledgeBase};
+use crate::term::TermKind;
+use crate::varint;
+
+const MAGIC: &[u8; 4] = b"RKB1";
+
+fn kind_to_u8(k: TermKind) -> u8 {
+    match k {
+        TermKind::Iri => 0,
+        TermKind::Literal => 1,
+        TermKind::Blank => 2,
+    }
+}
+
+fn kind_from_u8(b: u8) -> Result<TermKind> {
+    match b {
+        0 => Ok(TermKind::Iri),
+        1 => Ok(TermKind::Literal),
+        2 => Ok(TermKind::Blank),
+        other => Err(KbError::Format(format!("bad term kind byte {other}"))),
+    }
+}
+
+fn common_prefix_len(a: &str, b: &str) -> usize {
+    let max = a.len().min(b.len());
+    let (ab, bb) = (a.as_bytes(), b.as_bytes());
+    let mut i = 0;
+    while i < max && ab[i] == bb[i] {
+        i += 1;
+    }
+    // Back off to a char boundary of b.
+    while i > 0 && !b.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Serialises a KB into the binary format. Only base triples are written;
+/// pass the inverse-materialisation fraction to [`read_bytes`] to rebuild
+/// derived facts at load time.
+pub fn write_bytes(kb: &KnowledgeBase) -> Bytes {
+    let mut out = BytesMut::with_capacity(1 << 16);
+    out.put_slice(MAGIC);
+    out.put_u8(0); // flags, reserved
+
+    // Node dictionary, front-coded in id order.
+    varint::write_u64(&mut out, kb.num_nodes() as u64);
+    let mut prev = String::new();
+    for (_, key, kind) in kb.node_dict().iter() {
+        out.put_u8(kind_to_u8(kind));
+        let shared = common_prefix_len(&prev, key);
+        varint::write_u64(&mut out, shared as u64);
+        varint::write_str(&mut out, &key[shared..]);
+        prev = key.to_string();
+    }
+
+    // Predicate dictionary — base predicates only (inverses are derived).
+    let base_preds: Vec<PredId> = kb
+        .pred_ids()
+        .filter(|&p| !kb.is_inverse(p))
+        .collect();
+    varint::write_u64(&mut out, base_preds.len() as u64);
+    let mut prev = String::new();
+    for &p in &base_preds {
+        let key = kb.pred_iri(p);
+        let shared = common_prefix_len(&prev, key);
+        varint::write_u64(&mut out, shared as u64);
+        varint::write_str(&mut out, &key[shared..]);
+        prev = key.to_string();
+    }
+
+    // Triples per predicate, delta-encoded over (s, o).
+    for &p in &base_preds {
+        let idx = kb.index(p);
+        varint::write_u64(&mut out, idx.num_facts() as u64);
+        let mut last_s = 0u32;
+        for (s, objs) in idx.iter_subjects() {
+            for &o in objs {
+                // Gap on s; when the gap is 0 the o stream continues.
+                varint::write_u32(&mut out, s.0 - last_s);
+                varint::write_u32(&mut out, o);
+                last_s = s.0;
+            }
+        }
+    }
+
+    let checksum = fnv1a(&out);
+    out.put_u64_le(checksum);
+    out.freeze()
+}
+
+/// Deserialises a KB from bytes, rebuilding inverse predicates for the top
+/// `inverse_fraction` most frequent entities (pass `0.0` for none).
+pub fn read_bytes(bytes: &[u8], inverse_fraction: f64) -> Result<KnowledgeBase> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(KbError::Format("file too short".into()));
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(footer.try_into().expect("footer is 8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(KbError::Format("checksum mismatch".into()));
+    }
+
+    let mut buf = body;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(KbError::Format("bad magic".into()));
+    }
+    let _flags = buf.get_u8();
+
+    let mut builder = KbBuilder::new();
+
+    // Node dictionary.
+    let n_nodes = varint::read_u64(&mut buf)? as usize;
+    let mut node_ids = Vec::with_capacity(n_nodes);
+    let mut prev = String::new();
+    for _ in 0..n_nodes {
+        if !buf.has_remaining() {
+            return Err(KbError::Format("truncated node dictionary".into()));
+        }
+        let kind = kind_from_u8(buf.get_u8())?;
+        let shared = varint::read_u64(&mut buf)? as usize;
+        if shared > prev.len() {
+            return Err(KbError::Format("front-coding prefix overruns".into()));
+        }
+        let suffix = varint::read_str(&mut buf)?;
+        let mut key = String::with_capacity(shared + suffix.len());
+        key.push_str(&prev[..shared]);
+        key.push_str(&suffix);
+        let term = crate::term::Term::from_dict_key(&key);
+        if term.kind() != kind {
+            return Err(KbError::Format(format!(
+                "kind byte disagrees with key encoding for {key:?}"
+            )));
+        }
+        node_ids.push(builder.node(&term));
+        prev = key;
+    }
+
+    // Predicate dictionary.
+    let n_preds = varint::read_u64(&mut buf)? as usize;
+    let mut pred_ids = Vec::with_capacity(n_preds);
+    let mut prev = String::new();
+    for _ in 0..n_preds {
+        let shared = varint::read_u64(&mut buf)? as usize;
+        if shared > prev.len() {
+            return Err(KbError::Format("front-coding prefix overruns".into()));
+        }
+        let suffix = varint::read_str(&mut buf)?;
+        let mut key = String::with_capacity(shared + suffix.len());
+        key.push_str(&prev[..shared]);
+        key.push_str(&suffix);
+        pred_ids.push(builder.pred(&key));
+        prev = key;
+    }
+
+    // Triples.
+    for &p in &pred_ids {
+        let n_facts = varint::read_u64(&mut buf)? as usize;
+        let mut last_s = 0u32;
+        for _ in 0..n_facts {
+            let gap = varint::read_u32(&mut buf)?;
+            let o = varint::read_u32(&mut buf)?;
+            let s = last_s + gap;
+            last_s = s;
+            let valid = (s as usize) < node_ids.len() && (o as usize) < node_ids.len();
+            if !valid {
+                return Err(KbError::Format("triple id out of range".into()));
+            }
+            builder.add_ids(NodeId(s), p, NodeId(o));
+        }
+    }
+    if buf.has_remaining() {
+        return Err(KbError::Format("trailing bytes after triple section".into()));
+    }
+
+    builder.build_with_inverses(inverse_fraction)
+}
+
+/// Writes a KB to a file.
+pub fn save(kb: &KnowledgeBase, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = write_bytes(kb);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a KB from a file.
+pub fn load(path: impl AsRef<Path>, inverse_fraction: f64) -> Result<KnowledgeBase> {
+    let mut f = std::fs::File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    read_bytes(&bytes, inverse_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn sample_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        b.add_iri("http://x/Paris", "http://x/capitalOf", "http://x/France");
+        b.add_iri("http://x/Paris", "http://x/cityIn", "http://x/France");
+        b.add_iri("http://x/Lyon", "http://x/cityIn", "http://x/France");
+        b.add(
+            &Term::iri("http://x/Paris"),
+            "http://x/label",
+            &Term::lang_literal("Paris", "fr"),
+        );
+        b.add(
+            &Term::blank("b0"),
+            "http://x/near",
+            &Term::iri("http://x/Paris"),
+        );
+        b.build().unwrap()
+    }
+
+    fn kb_lines(kb: &KnowledgeBase) -> std::collections::BTreeSet<String> {
+        let mut v = Vec::new();
+        crate::ntriples::write_kb(kb, &mut v).unwrap();
+        String::from_utf8(v).unwrap().lines().map(String::from).collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_triples() {
+        let kb = sample_kb();
+        let bytes = write_bytes(&kb);
+        let kb2 = read_bytes(&bytes, 0.0).unwrap();
+        assert_eq!(kb2.num_triples(), kb.num_triples());
+        assert_eq!(kb_lines(&kb), kb_lines(&kb2));
+    }
+
+    #[test]
+    fn roundtrip_with_inverse_rebuild() {
+        let mut b = KbBuilder::new();
+        for city in ["a", "b", "c", "d"] {
+            b.add_iri(&format!("e:{city}"), "p:cityIn", "e:France");
+        }
+        let kb = b.build_with_inverses(0.25).unwrap();
+        let bytes = write_bytes(&kb);
+        let kb2 = read_bytes(&bytes, 0.25).unwrap();
+        // Inverse predicate is reconstructed.
+        let inv_iri = format!("p:cityIn{}", crate::store::INVERSE_SUFFIX);
+        assert!(kb2.pred_id(&inv_iri).is_some());
+        assert_eq!(
+            kb2.num_triples_with_inverses(),
+            kb.num_triples_with_inverses()
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let kb = sample_kb();
+        let mut bytes = write_bytes(&kb).to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            read_bytes(&bytes, 0.0),
+            Err(KbError::Format(msg)) if msg.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let kb = sample_kb();
+        let bytes = write_bytes(&kb);
+        assert!(read_bytes(&bytes[..bytes.len() - 9], 0.0).is_err());
+        assert!(read_bytes(&bytes[..4], 0.0).is_err());
+        assert!(read_bytes(&[], 0.0).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let kb = sample_kb();
+        let mut bytes = write_bytes(&kb).to_vec();
+        bytes[0] = b'X';
+        // Fix up the checksum so we actually reach the magic check.
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            read_bytes(&bytes, 0.0),
+            Err(KbError::Format(msg)) if msg.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let kb = sample_kb();
+        let dir = std::env::temp_dir().join("remi_kb_binfmt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.rkb");
+        save(&kb, &path).unwrap();
+        let kb2 = load(&path, 0.0).unwrap();
+        assert_eq!(kb_lines(&kb), kb_lines(&kb2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compression_beats_ntriples_on_shared_prefixes() {
+        let mut b = KbBuilder::new();
+        for i in 0..500 {
+            b.add_iri(
+                &format!("http://very.long.example.org/resource/Entity{i}"),
+                "http://very.long.example.org/ontology/linksTo",
+                &format!("http://very.long.example.org/resource/Entity{}", i / 2),
+            );
+        }
+        let kb = b.build().unwrap();
+        let bin = write_bytes(&kb).len();
+        let mut nt = Vec::new();
+        crate::ntriples::write_kb(&kb, &mut nt).unwrap();
+        assert!(
+            bin * 2 < nt.len(),
+            "binary ({bin}) should be at most half of N-Triples ({})",
+            nt.len()
+        );
+    }
+
+    #[test]
+    fn front_coding_handles_unicode_boundaries() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:caf", "p:r", "e:x");
+        b.add_iri("e:café", "p:r", "e:x");
+        b.add_iri("e:cafés", "p:r", "e:x");
+        let kb = b.build().unwrap();
+        let bytes = write_bytes(&kb);
+        let kb2 = read_bytes(&bytes, 0.0).unwrap();
+        assert_eq!(kb_lines(&kb), kb_lines(&kb2));
+    }
+}

@@ -1,0 +1,182 @@
+//! String-interning dictionary mapping terms to dense `u32` ids.
+//!
+//! Every node and predicate string is stored exactly once. Interning uses an
+//! [`FxHashMap`](crate::fx::FxHashMap) from the canonical dictionary key to
+//! the id; lookups by id are a flat `Vec` index.
+
+use crate::fx::FxHashMap;
+use crate::term::{Term, TermKind};
+
+/// An interning dictionary for term strings.
+///
+/// Keys are canonical term encodings (see [`Term::dict_key`]). The kind of
+/// each term is stored alongside so hot paths can test "is this a literal?"
+/// without reparsing the string.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    ids: FxHashMap<Box<str>, u32>,
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: Box<str>,
+    kind: TermKind,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty dictionary with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Dictionary {
+            ids: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns a term, returning its id. Idempotent.
+    pub fn intern(&mut self, term: &Term) -> u32 {
+        self.intern_key(&term.dict_key(), term.kind())
+    }
+
+    /// Interns a pre-encoded dictionary key with a known kind.
+    ///
+    /// Used by the parser and the binary loader, which already hold the
+    /// canonical encoding and should not re-materialise a [`Term`].
+    pub fn intern_key(&mut self, key: &str, kind: TermKind) -> u32 {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = self.entries.len() as u32;
+        let boxed: Box<str> = key.into();
+        self.entries.push(Entry {
+            key: boxed.clone(),
+            kind,
+        });
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// Looks up the id of a term without interning.
+    pub fn get(&self, term: &Term) -> Option<u32> {
+        self.get_key(&term.dict_key())
+    }
+
+    /// Looks up the id of a canonical key without interning.
+    pub fn get_key(&self, key: &str) -> Option<u32> {
+        self.ids.get(key).copied()
+    }
+
+    /// The canonical key for `id`. Panics if `id` is out of range.
+    pub fn key(&self, id: u32) -> &str {
+        &self.entries[id as usize].key
+    }
+
+    /// The [`TermKind`] of `id`. Panics if `id` is out of range.
+    pub fn kind(&self, id: u32) -> TermKind {
+        self.entries[id as usize].kind
+    }
+
+    /// Materialises the [`Term`] for `id`.
+    pub fn term(&self, id: u32) -> Term {
+        Term::from_dict_key(self.key(id))
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(id, key, kind)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str, TermKind)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i as u32, &*e.key, e.kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://x/a"));
+        let b = d.intern(&Term::iri("http://x/b"));
+        let a2 = d.intern(&Term::iri("http://x/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut d = Dictionary::new();
+        for i in 0..100u32 {
+            let id = d.intern(&Term::iri(format!("http://x/{i}")));
+            assert_eq!(id, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(d.key(i), format!("http://x/{i}"));
+        }
+    }
+
+    #[test]
+    fn kinds_are_preserved() {
+        let mut d = Dictionary::new();
+        let i = d.intern(&Term::iri("http://x/a"));
+        let l = d.intern(&Term::literal("a"));
+        let b = d.intern(&Term::blank("a"));
+        assert_eq!(d.kind(i), TermKind::Iri);
+        assert_eq!(d.kind(l), TermKind::Literal);
+        assert_eq!(d.kind(b), TermKind::Blank);
+        // Three distinct terms even though all spell "a".
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let mut d = Dictionary::new();
+        let terms = [
+            Term::iri("http://x/Paris"),
+            Term::literal("42"),
+            Term::typed_literal("42", "http://www.w3.org/2001/XMLSchema#integer"),
+            Term::lang_literal("Paris", "fr"),
+            Term::blank("b0"),
+        ];
+        for t in &terms {
+            let id = d.intern(t);
+            assert_eq!(&d.term(id), t);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.get(&Term::iri("http://x/a")), None);
+        assert_eq!(d.len(), 0);
+        d.intern(&Term::iri("http://x/a"));
+        assert_eq!(d.get(&Term::iri("http://x/a")), Some(0));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern(&Term::iri("b"));
+        d.intern(&Term::iri("a"));
+        let collected: Vec<_> = d.iter().map(|(id, k, _)| (id, k.to_string())).collect();
+        assert_eq!(collected, vec![(0, "b".into()), (1, "a".into())]);
+    }
+}

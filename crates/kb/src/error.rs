@@ -1,0 +1,86 @@
+//! Error types for the knowledge-base substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing, loading, or serializing a knowledge base.
+#[derive(Debug)]
+pub enum KbError {
+    /// An N-Triples line could not be parsed.
+    Parse {
+        /// 1-based line number in the input document.
+        line: usize,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The binary file is malformed (bad magic, truncated section,
+    /// checksum mismatch, …).
+    Format(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A dictionary id was out of range for this KB.
+    UnknownId(u32),
+    /// The builder was asked to produce an empty knowledge base.
+    Empty,
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::Parse { line, message } => {
+                write!(f, "N-Triples parse error at line {line}: {message}")
+            }
+            KbError::Format(msg) => write!(f, "malformed KB file: {msg}"),
+            KbError::Io(e) => write!(f, "I/O error: {e}"),
+            KbError::UnknownId(id) => write!(f, "unknown dictionary id {id}"),
+            KbError::Empty => write!(f, "knowledge base contains no triples"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KbError {
+    fn from(e: std::io::Error) -> Self {
+        KbError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, KbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = KbError::Parse {
+            line: 12,
+            message: "missing final dot".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 12"));
+        assert!(s.contains("missing final dot"));
+
+        assert!(KbError::Format("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(KbError::UnknownId(7).to_string().contains('7'));
+        assert!(KbError::Empty.to_string().contains("no triples"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e = KbError::from(io);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,91 @@
+//! Dense integer identifiers for dictionary-encoded terms.
+//!
+//! The store keeps two id namespaces: [`NodeId`] for subjects/objects and
+//! [`PredId`] for predicates. Keeping predicates in their own dense space
+//! lets per-predicate indexes live in a flat `Vec` and lets prominence
+//! rankings over predicates be plain permutations.
+
+use std::fmt;
+
+/// Identifier of a node term (entity, literal, or blank node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a predicate (including materialised inverse predicates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PredId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A dictionary-encoded triple `p(s, o)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject node.
+    pub s: NodeId,
+    /// Predicate.
+    pub p: PredId,
+    /// Object node.
+    pub o: NodeId,
+}
+
+impl Triple {
+    /// Creates a triple.
+    #[inline]
+    pub fn new(s: NodeId, p: PredId, o: NodeId) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_small_and_ordered() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<PredId>(), 4);
+        assert_eq!(std::mem::size_of::<Triple>(), 12);
+        assert!(NodeId(1) < NodeId(2));
+        assert!(PredId(0) < PredId(9));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(PredId(5).to_string(), "p5");
+    }
+
+    #[test]
+    fn triple_ordering_is_spo() {
+        let a = Triple::new(NodeId(1), PredId(0), NodeId(5));
+        let b = Triple::new(NodeId(1), PredId(1), NodeId(0));
+        let c = Triple::new(NodeId(2), PredId(0), NodeId(0));
+        assert!(a < b && b < c);
+    }
+}

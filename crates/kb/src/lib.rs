@@ -1,0 +1,49 @@
+//! `remi-kb` — the RDF knowledge-base substrate for the REMI reproduction.
+//!
+//! The REMI paper (Galárraga et al., EDBT 2020) mines referring expressions
+//! over large RDF KBs stored in HDT and queried through Jena. This crate is
+//! the pure-Rust equivalent of that storage/access layer:
+//!
+//! * [`term`] / [`dict`] / [`ids`] — RDF terms and dictionary encoding.
+//! * [`store`] — an immutable in-memory triple store with per-predicate CSR
+//!   indexes in both directions, inverse-predicate materialisation, and the
+//!   frequency statistics that drive REMI's prominence rankings.
+//! * [`ntriples`] — N-Triples parsing and serialisation.
+//! * [`binfmt`] — an HDT-like compressed binary file format.
+//! * [`pagerank`] — endogenous PageRank, the `pr` prominence metric.
+//! * [`cache`] — the LRU query cache of §3.5.2.
+//! * [`fx`] — a fast non-cryptographic hasher used throughout.
+//!
+//! # Quick example
+//!
+//! ```
+//! use remi_kb::store::KbBuilder;
+//!
+//! let mut b = KbBuilder::new();
+//! b.add_iri("e:Paris", "p:capitalOf", "e:France");
+//! b.add_iri("e:Lyon", "p:cityIn", "e:France");
+//! let kb = b.build().unwrap();
+//!
+//! let capital_of = kb.pred_id("p:capitalOf").unwrap();
+//! let france = kb.node_id_by_iri("e:France").unwrap();
+//! assert_eq!(kb.subjects(capital_of, france).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binfmt;
+pub mod cache;
+pub mod dict;
+pub mod error;
+pub mod fx;
+pub mod ids;
+pub mod ntriples;
+pub mod pagerank;
+pub mod store;
+pub mod term;
+pub mod varint;
+
+pub use error::{KbError, Result};
+pub use ids::{NodeId, PredId, Triple};
+pub use store::{KbBuilder, KnowledgeBase, PredIndex};
+pub use term::{Term, TermKind};

@@ -1,0 +1,226 @@
+//! PageRank over the KB's entity link graph.
+//!
+//! The paper's second prominence metric `pr` is the Wikipedia page rank of
+//! an entity (§3.1). Wikipedia's hyperlink structure is external data; the
+//! endogenous analogue is the link graph formed by entity-to-entity triples
+//! of the KB itself, which exhibits the same power-law prominence shape
+//! (DESIGN.md §2). This module runs standard damped power iteration over
+//! that graph.
+
+use crate::ids::NodeId;
+use crate::store::KnowledgeBase;
+use crate::term::TermKind;
+
+/// Configuration for the power iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankConfig {
+    /// Damping factor (probability of following a link). Default 0.85.
+    pub damping: f64,
+    /// Maximum number of iterations. Default 50.
+    pub max_iterations: usize,
+    /// L1 convergence threshold. Default 1e-9.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            max_iterations: 50,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// The result of a PageRank computation: one score per node id.
+#[derive(Debug, Clone)]
+pub struct PageRank {
+    scores: Vec<f64>,
+    iterations: usize,
+}
+
+impl PageRank {
+    /// The score of a node (0.0 for literals and isolated nodes).
+    #[inline]
+    pub fn score(&self, n: NodeId) -> f64 {
+        self.scores.get(n.idx()).copied().unwrap_or(0.0)
+    }
+
+    /// All scores, indexed by node id.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Number of iterations performed before convergence.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Node ids sorted by descending score (ties by id).
+    pub fn ranking(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.scores.len() as u32).map(NodeId).collect();
+        order.sort_by(|&a, &b| {
+            self.scores[b.idx()]
+                .partial_cmp(&self.scores[a.idx()])
+                .expect("pagerank scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        order
+    }
+}
+
+/// Computes PageRank over the entity-to-entity link graph of `kb`
+/// (base triples only; literals excluded; inverse predicates excluded so
+/// materialisation does not double edges).
+pub fn pagerank(kb: &KnowledgeBase, config: PageRankConfig) -> PageRank {
+    let n = kb.num_nodes();
+    // Build out-degree and in-edge lists restricted to IRI→IRI links.
+    let mut out_degree = vec![0u32; n];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for t in kb.iter_triples() {
+        if kb.node_kind(t.s) == TermKind::Literal || kb.node_kind(t.o) == TermKind::Literal {
+            continue;
+        }
+        if t.s == t.o {
+            continue; // self-links carry no prominence information
+        }
+        out_degree[t.s.idx()] += 1;
+        edges.push((t.o.0, t.s.0)); // reversed: target receives from source
+    }
+    edges.sort_unstable();
+
+    let is_node: Vec<bool> = (0..n as u32)
+        .map(|i| kb.node_kind(NodeId(i)) != TermKind::Literal)
+        .collect();
+    let n_active = is_node.iter().filter(|&&b| b).count().max(1);
+    let base = (1.0 - config.damping) / n_active as f64;
+
+    let mut rank: Vec<f64> = (0..n)
+        .map(|i| if is_node[i] { 1.0 / n_active as f64 } else { 0.0 })
+        .collect();
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        // Dangling mass: nodes with no out-links redistribute uniformly.
+        let dangling: f64 = (0..n)
+            .filter(|&i| is_node[i] && out_degree[i] == 0)
+            .map(|i| rank[i])
+            .sum();
+        let dangling_share = config.damping * dangling / n_active as f64;
+
+        for (i, slot) in next.iter_mut().enumerate() {
+            *slot = if is_node[i] { base + dangling_share } else { 0.0 };
+        }
+        for &(target, source) in &edges {
+            let share = rank[source as usize] / f64::from(out_degree[source as usize]);
+            next[target as usize] += config.damping * share;
+        }
+
+        let delta: f64 = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < config.tolerance {
+            break;
+        }
+    }
+
+    PageRank {
+        scores: rank,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::KbBuilder;
+    use crate::term::Term;
+
+    #[test]
+    fn hub_outranks_leaves() {
+        let mut b = KbBuilder::new();
+        for i in 0..10 {
+            b.add_iri(&format!("e:leaf{i}"), "p:links", "e:hub");
+        }
+        b.add_iri("e:hub", "p:links", "e:leaf0");
+        let kb = b.build().unwrap();
+        let pr = pagerank(&kb, PageRankConfig::default());
+        let hub = kb.node_id_by_iri("e:hub").unwrap();
+        let leaf5 = kb.node_id_by_iri("e:leaf5").unwrap();
+        assert!(pr.score(hub) > pr.score(leaf5));
+        assert_eq!(pr.ranking()[0], hub);
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:a", "p:r", "e:b");
+        b.add_iri("e:b", "p:r", "e:c");
+        b.add_iri("e:c", "p:r", "e:a");
+        let kb = b.build().unwrap();
+        let pr = pagerank(&kb, PageRankConfig::default());
+        let total: f64 = pr.scores().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total = {total}");
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:a", "p:r", "e:b");
+        b.add_iri("e:b", "p:r", "e:c");
+        b.add_iri("e:c", "p:r", "e:a");
+        let kb = b.build().unwrap();
+        let pr = pagerank(&kb, PageRankConfig::default());
+        let a = pr.score(kb.node_id_by_iri("e:a").unwrap());
+        let b_ = pr.score(kb.node_id_by_iri("e:b").unwrap());
+        let c = pr.score(kb.node_id_by_iri("e:c").unwrap());
+        assert!((a - b_).abs() < 1e-9 && (b_ - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn literals_are_excluded() {
+        let mut b = KbBuilder::new();
+        b.add(&Term::iri("e:a"), "p:name", &Term::literal("Alice"));
+        b.add_iri("e:a", "p:knows", "e:b");
+        let kb = b.build().unwrap();
+        let pr = pagerank(&kb, PageRankConfig::default());
+        let lit = kb.node_id(&Term::literal("Alice")).unwrap();
+        assert_eq!(pr.score(lit), 0.0);
+        let total: f64 = pr.scores().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dangling_nodes_do_not_leak_mass() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:a", "p:r", "e:sink"); // sink has no out-links
+        b.add_iri("e:b", "p:r", "e:sink");
+        let kb = b.build().unwrap();
+        let pr = pagerank(&kb, PageRankConfig::default());
+        let total: f64 = pr.scores().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total = {total}");
+        let sink = kb.node_id_by_iri("e:sink").unwrap();
+        assert!(pr.score(sink) > pr.score(kb.node_id_by_iri("e:a").unwrap()));
+    }
+
+    #[test]
+    fn converges_before_max_iterations_on_small_graphs() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:a", "p:r", "e:b");
+        b.add_iri("e:b", "p:r", "e:a");
+        let kb = b.build().unwrap();
+        let pr = pagerank(
+            &kb,
+            PageRankConfig {
+                max_iterations: 200,
+                ..Default::default()
+            },
+        );
+        assert!(pr.iterations() < 200);
+    }
+}

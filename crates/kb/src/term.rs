@@ -1,0 +1,233 @@
+//! RDF terms: IRIs, literals, and blank nodes.
+//!
+//! A KB `K` is a set of triples `p(s, o)` with `p ∈ P`, `s ∈ I ∪ B`, and
+//! `o ∈ I ∪ L ∪ B` (paper §2.1). Terms are parsed into [`Term`] values and
+//! then dictionary-encoded; hot code paths only see integer ids.
+
+use std::fmt;
+
+/// The kind of a node term (subject or object position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TermKind {
+    /// An IRI-identified entity (`I` in the paper).
+    Iri,
+    /// A literal value (`L`): string, number, or typed/tagged literal.
+    Literal,
+    /// A blank node (`B`): anonymous entity.
+    Blank,
+}
+
+/// A fully materialised RDF term, used at the parsing / display boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// `<http://…>` — stored without the angle brackets.
+    Iri(String),
+    /// A literal with optional datatype IRI or language tag.
+    Literal {
+        /// The lexical form, unescaped.
+        lexical: String,
+        /// Datatype IRI (without brackets), if any. Mutually exclusive with
+        /// `lang` in well-formed RDF; we do not enforce that at parse time.
+        datatype: Option<String>,
+        /// Language tag (`@en`), if any.
+        lang: Option<String>,
+    },
+    /// `_:label` — stored without the `_:` prefix.
+    Blank(String),
+}
+
+impl Term {
+    /// Creates a plain IRI term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Creates a plain string literal (no datatype, no language tag).
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: s.into(),
+            datatype: None,
+            lang: None,
+        }
+    }
+
+    /// Creates a typed literal.
+    pub fn typed_literal(s: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: s.into(),
+            datatype: Some(datatype.into()),
+            lang: None,
+        }
+    }
+
+    /// Creates a language-tagged literal.
+    pub fn lang_literal(s: impl Into<String>, lang: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: s.into(),
+            datatype: None,
+            lang: Some(lang.into()),
+        }
+    }
+
+    /// Creates a blank node.
+    pub fn blank(s: impl Into<String>) -> Self {
+        Term::Blank(s.into())
+    }
+
+    /// The [`TermKind`] of this term.
+    pub fn kind(&self) -> TermKind {
+        match self {
+            Term::Iri(_) => TermKind::Iri,
+            Term::Literal { .. } => TermKind::Literal,
+            Term::Blank(_) => TermKind::Blank,
+        }
+    }
+
+    /// True for IRI terms (entities in `I`).
+    pub fn is_iri(&self) -> bool {
+        self.kind() == TermKind::Iri
+    }
+
+    /// True for literal terms.
+    pub fn is_literal(&self) -> bool {
+        self.kind() == TermKind::Literal
+    }
+
+    /// True for blank nodes.
+    pub fn is_blank(&self) -> bool {
+        self.kind() == TermKind::Blank
+    }
+
+    /// Serialises the term into its canonical dictionary key. The key is a
+    /// compact, unambiguous string representation used for interning:
+    ///
+    /// * IRI       → the IRI itself (IRIs cannot start with `"` or `_:`)
+    /// * literal   → N-Triples surface form (`"lex"`, `"lex"@en`, `"lex"^^<dt>`)
+    /// * blank     → `_:label`
+    pub fn dict_key(&self) -> String {
+        match self {
+            Term::Iri(s) => s.clone(),
+            Term::Literal {
+                lexical,
+                datatype,
+                lang,
+            } => {
+                let mut out = String::with_capacity(lexical.len() + 16);
+                out.push('"');
+                crate::ntriples::escape_into(lexical, &mut out);
+                out.push('"');
+                if let Some(l) = lang {
+                    out.push('@');
+                    out.push_str(l);
+                } else if let Some(dt) = datatype {
+                    out.push_str("^^<");
+                    out.push_str(dt);
+                    out.push('>');
+                }
+                out
+            }
+            Term::Blank(s) => format!("_:{s}"),
+        }
+    }
+
+    /// Parses a dictionary key (produced by [`Term::dict_key`]) back into a
+    /// [`Term`]. Panics on malformed keys — keys only ever come from the
+    /// dictionary itself, so malformation is a logic error.
+    pub fn from_dict_key(key: &str) -> Term {
+        if let Some(rest) = key.strip_prefix("_:") {
+            return Term::Blank(rest.to_string());
+        }
+        if key.starts_with('"') {
+            return crate::ntriples::parse_literal(key)
+                .expect("dictionary literal keys are produced by dict_key and must be valid");
+        }
+        Term::Iri(key.to_string())
+    }
+
+    /// A short human-readable name: the IRI local name (after the last `/`
+    /// or `#`), the literal lexical form, or the blank label.
+    pub fn short_name(&self) -> &str {
+        match self {
+            Term::Iri(s) => {
+                let cut = s.rfind(['/', '#', ':']).map(|i| i + 1).unwrap_or(0);
+                &s[cut..]
+            }
+            Term::Literal { lexical, .. } => lexical,
+            Term::Blank(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal { .. } => write!(f, "{}", self.dict_key()),
+            Term::Blank(s) => write!(f, "_:{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_predicates() {
+        assert!(Term::iri("http://x/a").is_iri());
+        assert!(Term::literal("x").is_literal());
+        assert!(Term::blank("b0").is_blank());
+        assert_eq!(Term::iri("a").kind(), TermKind::Iri);
+        assert_eq!(Term::literal("a").kind(), TermKind::Literal);
+        assert_eq!(Term::blank("a").kind(), TermKind::Blank);
+    }
+
+    #[test]
+    fn dict_key_roundtrip_iri() {
+        let t = Term::iri("http://dbpedia.org/resource/Paris");
+        assert_eq!(Term::from_dict_key(&t.dict_key()), t);
+    }
+
+    #[test]
+    fn dict_key_roundtrip_blank() {
+        let t = Term::blank("node42");
+        assert_eq!(t.dict_key(), "_:node42");
+        assert_eq!(Term::from_dict_key(&t.dict_key()), t);
+    }
+
+    #[test]
+    fn dict_key_roundtrip_plain_literal() {
+        let t = Term::literal("hello \"world\"\nnext");
+        assert_eq!(Term::from_dict_key(&t.dict_key()), t);
+    }
+
+    #[test]
+    fn dict_key_roundtrip_typed_literal() {
+        let t = Term::typed_literal("42", "http://www.w3.org/2001/XMLSchema#integer");
+        assert_eq!(Term::from_dict_key(&t.dict_key()), t);
+    }
+
+    #[test]
+    fn dict_key_roundtrip_lang_literal() {
+        let t = Term::lang_literal("Paris", "fr");
+        assert_eq!(t.dict_key(), "\"Paris\"@fr");
+        assert_eq!(Term::from_dict_key(&t.dict_key()), t);
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Term::iri("http://dbpedia.org/resource/Paris").short_name(), "Paris");
+        assert_eq!(Term::iri("http://xmlns.com/foaf/0.1#name").short_name(), "name");
+        assert_eq!(Term::iri("no-separator").short_name(), "no-separator");
+        assert_eq!(Term::literal("lex").short_name(), "lex");
+        assert_eq!(Term::blank("b1").short_name(), "b1");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::iri("http://x/a").to_string(), "<http://x/a>");
+        assert_eq!(Term::blank("b").to_string(), "_:b");
+        assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
+        assert_eq!(Term::lang_literal("hi", "en").to_string(), "\"hi\"@en");
+    }
+}

@@ -1,0 +1,31 @@
+//! `remi-synth` — synthetic knowledge bases for the REMI reproduction.
+//!
+//! The paper evaluates on DBpedia (42.07 M facts) and Wikidata (15.9 M
+//! facts). Those dumps are not shippable here, so this crate generates KBs
+//! with the same *statistical shape*: Zipf-distributed entity and predicate
+//! prominence (the power law Eq. 1 depends on), a realistic class schema
+//! with multi-hop join structure, literals, long-tail predicates, and the
+//! functional-fact noise responsible for the paper's ambiguity anecdotes.
+//! See DESIGN.md §2 for the substitution rationale.
+//!
+//! * [`zipf`] — power-law sampling.
+//! * [`schema`] / [`profiles`] — declarative KB profiles (`dbpedia_like`,
+//!   `wikidata_like`).
+//! * [`generator`] — profile → [`remi_kb::KnowledgeBase`].
+//! * [`targets`] — target-set sampling (§4.1/§4.2 protocols).
+//! * [`gold`] — simulated expert gold standard for Table 3.
+//! * [`scenes`] — NLG-style scene micro-KBs.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod gold;
+pub mod profiles;
+pub mod scenes;
+pub mod schema;
+pub mod targets;
+pub mod zipf;
+
+pub use generator::{generate, SynthKb};
+pub use profiles::{dbpedia_like, wikidata_like};
+pub use targets::{sample_target_sets, TargetSet, TargetSpec};

@@ -1,0 +1,188 @@
+//! Declarative schemas for synthetic knowledge bases.
+//!
+//! A [`Profile`] declares entity classes, their populations, and the
+//! predicates connecting them. The generator materialises a profile into a
+//! concrete KB whose statistical shape (power-law prominence, join
+//! structure, class mix) mirrors the KBs the paper evaluates on.
+
+/// What the objects of a predicate are drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectSpec {
+    /// Objects are entities of the named class, drawn Zipf-skewed so that
+    /// low-index entities of the class are prominent.
+    Class(&'static str),
+    /// Objects are literals of a kind.
+    Literal(LiteralKind),
+}
+
+/// Kinds of literal object pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiteralKind {
+    /// A year in 1800–2020, as `"1987"^^xsd:gYear`-style plain literal.
+    Year,
+    /// A population-style integer.
+    Population,
+    /// A short alphanumeric code (small shared pool, e.g. time zones).
+    Code,
+}
+
+/// One predicate attached to a subject class.
+#[derive(Debug, Clone)]
+pub struct PredSpec {
+    /// Local predicate name; the IRI becomes `p:<name>`.
+    pub name: &'static str,
+    /// Where objects come from.
+    pub object: ObjectSpec,
+    /// Fraction of subjects that carry at least one fact of this predicate.
+    pub coverage: f64,
+    /// Maximum objects per subject (1 = functional).
+    pub max_card: u32,
+    /// Zipf exponent for object selection (higher = more skew toward the
+    /// prominent entities of the object class).
+    pub zipf: f64,
+}
+
+impl PredSpec {
+    /// Convenience constructor for an entity-valued predicate.
+    pub fn entity(
+        name: &'static str,
+        class: &'static str,
+        coverage: f64,
+        max_card: u32,
+        zipf: f64,
+    ) -> Self {
+        PredSpec {
+            name,
+            object: ObjectSpec::Class(class),
+            coverage,
+            max_card,
+            zipf,
+        }
+    }
+
+    /// Convenience constructor for a literal-valued predicate.
+    pub fn literal(name: &'static str, kind: LiteralKind, coverage: f64) -> Self {
+        PredSpec {
+            name,
+            object: ObjectSpec::Literal(kind),
+            coverage,
+            max_card: 1,
+            zipf: 0.8,
+        }
+    }
+}
+
+/// An entity class.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Class name; entities become `e:<name>_<i>`, the class node `c:<name>`.
+    pub name: &'static str,
+    /// Population at scale 1.0.
+    pub count: usize,
+    /// Pool classes keep a fixed population regardless of scale — as the KB
+    /// grows, pool entities (countries, parties, genres…) become relatively
+    /// more prominent, exactly like real KBs.
+    pub fixed: bool,
+    /// Predicates whose subjects are entities of this class.
+    pub predicates: Vec<PredSpec>,
+}
+
+/// A complete KB profile.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Profile name (reported in experiment output).
+    pub name: &'static str,
+    /// Entity classes.
+    pub classes: Vec<ClassSpec>,
+    /// Number of rare "long-tail" filler predicates, mimicking the large
+    /// predicate vocabularies of real KBs (DBpedia: 1 951, Wikidata: 752).
+    pub tail_predicates: usize,
+    /// Expected tail facts per thousand entities per tail predicate.
+    pub tail_rate: f64,
+    /// Probability that a functional fact gets a duplicate object — the
+    /// "Paris is also the capital of the Kingdom of France" noise of §4.1.3.
+    pub ambiguity_noise: f64,
+    /// Fraction of top-frequency entities for which inverse predicates are
+    /// materialised at build time (the paper uses 0.01).
+    pub inverse_fraction: f64,
+}
+
+impl Profile {
+    /// Total entity count at the given scale.
+    pub fn entity_count(&self, scale: f64) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.scaled_count(scale))
+            .sum()
+    }
+
+    /// Looks up a class spec by name.
+    pub fn class(&self, name: &str) -> Option<&ClassSpec> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+impl ClassSpec {
+    /// Population at the given scale (fixed classes ignore scale).
+    pub fn scaled_count(&self, scale: f64) -> usize {
+        if self.fixed {
+            self.count
+        } else {
+            ((self.count as f64) * scale).round().max(1.0) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_profile() -> Profile {
+        Profile {
+            name: "tiny",
+            classes: vec![
+                ClassSpec {
+                    name: "Country",
+                    count: 10,
+                    fixed: true,
+                    predicates: vec![],
+                },
+                ClassSpec {
+                    name: "Person",
+                    count: 100,
+                    fixed: false,
+                    predicates: vec![PredSpec::entity("citizenOf", "Country", 0.9, 1, 1.0)],
+                },
+            ],
+            tail_predicates: 0,
+            tail_rate: 0.0,
+            ambiguity_noise: 0.0,
+            inverse_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn scaled_counts() {
+        let p = tiny_profile();
+        assert_eq!(p.class("Country").unwrap().scaled_count(3.0), 10);
+        assert_eq!(p.class("Person").unwrap().scaled_count(3.0), 300);
+        assert_eq!(p.entity_count(3.0), 310);
+        assert_eq!(p.entity_count(0.0), 11); // non-fixed classes floor at 1
+    }
+
+    #[test]
+    fn constructors() {
+        let e = PredSpec::entity("birthPlace", "Settlement", 0.9, 1, 1.1);
+        assert_eq!(e.object, ObjectSpec::Class("Settlement"));
+        assert_eq!(e.max_card, 1);
+        let l = PredSpec::literal("birthYear", LiteralKind::Year, 0.8);
+        assert_eq!(l.object, ObjectSpec::Literal(LiteralKind::Year));
+    }
+
+    #[test]
+    fn class_lookup() {
+        let p = tiny_profile();
+        assert!(p.class("Person").is_some());
+        assert!(p.class("Robot").is_none());
+    }
+}

@@ -1,0 +1,212 @@
+//! Sampling of target entity sets for the experiments.
+//!
+//! §4.2.2: *"We tested the systems on 100 sets of DBpedia and Wikidata
+//! entities taken from the same classes used in the qualitative evaluation.
+//! The sets were randomly chosen so that they consist of 1, 2, and 3
+//! entities of the same class in proportions of 50%, 30%, and 20%."*
+//!
+//! §4.1.1 samples sets (sizes 1–3) from the 5 % most frequent entities of
+//! each class, "to ensure the entities have enough subgraph expressions".
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use remi_kb::NodeId;
+
+use crate::generator::SynthKb;
+
+/// A sampled target set: entities of one class to describe jointly.
+#[derive(Debug, Clone)]
+pub struct TargetSet {
+    /// The class all members share.
+    pub class: String,
+    /// The entities (1–3 of them).
+    pub entities: Vec<NodeId>,
+}
+
+/// Configuration for target-set sampling.
+#[derive(Debug, Clone)]
+pub struct TargetSpec {
+    /// Number of sets to draw.
+    pub count: usize,
+    /// Proportions of set sizes 1, 2, 3 (normalised internally).
+    pub size_proportions: [f64; 3],
+    /// Restrict sampling to the top fraction of each class by frequency
+    /// (1.0 = whole class). §4.1 uses 0.05 for the user studies.
+    pub top_fraction: f64,
+}
+
+impl Default for TargetSpec {
+    fn default() -> Self {
+        // The §4.2.2 runtime-evaluation mix.
+        TargetSpec {
+            count: 100,
+            size_proportions: [0.5, 0.3, 0.2],
+            top_fraction: 1.0,
+        }
+    }
+}
+
+/// Draws target sets from the given classes of a synthetic KB.
+///
+/// Entities within a class are ordered by descending prominence (generation
+/// order), so "top fraction" is a prefix. Sets never contain duplicates.
+pub fn sample_target_sets(
+    synth: &SynthKb,
+    classes: &[&str],
+    spec: &TargetSpec,
+    seed: u64,
+) -> Vec<TargetSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_prop: f64 = spec.size_proportions.iter().sum();
+    assert!(total_prop > 0.0, "size proportions must not all be zero");
+
+    let pools: Vec<(&str, Vec<NodeId>)> = classes
+        .iter()
+        .filter_map(|&c| {
+            let members = synth.members(c);
+            if members.is_empty() {
+                return None;
+            }
+            let k = ((members.len() as f64) * spec.top_fraction).ceil() as usize;
+            let k = k.clamp(1, members.len());
+            Some((c, members[..k].to_vec()))
+        })
+        .collect();
+    assert!(!pools.is_empty(), "no usable classes to sample from");
+
+    let mut out = Vec::with_capacity(spec.count);
+    for _ in 0..spec.count {
+        // Pick a size according to the proportions.
+        let u: f64 = rng.gen::<f64>() * total_prop;
+        let size = if u < spec.size_proportions[0] {
+            1
+        } else if u < spec.size_proportions[0] + spec.size_proportions[1] {
+            2
+        } else {
+            3
+        };
+        // Pick a class able to provide `size` distinct entities.
+        let eligible: Vec<usize> = pools
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, p))| p.len() >= size)
+            .map(|(i, _)| i)
+            .collect();
+        let &pick = eligible
+            .choose(&mut rng)
+            .expect("at least one class can satisfy the smallest size");
+        let (class, pool) = &pools[pick];
+        let entities: Vec<NodeId> = pool
+            .choose_multiple(&mut rng, size)
+            .copied()
+            .collect();
+        out.push(TargetSet {
+            class: class.to_string(),
+            entities,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::profiles::dbpedia_like;
+
+    fn synth() -> SynthKb {
+        generate(&dbpedia_like(), 0.2, 99)
+    }
+
+    #[test]
+    fn produces_requested_count_and_sizes() {
+        let s = synth();
+        let spec = TargetSpec {
+            count: 200,
+            ..Default::default()
+        };
+        let sets = sample_target_sets(&s, &["Person", "Settlement"], &spec, 1);
+        assert_eq!(sets.len(), 200);
+        for set in &sets {
+            assert!((1..=3).contains(&set.entities.len()));
+            // No duplicates inside a set.
+            let mut sorted = set.entities.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), set.entities.len());
+        }
+    }
+
+    #[test]
+    fn size_mix_approximates_proportions() {
+        let s = synth();
+        let spec = TargetSpec {
+            count: 1000,
+            ..Default::default()
+        };
+        let sets = sample_target_sets(&s, &["Person"], &spec, 2);
+        let count_of = |n: usize| sets.iter().filter(|t| t.entities.len() == n).count();
+        let (c1, c2, c3) = (count_of(1), count_of(2), count_of(3));
+        assert!((400..600).contains(&c1), "size-1 count {c1}");
+        assert!((220..380).contains(&c2), "size-2 count {c2}");
+        assert!((130..270).contains(&c3), "size-3 count {c3}");
+    }
+
+    #[test]
+    fn top_fraction_restricts_to_prominent_prefix() {
+        let s = synth();
+        let spec = TargetSpec {
+            count: 50,
+            size_proportions: [1.0, 0.0, 0.0],
+            top_fraction: 0.05,
+        };
+        let sets = sample_target_sets(&s, &["Person"], &spec, 3);
+        let members = s.members("Person");
+        let cutoff = ((members.len() as f64) * 0.05).ceil() as usize;
+        let allowed: std::collections::HashSet<_> = members[..cutoff].iter().collect();
+        for set in &sets {
+            for e in &set.entities {
+                assert!(allowed.contains(e), "{e:?} outside the top 5%");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = synth();
+        let spec = TargetSpec::default();
+        let a = sample_target_sets(&s, &["Person", "Film"], &spec, 7);
+        let b = sample_target_sets(&s, &["Person", "Film"], &spec, 7);
+        let flat = |v: &[TargetSet]| -> Vec<(String, Vec<u32>)> {
+            v.iter()
+                .map(|t| (t.class.clone(), t.entities.iter().map(|e| e.0).collect()))
+                .collect()
+        };
+        assert_eq!(flat(&a), flat(&b));
+    }
+
+    #[test]
+    fn members_share_the_reported_class() {
+        let s = synth();
+        let spec = TargetSpec {
+            count: 30,
+            ..Default::default()
+        };
+        let sets = sample_target_sets(&s, &["Album", "Film"], &spec, 5);
+        for set in sets {
+            let members = s.members(&set.class);
+            for e in set.entities {
+                assert!(members.contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no usable classes")]
+    fn unknown_classes_panic() {
+        let s = synth();
+        sample_target_sets(&s, &["Nonexistent"], &TargetSpec::default(), 1);
+    }
+}

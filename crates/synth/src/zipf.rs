@@ -1,0 +1,158 @@
+//! Zipf-distributed sampling.
+//!
+//! The complexity model of the paper rests on the empirical observation
+//! that concept frequencies in KBs follow a power law (§3.5.3, citing
+//! Manning et al.). The synthetic generators therefore draw object choices
+//! from a Zipf distribution so that the rank/frequency regression of Eq. 1
+//! holds on generated data the same way it does on DBpedia and Wikidata.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k + 1)^s`.
+///
+/// Sampling precomputes the cumulative distribution once and then draws in
+/// `O(log n)` via binary search, which is plenty fast for generator-scale
+/// pools (≤ 10⁶ elements).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    /// `s = 0` degenerates to the uniform distribution.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        let norm = total;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // n >= 1 is enforced at construction
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most probable.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf values are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[50]);
+        // Top rank should dominate: for s=1.2, n=100, p(0) ≈ 0.26.
+        assert!(counts[0] as f64 / 20_000.0 > 0.15);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.2, "uniform counts spread too wide: {counts:?}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.5);
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(50), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let z = Zipf::new(1000, 1.0);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_samples_in_range(n in 1usize..500, s in 0.0f64..3.0, seed in any::<u64>()) {
+            let z = Zipf::new(n, s);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn prop_pmf_is_monotone_decreasing(n in 2usize..200, s in 0.1f64..3.0) {
+            let z = Zipf::new(n, s);
+            for k in 1..n {
+                prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Query generation for KB maintenance (§1): translate mined referring
+//! expressions into SPARQL SELECT queries that retrieve exactly the
+//! target entities — useful for writing integrity checks and curation
+//! queries without knowing the entities' IRIs.
+//!
+//! Run with `cargo run --release --example query_generation`.
+
+use remi_core::{Expression, Remi, RemiConfig, SubgraphExpr};
+use remi_kb::KnowledgeBase;
+use remi_synth::{dbpedia_like, generate};
+
+/// Renders an [`Expression`] as a SPARQL SELECT query over variable `?x`.
+fn to_sparql(kb: &KnowledgeBase, e: &Expression) -> String {
+    let mut lines = Vec::new();
+    let mut var_counter = 0usize;
+    for part in &e.parts {
+        let mut fresh = || {
+            var_counter += 1;
+            format!("?y{var_counter}")
+        };
+        match *part {
+            SubgraphExpr::Atom { p, o } => {
+                lines.push(format!("  ?x <{}> {} .", kb.pred_iri(p), term(kb, o)));
+            }
+            SubgraphExpr::Path { p0, p1, o } => {
+                let y = fresh();
+                lines.push(format!("  ?x <{}> {y} .", kb.pred_iri(p0)));
+                lines.push(format!("  {y} <{}> {} .", kb.pred_iri(p1), term(kb, o)));
+            }
+            SubgraphExpr::PathStar { p0, p1, o1, p2, o2 } => {
+                let y = fresh();
+                lines.push(format!("  ?x <{}> {y} .", kb.pred_iri(p0)));
+                lines.push(format!("  {y} <{}> {} .", kb.pred_iri(p1), term(kb, o1)));
+                lines.push(format!("  {y} <{}> {} .", kb.pred_iri(p2), term(kb, o2)));
+            }
+            SubgraphExpr::Closed2 { p0, p1 } => {
+                let y = fresh();
+                lines.push(format!("  ?x <{}> {y} .", kb.pred_iri(p0)));
+                lines.push(format!("  ?x <{}> {y} .", kb.pred_iri(p1)));
+            }
+            SubgraphExpr::Closed3 { p0, p1, p2 } => {
+                let y = fresh();
+                lines.push(format!("  ?x <{}> {y} .", kb.pred_iri(p0)));
+                lines.push(format!("  ?x <{}> {y} .", kb.pred_iri(p1)));
+                lines.push(format!("  ?x <{}> {y} .", kb.pred_iri(p2)));
+            }
+        }
+    }
+    format!("SELECT DISTINCT ?x WHERE {{\n{}\n}}", lines.join("\n"))
+}
+
+fn term(kb: &KnowledgeBase, o: remi_kb::NodeId) -> String {
+    match kb.node_term(o) {
+        remi_kb::Term::Iri(iri) => format!("<{iri}>"),
+        other => other.to_string(),
+    }
+}
+
+fn main() {
+    let synth = generate(&dbpedia_like(), 3.0, 99);
+    let kb = &synth.kb;
+    let remi = Remi::new(kb, RemiConfig::default());
+
+    println!("Generating curation queries for prominent entities:\n");
+    let mut generated = 0;
+    for class in ["Organization", "Settlement", "Person"] {
+        for &entity in synth.members(class).iter().take(4) {
+            let outcome = remi.describe(&[entity]);
+            let Some((expr, _)) = outcome.best else {
+                continue;
+            };
+            generated += 1;
+            println!(
+                "-- query #{generated}: retrieves exactly <{}> ({})",
+                kb.node_key(entity),
+                kb.node_name(entity)
+            );
+            println!("{}\n", to_sparql(kb, &expr));
+
+            // Sanity: the RE's bindings are exactly the entity — the
+            // invariant that makes the generated query trustworthy.
+            let eval = remi_core::eval::Evaluator::new(kb, 64);
+            assert!(eval.is_referring_expression(&expr.parts, &[entity.0]));
+            if generated >= 6 {
+                println!("… ({} more available; stopping the demo here)", 6);
+                return;
+            }
+        }
+    }
+}

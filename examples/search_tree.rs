@@ -1,0 +1,113 @@
+//! Figure 1: the DFS search space over conjunctions of subgraph
+//! expressions, rendered for a Rennes/Nantes-style target pair.
+//!
+//! Each node of the tree is a conjunction; its `Ĉ` is shown in
+//! parentheses. Nodes that are referring expressions are marked — below
+//! them the search prunes by depth; to their right it prunes sideways.
+//!
+//! Run with `cargo run --example search_tree`.
+
+use remi_core::eval::Evaluator;
+use remi_core::{Remi, RemiConfig, SubgraphExpr};
+use remi_kb::{KbBuilder, KnowledgeBase};
+
+fn build_kb() -> KnowledgeBase {
+    let mut b = KbBuilder::new();
+    // Rennes and Nantes: Breton cities with Socialist mayors; the paper's
+    // Figure 1 scenario (ρ1 = belongedTo(x, Brittany),
+    // ρ2 = mayor(x,y) ∧ party(y, Socialist), ρ3 = placeOf(x, Epitech)).
+    for city in ["Rennes", "Nantes"] {
+        b.add_iri(&format!("e:{city}"), "p:belongedTo", "e:Brittany");
+        b.add_iri(&format!("e:{city}"), "p:mayor", &format!("e:mayor{city}"));
+        b.add_iri(&format!("e:mayor{city}"), "p:party", "e:Socialist");
+        b.add_iri(&format!("e:{city}"), "p:placeOf", "e:Epitech");
+    }
+    // Distractors that break each single expression.
+    b.add_iri("e:Vannes", "p:belongedTo", "e:Brittany");
+    b.add_iri("e:Lille", "p:mayor", "e:mayorLille");
+    b.add_iri("e:mayorLille", "p:party", "e:Socialist");
+    b.add_iri("e:Paris", "p:placeOf", "e:Epitech");
+    // Background facts that differentiate the frequency ranks — the
+    // Figure 1 costs (3), (4), (5) come from concepts having different
+    // prominence, so give belongedTo < mayor/party < placeOf frequency.
+    for i in 0..8 {
+        b.add_iri(&format!("e:city{i}"), "p:belongedTo", "e:Normandy");
+    }
+    for i in 0..4 {
+        b.add_iri(&format!("e:city{i}"), "p:mayor", &format!("e:m{i}"));
+        b.add_iri(&format!("e:m{i}"), "p:party", "e:Green");
+    }
+    b.add_iri("e:city0", "p:placeOf", "e:SomeSchool");
+    b.build().expect("non-empty KB")
+}
+
+/// Recursively prints the conjunction tree the DFS walks over.
+#[allow(clippy::too_many_arguments)]
+fn print_tree(
+    kb: &KnowledgeBase,
+    remi: &Remi<'_>,
+    eval: &Evaluator<'_>,
+    queue: &[(SubgraphExpr, remi_core::Bits)],
+    targets: &[u32],
+    prefix: &mut Vec<usize>,
+    indent: usize,
+    max_depth: usize,
+) {
+    if indent >= max_depth {
+        return;
+    }
+    let start = prefix.last().map(|&i| i + 1).unwrap_or(0);
+    for i in start..queue.len() {
+        prefix.push(i);
+        let parts: Vec<SubgraphExpr> = prefix.iter().map(|&k| queue[k].0).collect();
+        let cost: remi_core::Bits = prefix.iter().map(|&k| queue[k].1).sum();
+        let is_re = eval.is_referring_expression(&parts, targets);
+        let label: Vec<String> = prefix.iter().map(|&k| format!("ρ{}", k + 1)).collect();
+        println!(
+            "{}{} ({:.1}){}",
+            "    ".repeat(indent),
+            label.join(" ∧ "),
+            cost.value(),
+            if is_re { "   ← RE (prune below & right)" } else { "" }
+        );
+        if !is_re {
+            print_tree(kb, remi, eval, queue, targets, prefix, indent + 1, max_depth);
+        }
+        prefix.pop();
+        if is_re {
+            break; // side pruning: skip more complex siblings
+        }
+    }
+}
+
+fn main() {
+    let kb = build_kb();
+    let mut config = RemiConfig::default();
+    config.enumeration.prominent_cutoff = 0.0;
+    let remi = Remi::new(&kb, config);
+
+    let targets = [
+        kb.node_id_by_iri("e:Rennes").unwrap(),
+        kb.node_id_by_iri("e:Nantes").unwrap(),
+    ];
+    let (queue, _) = remi.ranked_common_expressions(&targets);
+
+    println!("Common subgraph expressions for {{Rennes, Nantes}}, sorted by Ĉ:");
+    for (i, se) in queue.iter().enumerate() {
+        println!("  ρ{} = {}   ({:.1})", i + 1, se.expr.display(&kb), se.cost.value());
+    }
+    println!("\nSearch tree (Figure 1; Ĉ in parentheses):\n∅");
+
+    let eval = Evaluator::new(&kb, 1024);
+    let mut sorted_targets: Vec<u32> = targets.iter().map(|t| t.0).collect();
+    sorted_targets.sort_unstable();
+    let scored: Vec<(SubgraphExpr, remi_core::Bits)> =
+        queue.iter().map(|s| (s.expr, s.cost)).collect();
+    let mut prefix = Vec::new();
+    print_tree(&kb, &remi, &eval, &scored, &sorted_targets, &mut prefix, 0, 4);
+
+    let outcome = remi.describe(&targets);
+    let (best, cost) = outcome.best.expect("an RE exists");
+    println!("\nREMI's answer: {}   [Ĉ = {}]", best.display(&kb), cost);
+    println!("verbalised:    {}", remi_core::verbalize::verbalize(&kb, &best));
+}

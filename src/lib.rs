@@ -1,0 +1,13 @@
+//! `remi-suite` — umbrella crate hosting the workspace-level integration
+//! tests and runnable examples for the REMI reproduction.
+//!
+//! The actual functionality lives in the member crates:
+//! [`remi_kb`], [`remi_synth`], [`remi_core`], [`remi_amie`],
+//! [`remi_essum`], and [`remi_eval`].
+
+pub use remi_amie as amie;
+pub use remi_core as core;
+pub use remi_essum as essum;
+pub use remi_eval as eval;
+pub use remi_kb as kb;
+pub use remi_synth as synth;

@@ -1,0 +1,137 @@
+//! Cross-system integration: REMI and the AMIE+ baseline must agree where
+//! their languages coincide, and both must return genuine REs.
+
+use remi_amie::{is_re, mine_re, AmieConfig, AmieLanguage};
+use remi_core::complexity::{CostModel, EntityCodeMode, Prominence};
+use remi_core::{Remi, RemiConfig};
+use remi_synth::{dbpedia_like, generate, sample_target_sets, TargetSpec};
+
+#[test]
+fn amie_rules_are_genuine_res() {
+    let synth = generate(&dbpedia_like(), 0.5, 201);
+    let kb = &synth.kb;
+    let sets = sample_target_sets(
+        &synth,
+        &["Settlement", "Organization"],
+        &TargetSpec {
+            count: 8,
+            size_proportions: [0.7, 0.3, 0.0],
+            top_fraction: 0.5,
+        },
+        3,
+    );
+    let model = CostModel::new(kb, Prominence::Frequency, EntityCodeMode::PowerLaw);
+    for set in &sets {
+        let cfg = AmieConfig {
+            language: AmieLanguage::Standard,
+            timeout: Some(std::time::Duration::from_secs(10)),
+            ..Default::default()
+        };
+        let outcome = mine_re(kb, &set.entities, cfg, Some(&model));
+        for rule in &outcome.rules {
+            assert!(
+                is_re(kb, rule, &set.entities),
+                "AMIE returned a non-RE rule: {}",
+                rule.display(kb)
+            );
+        }
+        if let Some((best, cost)) = &outcome.best {
+            assert!(is_re(kb, best, &set.entities));
+            assert!(!cost.is_infinite());
+        }
+    }
+}
+
+#[test]
+fn standard_language_existence_agrees() {
+    // Under the standard language (conjunctions of bound atoms on x) both
+    // systems search the same expression space, so solution existence must
+    // coincide whenever neither times out.
+    let synth = generate(&dbpedia_like(), 0.5, 203);
+    let kb = &synth.kb;
+    let remi = Remi::new(kb, RemiConfig::standard_language());
+    let sets = sample_target_sets(
+        &synth,
+        &["Settlement", "Person"],
+        &TargetSpec {
+            count: 12,
+            size_proportions: [0.6, 0.4, 0.0],
+            top_fraction: 0.5,
+        },
+        5,
+    );
+    for set in &sets {
+        let remi_outcome = remi.describe(&set.entities);
+        let amie_outcome = mine_re(
+            kb,
+            &set.entities,
+            AmieConfig {
+                language: AmieLanguage::Standard,
+                timeout: Some(std::time::Duration::from_secs(20)),
+                threads: 4,
+                ..Default::default()
+            },
+            None,
+        );
+        if amie_outcome.timed_out {
+            continue; // no claim possible
+        }
+        assert_eq!(
+            remi_outcome.best.is_some(),
+            !amie_outcome.rules.is_empty(),
+            "existence disagreement on {:?} (remi: {:?}, amie rules: {})",
+            set.entities,
+            remi_outcome.status,
+            amie_outcome.rules.len()
+        );
+    }
+}
+
+#[test]
+fn amie_extended_finds_res_remi_finds() {
+    // REMI's language is a fragment of AMIE's (every Table 1 shape is a
+    // closed rule of ≤3 body atoms), so whenever REMI's best RE uses ≤3
+    // atoms in total, a non-timed-out AMIE must also find some RE.
+    let synth = generate(&dbpedia_like(), 0.5, 207);
+    let kb = &synth.kb;
+    let remi = Remi::new(kb, RemiConfig::default());
+    let sets = sample_target_sets(
+        &synth,
+        &["Organization"],
+        &TargetSpec {
+            count: 6,
+            size_proportions: [1.0, 0.0, 0.0],
+            top_fraction: 0.4,
+        },
+        7,
+    );
+    for set in &sets {
+        let remi_outcome = remi.describe(&set.entities);
+        let Some((expr, _)) = &remi_outcome.best else {
+            continue;
+        };
+        if expr.num_atoms() > 3 {
+            continue; // outside AMIE's l = 4 bound
+        }
+        let amie_outcome = mine_re(
+            kb,
+            &set.entities,
+            AmieConfig {
+                language: AmieLanguage::Extended,
+                timeout: Some(std::time::Duration::from_secs(30)),
+                threads: 4,
+                ..Default::default()
+            },
+            None,
+        );
+        if amie_outcome.timed_out {
+            continue;
+        }
+        assert!(
+            !amie_outcome.rules.is_empty(),
+            "REMI found {} but AMIE found nothing for {:?}",
+            expr.display(kb),
+            set.entities
+        );
+    }
+}

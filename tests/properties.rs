@@ -1,0 +1,148 @@
+//! Property-based integration tests: invariants of the mining pipeline on
+//! randomly generated miniature knowledge bases.
+
+use proptest::prelude::*;
+
+use remi_core::complexity::{CostModel, EntityCodeMode, Prominence};
+use remi_core::enumerate::{subgraph_expressions, EnumContext};
+use remi_core::eval::{raw_bindings, Evaluator};
+use remi_core::{EnumerationConfig, Remi, RemiConfig};
+use remi_kb::{KbBuilder, KnowledgeBase, NodeId};
+
+/// A random miniature KB: `n` entities, `p` predicates, `m` random facts.
+fn arb_kb() -> impl Strategy<Value = KnowledgeBase> {
+    (2usize..12, 1usize..5, 1usize..60, any::<u64>()).prop_map(|(n, p, m, seed)| {
+        // Simple deterministic pseudo-random fact generator (no rand dep
+        // needed in the strategy itself).
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut b = KbBuilder::new();
+        for _ in 0..m {
+            let s = next() % n;
+            let pr = next() % p;
+            let o = next() % n;
+            b.add_iri(&format!("e:n{s}"), &format!("p:r{pr}"), &format!("e:n{o}"));
+        }
+        // Guarantee non-emptiness.
+        b.add_iri("e:n0", "p:r0", "e:n1");
+        b.build().expect("non-empty")
+    })
+}
+
+fn enum_config() -> EnumerationConfig {
+    EnumerationConfig {
+        prominent_cutoff: 0.0,
+        max_exprs_per_entity: 2000,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every enumerated subgraph expression of `t` matches `t`.
+    #[test]
+    fn enumerated_expressions_match_their_entity(kb in arb_kb()) {
+        let cfg = enum_config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        for t in kb.entity_ids().take(6) {
+            let (exprs, _) = subgraph_expressions(&kb, t, &cfg, &ctx);
+            for e in &exprs {
+                let bindings = raw_bindings(&kb, e);
+                prop_assert!(
+                    bindings.binary_search(&t.0).is_ok(),
+                    "{e:?} does not match its source entity {t:?}"
+                );
+            }
+        }
+    }
+
+    /// Binding sets are always sorted and duplicate-free.
+    #[test]
+    fn bindings_are_sorted_sets(kb in arb_kb()) {
+        let cfg = enum_config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        for t in kb.entity_ids().take(4) {
+            let (exprs, _) = subgraph_expressions(&kb, t, &cfg, &ctx);
+            for e in exprs.iter().take(50) {
+                let b = raw_bindings(&kb, e);
+                prop_assert!(b.windows(2).all(|w| w[0] < w[1]), "{e:?}: {b:?}");
+            }
+        }
+    }
+
+    /// If the miner reports an RE, its bindings equal the target set; if it
+    /// reports NoSolution, even the maximal conjunction fails.
+    #[test]
+    fn mining_outcome_is_sound(kb in arb_kb()) {
+        let config = RemiConfig {
+            enumeration: enum_config(),
+            ..Default::default()
+        };
+        let remi = Remi::new(&kb, config);
+        let eval = Evaluator::new(&kb, 512);
+        for t in kb.entity_ids().take(4) {
+            let outcome = remi.describe(&[t]);
+            if let Some((expr, _)) = &outcome.best {
+                prop_assert!(eval.is_referring_expression(&expr.parts, &[t.0]));
+            } else {
+                // The maximal conjunction of all common expressions is the
+                // most specific expression in the language; it must fail
+                // too, otherwise the search missed a solution.
+                let (queue, truncated) = remi.ranked_common_expressions(&[t]);
+                if !truncated && !queue.is_empty() {
+                    let all: Vec<_> = queue.iter().map(|s| s.expr).collect();
+                    prop_assert!(
+                        !eval.is_referring_expression(&all, &[t.0]),
+                        "NoSolution but the maximal conjunction is an RE for {t:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Costs are non-negative and monotone under conjunction.
+    #[test]
+    fn costs_are_nonnegative_and_monotone(kb in arb_kb()) {
+        let model = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::PowerLaw);
+        let cfg = enum_config();
+        let ctx = EnumContext::new(&kb, &cfg);
+        for t in kb.entity_ids().take(3) {
+            let (exprs, _) = subgraph_expressions(&kb, t, &cfg, &ctx);
+            let list: Vec<_> = exprs.into_iter().take(20).collect();
+            for e in &list {
+                prop_assert!(model.subgraph_cost(e).value() >= 0.0);
+            }
+            if list.len() >= 2 {
+                let single = model.parts_cost(&list[..1]);
+                let pair = model.parts_cost(&list[..2]);
+                prop_assert!(pair >= single);
+            }
+        }
+    }
+
+    /// Exact-rank and power-law entity codes agree on the ranking
+    /// direction for extreme prominence gaps.
+    #[test]
+    fn cost_modes_agree_directionally(kb in arb_kb()) {
+        let exact = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
+        let fitted = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::PowerLaw);
+        for p in kb.pred_ids().take(3) {
+            let idx = kb.index(p);
+            let mut objs: Vec<(NodeId, usize)> = idx.iter_object_frequencies().collect();
+            if objs.len() < 2 {
+                continue;
+            }
+            objs.sort_by_key(|&(_, f)| f);
+            let (least, least_f) = objs[0];
+            let (most, most_f) = objs[objs.len() - 1];
+            if most_f > least_f {
+                prop_assert!(exact.entity_bits(most, p) <= exact.entity_bits(least, p));
+                prop_assert!(fitted.entity_bits(most, p) <= fitted.entity_bits(least, p));
+            }
+        }
+    }
+}
