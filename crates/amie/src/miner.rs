@@ -338,9 +338,9 @@ pub fn mine_re(
         let survivors: Mutex<Vec<Rule>> = Mutex::new(Vec::new());
         let chunk = candidates.len().div_ceil(threads).max(1);
         let (ctx_ref, survivors_ref, accepted_ref) = (&ctx, &survivors, &accepted);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk_rules in candidates.chunks(chunk) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local_survivors = Vec::new();
                     let mut local_accepted = Vec::new();
                     for rule in chunk_rules {
@@ -368,8 +368,7 @@ pub fn mine_re(
                     accepted_ref.lock().extend(local_accepted);
                 });
             }
-        })
-        .expect("AMIE workers do not panic");
+        });
 
         frontier = survivors.into_inner();
     }

@@ -113,13 +113,9 @@ fn satisfiable(kb: &KnowledgeBase, remaining: &mut Vec<RuleAtom>, asg: &mut Assi
                     }
                 }
             }
-            if !ok {
-                asg.unset(sv);
-                asg.unset(ov);
-            } else {
-                asg.unset(sv);
-                asg.unset(ov);
-            }
+            // The trial bindings are scratch state either way.
+            asg.unset(sv);
+            asg.unset(ov);
             ok
         }
     };
@@ -141,11 +137,7 @@ fn root_candidates(kb: &KnowledgeBase, rule: &Rule) -> Vec<u32> {
         let candidates: Vec<u32> = match (atom.s, atom.o) {
             (Arg::Var(ROOT_VAR), Arg::Const(o)) => kb.subjects(atom.p, o).to_vec(),
             (Arg::Const(s), Arg::Var(ROOT_VAR)) => kb.objects(atom.p, s).to_vec(),
-            (Arg::Var(ROOT_VAR), _) => kb
-                .index(atom.p)
-                .iter_subjects()
-                .map(|(s, _)| s.0)
-                .collect(),
+            (Arg::Var(ROOT_VAR), _) => kb.index(atom.p).iter_subjects().map(|(s, _)| s.0).collect(),
             (_, Arg::Var(ROOT_VAR)) => kb.index(atom.p).iter_objects().map(|o| o.0).collect(),
             _ => continue,
         };

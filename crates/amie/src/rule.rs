@@ -106,9 +106,7 @@ impl Rule {
     /// True when the body mentions the root variable (a requirement for
     /// the rule to describe anything).
     pub fn mentions_root(&self) -> bool {
-        self.body
-            .iter()
-            .any(|a| a.vars().any(|v| v == ROOT_VAR))
+        self.body.iter().any(|a| a.vars().any(|v| v == ROOT_VAR))
     }
 
     /// True when the body is connected: every atom reachable from the root
@@ -243,11 +241,7 @@ mod tests {
     use super::*;
 
     fn atom(p: u32, s: Arg, o: Arg) -> RuleAtom {
-        RuleAtom {
-            p: PredId(p),
-            s,
-            o,
-        }
+        RuleAtom { p: PredId(p), s, o }
     }
 
     #[test]

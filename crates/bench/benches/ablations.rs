@@ -42,13 +42,34 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
 
     let variants: Vec<(&str, RemiConfig)> = vec![
-        ("baseline", config(16_384, 0.05, EntityCodeMode::PowerLaw, true, 1)),
-        ("cache_off", config(1, 0.05, EntityCodeMode::PowerLaw, true, 1)),
-        ("no_prominent_pruning", config(16_384, 0.0, EntityCodeMode::PowerLaw, true, 1)),
-        ("exact_rank_codes", config(16_384, 0.05, EntityCodeMode::ExactRank, true, 1)),
-        ("no_root_cutoff", config(16_384, 0.05, EntityCodeMode::PowerLaw, false, 1)),
-        ("threads_2", config(16_384, 0.05, EntityCodeMode::PowerLaw, true, 2)),
-        ("threads_8", config(16_384, 0.05, EntityCodeMode::PowerLaw, true, 8)),
+        (
+            "baseline",
+            config(16_384, 0.05, EntityCodeMode::PowerLaw, true, 1),
+        ),
+        (
+            "cache_off",
+            config(1, 0.05, EntityCodeMode::PowerLaw, true, 1),
+        ),
+        (
+            "no_prominent_pruning",
+            config(16_384, 0.0, EntityCodeMode::PowerLaw, true, 1),
+        ),
+        (
+            "exact_rank_codes",
+            config(16_384, 0.05, EntityCodeMode::ExactRank, true, 1),
+        ),
+        (
+            "no_root_cutoff",
+            config(16_384, 0.05, EntityCodeMode::PowerLaw, false, 1),
+        ),
+        (
+            "threads_2",
+            config(16_384, 0.05, EntityCodeMode::PowerLaw, true, 2),
+        ),
+        (
+            "threads_8",
+            config(16_384, 0.05, EntityCodeMode::PowerLaw, true, 8),
+        ),
     ];
     for (name, cfg) in variants {
         let remi = Remi::new(kb, cfg);

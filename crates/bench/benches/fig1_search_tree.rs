@@ -13,9 +13,15 @@ fn bench(c: &mut Criterion) {
     let kb = &synth.kb;
     let remi = Remi::new(kb, RemiConfig::default());
     // A pair of same-class prominent entities — the Figure 1 situation.
-    let targets = [synth.members("Settlement")[0], synth.members("Settlement")[1]];
+    let targets = [
+        synth.members("Settlement")[0],
+        synth.members("Settlement")[1],
+    ];
     let (queue, _) = remi.ranked_common_expressions(&targets);
-    println!("\nfig1 workload: {} common subgraph expressions", queue.len());
+    println!(
+        "\nfig1 workload: {} common subgraph expressions",
+        queue.len()
+    );
 
     let mut group = c.benchmark_group("fig1_search");
     group.bench_function("queue_construction", |b| {
@@ -39,7 +45,12 @@ fn bench(c: &mut Criterion) {
     let model = remi.model();
     let _ = model;
     for (i, s) in queue.iter().take(3).enumerate() {
-        println!("  ρ{} ({:.1} bits): {}", i + 1, s.cost.value(), s.expr.display(kb));
+        println!(
+            "  ρ{} ({:.1} bits): {}",
+            i + 1,
+            s.cost.value(),
+            s.expr.display(kb)
+        );
     }
 }
 

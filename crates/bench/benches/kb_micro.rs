@@ -50,7 +50,9 @@ fn bench(c: &mut Criterion) {
         doc.len(),
         doc.len() / bytes.len().max(1)
     );
-    group.bench_function("binfmt_write", |b| b.iter(|| remi_kb::binfmt::write_bytes(kb)));
+    group.bench_function("binfmt_write", |b| {
+        b.iter(|| remi_kb::binfmt::write_bytes(kb))
+    });
     group.bench_function("binfmt_read", |b| {
         b.iter(|| remi_kb::binfmt::read_bytes(&bytes, 0.0).unwrap())
     });

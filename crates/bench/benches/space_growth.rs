@@ -10,7 +10,13 @@ use remi_eval::experiments::space;
 fn bench(c: &mut Criterion) {
     let synth = dbpedia();
     let kb = &synth.kb;
-    let result = space::run(synth, &["Person", "Settlement", "Organization"], 20, 500_000, 42);
+    let result = space::run(
+        synth,
+        &["Person", "Settlement", "Organization"],
+        20,
+        500_000,
+        42,
+    );
     println!("\n{result}");
 
     let t = synth.members("Person")[0];

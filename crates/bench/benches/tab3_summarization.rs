@@ -11,7 +11,12 @@ use remi_kb::pagerank::{pagerank, PageRankConfig};
 fn bench(c: &mut Criterion) {
     let synth = dbpedia();
     let kb = &synth.kb;
-    let result = table3::run(synth, &["Person", "Settlement", "Film", "Organization"], 80, 42);
+    let result = table3::run(
+        synth,
+        &["Person", "Settlement", "Film", "Organization"],
+        80,
+        42,
+    );
     println!("\n{result}");
 
     let pr = pagerank(kb, PageRankConfig::default());

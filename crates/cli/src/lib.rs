@@ -10,8 +10,8 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 use remi_core::complexity::Prominence;
-use remi_core::exceptions::{describe_with_exceptions, verbalize_with_exceptions};
 use remi_core::eval::Evaluator;
+use remi_core::exceptions::{describe_with_exceptions, verbalize_with_exceptions};
 use remi_core::{LanguageBias, Remi, RemiConfig, SearchStatus};
 use remi_kb::{KnowledgeBase, NodeId, PredId};
 
@@ -127,12 +127,7 @@ pub fn cmd_stats(path: &Path) -> Result<String> {
     preds.sort_by_key(|&p| std::cmp::Reverse(kb.pred_frequency(p)));
     let _ = writeln!(out, "\ntop predicates by frequency:");
     for &p in preds.iter().take(10) {
-        let _ = writeln!(
-            out,
-            "  {:>8}  {}",
-            kb.pred_frequency(p),
-            kb.pred_name(p)
-        );
+        let _ = writeln!(out, "  {:>8}  {}", kb.pred_frequency(p), kb.pred_name(p));
     }
 
     let top = kb.top_frequent_entities(1.0);
@@ -202,7 +197,11 @@ pub fn cmd_describe(path: &Path, iris: &[String], opts: &DescribeOpts) -> Result
     match (&outcome.best, outcome.status) {
         (Some((expr, cost)), _) => {
             let _ = writeln!(out, "expression:  {}", expr.display(&kb));
-            let _ = writeln!(out, "verbalised:  {}", remi_core::verbalize::verbalize(&kb, expr));
+            let _ = writeln!(
+                out,
+                "verbalised:  {}",
+                remi_core::verbalize::verbalize(&kb, expr)
+            );
             let _ = writeln!(out, "complexity:  {cost}");
         }
         (None, SearchStatus::NoSolution) if opts.exceptions > 0 => {
@@ -223,11 +222,7 @@ pub fn cmd_describe(path: &Path, iris: &[String], opts: &DescribeOpts) -> Result
                     let _ = writeln!(out, "complexity:  {}", re.cost);
                 }
                 None => {
-                    let _ = writeln!(
-                        out,
-                        "no RE exists even with {} exceptions",
-                        opts.exceptions
-                    );
+                    let _ = writeln!(out, "no RE exists even with {} exceptions", opts.exceptions);
                 }
             }
         }
@@ -275,7 +270,11 @@ pub fn cmd_summarize(path: &Path, iri: &str, k: usize, method: &str) -> Result<S
         }
     };
     let mut out = String::new();
-    let _ = writeln!(out, "summary of {} ({method}, top {k}):", kb.node_name(entity));
+    let _ = writeln!(
+        out,
+        "summary of {} ({method}, top {k}):",
+        kb.node_name(entity)
+    );
     for (p, o) in summary {
         let _ = writeln!(out, "  {} → {}", kb.pred_name(p), kb.node_name(o));
     }

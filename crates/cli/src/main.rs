@@ -4,13 +4,26 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use remi_cli::{
-    cmd_convert, cmd_describe, cmd_gen, cmd_stats, cmd_summarize, DescribeOpts, USAGE,
-};
+use remi_cli::{cmd_convert, cmd_describe, cmd_gen, cmd_stats, cmd_summarize, DescribeOpts, USAGE};
 use remi_core::LanguageBias;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `std::env::args()` panics on non-UTF-8 arguments; surface those as a
+    // normal usage error instead.
+    let mut args = Vec::new();
+    for (i, arg) in std::env::args_os().skip(1).enumerate() {
+        match arg.into_string() {
+            Ok(s) => args.push(s),
+            Err(raw) => {
+                eprintln!(
+                    "error: argument {} is not valid UTF-8: {:?}\n\n{USAGE}",
+                    i + 1,
+                    raw
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match run(&args) {
         Ok(output) => {
             print!("{output}");
@@ -25,6 +38,11 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> remi_cli::Result<String> {
     let err = |msg: &str| remi_cli::CliError(msg.to_string());
+    // `--help` anywhere wins, so `remi gen --help` explains instead of
+    // complaining about an unknown flag.
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(USAGE.to_string());
+    }
     let Some(cmd) = args.first() else {
         return Err(err("missing subcommand"));
     };
@@ -36,19 +54,13 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             let mut out: Option<PathBuf> = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
-                let mut value = || {
-                    it.next()
-                        .cloned()
-                        .ok_or_else(|| err("missing flag value"))
-                };
+                let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
                 match flag.as_str() {
                     "--profile" => profile = value()?,
                     "--scale" => {
                         scale = value()?.parse().map_err(|_| err("--scale takes a float"))?
                     }
-                    "--seed" => {
-                        seed = value()?.parse().map_err(|_| err("--seed takes an int"))?
-                    }
+                    "--seed" => seed = value()?.parse().map_err(|_| err("--seed takes an int"))?,
                     "-o" | "--out" => out = Some(PathBuf::from(value()?)),
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }
@@ -76,17 +88,14 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             let mut iris = Vec::new();
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
-                let mut value = || {
-                    it.next()
-                        .cloned()
-                        .ok_or_else(|| err("missing flag value"))
-                };
+                let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
                 match a.as_str() {
                     "--standard" => opts.language = LanguageBias::Standard,
                     "--pagerank" => opts.pagerank = true,
                     "--threads" => {
-                        opts.threads =
-                            value()?.parse().map_err(|_| err("--threads takes an int"))?
+                        opts.threads = value()?
+                            .parse()
+                            .map_err(|_| err("--threads takes an int"))?
                     }
                     "--timeout-ms" => {
                         opts.timeout_ms = value()?
@@ -115,11 +124,7 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             let mut method = "remi".to_string();
             let mut it = args[3..].iter();
             while let Some(a) = it.next() {
-                let mut value = || {
-                    it.next()
-                        .cloned()
-                        .ok_or_else(|| err("missing flag value"))
-                };
+                let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
                 match a.as_str() {
                     "--k" => k = value()?.parse().map_err(|_| err("--k takes an int"))?,
                     "--method" => method = value()?,
@@ -128,7 +133,60 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             }
             cmd_summarize(&PathBuf::from(path), iri, k, &method)
         }
-        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        "help" => Ok(USAGE.to_string()),
         other => Err(err(&format!("unknown subcommand {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage_from_anywhere() {
+        for line in [
+            vec!["--help"],
+            vec!["-h"],
+            vec!["help"],
+            vec!["gen", "--help"],
+            vec!["describe", "kb.rkb", "-h"],
+        ] {
+            let out = run(&args(&line)).unwrap();
+            assert_eq!(out, USAGE, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        let e = run(&[]).unwrap_err();
+        assert!(e.to_string().contains("missing subcommand"), "{e}");
+    }
+
+    #[test]
+    fn unknown_subcommand_and_flags_error_clearly() {
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(e.to_string().contains("unknown subcommand"), "{e}");
+        let e = run(&args(&["gen", "--bogus"])).unwrap_err();
+        assert!(e.to_string().contains("unknown flag --bogus"), "{e}");
+        let e = run(&args(&["summarize", "kb.rkb", "e:x", "--k"])).unwrap_err();
+        assert!(e.to_string().contains("missing flag value"), "{e}");
+    }
+
+    #[test]
+    fn malformed_flag_values_error_clearly() {
+        let e = run(&args(&["gen", "--scale", "fast", "-o", "kb.rkb"])).unwrap_err();
+        assert!(e.to_string().contains("--scale takes a float"), "{e}");
+        let e = run(&args(&["describe", "kb.rkb", "e:x", "--threads", "many"])).unwrap_err();
+        assert!(e.to_string().contains("--threads takes an int"), "{e}");
+    }
+
+    #[test]
+    fn gen_requires_an_output_path() {
+        let e = run(&args(&["gen", "--profile", "dbpedia"])).unwrap_err();
+        assert!(e.to_string().contains("requires -o"), "{e}");
     }
 }

@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Bits::new(3.14159).to_string(), "3.14 bits");
+        assert_eq!(Bits::new(7.25).to_string(), "7.25 bits");
         assert_eq!(Bits::INFINITY.to_string(), "∞");
     }
 }

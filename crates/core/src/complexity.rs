@@ -86,11 +86,7 @@ impl<'kb> CostModel<'kb> {
     }
 
     /// Builds a cost model with a precomputed PageRank.
-    pub fn with_pagerank(
-        kb: &'kb KnowledgeBase,
-        mode: EntityCodeMode,
-        pr: &PageRank,
-    ) -> Self {
+    pub fn with_pagerank(kb: &'kb KnowledgeBase, mode: EntityCodeMode, pr: &PageRank) -> Self {
         Self::build(kb, Prominence::PageRank, mode, Some(pr))
     }
 
@@ -106,9 +102,7 @@ impl<'kb> CostModel<'kb> {
         let mut pred_rank = vec![0u32; kb.num_preds()];
         let mut rank = 1u32;
         for (i, &p) in preds.iter().enumerate() {
-            if i > 0
-                && kb.pred_frequency(PredId(preds[i - 1])) > kb.pred_frequency(PredId(p))
-            {
+            if i > 0 && kb.pred_frequency(PredId(preds[i - 1])) > kb.pred_frequency(PredId(p)) {
                 rank = (i + 1) as u32;
             }
             pred_rank[p as usize] = rank;
@@ -236,9 +230,7 @@ impl<'kb> CostModel<'kb> {
             }
             EntityCodeMode::PowerLaw => {
                 let prom = match self.metric {
-                    Prominence::Frequency => {
-                        self.kb.index(given).object_frequency(o) as f64
-                    }
+                    Prominence::Frequency => self.kb.index(given).object_frequency(o) as f64,
                     Prominence::PageRank => self.node_prom[o.idx()],
                 };
                 if prom <= 0.0 {
@@ -254,10 +246,7 @@ impl<'kb> CostModel<'kb> {
     /// first-to-second-argument join with `p₀` (the path chain rule).
     pub fn join_bits(&self, p1: PredId, given_p0: PredId) -> Bits {
         let map = self.join_ranking(given_p0);
-        let rank = map
-            .get(&p1.0)
-            .copied()
-            .unwrap_or((map.len() + 2) as u32);
+        let rank = map.get(&p1.0).copied().unwrap_or((map.len() + 2) as u32);
         Bits::from_rank(u64::from(rank))
     }
 
@@ -265,10 +254,7 @@ impl<'kb> CostModel<'kb> {
     /// predicates `q` with `∃x,y: p₀(x,y) ∧ q(x,y)`.
     pub fn closed_bits(&self, q: PredId, given_p0: PredId) -> Bits {
         let map = self.closed_ranking(given_p0);
-        let rank = map
-            .get(&q.0)
-            .copied()
-            .unwrap_or((map.len() + 2) as u32);
+        let rank = map.get(&q.0).copied().unwrap_or((map.len() + 2) as u32);
         Bits::from_rank(u64::from(rank))
     }
 
@@ -429,7 +415,10 @@ mod tests {
         let m = CostModel::new(&kb, Prominence::Frequency, EntityCodeMode::ExactRank);
         let city_in = kb.pred_id("p:cityIn").unwrap();
         let belgium = kb.node_id_by_iri("e:Belgium").unwrap();
-        let e = SubgraphExpr::Atom { p: city_in, o: belgium };
+        let e = SubgraphExpr::Atom {
+            p: city_in,
+            o: belgium,
+        };
         assert_eq!(
             m.subgraph_cost(&e),
             m.pred_bits(city_in) + m.entity_bits(belgium, city_in)
@@ -443,7 +432,11 @@ mod tests {
         let mayor = kb.pred_id("p:mayor").unwrap();
         let party = kb.pred_id("p:party").unwrap();
         let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
-        let e = SubgraphExpr::Path { p0: mayor, p1: party, o: socialist };
+        let e = SubgraphExpr::Path {
+            p0: mayor,
+            p1: party,
+            o: socialist,
+        };
         let expected =
             m.pred_bits(mayor) + m.join_bits(party, mayor) + m.entity_bits(socialist, party);
         assert_eq!(m.subgraph_cost(&e), expected);
@@ -476,8 +469,14 @@ mod tests {
         let city_in = kb.pred_id("p:cityIn").unwrap();
         let france = kb.node_id_by_iri("e:France").unwrap();
         let belgium = kb.node_id_by_iri("e:Belgium").unwrap();
-        let a = SubgraphExpr::Atom { p: city_in, o: france };
-        let b = SubgraphExpr::Atom { p: city_in, o: belgium };
+        let a = SubgraphExpr::Atom {
+            p: city_in,
+            o: france,
+        };
+        let b = SubgraphExpr::Atom {
+            p: city_in,
+            o: belgium,
+        };
         let e = Expression { parts: vec![a, b] };
         assert_eq!(
             m.expression_cost(&e),

@@ -114,8 +114,7 @@ pub fn subgraph_expressions(
     'closed: for i in 0..preds.len() {
         for j in (i + 1)..preds.len() {
             let (pi, pj) = (preds[i], preds[j]);
-            let shared =
-                crate::eval::intersect_sorted(kb.objects(pi, t), kb.objects(pj, t));
+            let shared = crate::eval::intersect_sorted(kb.objects(pi, t), kb.objects(pj, t));
             if shared.is_empty() {
                 continue;
             }
@@ -124,8 +123,7 @@ pub fn subgraph_expressions(
                 stats.truncated = true;
                 break 'closed;
             }
-            for k in (j + 1)..preds.len() {
-                let pk = preds[k];
+            for &pk in &preds[(j + 1)..] {
                 if crate::eval::sorted_intersects(&shared, kb.objects(pk, t)) {
                     out.insert(SubgraphExpr::closed3(pi, pj, pk));
                     if out.len() >= cap {
@@ -254,11 +252,7 @@ pub fn space_growth_counts(
     cap: usize,
 ) -> SpaceCounts {
     let (full, _) = subgraph_expressions(kb, t, config, ctx);
-    let one_var_two_atoms = full
-        .iter()
-        .filter(|e| e.num_atoms() <= 2)
-        .count()
-        .min(cap);
+    let one_var_two_atoms = full.iter().filter(|e| e.num_atoms() <= 2).count().min(cap);
     let one_var_three_atoms = full.len().min(cap);
 
     // Tier 3: additionally count distinct two-variable chain paths.
@@ -351,12 +345,19 @@ mod tests {
 
         let in_p = kb.pred_id("p:in").unwrap();
         let brittany = kb.node_id_by_iri("e:Brittany").unwrap();
-        assert!(exprs.contains(&SubgraphExpr::Atom { p: in_p, o: brittany }));
+        assert!(exprs.contains(&SubgraphExpr::Atom {
+            p: in_p,
+            o: brittany
+        }));
 
         let mayor = kb.pred_id("p:mayor").unwrap();
         let party = kb.pred_id("p:party").unwrap();
         let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
-        assert!(exprs.contains(&SubgraphExpr::Path { p0: mayor, p1: party, o: socialist }));
+        assert!(exprs.contains(&SubgraphExpr::Path {
+            p0: mayor,
+            p1: party,
+            o: socialist
+        }));
     }
 
     #[test]
@@ -393,7 +394,11 @@ mod tests {
         let mayor = kb.pred_id("p:mayor").unwrap();
         let party = kb.pred_id("p:party").unwrap();
         let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
-        assert!(common.contains(&SubgraphExpr::Path { p0: mayor, p1: party, o: socialist }));
+        assert!(common.contains(&SubgraphExpr::Path {
+            p0: mayor,
+            p1: party,
+            o: socialist
+        }));
     }
 
     #[test]
@@ -425,11 +430,15 @@ mod tests {
         let to = kb.pred_id("p:to").unwrap();
         let target = kb.node_id_by_iri("e:target").unwrap();
         // No atom with the blank object…
-        assert!(exprs
-            .iter()
-            .all(|e| !matches!(e, SubgraphExpr::Atom { o, .. } if kb.node_kind(*o) == TermKind::Blank)));
+        assert!(exprs.iter().all(
+            |e| !matches!(e, SubgraphExpr::Atom { o, .. } if kb.node_kind(*o) == TermKind::Blank)
+        ));
         // …but the hiding path exists.
-        assert!(exprs.contains(&SubgraphExpr::Path { p0: via, p1: to, o: target }));
+        assert!(exprs.contains(&SubgraphExpr::Path {
+            p0: via,
+            p1: to,
+            o: target
+        }));
     }
 
     #[test]
@@ -453,8 +462,13 @@ mod tests {
         // is pruned because Germany is prominent.
         let capital = kb.pred_id("p:capitalOf").unwrap();
         let germany = kb.node_id_by_iri("e:Germany").unwrap();
-        assert!(exprs.contains(&SubgraphExpr::Atom { p: capital, o: germany }));
-        assert!(exprs.iter().all(|e| !matches!(e, SubgraphExpr::Path { .. })));
+        assert!(exprs.contains(&SubgraphExpr::Atom {
+            p: capital,
+            o: germany
+        }));
+        assert!(exprs
+            .iter()
+            .all(|e| !matches!(e, SubgraphExpr::Path { .. })));
     }
 
     #[test]
@@ -558,10 +572,7 @@ mod tests {
         assert!(counts.one_var_two_atoms <= counts.one_var_three_atoms);
         assert!(counts.one_var_three_atoms < counts.two_var_three_atoms);
         // 9 distinct 3-chains exist (3 mids × 3 leaves → 1 end each).
-        assert_eq!(
-            counts.two_var_three_atoms - counts.one_var_three_atoms,
-            9
-        );
+        assert_eq!(counts.two_var_three_atoms - counts.one_var_three_atoms, 9);
     }
 
     #[test]

@@ -74,8 +74,7 @@ pub fn raw_bindings(kb: &KnowledgeBase, e: &SubgraphExpr) -> Vec<u32> {
         }
         SubgraphExpr::Closed2 { p0, p1 } => {
             // x : ∃y p0(x,y) ∧ p1(x,y) — iterate the smaller predicate.
-            let (small, large) = if kb.index(p0).num_subjects() <= kb.index(p1).num_subjects()
-            {
+            let (small, large) = if kb.index(p0).num_subjects() <= kb.index(p1).num_subjects() {
                 (p0, p1)
             } else {
                 (p1, p0)
@@ -215,7 +214,11 @@ mod tests {
             ("Argentina", "Spanish"),
         ] {
             b.add_iri(&format!("e:{c}"), "p:in", "e:SouthAmerica");
-            b.add_iri(&format!("e:{c}"), "p:officialLanguage", &format!("e:{lang}"));
+            b.add_iri(
+                &format!("e:{c}"),
+                "p:officialLanguage",
+                &format!("e:{lang}"),
+            );
         }
         b.add_iri("e:Germany", "p:in", "e:Europe");
         b.add_iri("e:Germany", "p:officialLanguage", "e:German");
@@ -250,7 +253,11 @@ mod tests {
         let lang = kb.pred_id("p:officialLanguage").unwrap();
         let fam = kb.pred_id("p:langFamily").unwrap();
         let germanic = node(&kb, "e:Germanic");
-        let e = SubgraphExpr::Path { p0: lang, p1: fam, o: germanic };
+        let e = SubgraphExpr::Path {
+            p0: lang,
+            p1: fam,
+            o: germanic,
+        };
         let xs = raw_bindings(&kb, &e);
         let expect: Vec<u32> = {
             let mut v = vec![
@@ -275,7 +282,11 @@ mod tests {
 
         let parts = [
             SubgraphExpr::Atom { p: in_p, o: sa },
-            SubgraphExpr::Path { p0: lang, p1: fam, o: germanic },
+            SubgraphExpr::Path {
+                p0: lang,
+                p1: fam,
+                o: germanic,
+            },
         ];
         let ev = Evaluator::new(&kb, 64);
         let mut targets = vec![node(&kb, "e:Guyana").0, node(&kb, "e:Suriname").0];
@@ -351,7 +362,10 @@ mod tests {
         let english = node(&kb, "e:English");
         let xs = ev.conjunction_bindings(&[
             SubgraphExpr::Atom { p: in_p, o: sa },
-            SubgraphExpr::Atom { p: lang, o: english },
+            SubgraphExpr::Atom {
+                p: lang,
+                o: english,
+            },
         ]);
         assert_eq!(xs, vec![node(&kb, "e:Guyana").0]);
     }

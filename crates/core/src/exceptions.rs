@@ -141,10 +141,7 @@ mod tests {
     use crate::search::build_queue;
     use remi_kb::KbBuilder;
 
-    fn setup<'a>(
-        kb: &'a KnowledgeBase,
-        targets: &[NodeId],
-    ) -> (CostModel<'a>, Vec<ScoredExpr>) {
+    fn setup<'a>(kb: &'a KnowledgeBase, targets: &[NodeId]) -> (CostModel<'a>, Vec<ScoredExpr>) {
         let cfg = EnumerationConfig {
             prominent_cutoff: 0.0,
             ..Default::default()

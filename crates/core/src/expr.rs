@@ -220,12 +220,9 @@ fn as_display_subgraph(d: &DisplaySubgraph<'_>, f: &mut fmt::Formatter<'_>) -> f
             kb.pred_name(p2),
             obj_name(kb, o2)
         ),
-        SubgraphExpr::Closed2 { p0, p1 } => write!(
-            f,
-            "{}(x, y) ∧ {}(x, y)",
-            kb.pred_name(p0),
-            kb.pred_name(p1)
-        ),
+        SubgraphExpr::Closed2 { p0, p1 } => {
+            write!(f, "{}(x, y) ∧ {}(x, y)", kb.pred_name(p0), kb.pred_name(p1))
+        }
         SubgraphExpr::Closed3 { p0, p1, p2 } => write!(
             f,
             "{}(x, y) ∧ {}(x, y) ∧ {}(x, y)",
@@ -273,30 +270,40 @@ mod tests {
     #[test]
     fn canonical_constructors_order_arguments() {
         let a = SubgraphExpr::closed2(PredId(5), PredId(2));
-        assert_eq!(a, SubgraphExpr::Closed2 { p0: PredId(2), p1: PredId(5) });
+        assert_eq!(
+            a,
+            SubgraphExpr::Closed2 {
+                p0: PredId(2),
+                p1: PredId(5)
+            }
+        );
         let b = SubgraphExpr::closed3(PredId(9), PredId(1), PredId(4));
         assert_eq!(
             b,
-            SubgraphExpr::Closed3 { p0: PredId(1), p1: PredId(4), p2: PredId(9) }
+            SubgraphExpr::Closed3 {
+                p0: PredId(1),
+                p1: PredId(4),
+                p2: PredId(9)
+            }
         );
-        let s1 = SubgraphExpr::path_star(
-            PredId(0),
-            (PredId(3), NodeId(7)),
-            (PredId(2), NodeId(9)),
-        );
-        let s2 = SubgraphExpr::path_star(
-            PredId(0),
-            (PredId(2), NodeId(9)),
-            (PredId(3), NodeId(7)),
-        );
+        let s1 = SubgraphExpr::path_star(PredId(0), (PredId(3), NodeId(7)), (PredId(2), NodeId(9)));
+        let s2 = SubgraphExpr::path_star(PredId(0), (PredId(2), NodeId(9)), (PredId(3), NodeId(7)));
         assert_eq!(s1, s2);
     }
 
     #[test]
     fn atom_counts_match_table_1() {
-        let atom = SubgraphExpr::Atom { p: PredId(0), o: NodeId(0) };
-        let path = SubgraphExpr::Path { p0: PredId(0), p1: PredId(1), o: NodeId(0) };
-        let star = SubgraphExpr::path_star(PredId(0), (PredId(1), NodeId(0)), (PredId(2), NodeId(1)));
+        let atom = SubgraphExpr::Atom {
+            p: PredId(0),
+            o: NodeId(0),
+        };
+        let path = SubgraphExpr::Path {
+            p0: PredId(0),
+            p1: PredId(1),
+            o: NodeId(0),
+        };
+        let star =
+            SubgraphExpr::path_star(PredId(0), (PredId(1), NodeId(0)), (PredId(2), NodeId(1)));
         let c2 = SubgraphExpr::closed2(PredId(0), PredId(1));
         let c3 = SubgraphExpr::closed3(PredId(0), PredId(1), PredId(2));
         assert_eq!(atom.num_atoms(), 1);
@@ -318,7 +325,11 @@ mod tests {
         let mayor = kb.pred_id("p:mayor").unwrap();
         let party = kb.pred_id("p:party").unwrap();
         let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
-        let e = SubgraphExpr::Path { p0: mayor, p1: party, o: socialist };
+        let e = SubgraphExpr::Path {
+            p0: mayor,
+            p1: party,
+            o: socialist,
+        };
         assert_eq!(
             e.display(&kb).to_string(),
             "mayor(x, y) ∧ party(y, Socialist)"
@@ -335,8 +346,15 @@ mod tests {
         let socialist = kb.node_id_by_iri("e:Socialist").unwrap();
         let e = Expression {
             parts: vec![
-                SubgraphExpr::Atom { p: in_p, o: brittany },
-                SubgraphExpr::Path { p0: mayor, p1: party, o: socialist },
+                SubgraphExpr::Atom {
+                    p: in_p,
+                    o: brittany,
+                },
+                SubgraphExpr::Path {
+                    p0: mayor,
+                    p1: party,
+                    o: socialist,
+                },
             ],
         };
         assert_eq!(
@@ -349,11 +367,8 @@ mod tests {
 
     #[test]
     fn predicates_and_objects_accessors() {
-        let star = SubgraphExpr::path_star(
-            PredId(0),
-            (PredId(1), NodeId(10)),
-            (PredId(2), NodeId(11)),
-        );
+        let star =
+            SubgraphExpr::path_star(PredId(0), (PredId(1), NodeId(10)), (PredId(2), NodeId(11)));
         assert_eq!(star.predicates(), vec![PredId(0), PredId(1), PredId(2)]);
         assert_eq!(star.objects(), vec![NodeId(10), NodeId(11)]);
         let c2 = SubgraphExpr::closed2(PredId(0), PredId(1));

@@ -35,11 +35,7 @@ pub struct FullBrevityOutcome {
 
 /// Finds a shortest conjunction of bound atoms describing exactly
 /// `targets`, testing conjunctions in increasing length up to `max_len`.
-pub fn full_brevity(
-    kb: &KnowledgeBase,
-    targets: &[NodeId],
-    max_len: usize,
-) -> FullBrevityOutcome {
+pub fn full_brevity(kb: &KnowledgeBase, targets: &[NodeId], max_len: usize) -> FullBrevityOutcome {
     assert!(!targets.is_empty(), "need at least one target");
     let mut sorted_targets: Vec<u32> = targets.iter().map(|t| t.0).collect();
     sorted_targets.sort_unstable();
@@ -70,8 +66,7 @@ pub fn full_brevity(
     for len in 1..=max_len.min(attributes.len()) {
         let mut indices: Vec<usize> = (0..len).collect();
         loop {
-            let parts: Vec<SubgraphExpr> =
-                indices.iter().map(|&i| attributes[i]).collect();
+            let parts: Vec<SubgraphExpr> = indices.iter().map(|&i| attributes[i]).collect();
             tested += 1;
             if eval.is_referring_expression(&parts, &sorted_targets) {
                 return FullBrevityOutcome {

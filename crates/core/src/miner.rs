@@ -166,7 +166,11 @@ mod tests {
             ("Argentina", "Spanish"),
         ] {
             b.add_iri(&format!("e:{c}"), "p:in", "e:SouthAmerica");
-            b.add_iri(&format!("e:{c}"), "p:officialLanguage", &format!("e:{lang}"));
+            b.add_iri(
+                &format!("e:{c}"),
+                "p:officialLanguage",
+                &format!("e:{lang}"),
+            );
         }
         for l in ["English", "Dutch"] {
             b.add_iri(&format!("e:{l}"), "p:langFamily", "e:Germanic");

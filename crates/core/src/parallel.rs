@@ -90,13 +90,19 @@ fn p_dfs_remi(
         if let Some(d) = deadline {
             if Instant::now() >= d {
                 shared.timed_out.store(true, Ordering::Relaxed);
-                return SubtreeOutcome { found: found_any, complete: false };
+                return SubtreeOutcome {
+                    found: found_any,
+                    complete: false,
+                };
             }
         }
         // §3.4 rule 2: a lower root found no solution — this subtree is
         // superfluous.
         if root >= shared.no_solution_floor.load(Ordering::Relaxed) {
-            return SubtreeOutcome { found: found_any, complete: false };
+            return SubtreeOutcome {
+                found: found_any,
+                complete: false,
+            };
         }
 
         // Line 4–5: dequeue ρ′ and push.
@@ -120,7 +126,10 @@ fn p_dfs_remi(
         // Line 7: backtracked to the root node ⊤ — no better solution can
         // appear under this subtree.
         if stack.is_empty() {
-            return SubtreeOutcome { found: found_any, complete };
+            return SubtreeOutcome {
+                found: found_any,
+                complete,
+            };
         }
         // Line 8: only proceed when the stack still ends with ρ′ (i.e. the
         // pruning loop did not remove the freshly pushed expression).
@@ -136,13 +145,19 @@ fn p_dfs_remi(
                 stack_cost = sum_cost(queue, &stack);
                 // Line 14: backtracked past the root — done.
                 if stack.is_empty() {
-                    return SubtreeOutcome { found: found_any, complete };
+                    return SubtreeOutcome {
+                        found: found_any,
+                        complete,
+                    };
                 }
             }
         }
         i += 1;
     }
-    SubtreeOutcome { found: found_any, complete }
+    SubtreeOutcome {
+        found: found_any,
+        complete,
+    }
 }
 
 fn sum_cost(queue: &[ScoredExpr], stack: &[usize]) -> Bits {
@@ -171,9 +186,9 @@ pub fn parallel_remi_search(
     let counters_total = Mutex::new(SearchCounters::default());
 
     let threads = threads.max(1).min(queue.len().max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut counters = SearchCounters::default();
                 loop {
                     let root = shared.next_root.fetch_add(1, Ordering::Relaxed);
@@ -210,9 +225,7 @@ pub fn parallel_remi_search(
                         // suffix conjunction fails, so all subtrees rooted
                         // at ρⱼ (j > i) — which cover less specific
                         // expression sets — are superfluous.
-                        shared
-                            .no_solution_floor
-                            .fetch_min(root, Ordering::Relaxed);
+                        shared.no_solution_floor.fetch_min(root, Ordering::Relaxed);
                     }
                 }
                 let mut total = counters_total.lock();
@@ -220,8 +233,7 @@ pub fn parallel_remi_search(
                 total.roots_explored += counters.roots_explored;
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     let best = shared.best.lock().take();
     let status = if shared.timed_out.load(Ordering::Relaxed) && best.is_none() {

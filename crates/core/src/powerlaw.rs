@@ -59,10 +59,7 @@ pub fn fit_power_law(points: &[(f64, u64)]) -> PowerLawFit {
     let mean_x = sum_x / nf;
     let mean_y = sum_y / nf;
     let sxx: f64 = data.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
-    let sxy: f64 = data
-        .iter()
-        .map(|p| (p.0 - mean_x) * (p.1 - mean_y))
-        .sum();
+    let sxy: f64 = data.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     if sxx == 0.0 {
         // All x identical: every object has the same frequency; rank is
         // arbitrary, predict the mean.

@@ -168,14 +168,7 @@ pub fn remi_search(
                 }
             }
         }
-        let found = dfs_remi(
-            eval,
-            queue,
-            root,
-            &sorted_targets,
-            deadline,
-            &mut counters,
-        );
+        let found = dfs_remi(eval, queue, root, &sorted_targets, deadline, &mut counters);
         counters.roots_explored += 1;
         match (found, &mut best) {
             (Some((e, c)), Some((be, bc))) => {
@@ -227,11 +220,11 @@ pub fn build_queue_parallel(
     }
     let chunk = exprs.len().div_ceil(threads);
     let mut queue: Vec<ScoredExpr> = Vec::with_capacity(exprs.len());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = exprs
             .chunks(chunk)
             .map(|chunk_exprs| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk_exprs
                         .iter()
                         .map(|&expr| ScoredExpr {
@@ -245,8 +238,7 @@ pub fn build_queue_parallel(
         for h in handles {
             queue.extend(h.join().expect("scoring workers do not panic"));
         }
-    })
-    .expect("scoring scope does not panic");
+    });
     queue.sort_by(|a, b| a.cost.cmp(&b.cost).then(a.expr.cmp(&b.expr)));
     queue
 }
@@ -348,7 +340,10 @@ mod tests {
         // capitalOf(x, France) is an RE; the search may report it alone or
         // in a cost-tied conjunction (ties are allowed by the algorithm),
         // but the returned cost can never exceed the single atom's.
-        let atom = SubgraphExpr::Atom { p: capital, o: france };
+        let atom = SubgraphExpr::Atom {
+            p: capital,
+            o: france,
+        };
         assert!(expr.parts.contains(&atom), "{expr:?}");
         assert!(cost <= model.subgraph_cost(&atom));
     }

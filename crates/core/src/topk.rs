@@ -57,9 +57,14 @@ pub fn describe_top_k(remi: &Remi<'_>, targets: &[NodeId], k: usize) -> Vec<Rank
         if queue[root].cost >= min_cost && found.len() >= k {
             break;
         }
-        if let Some((expr, cost)) =
-            dfs_remi(&eval, &queue, root, &sorted_targets, deadline, &mut counters)
-        {
+        if let Some((expr, cost)) = dfs_remi(
+            &eval,
+            &queue,
+            root,
+            &sorted_targets,
+            deadline,
+            &mut counters,
+        ) {
             if found.iter().any(|r| r.expr == expr) {
                 continue;
             }
@@ -69,7 +74,7 @@ pub fn describe_top_k(remi: &Remi<'_>, targets: &[NodeId], k: usize) -> Vec<Rank
             found.push(RankedRe { expr, cost });
         }
     }
-    found.sort_by(|a, b| a.cost.cmp(&b.cost));
+    found.sort_by_key(|re| re.cost);
     found.truncate(k);
     found
 }

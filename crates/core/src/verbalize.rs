@@ -85,11 +85,7 @@ pub fn verbalize(kb: &KnowledgeBase, e: &Expression) -> String {
     if e.is_top() {
         return "anything".to_string();
     }
-    let parts: Vec<String> = e
-        .parts
-        .iter()
-        .map(|p| verbalize_subgraph(kb, p))
-        .collect();
+    let parts: Vec<String> = e.parts.iter().map(|p| verbalize_subgraph(kb, p)).collect();
     match parts.len() {
         1 => format!("the one such that {}", parts[0]),
         _ => format!("the one such that {}", parts.join(", and ")),
@@ -145,7 +141,11 @@ mod tests {
         let soc = kb.node_id_by_iri("e:Socialist").unwrap();
         let s = verbalize_subgraph(
             &kb,
-            &SubgraphExpr::Path { p0: mayor, p1: party, o: soc },
+            &SubgraphExpr::Path {
+                p0: mayor,
+                p1: party,
+                o: soc,
+            },
         );
         assert_eq!(
             s,

@@ -87,9 +87,9 @@ fn facets(kb: &KnowledgeBase, preds: &[PredId], threshold: f64) -> Vec<Vec<PredI
         }
     }
     let mut groups: FxHashMap<usize, Vec<PredId>> = FxHashMap::default();
-    for i in 0..preds.len() {
+    for (i, &p) in preds.iter().enumerate() {
         let root = find(&mut cluster_of, i);
-        groups.entry(root).or_default().push(preds[i]);
+        groups.entry(root).or_default().push(p);
     }
     let mut out: Vec<Vec<PredId>> = groups.into_values().collect();
     for g in &mut out {

@@ -9,7 +9,9 @@
 use std::time::Duration;
 
 use remi_core::LanguageBias;
-use remi_eval::experiments::{self, ablation, fit, map_study, perceived, space, table2, table3, table4};
+use remi_eval::experiments::{
+    self, ablation, fit, map_study, perceived, space, table2, table3, table4,
+};
 
 #[derive(Debug, Clone)]
 struct Args {

@@ -31,11 +31,7 @@ pub fn run(synth: &SynthKb, min_points: usize) -> FitResult {
     let kb = &synth.kb;
     let fr = CostModel::new(kb, Prominence::Frequency, EntityCodeMode::PowerLaw);
     let pr = CostModel::new(kb, Prominence::PageRank, EntityCodeMode::PowerLaw);
-    let fitted_preds = fr
-        .fits()
-        .iter()
-        .filter(|f| f.n >= min_points)
-        .count();
+    let fitted_preds = fr.fits().iter().filter(|f| f.n >= min_points).count();
     FitResult {
         dataset: synth.profile.clone(),
         r2_fr: fr.average_r2(min_points),

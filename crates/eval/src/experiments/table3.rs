@@ -166,10 +166,7 @@ mod tests {
         let synth = dbpedia_kb(1.0, 29);
         let result = run(&synth, &["Person", "Settlement"], 12, 5);
         // At least one method achieves non-trivial overlap at top-10.
-        assert!(
-            result.rows.iter().any(|r| r.top10_o.0 > 0.5),
-            "{result}"
-        );
+        assert!(result.rows.iter().any(|r| r.top10_o.0 > 0.5), "{result}");
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
         let hub = kb.node_id_by_iri("e:Hub").unwrap();
         let obscure = kb.node_id_by_iri("e:Obscure").unwrap();
         let cheap = SubgraphExpr::Atom { p: in_p, o: hub };
-        let costly = SubgraphExpr::Atom { p: rare, o: obscure };
+        let costly = SubgraphExpr::Atom {
+            p: rare,
+            o: obscure,
+        };
         assert!(pop.perceived_subgraph(&cheap) < pop.perceived_subgraph(&costly));
         let order = pop.rank_subgraphs(&[costly, cheap]);
         assert_eq!(order, vec![1, 0]);
@@ -205,8 +208,7 @@ mod tests {
             o: kb.node_id_by_iri("e:Obscure").unwrap(),
         };
         let draws = |seed: u64| -> Vec<f64> {
-            let mut pop =
-                UserPopulation::new(&kb, &model, UserModelConfig::default(), seed);
+            let mut pop = UserPopulation::new(&kb, &model, UserModelConfig::default(), seed);
             (0..5).map(|_| pop.perceived_subgraph(&e)).collect()
         };
         assert_eq!(draws(7), draws(7));
@@ -226,9 +228,7 @@ mod tests {
             let g = pop.grade_interestingness(&e);
             assert!((1.0..=5.0).contains(&g));
         }
-        assert!(pop
-            .perceived_expression(&Expression::top())
-            .is_infinite());
+        assert!(pop.perceived_expression(&Expression::top()).is_infinite());
     }
 
     #[test]
@@ -244,7 +244,11 @@ mod tests {
         let in_p = kb.pred_id("p:in").unwrap();
         let hub = kb.node_id_by_iri("e:Hub").unwrap();
         let atom = SubgraphExpr::Atom { p: in_p, o: hub };
-        let path = SubgraphExpr::Path { p0: in_p, p1: in_p, o: hub };
+        let path = SubgraphExpr::Path {
+            p0: in_p,
+            p1: in_p,
+            o: hub,
+        };
         assert!(pop.perceived_subgraph(&atom) < pop.perceived_subgraph(&path));
         let _ = (PredId(0), NodeId(0));
     }

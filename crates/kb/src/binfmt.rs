@@ -91,10 +91,7 @@ pub fn write_bytes(kb: &KnowledgeBase) -> Bytes {
     }
 
     // Predicate dictionary — base predicates only (inverses are derived).
-    let base_preds: Vec<PredId> = kb
-        .pred_ids()
-        .filter(|&p| !kb.is_inverse(p))
-        .collect();
+    let base_preds: Vec<PredId> = kb.pred_ids().filter(|&p| !kb.is_inverse(p)).collect();
     varint::write_u64(&mut out, base_preds.len() as u64);
     let mut prev = String::new();
     for &p in &base_preds {
@@ -208,7 +205,9 @@ pub fn read_bytes(bytes: &[u8], inverse_fraction: f64) -> Result<KnowledgeBase> 
         }
     }
     if buf.has_remaining() {
-        return Err(KbError::Format("trailing bytes after triple section".into()));
+        return Err(KbError::Format(
+            "trailing bytes after triple section".into(),
+        ));
     }
 
     builder.build_with_inverses(inverse_fraction)
@@ -256,7 +255,11 @@ mod tests {
     fn kb_lines(kb: &KnowledgeBase) -> std::collections::BTreeSet<String> {
         let mut v = Vec::new();
         crate::ntriples::write_kb(kb, &mut v).unwrap();
-        String::from_utf8(v).unwrap().lines().map(String::from).collect()
+        String::from_utf8(v)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
     }
 
     #[test]

@@ -44,22 +44,18 @@ pub fn unescape(s: &str) -> std::result::Result<String, String> {
                 if hex.len() != 4 {
                     return Err("truncated \\u escape".into());
                 }
-                let code = u32::from_str_radix(&hex, 16)
-                    .map_err(|_| format!("bad \\u escape: {hex}"))?;
-                out.push(
-                    char::from_u32(code).ok_or_else(|| format!("invalid codepoint {code}"))?,
-                );
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape: {hex}"))?;
+                out.push(char::from_u32(code).ok_or_else(|| format!("invalid codepoint {code}"))?);
             }
             Some('U') => {
                 let hex: String = chars.by_ref().take(8).collect();
                 if hex.len() != 8 {
                     return Err("truncated \\U escape".into());
                 }
-                let code = u32::from_str_radix(&hex, 16)
-                    .map_err(|_| format!("bad \\U escape: {hex}"))?;
-                out.push(
-                    char::from_u32(code).ok_or_else(|| format!("invalid codepoint {code}"))?,
-                );
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\U escape: {hex}"))?;
+                out.push(char::from_u32(code).ok_or_else(|| format!("invalid codepoint {code}"))?);
             }
             Some(other) => return Err(format!("unknown escape \\{other}")),
             None => return Err("dangling backslash".into()),
@@ -148,14 +144,13 @@ fn parse_term(line: &str, pos: usize) -> std::result::Result<(Term, usize), Stri
         let close = close.ok_or("unterminated literal")?;
         let mut end = close + 1;
         let suffix = &trimmed[end..];
-        if suffix.starts_with('@') {
-            let stop = suffix[1..]
+        if let Some(tag) = suffix.strip_prefix('@') {
+            let stop = tag
                 .find(|c: char| c.is_whitespace())
                 .map(|i| i + 1)
                 .unwrap_or(suffix.len());
             end += stop;
-        } else if suffix.starts_with("^^") {
-            let after_dt = &suffix[2..];
+        } else if let Some(after_dt) = suffix.strip_prefix("^^") {
             if !after_dt.starts_with('<') {
                 return Err("datatype must be an IRI".into());
             }
@@ -337,12 +332,20 @@ _:b0 <p:near> <e:Paris> .
         let set1: std::collections::BTreeSet<String> = {
             let mut v = Vec::new();
             write_kb(&kb, &mut v).unwrap();
-            String::from_utf8(v).unwrap().lines().map(String::from).collect()
+            String::from_utf8(v)
+                .unwrap()
+                .lines()
+                .map(String::from)
+                .collect()
         };
         let set2: std::collections::BTreeSet<String> = {
             let mut v = Vec::new();
             write_kb(&kb2, &mut v).unwrap();
-            String::from_utf8(v).unwrap().lines().map(String::from).collect()
+            String::from_utf8(v)
+                .unwrap()
+                .lines()
+                .map(String::from)
+                .collect()
         };
         assert_eq!(set1, set2);
     }

@@ -96,7 +96,13 @@ pub fn pagerank(kb: &KnowledgeBase, config: PageRankConfig) -> PageRank {
     let base = (1.0 - config.damping) / n_active as f64;
 
     let mut rank: Vec<f64> = (0..n)
-        .map(|i| if is_node[i] { 1.0 / n_active as f64 } else { 0.0 })
+        .map(|i| {
+            if is_node[i] {
+                1.0 / n_active as f64
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut next = vec![0.0f64; n];
     let mut iterations = 0;
@@ -111,7 +117,11 @@ pub fn pagerank(kb: &KnowledgeBase, config: PageRankConfig) -> PageRank {
         let dangling_share = config.damping * dangling / n_active as f64;
 
         for (i, slot) in next.iter_mut().enumerate() {
-            *slot = if is_node[i] { base + dangling_share } else { 0.0 };
+            *slot = if is_node[i] {
+                base + dangling_share
+            } else {
+                0.0
+            };
         }
         for &(target, source) in &edges {
             let share = rank[source as usize] / f64::from(out_degree[source as usize]);

@@ -143,9 +143,7 @@ impl PredIndex {
 
     /// Iterates `(subject, objects)` groups.
     pub fn iter_subjects(&self) -> impl Iterator<Item = (NodeId, &[u32])> + '_ {
-        self.by_subject
-            .iter_groups()
-            .map(|(k, vs)| (NodeId(k), vs))
+        self.by_subject.iter_groups().map(|(k, vs)| (NodeId(k), vs))
     }
 
     /// Iterates distinct objects.
@@ -278,15 +276,16 @@ impl KnowledgeBase {
     pub fn label(&self, n: NodeId) -> Option<String> {
         let lp = self.label_pred?;
         let objs = self.index(lp).objects_of(n);
-        objs.first().map(|&o| {
-            match self.nodes.term(o) {
-                Term::Literal { lexical, .. } => lexical,
-                other => other.short_name().to_string(),
-            }
+        objs.first().map(|&o| match self.nodes.term(o) {
+            Term::Literal { lexical, .. } => lexical,
+            other => other.short_name().to_string(),
         })
     }
 
     /// The index of predicate `p`.
+    // Not `std::ops::Index`: that trait cannot return a non-reference or
+    // take our id type ergonomically, and `kb.index(p)` is established API.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn index(&self, p: PredId) -> &PredIndex {
         &self.indexes[p.idx()]
@@ -505,14 +504,11 @@ impl KbBuilder {
         if fraction > 0.0 {
             // Rank entities by frequency to find the inverse-eligible set.
             let mut ents: Vec<u32> = (0..num_nodes as u32)
-                .filter(|&n| {
-                    self.nodes.kind(n) == TermKind::Iri && node_freq[n as usize] > 0
-                })
+                .filter(|&n| self.nodes.kind(n) == TermKind::Iri && node_freq[n as usize] > 0)
                 .collect();
             ents.sort_by_key(|&n| (std::cmp::Reverse(node_freq[n as usize]), n));
             let k = ((ents.len() as f64) * fraction).ceil() as usize;
-            let top: crate::fx::FxHashSet<u32> =
-                ents.into_iter().take(k).collect();
+            let top: crate::fx::FxHashSet<u32> = ents.into_iter().take(k).collect();
 
             let mut inverse_ids: FxHashMap<u32, u32> = FxHashMap::default();
             let mut extra: Vec<Triple> = Vec::new();
@@ -565,8 +561,7 @@ impl KbBuilder {
             pred_freq[p] = pairs.len() as u32;
             pairs.sort_unstable();
             let by_subject = Csr::from_sorted_pairs(&pairs);
-            let mut flipped: Vec<(u32, u32)> =
-                pairs.iter().map(|&(s, o)| (o, s)).collect();
+            let mut flipped: Vec<(u32, u32)> = pairs.iter().map(|&(s, o)| (o, s)).collect();
             flipped.sort_unstable();
             let by_object = Csr::from_sorted_pairs(&flipped);
             indexes.push(PredIndex {
@@ -811,11 +806,7 @@ mod proptests {
     fn build(facts: &[(u8, u8, u8)]) -> KnowledgeBase {
         let mut b = KbBuilder::new();
         for &(s, p, o) in facts {
-            b.add_iri(
-                &format!("e:n{s}"),
-                &format!("p:r{p}"),
-                &format!("e:n{o}"),
-            );
+            b.add_iri(&format!("e:n{s}"), &format!("p:r{p}"), &format!("e:n{o}"));
         }
         b.build().expect("non-empty")
     }

@@ -216,8 +216,14 @@ mod tests {
 
     #[test]
     fn short_names() {
-        assert_eq!(Term::iri("http://dbpedia.org/resource/Paris").short_name(), "Paris");
-        assert_eq!(Term::iri("http://xmlns.com/foaf/0.1#name").short_name(), "name");
+        assert_eq!(
+            Term::iri("http://dbpedia.org/resource/Paris").short_name(),
+            "Paris"
+        );
+        assert_eq!(
+            Term::iri("http://xmlns.com/foaf/0.1#name").short_name(),
+            "name"
+        );
         assert_eq!(Term::iri("no-separator").short_name(), "no-separator");
         assert_eq!(Term::literal("lex").short_name(), "lex");
         assert_eq!(Term::blank("b1").short_name(), "b1");

@@ -281,7 +281,10 @@ mod tests {
                     *counts.entry(p).or_default() += 1;
                 }
                 for (_, c) in counts {
-                    assert!(c <= 2, "top-5 summaries allow at most 2 facts per predicate");
+                    assert!(
+                        c <= 2,
+                        "top-5 summaries allow at most 2 facts per predicate"
+                    );
                 }
             }
         }

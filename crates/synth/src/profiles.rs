@@ -313,11 +313,7 @@ mod tests {
     #[test]
     fn dbpedia_has_more_predicates_than_wikidata() {
         let count = |p: &Profile| -> usize {
-            p.classes
-                .iter()
-                .map(|c| c.predicates.len())
-                .sum::<usize>()
-                + p.tail_predicates
+            p.classes.iter().map(|c| c.predicates.len()).sum::<usize>() + p.tail_predicates
         };
         assert!(count(&dbpedia_like()) > count(&wikidata_like()));
     }

@@ -50,7 +50,11 @@ pub fn generate_scene(n: usize, seed: u64) -> Scene {
     for i in 0..n {
         let obj = b.entity(&format!("o:obj{i}"));
         b.add_ids(obj, type_p, type_nodes[rng.gen_range(0..type_nodes.len())]);
-        b.add_ids(obj, color_p, color_nodes[rng.gen_range(0..color_nodes.len())]);
+        b.add_ids(
+            obj,
+            color_p,
+            color_nodes[rng.gen_range(0..color_nodes.len())],
+        );
         b.add_ids(obj, size_p, size_nodes[rng.gen_range(0..size_nodes.len())]);
         objects.push(obj);
     }

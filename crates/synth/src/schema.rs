@@ -110,10 +110,7 @@ pub struct Profile {
 impl Profile {
     /// Total entity count at the given scale.
     pub fn entity_count(&self, scale: f64) -> usize {
-        self.classes
-            .iter()
-            .map(|c| c.scaled_count(scale))
-            .sum()
+        self.classes.iter().map(|c| c.scaled_count(scale)).sum()
     }
 
     /// Looks up a class spec by name.

@@ -98,10 +98,7 @@ pub fn sample_target_sets(
             .choose(&mut rng)
             .expect("at least one class can satisfy the smallest size");
         let (class, pool) = &pools[pick];
-        let entities: Vec<NodeId> = pool
-            .choose_multiple(&mut rng, size)
-            .copied()
-            .collect();
+        let entities: Vec<NodeId> = pool.choose_multiple(&mut rng, size).copied().collect();
         out.push(TargetSet {
             class: class.to_string(),
             entities,

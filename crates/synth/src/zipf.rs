@@ -115,7 +115,10 @@ mod tests {
         }
         let min = *counts.iter().min().unwrap() as f64;
         let max = *counts.iter().max().unwrap() as f64;
-        assert!(max / min < 1.2, "uniform counts spread too wide: {counts:?}");
+        assert!(
+            max / min < 1.2,
+            "uniform counts spread too wide: {counts:?}"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ fn main() {
 
     // A few editorially chosen subjects…
     let handpicked: Vec<(&str, Vec<NodeId>)> = vec![
-        ("today's company profile", vec![synth.members("Organization")[0]]),
+        (
+            "today's company profile",
+            vec![synth.members("Organization")[0]],
+        ),
         (
             "twin-city feature",
             synth.members("Settlement")[..2].to_vec(),

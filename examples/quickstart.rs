@@ -71,8 +71,15 @@ fn main() {
     let paris = node(&kb, "e:Paris");
     let outcome = remi.describe(&[paris]);
     let (expr, cost) = outcome.best.expect("Paris is uniquely identifiable");
-    println!("RE for Paris:            {}   [Ĉ = {}]", expr.display(&kb), cost);
-    println!("  verbalised: {}\n", remi_core::verbalize::verbalize(&kb, &expr));
+    println!(
+        "RE for Paris:            {}   [Ĉ = {}]",
+        expr.display(&kb),
+        cost
+    );
+    println!(
+        "  verbalised: {}\n",
+        remi_core::verbalize::verbalize(&kb, &expr)
+    );
 
     // --- The §2.2.2 example: describe {Guyana, Suriname}. ---
     let targets = [node(&kb, "e:Guyana"), node(&kb, "e:Suriname")];
@@ -83,7 +90,10 @@ fn main() {
         expr.display(&kb),
         cost
     );
-    println!("  verbalised: {}", remi_core::verbalize::verbalize(&kb, &expr));
+    println!(
+        "  verbalised: {}",
+        remi_core::verbalize::verbalize(&kb, &expr)
+    );
     println!(
         "  queue had {} common subgraph expressions; {} RE tests\n",
         outcome.stats.queue_size, outcome.stats.re_tests
@@ -112,17 +122,18 @@ fn main() {
         ("1 atom", SubgraphExpr::Atom { p: in_p, o: sa }),
         (
             "path",
-            SubgraphExpr::Path { p0: lang_p, p1: fam_p, o: germanic },
+            SubgraphExpr::Path {
+                p0: lang_p,
+                p1: fam_p,
+                o: germanic,
+            },
         ),
         (
             "path + star",
             SubgraphExpr::path_star(lang_p, (fam_p, germanic), (fam_p, node(&kb, "e:Romance"))),
         ),
         ("2 closed atoms", SubgraphExpr::closed2(cap_p, city_p)),
-        (
-            "3 closed atoms",
-            SubgraphExpr::closed3(cap_p, city_p, in_p),
-        ),
+        ("3 closed atoms", SubgraphExpr::closed3(cap_p, city_p, in_p)),
     ];
     for (name, shape) in shapes {
         println!(

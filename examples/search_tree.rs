@@ -42,10 +42,7 @@ fn build_kb() -> KnowledgeBase {
 }
 
 /// Recursively prints the conjunction tree the DFS walks over.
-#[allow(clippy::too_many_arguments)]
 fn print_tree(
-    kb: &KnowledgeBase,
-    remi: &Remi<'_>,
     eval: &Evaluator<'_>,
     queue: &[(SubgraphExpr, remi_core::Bits)],
     targets: &[u32],
@@ -68,10 +65,14 @@ fn print_tree(
             "    ".repeat(indent),
             label.join(" ∧ "),
             cost.value(),
-            if is_re { "   ← RE (prune below & right)" } else { "" }
+            if is_re {
+                "   ← RE (prune below & right)"
+            } else {
+                ""
+            }
         );
         if !is_re {
-            print_tree(kb, remi, eval, queue, targets, prefix, indent + 1, max_depth);
+            print_tree(eval, queue, targets, prefix, indent + 1, max_depth);
         }
         prefix.pop();
         if is_re {
@@ -94,7 +95,12 @@ fn main() {
 
     println!("Common subgraph expressions for {{Rennes, Nantes}}, sorted by Ĉ:");
     for (i, se) in queue.iter().enumerate() {
-        println!("  ρ{} = {}   ({:.1})", i + 1, se.expr.display(&kb), se.cost.value());
+        println!(
+            "  ρ{} = {}   ({:.1})",
+            i + 1,
+            se.expr.display(&kb),
+            se.cost.value()
+        );
     }
     println!("\nSearch tree (Figure 1; Ĉ in parentheses):\n∅");
 
@@ -104,10 +110,13 @@ fn main() {
     let scored: Vec<(SubgraphExpr, remi_core::Bits)> =
         queue.iter().map(|s| (s.expr, s.cost)).collect();
     let mut prefix = Vec::new();
-    print_tree(&kb, &remi, &eval, &scored, &sorted_targets, &mut prefix, 0, 4);
+    print_tree(&eval, &scored, &sorted_targets, &mut prefix, 0, 4);
 
     let outcome = remi.describe(&targets);
     let (best, cost) = outcome.best.expect("an RE exists");
     println!("\nREMI's answer: {}   [Ĉ = {}]", best.display(&kb), cost);
-    println!("verbalised:    {}", remi_core::verbalize::verbalize(&kb, &best));
+    println!(
+        "verbalised:    {}",
+        remi_core::verbalize::verbalize(&kb, &best)
+    );
 }

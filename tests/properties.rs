@@ -16,7 +16,9 @@ fn arb_kb() -> impl Strategy<Value = KnowledgeBase> {
         // needed in the strategy itself).
         let mut state = seed | 1;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let mut b = KbBuilder::new();

@@ -68,10 +68,9 @@ fn remi_never_returns_longer_than_full_brevity_needs_plus_slack() {
     let kb = &scene.kb;
     let remi = Remi::new(kb, scene_remi_config());
     for &obj in &scene.objects {
-        let (Some(fb), Some((rm, _))) = (
-            full_brevity(kb, &[obj], 4).best,
-            remi.describe(&[obj]).best,
-        ) else {
+        let (Some(fb), Some((rm, _))) =
+            (full_brevity(kb, &[obj], 4).best, remi.describe(&[obj]).best)
+        else {
             continue;
         };
         assert!(

@@ -1,0 +1,46 @@
+//! Smoke test: every `examples/` binary must run to completion.
+//!
+//! Each example regenerates part of the paper end to end, so running them
+//! is the cheapest full-pipeline check we have. Spawning `cargo run` per
+//! example roughly doubles local test latency, so this is gated: it runs
+//! when `CI` is set (GitHub Actions sets it) or when explicitly requested
+//! with `REMI_SMOKE_EXAMPLES=1`, and skips (passing) otherwise.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "search_tree",
+    "summarization",
+    "journalism",
+    "query_generation",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let gated_on =
+        std::env::var_os("CI").is_some() || std::env::var_os("REMI_SMOKE_EXAMPLES").is_some();
+    if !gated_on {
+        eprintln!("skipping example smoke test (set REMI_SMOKE_EXAMPLES=1 to run locally)");
+        return;
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", example])
+            .env("RUST_BACKTRACE", "1")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} produced no output"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! Offline shim for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the small subset of the `bytes` API that `remi-kb` actually uses:
+//! [`Buf`], [`BufMut`], [`Bytes`], and [`BytesMut`]. The semantics match
+//! upstream for that subset; cheap zero-copy cloning is approximated with
+//! an `Arc<[u8]>` backing store.
+
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Read access to a buffer of bytes with an internal cursor.
+pub trait Buf {
+    /// Number of bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// The bytes left to read, starting at the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Fills `dst` from the buffer and advances by `dst.len()`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            self.remaining() >= dst.len(),
+            "copy_to_slice past end of buffer"
+        );
+        let mut off = 0;
+        while off < dst.len() {
+            let chunk = self.chunk();
+            let n = chunk.len().min(dst.len() - off);
+            dst[off..off + n].copy_from_slice(&chunk[..n]);
+            self.advance(n);
+            off += n;
+        }
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write access to an append-only byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A cheaply cloneable, contiguous, immutable buffer of bytes.
+///
+/// Reading through [`Buf`] advances the view's start; [`Bytes::slice`]
+/// produces sub-views sharing the same backing allocation.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of this buffer; indices are relative to this view.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &self[..])
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.start += cnt;
+    }
+}
+
+/// A growable byte buffer; freeze it into an immutable [`Bytes`].
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_views() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(1);
+        b.put_slice(&[2, 3, 4]);
+        b.put_u64_le(0x0807_0605_0403_0201);
+        assert_eq!(b.len(), 12);
+        let bytes = b.freeze();
+        assert_eq!(&bytes[..4], &[1, 2, 3, 4]);
+
+        let mut view = bytes.slice(1..4);
+        assert_eq!(view.remaining(), 3);
+        assert_eq!(view.get_u8(), 2);
+        let mut rest = [0u8; 2];
+        view.copy_to_slice(&mut rest);
+        assert_eq!(rest, [3, 4]);
+        assert!(!view.has_remaining());
+    }
+
+    #[test]
+    fn slice_buf_impl() {
+        let data = [9u8, 8, 7];
+        let mut s: &[u8] = &data;
+        assert_eq!(s.get_u8(), 9);
+        s.advance(1);
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.chunk(), &[7]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline shim for the [`criterion`](https://docs.rs/criterion) benchmark
+//! harness.
+//!
+//! Supports the subset used by `remi-bench`: [`criterion_group!`] /
+//! [`criterion_main!`], [`Criterion::benchmark_group`], `sample_size`,
+//! `measurement_time`, `bench_function`, [`Bencher::iter`], and
+//! [`black_box`]. Instead of criterion's statistical machinery it reports
+//! the median of `sample_size` wall-clock samples, each sample sized by a
+//! short calibration run — enough to compare hot paths between commits
+//! without any registry dependency.
+//!
+//! Harness flags: `--test` (run each benchmark body exactly once, used by
+//! `cargo test --benches`) is honoured; other flags and name filters are
+//! accepted and name filters are applied as substring matches.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Measure and report timings.
+    Bench,
+    /// Run each body once (cargo test --benches).
+    Test,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Match upstream: measure only under `cargo bench` (which passes
+        // `--bench`); anything else — notably `cargo test --benches`, which
+        // passes no mode flag — runs each body once as a smoke test.
+        let mut mode = Mode::Test;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Bench,
+                "--test" => {
+                    mode = Mode::Test;
+                    break; // --test wins regardless of flag order
+                }
+                a if a.starts_with("--") => {} // accept and ignore harness flags
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            mode,
+            filter,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        self.run_one(name, sample_size, measurement_time, f);
+        self
+    }
+
+    /// Prints the trailing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            sample_size,
+            measurement_time,
+            report: None,
+        };
+        f(&mut b);
+        match (self.mode, b.report) {
+            (Mode::Test, _) => println!("{id}: ok (test mode)"),
+            (Mode::Bench, Some(ns)) => println!("{id:<40} time: {}", format_ns(ns)),
+            (Mode::Bench, None) => println!("{id}: no measurement recorded"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let measurement_time = self
+            .measurement_time
+            .unwrap_or(self.criterion.measurement_time);
+        self.criterion
+            .run_one(&id, sample_size, measurement_time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Drives the timing loop for one benchmark.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iteration across samples.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Calibrate: how many iterations fit one sample's time budget?
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((per_sample / once).ceil() as u64).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.report = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Bundles benchmark functions into a named group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_bodies() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: None,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).measurement_time(Duration::from_millis(5));
+            g.bench_function("one", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion {
+            mode: Mode::Bench,
+            filter: None,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(3),
+        };
+        c.bench_function("spin", |b| b.iter(|| black_box(2u64.pow(10))));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            filter: Some("match".into()),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut runs = 0u32;
+        c.bench_function("no_hit", |b| b.iter(|| runs += 1));
+        c.bench_function("does_match", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,680 @@
+//! Offline shim for the [`proptest`](https://docs.rs/proptest) crate.
+//!
+//! Implements the subset of the proptest 1.x API used by this workspace:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_oneof!`] macros, [`strategy::Strategy`] with `prop_map` and
+//! `boxed`, [`arbitrary::any`], range and string-pattern strategies, tuple
+//! strategies, and [`collection::vec`].
+//!
+//! Differences from upstream, deliberately accepted for an offline build:
+//!
+//! * **No shrinking.** A failing case reports its case index and seed (and
+//!   the generated inputs when `Debug`) instead of a minimal counterexample.
+//! * **Deterministic seeds.** Cases derive from a fixed base seed so CI runs
+//!   are reproducible; set `PROPTEST_SEED` to explore a different stream.
+//! * **Case-count gate.** `PROPTEST_CASES` overrides every configured case
+//!   count, so slow property suites can be dialed up locally or in nightly
+//!   CI without code changes.
+//! * String strategies support the pattern subset actually used in tests:
+//!   concatenations of `.`, `[class]`, and literal atoms, each optionally
+//!   repeated with `{m,n}` — not full regex.
+
+pub mod test_runner {
+    //! Configuration and the case-execution loop.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The generator handed to strategies, one per test case.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        pub(crate) fn from_seed(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Why a single test case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Result of one test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Knobs for a property-test block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the offline shim defaults lower so
+            // heavyweight pipeline properties stay fast under tier-1 CI.
+            // PROPTEST_CASES raises (or lowers) it globally.
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Runs the case loop for one property.
+    pub struct TestRunner {
+        cases: u32,
+        base_seed: u64,
+    }
+
+    impl TestRunner {
+        /// Builds a runner, honouring `PROPTEST_CASES` and `PROPTEST_SEED`.
+        pub fn new(config: ProptestConfig) -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(config.cases);
+            let base_seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x5eed_cafe_f00d_u64);
+            TestRunner { cases, base_seed }
+        }
+
+        /// Runs `f` once per case with a per-case deterministic RNG,
+        /// panicking on the first failure.
+        pub fn run_cases(&mut self, mut f: impl FnMut(&mut TestRng) -> TestCaseResult) {
+            for case in 0..self.cases {
+                let seed = self
+                    .base_seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(u64::from(case));
+                let mut rng = TestRng::from_seed(seed);
+                if let Err(e) = f(&mut rng) {
+                    panic!(
+                        "property failed at case {case}/{} (seed {seed}): {e}\n\
+                         (re-run with PROPTEST_SEED={} to reproduce this stream)",
+                        self.cases, self.base_seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies (see [`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; `arms` must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            super::string::generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            super::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    /// Strategy generating any value of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s with a length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Generates `None` half the time and `Some` of the inner strategy
+    /// otherwise (upstream's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.gen::<bool>() {
+                Some(self.inner.gen_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+mod string {
+    //! The string-pattern generator backing `&str` strategies.
+    //!
+    //! Supports concatenations of atoms — `.` (any char except newline),
+    //! `[class]` with ranges and `\n`/`\t`/`\\`-style escapes, or a literal
+    //! char — each optionally repeated `{m,n}`. This covers every pattern in
+    //! the workspace's tests; anything else panics loudly rather than
+    //! silently generating the wrong language.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        AnyChar,
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other, // \\ \" \] \- etc: the char itself
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::AnyChar,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let c = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                        if c == ']' {
+                            break;
+                        }
+                        let lo = if c == '\\' {
+                            unescape(chars.next().expect("dangling escape"))
+                        } else {
+                            c
+                        };
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = match chars.next() {
+                                Some('\\') => unescape(chars.next().expect("dangling escape")),
+                                Some(h) if h != ']' => h,
+                                _ => panic!("bad range in class in {pattern:?}"),
+                            };
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+                    Atom::Class(ranges)
+                }
+                '\\' => Atom::Literal(unescape(chars.next().expect("dangling escape"))),
+                other => Atom::Literal(other),
+            };
+            // Optional {min,max} repetition.
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                // `{m,n}` range or `{n}` exact count.
+                let (lo, hi) = spec.split_once(',').unwrap_or((&spec, &spec));
+                (
+                    lo.trim().parse().expect("bad repetition min"),
+                    hi.trim().parse().expect("bad repetition max"),
+                )
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted repetition in {pattern:?}");
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn gen_any_char(rng: &mut TestRng) -> char {
+        // Mix of ASCII printables (common case), broader BMP text, and
+        // arbitrary scalars, mirroring what regex `.` admits (no newline).
+        loop {
+            let c = match rng.gen_range(0u32..10) {
+                0..=6 => char::from_u32(rng.gen_range(0x20u32..0x7f)),
+                7 => char::from_u32(rng.gen_range(0xa0u32..0x2000)),
+                8 => char::from_u32(rng.gen_range(0u32..0xd800)),
+                _ => char::from_u32(rng.gen_range(0xe000u32..0x11_0000)),
+            };
+            match c {
+                Some('\n') | None => continue,
+                Some(c) => return c,
+            }
+        }
+    }
+
+    fn gen_class_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u32 = ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+            .sum();
+        let mut pick = rng.gen_range(0..total);
+        for &(lo, hi) in ranges {
+            let span = hi as u32 - lo as u32 + 1;
+            if pick < span {
+                return char::from_u32(lo as u32 + pick).expect("class range holds scalars");
+            }
+            pick -= span;
+        }
+        unreachable!("pick is within total")
+    }
+
+    pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::AnyChar => out.push(gen_any_char(rng)),
+                    Atom::Class(ranges) => out.push(gen_class_char(ranges, rng)),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                runner.run_cases(|__proptest_rng| {
+                    $(let $arg =
+                        $crate::strategy::Strategy::gen_value(&($strat), __proptest_rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking) so
+/// the runner can report which case failed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "prop_assert_eq failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "prop_assert_ne failed: both sides are `{:?}`",
+                left
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_their_language() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run_cases(|rng| {
+            let s = Strategy::gen_value(&".{0,100}", rng);
+            prop_assert!(s.chars().count() <= 100, "{s:?}");
+            prop_assert!(!s.contains('\n'), "{s:?}");
+
+            let c = Strategy::gen_value(&"[a-cx]{2,5}", rng);
+            prop_assert!((2..=5).contains(&c.len()), "{c:?}");
+            prop_assert!(c.chars().all(|ch| matches!(ch, 'a'..='c' | 'x')), "{c:?}");
+
+            let e = Strategy::gen_value(&"[a-z \"\\\\\n\t]{0,20}", rng);
+            prop_assert!(
+                e.chars()
+                    .all(|ch| ch.is_ascii_lowercase() || " \"\\\n\t".contains(ch)),
+                "{e:?}"
+            );
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Ranges honour their bounds.
+        #[test]
+        fn ranges_in_bounds(a in 1usize..8, f in 0.5f64..2.5, b in 0u8..6) {
+            prop_assert!((1..8).contains(&a));
+            prop_assert!((0.5..2.5).contains(&f));
+            prop_assert!(b < 6);
+        }
+
+        /// Tuples, vec, prop_map, and prop_oneof compose.
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((any::<u8>(), 0u8..6), 0..50),
+            x in prop_oneof![
+                (1usize..10).prop_map(|n| n * 2),
+                (20usize..30).prop_map(|n| n + 1),
+            ],
+        ) {
+            prop_assert!(v.len() < 50);
+            prop_assert!(v.iter().all(|&(_, p)| p < 6));
+            prop_assert!((x % 2 == 0 && x < 20) || (21..=30).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at case")]
+    fn failures_report_case_and_seed() {
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(10));
+        runner.run_cases(|rng| {
+            let v = Strategy::gen_value(&(0u64..100), rng);
+            prop_assert!(v > 1000, "generated {v}");
+            Ok(())
+        });
+    }
+}
