@@ -334,40 +334,37 @@ pub fn mine_re(
             }
         }
 
-        // Evaluate candidates (in parallel if configured) and classify.
+        // Evaluate candidates (in parallel if configured, on the shared
+        // process-wide pool) and classify.
         let survivors: Mutex<Vec<Rule>> = Mutex::new(Vec::new());
-        let chunk = candidates.len().div_ceil(threads).max(1);
         let (ctx_ref, survivors_ref, accepted_ref) = (&ctx, &survivors, &accepted);
-        std::thread::scope(|scope| {
-            for chunk_rules in candidates.chunks(chunk) {
-                scope.spawn(move || {
-                    let mut local_survivors = Vec::new();
-                    let mut local_accepted = Vec::new();
-                    for rule in chunk_rules {
-                        if ctx_ref.out_of_budget() {
-                            break;
-                        }
-                        ctx_ref.evaluated.fetch_add(1, Ordering::Relaxed);
-                        if !rule.is_connected() {
-                            continue;
-                        }
-                        let q = evaluate_rule(ctx_ref.kb, rule, &ctx_ref.targets_sorted);
-                        // Support threshold |T|: every target must match.
-                        if q.support < ctx_ref.targets_sorted.len() {
-                            continue;
-                        }
-                        if q.confidence >= 1.0 && rule.is_closed() {
-                            local_accepted.push(rule.clone());
-                            // REs need no further refinement: extensions
-                            // stay REs but grow longer.
-                            continue;
-                        }
-                        local_survivors.push(rule.clone());
-                    }
-                    survivors_ref.lock().extend(local_survivors);
-                    accepted_ref.lock().extend(local_accepted);
-                });
+        remi_pool::broadcast_chunks(remi_pool::global(), candidates.len(), threads, &|range| {
+            let chunk_rules = &candidates[range];
+            let mut local_survivors = Vec::new();
+            let mut local_accepted = Vec::new();
+            for rule in chunk_rules {
+                if ctx_ref.out_of_budget() {
+                    break;
+                }
+                ctx_ref.evaluated.fetch_add(1, Ordering::Relaxed);
+                if !rule.is_connected() {
+                    continue;
+                }
+                let q = evaluate_rule(ctx_ref.kb, rule, &ctx_ref.targets_sorted);
+                // Support threshold |T|: every target must match.
+                if q.support < ctx_ref.targets_sorted.len() {
+                    continue;
+                }
+                if q.confidence >= 1.0 && rule.is_closed() {
+                    local_accepted.push(rule.clone());
+                    // REs need no further refinement: extensions
+                    // stay REs but grow longer.
+                    continue;
+                }
+                local_survivors.push(rule.clone());
             }
+            survivors_ref.lock().extend(local_survivors);
+            accepted_ref.lock().extend(local_accepted);
         });
 
         frontier = survivors.into_inner();

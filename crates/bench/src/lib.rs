@@ -12,6 +12,7 @@
 //! | `fig1_search_tree`    | Figure 1 DFS behaviour                 |
 //! | `ablations`           | §3.5 design-choice ablations           |
 //! | `kb_micro`            | substrate microbenchmarks              |
+//! | `pool_overhead`       | pooled executor vs spawn-per-call      |
 //!
 //! Every bench prints the regenerated table once before timing, so
 //! `cargo bench` output doubles as the experimental record.

@@ -143,7 +143,9 @@ pub fn cmd_stats(path: &Path) -> Result<String> {
 pub struct DescribeOpts {
     /// Language bias.
     pub language: LanguageBias,
-    /// Worker threads.
+    /// Worker threads. Defaults to `REMI_THREADS` when that is set (the
+    /// knob shared by every parallel path), else 1 (sequential REMI);
+    /// `--threads` overrides both.
     pub threads: usize,
     /// Timeout in milliseconds (0 = none).
     pub timeout_ms: u64,
@@ -157,7 +159,7 @@ impl Default for DescribeOpts {
     fn default() -> Self {
         DescribeOpts {
             language: LanguageBias::Remi,
-            threads: 1,
+            threads: remi_pool::env_threads().unwrap_or(1),
             timeout_ms: 0,
             pagerank: false,
             exceptions: 0,
@@ -292,6 +294,10 @@ USAGE:
   remi describe <kb> <iri>... [--standard] [--threads N] [--timeout-ms N]
                               [--pagerank] [--exceptions N]
   remi summarize <kb> <iri> [--k N] [--method remi|faces|linksum]
+
+ENVIRONMENT:
+  REMI_THREADS  sizes the shared worker pool and is the default for
+                --threads (all parallel paths share one pool per process)
 ";
 
 #[cfg(test)]

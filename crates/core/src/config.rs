@@ -69,7 +69,10 @@ pub struct RemiConfig {
     /// Wall-clock timeout for one mining call (the paper uses 2 h per
     /// set; experiments here use seconds).
     pub timeout: Option<Duration>,
-    /// Worker threads for P-REMI (§3.4). `1` means sequential REMI.
+    /// Worker tasks for P-REMI (§3.4). `1` means sequential REMI. Values
+    /// above 1 run on the process-wide [`remi_pool::global`] executor, so
+    /// effective parallelism is additionally capped by the pool size
+    /// (`REMI_THREADS`, or the machine's available parallelism).
     pub threads: usize,
     /// Cut the root loop of Algorithm 1 as soon as the next root alone is
     /// at least as complex as the incumbent solution (sound because costs
@@ -108,6 +111,14 @@ impl RemiConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Sets `threads` to the shared executor's configured parallelism:
+    /// `REMI_THREADS` if set, otherwise the machine's available
+    /// parallelism. This is the one knob every parallel path (P-REMI,
+    /// queue scoring, PageRank) shares.
+    pub fn with_auto_threads(self) -> Self {
+        self.with_threads(remi_pool::configured_threads())
     }
 
     /// Sets the timeout.
@@ -154,5 +165,12 @@ mod tests {
     fn thread_floor_is_one() {
         let c = RemiConfig::default().with_threads(0);
         assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn auto_threads_matches_the_shared_executor_config() {
+        let c = RemiConfig::default().with_auto_threads();
+        assert_eq!(c.threads, remi_pool::configured_threads());
+        assert!(c.threads >= 1);
     }
 }

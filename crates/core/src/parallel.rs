@@ -1,23 +1,30 @@
 //! P-REMI — the parallel variant (§3.4, Algorithm 3).
 //!
-//! Worker threads dequeue root subgraph expressions concurrently and
+//! Worker tasks dequeue root subgraph expressions concurrently and
 //! explore the subtrees rooted at them. Three coordination rules
 //! distinguish P-REMI from the sequential algorithm:
 //!
 //! 1. the incumbent solution `e` is shared (read and written) by all
-//!    threads;
-//! 2. a thread whose exploration rooted at `ρᵢ` finds *no* solution
-//!    signals all threads working on roots `ρⱼ (j > i)` to stop — those
-//!    subtrees only cover less specific expression sets;
-//! 3. before testing an expression, a thread backtracks while the stack's
+//!    workers;
+//! 2. a worker whose exploration rooted at `ρᵢ` finds *no* solution
+//!    signals all workers on roots `ρⱼ (j > i)` to stop — those subtrees
+//!    only cover less specific expression sets;
+//! 3. before testing an expression, a worker backtracks while the stack's
 //!    cost is at least the incumbent's (Alg. 3 line 6).
+//!
+//! Execution goes through the shared [`remi_pool`] executor: one
+//! process-wide thread pool instead of a `std::thread::scope` spawn per
+//! call, and workers claim *shards* of contiguous roots (instead of one
+//! root at a time) so the incumbent-lock and cursor traffic amortises
+//! over a batch.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use remi_kb::NodeId;
+use remi_pool::{CancelToken, Executor, FloorToken};
 
 use crate::bits::Bits;
 use crate::eval::Evaluator;
@@ -30,11 +37,12 @@ struct Shared {
     best: Mutex<Option<(Expression, Bits)>>,
     /// Lowest root index whose subtree exploration found no solution.
     /// Roots at or beyond this index are superfluous (§3.4, rule 2).
-    no_solution_floor: AtomicUsize,
-    /// Work-stealing cursor over root indices.
+    no_solution_floor: FloorToken,
+    /// Work-stealing cursor over root indices; claims advance by a shard
+    /// of contiguous roots at a time.
     next_root: AtomicUsize,
     /// Deadline fired.
-    timed_out: AtomicBool,
+    timed_out: CancelToken,
 }
 
 impl Shared {
@@ -56,6 +64,13 @@ impl Shared {
             *guard = Some((expr, cost));
         }
     }
+}
+
+/// How many contiguous roots one claim hands a worker. Large enough to
+/// amortise the claim + incumbent-read per root, small enough to keep the
+/// tail balanced across `tasks` workers.
+fn root_shard_size(queue_len: usize, tasks: usize) -> usize {
+    (queue_len / (tasks.max(1) * 4)).clamp(1, 64)
 }
 
 /// Outcome of one P-DFS-REMI subtree exploration.
@@ -89,7 +104,7 @@ fn p_dfs_remi(
     while i < queue.len() {
         if let Some(d) = deadline {
             if Instant::now() >= d {
-                shared.timed_out.store(true, Ordering::Relaxed);
+                shared.timed_out.cancel();
                 return SubtreeOutcome {
                     found: found_any,
                     complete: false,
@@ -98,7 +113,7 @@ fn p_dfs_remi(
         }
         // §3.4 rule 2: a lower root found no solution — this subtree is
         // superfluous.
-        if root >= shared.no_solution_floor.load(Ordering::Relaxed) {
+        if shared.no_solution_floor.is_cancelled(root) {
             return SubtreeOutcome {
                 found: found_any,
                 complete: false,
@@ -164,9 +179,24 @@ fn sum_cost(queue: &[ScoredExpr], stack: &[usize]) -> Bits {
     stack.iter().map(|&k| queue[k].cost).sum()
 }
 
-/// P-REMI (§3.4): Algorithm 1 with the root loop executed by `threads`
-/// workers over a shared queue, incumbent, and stop signal.
+/// P-REMI (§3.4) on the process-wide [`remi_pool::global`] executor.
 pub fn parallel_remi_search(
+    eval: &Evaluator<'_>,
+    queue: &[ScoredExpr],
+    targets: &[NodeId],
+    deadline: Option<Instant>,
+    threads: usize,
+) -> SearchResult {
+    parallel_remi_search_on(remi_pool::global(), eval, queue, targets, deadline, threads)
+}
+
+/// P-REMI (§3.4): Algorithm 1 with the root loop executed by `threads`
+/// worker tasks over a shared queue, incumbent, and stop signal, on an
+/// explicit [`Executor`]. Exposed so benchmarks and differential tests can
+/// pit the pooled executor against the spawn-per-call baseline
+/// ([`remi_pool::SpawnExecutor`]).
+pub fn parallel_remi_search_on(
+    executor: &dyn Executor,
     eval: &Evaluator<'_>,
     queue: &[ScoredExpr],
     targets: &[NodeId],
@@ -179,64 +209,69 @@ pub fn parallel_remi_search(
 
     let shared = Shared {
         best: Mutex::new(None),
-        no_solution_floor: AtomicUsize::new(usize::MAX),
+        no_solution_floor: FloorToken::new(),
         next_root: AtomicUsize::new(0),
-        timed_out: AtomicBool::new(false),
+        timed_out: CancelToken::new(),
     };
     let counters_total = Mutex::new(SearchCounters::default());
 
-    let threads = threads.max(1).min(queue.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut counters = SearchCounters::default();
-                loop {
-                    let root = shared.next_root.fetch_add(1, Ordering::Relaxed);
-                    if root >= queue.len() {
-                        break;
-                    }
-                    if root >= shared.no_solution_floor.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if let Some(d) = deadline {
-                        if Instant::now() >= d {
-                            shared.timed_out.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                    // Root-level incumbent cutoff (the parallel counterpart
-                    // of Alg. 3 line 6 applied at depth one).
-                    if queue[root].cost >= shared.best_cost() {
-                        break;
-                    }
-                    let outcome = p_dfs_remi(
-                        eval,
-                        queue,
-                        root,
-                        &sorted_targets,
-                        &shared,
-                        deadline,
-                        &mut counters,
-                    );
-                    counters.roots_explored += 1;
-                    if !outcome.found && outcome.complete {
-                        // Rule 2: a *complete* solution-free exploration
-                        // rooted at ρᵢ proves even the most specific
-                        // suffix conjunction fails, so all subtrees rooted
-                        // at ρⱼ (j > i) — which cover less specific
-                        // expression sets — are superfluous.
-                        shared.no_solution_floor.fetch_min(root, Ordering::Relaxed);
+    let tasks = threads.max(1).min(queue.len().max(1));
+    let shard = root_shard_size(queue.len(), tasks);
+    executor.broadcast(tasks, &|_worker| {
+        let mut counters = SearchCounters::default();
+        'claims: loop {
+            // Claim a shard of contiguous roots; batching amortises the
+            // cursor and incumbent-lock traffic over `shard` roots.
+            let start = shared.next_root.fetch_add(shard, Ordering::Relaxed);
+            if start >= queue.len() {
+                break;
+            }
+            let end = (start + shard).min(queue.len());
+            for root in start..end {
+                // Rule 2: roots at or beyond the floor are superfluous,
+                // and later claims are higher still.
+                if shared.no_solution_floor.is_cancelled(root) {
+                    break 'claims;
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        shared.timed_out.cancel();
+                        break 'claims;
                     }
                 }
-                let mut total = counters_total.lock();
-                total.nodes_visited += counters.nodes_visited;
-                total.roots_explored += counters.roots_explored;
-            });
+                // Root-level incumbent cutoff (the parallel counterpart
+                // of Alg. 3 line 6 applied at depth one); the queue is
+                // cost-sorted, so every later root is at least as costly.
+                if queue[root].cost >= shared.best_cost() {
+                    break 'claims;
+                }
+                let outcome = p_dfs_remi(
+                    eval,
+                    queue,
+                    root,
+                    &sorted_targets,
+                    &shared,
+                    deadline,
+                    &mut counters,
+                );
+                counters.roots_explored += 1;
+                if !outcome.found && outcome.complete {
+                    // Rule 2: a *complete* solution-free exploration
+                    // rooted at ρᵢ proves even the most specific
+                    // suffix conjunction fails, so all subtrees rooted
+                    // at ρⱼ (j > i) — which cover less specific
+                    // expression sets — are superfluous.
+                    shared.no_solution_floor.lower(root);
+                }
+            }
         }
+        let mut total = counters_total.lock();
+        total.nodes_visited += counters.nodes_visited;
+        total.roots_explored += counters.roots_explored;
     });
 
     let best = shared.best.lock().take();
-    let status = if shared.timed_out.load(Ordering::Relaxed) && best.is_none() {
+    let status = if shared.timed_out.is_cancelled() && best.is_none() {
         SearchStatus::TimedOut
     } else if best.is_some() {
         SearchStatus::Completed
@@ -258,7 +293,9 @@ mod tests {
     use crate::config::EnumerationConfig;
     use crate::enumerate::{common_subgraph_expressions, EnumContext};
     use crate::search::{build_queue, remi_search};
+    use proptest::prelude::*;
     use remi_kb::{KbBuilder, KnowledgeBase};
+    use remi_pool::SpawnExecutor;
 
     fn rennes_kb() -> KnowledgeBase {
         let mut b = KbBuilder::new();
@@ -338,6 +375,31 @@ mod tests {
         assert!(par.best.is_none());
     }
 
+    /// §3.4 rule 2 under sharded root batches: with one worker task the
+    /// schedule is deterministic — the first root's complete, solution-free
+    /// exploration lowers the floor to 0 and every remaining root of the
+    /// claimed shard (and all later shards) is skipped.
+    #[test]
+    fn no_solution_floor_propagates_across_root_shards() {
+        let mut b = KbBuilder::new();
+        b.add_iri("e:twin1", "p:in", "e:Town");
+        b.add_iri("e:twin2", "p:in", "e:Town");
+        b.add_iri("e:twin1", "p:near", "e:River");
+        b.add_iri("e:twin2", "p:near", "e:River");
+        b.add_iri("e:twin1", "p:has", "e:Hall");
+        b.add_iri("e:twin2", "p:has", "e:Hall");
+        let kb = b.build().unwrap();
+        let (queue, ids, _) = setup(&kb, &["e:twin1"]);
+        assert!(queue.len() > 1, "need multiple roots, got {}", queue.len());
+        let eval = Evaluator::new(&kb, 64);
+        let par = parallel_remi_search(&eval, &queue, &ids, None, 1);
+        assert_eq!(par.status, SearchStatus::NoSolution);
+        assert_eq!(
+            par.counters.roots_explored, 1,
+            "floor must cancel the rest of the shard"
+        );
+    }
+
     #[test]
     fn parallel_empty_queue() {
         let kb = rennes_kb();
@@ -379,5 +441,43 @@ mod tests {
             costs.push(par.best.map(|(_, c)| c));
         }
         assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn shard_size_is_bounded_and_positive() {
+        assert_eq!(root_shard_size(0, 4), 1);
+        assert_eq!(root_shard_size(3, 4), 1);
+        assert_eq!(root_shard_size(320, 4), 20);
+        assert_eq!(root_shard_size(1 << 20, 2), 64); // capped
+        assert_eq!(root_shard_size(100, 0), 25); // tasks floored at 1
+    }
+
+    proptest! {
+        /// The pooled executor and the spawn-per-call baseline agree on
+        /// the incumbent cost for arbitrary target pairs and thread
+        /// counts (the §3.4 rules are executor-independent).
+        #[test]
+        fn pool_and_spawn_scope_agree_on_incumbent(
+            a in 0usize..6,
+            b in 0usize..6,
+            threads in 1usize..6,
+        ) {
+            let kb = rennes_kb();
+            let cities = ["e:Rennes", "e:Nantes", "e:Vannes", "e:Lille",
+                          "e:mayorRennes", "e:mayorVannes"];
+            let targets = if a == b { vec![cities[a]] } else { vec![cities[a], cities[b]] };
+            let (queue, ids, _) = setup(&kb, &targets);
+            let eval_pool = Evaluator::new(&kb, 256);
+            let pooled = parallel_remi_search_on(
+                remi_pool::global(), &eval_pool, &queue, &ids, None, threads);
+            let eval_spawn = Evaluator::new(&kb, 256);
+            let spawned = parallel_remi_search_on(
+                &SpawnExecutor, &eval_spawn, &queue, &ids, None, threads);
+            prop_assert_eq!(pooled.status, spawned.status);
+            prop_assert_eq!(
+                pooled.best.map(|(_, c)| c),
+                spawned.best.map(|(_, c)| c)
+            );
+        }
     }
 }

@@ -206,9 +206,10 @@ pub fn remi_search(
 }
 
 /// Parallel variant of [`build_queue`]: scores expressions on `threads`
-/// workers before sorting. §3.5.2: *"we parallelized the construction and
-/// sorting of the queue"* — scoring dominates queue construction because
-/// each `Ĉ` evaluation may materialise join rankings.
+/// worker tasks of the shared [`remi_pool::global`] pool before sorting.
+/// §3.5.2: *"we parallelized the construction and sorting of the queue"* —
+/// scoring dominates queue construction because each `Ĉ` evaluation may
+/// materialise join rankings.
 pub fn build_queue_parallel(
     model: &CostModel<'_>,
     exprs: &[SubgraphExpr],
@@ -218,27 +219,20 @@ pub fn build_queue_parallel(
     if threads == 1 || exprs.len() < 256 {
         return build_queue(model, exprs);
     }
-    let chunk = exprs.len().div_ceil(threads);
-    let mut queue: Vec<ScoredExpr> = Vec::with_capacity(exprs.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = exprs
-            .chunks(chunk)
-            .map(|chunk_exprs| {
-                scope.spawn(move || {
-                    chunk_exprs
-                        .iter()
-                        .map(|&expr| ScoredExpr {
-                            expr,
-                            cost: model.subgraph_cost(&expr),
-                        })
-                        .collect::<Vec<_>>()
-                })
+    let scored = parking_lot::Mutex::new(Vec::with_capacity(exprs.len()));
+    remi_pool::broadcast_chunks(remi_pool::global(), exprs.len(), threads, &|range| {
+        let part: Vec<ScoredExpr> = exprs[range]
+            .iter()
+            .map(|&expr| ScoredExpr {
+                expr,
+                cost: model.subgraph_cost(&expr),
             })
             .collect();
-        for h in handles {
-            queue.extend(h.join().expect("scoring workers do not panic"));
-        }
+        scored.lock().extend(part);
     });
+    // Chunk arrival order is scheduler-dependent, but the comparator is a
+    // total order (cost, then structure), so the sort restores determinism.
+    let mut queue = scored.into_inner();
     queue.sort_by(|a, b| a.cost.cmp(&b.cost).then(a.expr.cmp(&b.expr)));
     queue
 }

@@ -31,7 +31,9 @@ impl Default for Args {
             seed: 42,
             sets: 100,
             timeout_ms: 500,
-            threads: 8,
+            // REMI_THREADS (the knob shared by every parallel path) wins
+            // over the paper's 8-thread default; --threads beats both.
+            threads: remi_pool::env_threads().unwrap_or(8),
         }
     }
 }
@@ -62,7 +64,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "remi-tables [--table all|2|3|4|fit|space|map|perceived|ablation] \
-                     [--scale F] [--seed N] [--sets N] [--timeout-ms N] [--threads N]"
+                     [--scale F] [--seed N] [--sets N] [--timeout-ms N] [--threads N]\n\
+                     (REMI_THREADS sizes the shared pool and is the --threads default)"
                 );
                 std::process::exit(0);
             }

@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn pruning_shrinks_the_queue() {
-        let synth = dbpedia_kb(1.0, 59);
+        let synth = dbpedia_kb(1.0, 53);
         let result = run(&synth, &["Person", "Settlement"], 15, 5);
         let get = |name: &str| {
             result

@@ -13,7 +13,9 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 
-use remi_synth::{generate, SynthKb};
+use std::sync::Arc;
+
+use remi_synth::SynthKb;
 
 /// The default experiment scale for the DBpedia-like profile (keeps the
 /// full table run in CI-friendly time; raise for heavier runs).
@@ -21,14 +23,16 @@ pub const DEFAULT_DBPEDIA_SCALE: f64 = 4.0;
 /// The default experiment scale for the Wikidata-like profile.
 pub const DEFAULT_WIKIDATA_SCALE: f64 = 4.0;
 
-/// Builds the DBpedia-like evaluation KB.
-pub fn dbpedia_kb(scale: f64, seed: u64) -> SynthKb {
-    generate(&remi_synth::dbpedia_like(), scale, seed)
+/// The DBpedia-like evaluation KB, built at most once per process and
+/// (seed, scale) via the shared [`remi_synth::fixtures`] cache — the unit
+/// tests of several drivers deliberately reuse one world.
+pub fn dbpedia_kb(scale: f64, seed: u64) -> Arc<SynthKb> {
+    remi_synth::fixtures::dbpedia(scale, seed)
 }
 
-/// Builds the Wikidata-like evaluation KB.
-pub fn wikidata_kb(scale: f64, seed: u64) -> SynthKb {
-    generate(&remi_synth::wikidata_like(), scale, seed)
+/// The Wikidata-like evaluation KB (memoised like [`dbpedia_kb`]).
+pub fn wikidata_kb(scale: f64, seed: u64) -> Arc<SynthKb> {
+    remi_synth::fixtures::wikidata(scale, seed)
 }
 
 /// Formats a `mean ± std` cell.

@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn summarisers_beat_nothing_and_experts_agree_with_someone() {
-        let synth = dbpedia_kb(1.0, 29);
+        let synth = dbpedia_kb(1.0, 17);
         let result = run(&synth, &["Person", "Settlement"], 12, 5);
         // At least one method achieves non-trivial overlap at top-10.
         assert!(result.rows.iter().any(|r| r.top10_o.0 > 0.5), "{result}");

@@ -274,7 +274,7 @@ mod tests {
 
     #[test]
     fn remi_and_premi_agree_on_solution_count() {
-        let synth = dbpedia_kb(1.0, 33);
+        let synth = dbpedia_kb(1.0, 31);
         let block = run_block(
             &synth,
             &["Person", "Settlement"],

@@ -20,6 +20,12 @@ pub struct PageRankConfig {
     pub max_iterations: usize,
     /// L1 convergence threshold. Default 1e-9.
     pub tolerance: f64,
+    /// Worker tasks for the edge-scatter phase, run on the shared
+    /// [`remi_pool::global`] pool. `0` (the default) means "one task per
+    /// pool worker". Parallel and sequential runs produce bitwise
+    /// identical scores: edges are partitioned on target boundaries, so
+    /// every node's additions happen in the same order either way.
+    pub threads: usize,
 }
 
 impl Default for PageRankConfig {
@@ -28,6 +34,7 @@ impl Default for PageRankConfig {
             damping: 0.85,
             max_iterations: 50,
             tolerance: 1e-9,
+            threads: 0,
         }
     }
 }
@@ -69,6 +76,28 @@ impl PageRank {
     }
 }
 
+/// Below this edge count the scatter loop runs sequentially: the pool's
+/// per-scope coordination would cost more than it saves.
+const PARALLEL_EDGE_THRESHOLD: usize = 4096;
+
+/// Splits the target-sorted `edges` into up to `tasks` contiguous runs
+/// whose cut points fall on *target boundaries*, so each run scatters
+/// into a disjoint node range. Returns the `(node_cut, edge_cut)` fence
+/// posts (first `(0, 0)`, last `(n_nodes, edges.len())`).
+fn scatter_partitions(n_nodes: usize, edges: &[(u32, u32)], tasks: usize) -> Vec<(usize, usize)> {
+    let mut cuts = vec![(0usize, 0usize)];
+    for k in 1..tasks {
+        let node_cut = edges[k * edges.len() / tasks].0 as usize;
+        if node_cut <= cuts.last().expect("non-empty").0 {
+            continue; // a hub target swallowed this slice — merge left
+        }
+        let edge_cut = edges.partition_point(|&(t, _)| (t as usize) < node_cut);
+        cuts.push((node_cut, edge_cut));
+    }
+    cuts.push((n_nodes, edges.len()));
+    cuts
+}
+
 /// Computes PageRank over the entity-to-entity link graph of `kb`
 /// (base triples only; literals excluded; inverse predicates excluded so
 /// materialisation does not double edges).
@@ -94,6 +123,20 @@ pub fn pagerank(kb: &KnowledgeBase, config: PageRankConfig) -> PageRank {
         .collect();
     let n_active = is_node.iter().filter(|&&b| b).count().max(1);
     let base = (1.0 - config.damping) / n_active as f64;
+    let dangling_nodes: Vec<usize> = (0..n)
+        .filter(|&i| is_node[i] && out_degree[i] == 0)
+        .collect();
+
+    let threads = if config.threads == 0 {
+        remi_pool::configured_threads()
+    } else {
+        config.threads
+    };
+    let partitions = if threads > 1 && edges.len() >= PARALLEL_EDGE_THRESHOLD {
+        scatter_partitions(n, &edges, threads)
+    } else {
+        Vec::new() // sequential
+    };
 
     let mut rank: Vec<f64> = (0..n)
         .map(|i| {
@@ -106,26 +149,54 @@ pub fn pagerank(kb: &KnowledgeBase, config: PageRankConfig) -> PageRank {
         .collect();
     let mut next = vec![0.0f64; n];
     let mut iterations = 0;
+    let damping = config.damping;
 
     for _ in 0..config.max_iterations {
         iterations += 1;
         // Dangling mass: nodes with no out-links redistribute uniformly.
-        let dangling: f64 = (0..n)
-            .filter(|&i| is_node[i] && out_degree[i] == 0)
-            .map(|i| rank[i])
-            .sum();
-        let dangling_share = config.damping * dangling / n_active as f64;
+        let dangling: f64 = dangling_nodes.iter().map(|&i| rank[i]).sum();
+        let dangling_share = damping * dangling / n_active as f64;
 
-        for (i, slot) in next.iter_mut().enumerate() {
-            *slot = if is_node[i] {
-                base + dangling_share
-            } else {
-                0.0
-            };
-        }
-        for &(target, source) in &edges {
-            let share = rank[source as usize] / f64::from(out_degree[source as usize]);
-            next[target as usize] += config.damping * share;
+        if partitions.len() > 2 {
+            // Each pool task owns a disjoint node range (and exactly the
+            // edges landing in it): no write contention, and per-node
+            // accumulation order matches the sequential loop, so results
+            // are bitwise identical.
+            remi_pool::global().scope(|s| {
+                let mut rest: &mut [f64] = &mut next;
+                let (rank, out_degree, is_node, edges) = (&rank, &out_degree, &is_node, &edges);
+                for w in partitions.windows(2) {
+                    let ((node_lo, edge_lo), (node_hi, edge_hi)) = (w[0], w[1]);
+                    let (part, tail) = std::mem::take(&mut rest).split_at_mut(node_hi - node_lo);
+                    rest = tail;
+                    s.spawn(move || {
+                        for (i, slot) in part.iter_mut().enumerate() {
+                            *slot = if is_node[node_lo + i] {
+                                base + dangling_share
+                            } else {
+                                0.0
+                            };
+                        }
+                        for &(target, source) in &edges[edge_lo..edge_hi] {
+                            let share =
+                                rank[source as usize] / f64::from(out_degree[source as usize]);
+                            part[target as usize - node_lo] += damping * share;
+                        }
+                    });
+                }
+            });
+        } else {
+            for (i, slot) in next.iter_mut().enumerate() {
+                *slot = if is_node[i] {
+                    base + dangling_share
+                } else {
+                    0.0
+                };
+            }
+            for &(target, source) in &edges {
+                let share = rank[source as usize] / f64::from(out_degree[source as usize]);
+                next[target as usize] += damping * share;
+            }
         }
 
         let delta: f64 = rank
@@ -216,6 +287,63 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-6, "total = {total}");
         let sink = kb.node_id_by_iri("e:sink").unwrap();
         assert!(pr.score(sink) > pr.score(kb.node_id_by_iri("e:a").unwrap()));
+    }
+
+    #[test]
+    fn scatter_partitions_align_to_target_boundaries() {
+        let edges: Vec<(u32, u32)> = (0..100u32)
+            .flat_map(|t| (0..3u32).map(move |s| (t, s)))
+            .collect();
+        let cuts = scatter_partitions(100, &edges, 4);
+        assert_eq!(cuts.first(), Some(&(0, 0)));
+        assert_eq!(cuts.last(), Some(&(100, 300)));
+        for w in cuts.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1);
+            // Every edge of a run must target the run's node range.
+            for &(t, _) in &edges[w[0].1..w[1].1] {
+                assert!((w[0].0..w[1].0).contains(&(t as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_partitions_collapse_on_a_hub_target() {
+        let edges: Vec<(u32, u32)> = (0..50u32).map(|s| (7u32, s)).collect();
+        let cuts = scatter_partitions(10, &edges, 4);
+        assert_eq!(cuts, vec![(0, 0), (7, 0), (10, 50)]);
+    }
+
+    /// The pooled scatter must be bitwise identical to the sequential one
+    /// (target-aligned partitions preserve per-node accumulation order).
+    #[test]
+    fn parallel_and_sequential_scores_are_identical() {
+        let mut b = KbBuilder::new();
+        for i in 0..3000u32 {
+            let s = format!("e:n{i}");
+            b.add_iri(&s, "p:r", &format!("e:n{}", (i * 7 + 1) % 3000));
+            b.add_iri(&s, "p:r", &format!("e:n{}", (i * 13 + 5) % 3000));
+        }
+        let kb = b.build().unwrap();
+        let seq = pagerank(
+            &kb,
+            PageRankConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = pagerank(
+            &kb,
+            PageRankConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.iterations(), par.iterations());
+        assert!(seq
+            .scores()
+            .iter()
+            .zip(par.scores())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -1,0 +1,656 @@
+//! `remi-pool` — the reusable work-stealing executor shared by every
+//! parallel path in the workspace (P-REMI, queue scoring, PageRank).
+//!
+//! The seed implementation spawned OS threads per call with
+//! `std::thread::scope`; on small KBs the spawn cost dominates the work.
+//! This crate keeps one set of worker threads alive for the whole process
+//! and hands them *scoped* tasks:
+//!
+//! * [`ThreadPool`] — fixed worker set, one sharded job queue per worker,
+//!   idle workers steal from their neighbours.
+//! * [`ThreadPool::scope`] — structured concurrency: tasks may borrow from
+//!   the caller's stack; the scope blocks until every task finished.
+//! * [`Executor`] / [`ThreadPool::broadcast`] — the executor abstraction
+//!   the search code is written against. [`SpawnExecutor`] is the
+//!   spawn-per-call baseline, kept for benchmarks and differential tests.
+//! * [`CancelToken`] / [`FloorToken`] — cooperative cancellation.
+//!   `FloorToken` encodes P-REMI's §3.4 rule 2: a monotonically
+//!   decreasing index floor; workers on indices at or beyond the floor
+//!   stop.
+//! * [`global`] — the process-wide pool, sized by `REMI_THREADS` (or the
+//!   machine's available parallelism).
+//!
+//! # Safety
+//!
+//! Queued jobs must be `'static`, but scoped tasks borrow from the
+//! caller's stack. [`Scope::spawn`] erases the task lifetime with one
+//! `transmute` — sound because [`ThreadPool::scope`] never returns (not
+//! even by unwinding) before every spawned task has run to completion, so
+//! every erased borrow strictly outlives its use. This is the standard
+//! scoped-pool technique of crossbeam and rayon, confined to one function.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+
+/// Acquires a std mutex, recovering from poisoning (a panicked task must
+/// not wedge the pool — parking_lot semantics).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+
+/// A shared yes/no stop signal, checked cooperatively by tasks.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    flag: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Signals cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has [`cancel`](Self::cancel) been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// An index floor that only ever moves down — the shape of P-REMI's §3.4
+/// rule 2 ("no-solution floor"): once the subtree at root `i` is proven
+/// solution-free, all work on indices `j ≥ i` is superfluous.
+#[derive(Debug)]
+pub struct FloorToken {
+    floor: AtomicUsize,
+}
+
+impl Default for FloorToken {
+    fn default() -> Self {
+        FloorToken {
+            floor: AtomicUsize::new(usize::MAX),
+        }
+    }
+}
+
+impl FloorToken {
+    /// A fresh token with the floor at `usize::MAX` (nothing cancelled).
+    pub fn new() -> Self {
+        FloorToken::default()
+    }
+
+    /// Lowers the floor to `index` (no-op if already lower).
+    pub fn lower(&self, index: usize) {
+        self.floor.fetch_min(index, Ordering::AcqRel);
+    }
+
+    /// The current floor.
+    pub fn get(&self) -> usize {
+        self.floor.load(Ordering::Acquire)
+    }
+
+    /// Is work at `index` cancelled (i.e. `index ≥ floor`)?
+    pub fn is_cancelled(&self, index: usize) -> bool {
+        index >= self.get()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor abstraction
+
+/// Runs a batch of identical tasks to completion, possibly in parallel.
+///
+/// The search algorithms are written against this trait so the pooled
+/// executor and the spawn-per-call baseline stay interchangeable
+/// (benchmarks and differential tests exercise both).
+pub trait Executor: Sync {
+    /// Runs `task(0) .. task(tasks - 1)`, returning once **all** of them
+    /// have completed. Tasks may run concurrently in any order.
+    fn broadcast(&self, tasks: usize, task: &(dyn Fn(usize) + Sync));
+}
+
+/// The seed behaviour: one `std::thread::scope` + `tasks` fresh OS
+/// threads per call. Kept as the baseline the pool is measured against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpawnExecutor;
+
+impl Executor for SpawnExecutor {
+    fn broadcast(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        match tasks {
+            0 => {}
+            1 => task(0),
+            _ => {
+                std::thread::scope(|scope| {
+                    for i in 0..tasks {
+                        scope.spawn(move || task(i));
+                    }
+                });
+            }
+        }
+    }
+}
+
+impl Executor for ThreadPool {
+    fn broadcast(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        match tasks {
+            0 => {}
+            1 => task(0),
+            _ => self.scope(|s| {
+                for i in 0..tasks {
+                    s.spawn(move || task(i));
+                }
+            }),
+        }
+    }
+}
+
+/// Splits `len` items into at most `tasks` contiguous chunks and runs
+/// `work(lo..hi)` for each on `executor` — the shared index arithmetic for
+/// data-parallel loops (queue scoring, AMIE level evaluation), so callers
+/// don't each re-derive the chunk/bounds math.
+pub fn broadcast_chunks(
+    executor: &dyn Executor,
+    len: usize,
+    tasks: usize,
+    work: &(dyn Fn(std::ops::Range<usize>) + Sync),
+) {
+    let chunk = len.div_ceil(tasks.max(1)).max(1);
+    executor.broadcast(len.div_ceil(chunk), &|task| {
+        let lo = task * chunk;
+        work(lo..((lo + chunk).min(len)));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One worker's job shard. Owners pop the front; thieves steal from the
+/// back, so a worker and its thieves rarely contend on the same end.
+#[derive(Default)]
+struct Shard {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+struct PoolState {
+    shards: Vec<Shard>,
+    /// Jobs queued but not yet taken; lets sleeping workers distinguish
+    /// "nothing to do" from "a push is in flight".
+    queued: AtomicUsize,
+    /// Round-robin injection cursor.
+    next_shard: AtomicUsize,
+    /// Parking lot for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolState {
+    /// Pops a job: own shard first (FIFO), then steal from the others
+    /// (LIFO end) in ring order.
+    fn take(&self, home: usize) -> Option<Job> {
+        let n = self.shards.len();
+        for k in 0..n {
+            let idx = (home + k) % n;
+            let job = if k == 0 {
+                lock(&self.shards[idx].jobs).pop_front()
+            } else {
+                lock(&self.shards[idx].jobs).pop_back()
+            };
+            if let Some(job) = job {
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn inject(&self, job: Job) {
+        self.queued.fetch_add(1, Ordering::AcqRel);
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        lock(&self.shards[shard].jobs).push_back(job);
+        // One job, one wakeup: waking the whole pool per injected job is a
+        // thundering herd on the hot path. No wakeup is ever lost — a
+        // worker about to sleep holds the idle lock and re-checks `queued`
+        // (incremented above) before waiting, and busy workers rescan all
+        // shards after every job.
+        let _guard = lock(&self.idle);
+        self.wake.notify_one();
+    }
+}
+
+thread_local! {
+    /// Set on pool worker threads, so a nested `scope` degrades to inline
+    /// execution instead of deadlocking the pool on itself.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn worker_loop(state: Arc<PoolState>, home: usize) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    loop {
+        if let Some(job) = state.take(home) {
+            // Scope jobs catch their own panics; a panic reaching here
+            // would only abort this worker, never poison the pool.
+            job();
+            continue;
+        }
+        let guard = lock(&state.idle);
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if state.queued.load(Ordering::Acquire) > 0 {
+            continue; // a push is in flight — rescan instead of sleeping
+        }
+        drop(
+            state
+                .wake
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+}
+
+/// A fixed-size work-stealing thread pool with a scoped-task API.
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (floored at 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let state = Arc::new(PoolState {
+            shards: (0..threads).map(|_| Shard::default()).collect(),
+            queued: AtomicUsize::new(0),
+            next_shard: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("remi-pool-{i}"))
+                    .spawn(move || worker_loop(state, i))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        ThreadPool {
+            state,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Structured concurrency: `f` receives a [`Scope`] whose tasks may
+    /// borrow anything that outlives the `scope` call. Returns after every
+    /// spawned task has completed; the first task panic is propagated.
+    ///
+    /// Calling `scope` *from a pool worker* runs tasks inline (the worker
+    /// cannot wait on siblings without risking deadlock).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState::default()),
+            env: PhantomData,
+        };
+        let result = {
+            // Even if `f` panics, unwinding must not release the borrows
+            // before the spawned tasks are done with them.
+            let wait_guard = WaitGuard(&scope.state);
+            let result = f(&scope);
+            drop(wait_guard);
+            result
+        };
+        if let Some(payload) = lock(&scope.state.panic).take() {
+            panic::resume_unwind(payload);
+        }
+        result
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = lock(&self.state.idle);
+            self.state.wake.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Tracks one scope's outstanding tasks.
+#[derive(Default)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn add_task(&self) {
+        *lock(&self.pending) += 1;
+    }
+
+    fn finish_task(&self) {
+        let mut pending = lock(&self.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut pending = lock(&self.pending);
+        while *pending > 0 {
+            pending = self
+                .done
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Blocks on drop until the scope's tasks are done — the linchpin of the
+/// lifetime-erasure safety argument (runs on both normal exit and unwind).
+struct WaitGuard<'a>(&'a ScopeState);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// Handle for spawning borrowed tasks inside [`ThreadPool::scope`].
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`: prevents the
+    /// borrow-carrying lifetime from being shortened behind our back.
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queues `task` on the pool. The task may borrow any `'env` data;
+    /// the enclosing [`ThreadPool::scope`] call joins it before returning.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let state = Arc::clone(&self.state);
+        self.state.add_task();
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(task));
+            if let Err(payload) = outcome {
+                lock(&state.panic).get_or_insert(payload);
+            }
+            state.finish_task();
+        });
+        if IS_POOL_WORKER.with(|w| w.get()) {
+            // Nested scope on a worker: run inline; parking this worker to
+            // wait for a sibling could deadlock a fully-loaded pool.
+            job();
+            return;
+        }
+        // SAFETY: `WaitGuard` guarantees the enclosing `scope` call cannot
+        // return — by value or by unwind — until this job has finished
+        // executing, so every `'env` borrow it carries is live for as long
+        // as the job can observe it. The transmute only erases the
+        // lifetime; the vtable and layout are unchanged.
+        #[allow(unsafe_code)]
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.state.inject(job);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide configuration
+
+/// Parses a thread-count string: positive integers only.
+pub fn parse_threads(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The `REMI_THREADS` override, if set and valid.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("REMI_THREADS")
+        .ok()
+        .and_then(|v| parse_threads(&v))
+}
+
+/// The process-wide worker count: `REMI_THREADS` if set, otherwise the
+/// machine's available parallelism.
+pub fn configured_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The process-wide pool, built on first use with
+/// [`configured_threads`] workers. Every parallel path in the workspace
+/// shares it, so a process spawns its workers exactly once.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(configured_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_every_task_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(64, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn scoped_tasks_borrow_the_stack() {
+        let pool = ThreadPool::new(2);
+        let data = [1u64, 2, 3, 4];
+        let sum = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(2) {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_scopes() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.broadcast(5, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_the_scope_caller() {
+        let pool = ThreadPool::new(2);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task boom"));
+                s.spawn(|| {}); // the healthy sibling still completes
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and keeps executing work.
+        let ran = AtomicBool::new(false);
+        pool.broadcast(1, &|_| ran.store(true, Ordering::Relaxed));
+        assert!(ran.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn nested_scope_on_a_worker_runs_inline() {
+        let pool = ThreadPool::new(1); // one worker: a blocking wait inside
+                                       // a task would deadlock without the
+                                       // inline fallback
+        let count = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            let count = &count;
+            let pool = &pool;
+            outer.spawn(move || {
+                // Runs on the only worker; a parked nested scope could
+                // never be drained.
+                pool.broadcast(4, &|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    /// Deterministic cancellation ordering: on a single-worker pool, tasks
+    /// run strictly in FIFO spawn order, so a cancel issued by task 0 is
+    /// observed by every later task.
+    #[test]
+    fn cancellation_order_is_deterministic_on_one_worker() {
+        let pool = ThreadPool::new(1);
+        let token = CancelToken::new();
+        let observed: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..6 {
+                let token = &token;
+                let observed = &observed;
+                s.spawn(move || {
+                    let cancelled = token.is_cancelled();
+                    lock(observed).push((i, cancelled));
+                    if i == 0 {
+                        token.cancel();
+                    }
+                });
+            }
+        });
+        let observed = observed.into_inner().unwrap();
+        assert_eq!(
+            observed,
+            [
+                (0, false),
+                (1, true),
+                (2, true),
+                (3, true),
+                (4, true),
+                (5, true)
+            ]
+        );
+    }
+
+    #[test]
+    fn floor_token_is_a_monotone_min() {
+        let floor = FloorToken::new();
+        assert!(!floor.is_cancelled(usize::MAX - 1));
+        floor.lower(10);
+        floor.lower(25); // raising is a no-op
+        assert_eq!(floor.get(), 10);
+        assert!(floor.is_cancelled(10));
+        assert!(floor.is_cancelled(11));
+        assert!(!floor.is_cancelled(9));
+        floor.lower(3);
+        assert_eq!(floor.get(), 3);
+    }
+
+    #[test]
+    fn floor_token_under_concurrent_lowering_keeps_the_minimum() {
+        let pool = ThreadPool::new(4);
+        let floor = FloorToken::new();
+        pool.broadcast(32, &|i| floor.lower(100 + i));
+        assert_eq!(floor.get(), 100);
+    }
+
+    #[test]
+    fn broadcast_chunks_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        for (len, tasks) in [(0usize, 4usize), (1, 4), (7, 3), (64, 4), (10, 64)] {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            broadcast_chunks(&pool, len, tasks, &|range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "len={len} tasks={tasks}"
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_executor_matches_pool_executor() {
+        let pool = ThreadPool::new(4);
+        for tasks in [0usize, 1, 2, 7, 16] {
+            let a = AtomicUsize::new(0);
+            let b = AtomicUsize::new(0);
+            pool.broadcast(tasks, &|i| {
+                a.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            SpawnExecutor.broadcast(tasks, &|i| {
+                b.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        }
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("8"), Some(8));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-3"), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+    }
+}

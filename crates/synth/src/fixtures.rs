@@ -1,0 +1,92 @@
+//! Process-wide memoised synthetic-KB fixtures.
+//!
+//! Generating an evaluation-scale KB takes seconds in debug builds, and
+//! the slow suites (`remi-eval` unit tests, `tests/cross_system.rs`) used
+//! to regenerate the same `(profile, scale, seed)` KB once per test. This
+//! cache builds each distinct fixture once per process and hands out
+//! shared ownership; tests that want the same world simply ask for the
+//! same key.
+//!
+//! Generation stays fully deterministic — the cache changes *when* a KB
+//! is built, never *what* is built.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::generator::SynthKb;
+use crate::profiles::{dbpedia_like, wikidata_like};
+
+type Key = (&'static str, u64, u64); // (profile, scale bits, seed)
+type Cell = Arc<OnceLock<Arc<SynthKb>>>;
+
+fn cache() -> &'static Mutex<HashMap<Key, Cell>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Cell>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn memoised(profile: &'static str, scale: f64, seed: u64) -> Arc<SynthKb> {
+    let key = (profile, scale.to_bits(), seed);
+    // The map lock is only held to fetch the per-key cell; the (slow)
+    // generation happens inside the cell, so concurrent tests asking for
+    // the *same* fixture build it once (the rest block on the cell) while
+    // *different* fixtures still build in parallel.
+    let cell: Cell = Arc::clone(
+        cache()
+            .lock()
+            .expect("fixture cache")
+            .entry(key)
+            .or_default(),
+    );
+    Arc::clone(cell.get_or_init(|| {
+        Arc::new(crate::generate(
+            &match profile {
+                "dbpedia" => dbpedia_like(),
+                _ => wikidata_like(),
+            },
+            scale,
+            seed,
+        ))
+    }))
+}
+
+/// The DBpedia-like fixture for `(scale, seed)`, built at most once per
+/// process.
+pub fn dbpedia(scale: f64, seed: u64) -> Arc<SynthKb> {
+    memoised("dbpedia", scale, seed)
+}
+
+/// The Wikidata-like fixture for `(scale, seed)`, built at most once per
+/// process.
+pub fn wikidata(scale: f64, seed: u64) -> Arc<SynthKb> {
+    memoised("wikidata", scale, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_the_same_allocation() {
+        let a = dbpedia(0.1, 7);
+        let b = dbpedia(0.1, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_kbs() {
+        let a = dbpedia(0.1, 7);
+        let b = dbpedia(0.1, 8);
+        let c = wikidata(0.1, 7);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.profile, "wikidata");
+    }
+
+    #[test]
+    fn memoised_matches_direct_generation() {
+        let cached = dbpedia(0.1, 9);
+        let direct = crate::generate(&dbpedia_like(), 0.1, 9);
+        assert_eq!(cached.kb.num_triples(), direct.kb.num_triples());
+        assert_eq!(cached.seed, direct.seed);
+    }
+}

@@ -15,9 +15,11 @@
 //! * [`targets`] — target-set sampling (§4.1/§4.2 protocols).
 //! * [`gold`] — simulated expert gold standard for Table 3.
 //! * [`scenes`] — NLG-style scene micro-KBs.
+//! * [`fixtures`] — process-wide memoised KBs for the slow test suites.
 
 #![warn(missing_docs)]
 
+pub mod fixtures;
 pub mod generator;
 pub mod gold;
 pub mod profiles;

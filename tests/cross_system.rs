@@ -1,14 +1,23 @@
 //! Cross-system integration: REMI and the AMIE+ baseline must agree where
 //! their languages coincide, and both must return genuine REs.
 
+use std::sync::Arc;
+
 use remi_amie::{is_re, mine_re, AmieConfig, AmieLanguage};
 use remi_core::complexity::{CostModel, EntityCodeMode, Prominence};
 use remi_core::{Remi, RemiConfig};
-use remi_synth::{dbpedia_like, generate, sample_target_sets, TargetSpec};
+use remi_synth::{sample_target_sets, SynthKb, TargetSpec};
+
+/// One shared world for the whole suite (memoised process-wide): each test
+/// samples its own target sets with a distinct seed, so they still explore
+/// different slices of it.
+fn fixture() -> Arc<SynthKb> {
+    remi_synth::fixtures::dbpedia(0.5, 201)
+}
 
 #[test]
 fn amie_rules_are_genuine_res() {
-    let synth = generate(&dbpedia_like(), 0.5, 201);
+    let synth = fixture();
     let kb = &synth.kb;
     let sets = sample_target_sets(
         &synth,
@@ -47,7 +56,7 @@ fn standard_language_existence_agrees() {
     // Under the standard language (conjunctions of bound atoms on x) both
     // systems search the same expression space, so solution existence must
     // coincide whenever neither times out.
-    let synth = generate(&dbpedia_like(), 0.5, 203);
+    let synth = fixture();
     let kb = &synth.kb;
     let remi = Remi::new(kb, RemiConfig::standard_language());
     let sets = sample_target_sets(
@@ -92,7 +101,7 @@ fn amie_extended_finds_res_remi_finds() {
     // REMI's language is a fragment of AMIE's (every Table 1 shape is a
     // closed rule of ≤3 body atoms), so whenever REMI's best RE uses ≤3
     // atoms in total, a non-timed-out AMIE must also find some RE.
-    let synth = generate(&dbpedia_like(), 0.5, 207);
+    let synth = fixture();
     let kb = &synth.kb;
     let remi = Remi::new(kb, RemiConfig::default());
     let sets = sample_target_sets(

@@ -4,15 +4,23 @@
 //! Supports the subset used by `remi-bench`: [`criterion_group!`] /
 //! [`criterion_main!`], [`Criterion::benchmark_group`], `sample_size`,
 //! `measurement_time`, `bench_function`, [`Bencher::iter`], and
-//! [`black_box`]. Instead of criterion's statistical machinery it reports
-//! the median of `sample_size` wall-clock samples, each sample sized by a
-//! short calibration run — enough to compare hot paths between commits
-//! without any registry dependency.
+//! [`black_box`]. Instead of criterion's full statistical machinery it
+//! reports the median, mean, and sample standard deviation of
+//! `sample_size` wall-clock samples, each sample sized by a short
+//! calibration run — enough to compare hot paths between commits without
+//! any registry dependency.
 //!
 //! Harness flags: `--test` (run each benchmark body exactly once, used by
 //! `cargo test --benches`) is honoured; other flags and name filters are
 //! accepted and name filters are applied as substring matches.
+//!
+//! Machine-readable output: when `CRITERION_JSON` names a file, every
+//! measurement appends one JSON object per line —
+//! `{"id","median_ns","mean_ns","stddev_ns","samples","iters_per_sample"}`
+//! — which CI's `bench-smoke` job uploads as the per-commit `BENCH_*.json`
+//! perf-trajectory artifact.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimiser from deleting a
@@ -107,10 +115,89 @@ impl Criterion {
         f(&mut b);
         match (self.mode, b.report) {
             (Mode::Test, _) => println!("{id}: ok (test mode)"),
-            (Mode::Bench, Some(ns)) => println!("{id:<40} time: {}", format_ns(ns)),
+            (Mode::Bench, Some(m)) => {
+                println!(
+                    "{id:<40} time: {:<14} mean: {} ± {}",
+                    format_ns(m.median_ns),
+                    format_ns(m.mean_ns),
+                    format_ns(m.stddev_ns)
+                );
+                if let Ok(path) = std::env::var("CRITERION_JSON") {
+                    if let Err(e) = append_json(&path, id, &m) {
+                        eprintln!("criterion shim: cannot append to {path}: {e}");
+                    }
+                }
+            }
             (Mode::Bench, None) => println!("{id}: no measurement recorded"),
         }
     }
+}
+
+/// One benchmark's measurement summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median ns/iteration across samples.
+    pub median_ns: f64,
+    /// Mean ns/iteration across samples.
+    pub mean_ns: f64,
+    /// Sample standard deviation (n−1) of ns/iteration, 0 for n < 2.
+    pub stddev_ns: f64,
+    /// Number of timing samples taken.
+    pub samples: usize,
+    /// Iterations per sample (from calibration).
+    pub iters_per_sample: u64,
+}
+
+/// Median / mean / sample-stddev of raw per-iteration samples (ns).
+/// `samples` must be non-empty and is sorted in place.
+fn summarize(samples: &mut [f64]) -> (f64, f64, f64) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let stddev = if samples.len() < 2 {
+        0.0
+    } else {
+        let var =
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
+        var.sqrt()
+    };
+    (median, mean, stddev)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The JSON-lines record for one measurement.
+fn json_record(id: &str, m: &Measurement) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\
+         \"samples\":{},\"iters_per_sample\":{}}}",
+        json_escape(id),
+        m.median_ns,
+        m.mean_ns,
+        m.stddev_ns,
+        m.samples,
+        m.iters_per_sample
+    )
+}
+
+fn append_json(path: &str, id: &str, m: &Measurement) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{}", json_record(id, m))
 }
 
 fn format_ns(ns: f64) -> String {
@@ -167,11 +254,11 @@ pub struct Bencher {
     mode: Mode,
     sample_size: usize,
     measurement_time: Duration,
-    report: Option<f64>,
+    report: Option<Measurement>,
 }
 
 impl Bencher {
-    /// Times `f`, storing the median ns/iteration across samples.
+    /// Times `f`, storing median/mean/stddev ns/iteration across samples.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         if self.mode == Mode::Test {
             black_box(f());
@@ -192,8 +279,14 @@ impl Bencher {
             }
             samples.push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
         }
-        samples.sort_by(|a, b| a.total_cmp(b));
-        self.report = Some(samples[samples.len() / 2]);
+        let (median_ns, mean_ns, stddev_ns) = summarize(&mut samples);
+        self.report = Some(Measurement {
+            median_ns,
+            mean_ns,
+            stddev_ns,
+            samples: samples.len(),
+            iters_per_sample: iters,
+        });
     }
 }
 
@@ -250,6 +343,64 @@ mod tests {
             measurement_time: Duration::from_millis(3),
         };
         c.bench_function("spin", |b| b.iter(|| black_box(2u64.pow(10))));
+    }
+
+    #[test]
+    fn summarize_reports_median_mean_stddev() {
+        let mut samples = vec![4.0, 1.0, 2.0, 3.0, 10.0];
+        let (median, mean, stddev) = summarize(&mut samples);
+        assert_eq!(median, 3.0);
+        assert!((mean - 4.0).abs() < 1e-12);
+        // Sample stddev of {1,2,3,4,10}: var = (9+4+1+0+36)/4 = 12.5.
+        assert!((stddev - 12.5f64.sqrt()).abs() < 1e-12, "{stddev}");
+    }
+
+    #[test]
+    fn summarize_single_sample_has_zero_stddev() {
+        let mut samples = vec![7.0];
+        let (median, mean, stddev) = summarize(&mut samples);
+        assert_eq!((median, mean, stddev), (7.0, 7.0, 0.0));
+    }
+
+    #[test]
+    fn json_record_is_well_formed_and_escaped() {
+        let m = Measurement {
+            median_ns: 1234.56,
+            mean_ns: 1300.0,
+            stddev_ns: 42.0,
+            samples: 10,
+            iters_per_sample: 1000,
+        };
+        let line = json_record("group/\"quoted\"\\name", &m);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"median_ns\":1234.6"));
+        assert!(line.contains("\"samples\":10"));
+        assert!(line.contains("\\\"quoted\\\""));
+        assert!(line.contains("\\\\name"));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn append_json_writes_one_line_per_measurement() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_test_{}_{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path_str = path.to_str().unwrap();
+        let m = Measurement {
+            median_ns: 1.0,
+            mean_ns: 2.0,
+            stddev_ns: 0.5,
+            samples: 3,
+            iters_per_sample: 9,
+        };
+        append_json(path_str, "a", &m).unwrap();
+        append_json(path_str, "b", &m).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with("{\"id\":\"")));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
