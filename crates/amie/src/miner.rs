@@ -163,16 +163,16 @@ fn refinements(ctx: &SearchCtx<'_>, rule: &Rule) -> Vec<Rule> {
                 for a in &rule.body {
                     match (a.s, a.o) {
                         (Arg::Var(ROOT_VAR), Arg::Var(vv)) if vv == v => {
-                            vals.extend(kb.objects(a.p, t0).iter().map(|&n| NodeId(n)));
+                            vals.extend(kb.objects(a.p, t0).iter().map(NodeId));
                         }
                         (Arg::Var(vv), Arg::Var(ROOT_VAR)) if vv == v => {
-                            vals.extend(kb.subjects(a.p, t0).iter().map(|&n| NodeId(n)));
+                            vals.extend(kb.subjects(a.p, t0).iter().map(NodeId));
                         }
                         (Arg::Var(vv), Arg::Const(c)) if vv == v => {
-                            vals.extend(kb.subjects(a.p, c).iter().map(|&n| NodeId(n)));
+                            vals.extend(kb.subjects(a.p, c).iter().map(NodeId));
                         }
                         (Arg::Const(c), Arg::Var(vv)) if vv == v => {
-                            vals.extend(kb.objects(a.p, c).iter().map(|&n| NodeId(n)));
+                            vals.extend(kb.objects(a.p, c).iter().map(NodeId));
                         }
                         _ => {}
                     }
@@ -190,12 +190,12 @@ fn refinements(ctx: &SearchCtx<'_>, rule: &Rule) -> Vec<Rule> {
             continue;
         }
         for &rep in reps {
-            for &p in kb.preds_of_subject(rep) {
+            for p in kb.preds_of_subject(rep) {
                 let p = PredId(p);
                 if !ctx.pred_usable(p) {
                     continue;
                 }
-                for &o in kb.objects(p, rep) {
+                for o in kb.objects(p, rep) {
                     let o = NodeId(o);
                     if kb.node_kind(o) == TermKind::Blank {
                         continue;
@@ -227,7 +227,7 @@ fn refinements(ctx: &SearchCtx<'_>, rule: &Rule) -> Vec<Rule> {
     if rule.len() + 2 <= ctx.config.max_body_atoms && next_var < 15 {
         for (v, reps) in &var_reps {
             for &rep in reps {
-                for &p in kb.preds_of_subject(rep) {
+                for p in kb.preds_of_subject(rep) {
                     let p = PredId(p);
                     if !ctx.pred_usable(p) {
                         continue;
@@ -263,7 +263,7 @@ fn refinements(ctx: &SearchCtx<'_>, rule: &Rule) -> Vec<Rule> {
                 .unwrap_or(&[]);
             let mut preds: Vec<PredId> = Vec::new();
             for &rep in reps {
-                preds.extend(kb.preds_of_subject(rep).iter().map(|&p| PredId(p)));
+                preds.extend(kb.preds_of_subject(rep).iter().map(PredId));
             }
             preds.sort_unstable();
             preds.dedup();

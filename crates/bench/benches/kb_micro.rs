@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("csr_objects_lookup", |b| {
         b.iter(|| criterion::black_box(kb.objects(country, settlement)))
     });
-    let country0 = kb.objects(country, settlement).first().copied();
+    let country0 = kb.objects(country, settlement).first();
     if let Some(o) = country0 {
         group.bench_function("csr_subjects_lookup", |b| {
             b.iter(|| criterion::black_box(kb.subjects(country, remi_kb::NodeId(o))))

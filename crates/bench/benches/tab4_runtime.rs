@@ -16,6 +16,7 @@ fn bench(c: &mut Criterion) {
         timeout: Duration::from_millis(300),
         threads: 8,
         seed: 42,
+        include_amie: true,
     };
     for (synth, classes) in [
         (dbpedia(), &DBPEDIA_CLASSES[..]),

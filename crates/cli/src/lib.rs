@@ -13,7 +13,8 @@ use remi_core::complexity::Prominence;
 use remi_core::eval::Evaluator;
 use remi_core::exceptions::{describe_with_exceptions, verbalize_with_exceptions};
 use remi_core::{LanguageBias, Remi, RemiConfig, SearchStatus};
-use remi_kb::{KnowledgeBase, NodeId, PredId};
+use remi_kb::binfmt::BinFormat;
+use remi_kb::{Backend, KnowledgeBase, NodeId, PredId};
 
 /// CLI errors: message + suggestion.
 #[derive(Debug)]
@@ -36,9 +37,16 @@ impl From<remi_kb::KbError> for CliError {
 /// Result alias for CLI operations.
 pub type Result<T> = std::result::Result<T, CliError>;
 
+/// Parses a `--backend` value.
+pub fn parse_backend(s: &str) -> Result<Backend> {
+    Backend::parse(s)
+        .ok_or_else(|| CliError(format!("unknown backend {s:?} (expected csr or succinct)")))
+}
+
 /// Loads a KB from a path, dispatching on the extension:
-/// `.nt`/`.ntriples` → N-Triples, anything else → the binary format.
-/// Inverse predicates are rebuilt for the top `inverse_fraction`.
+/// `.nt`/`.ntriples` → N-Triples, anything else → a binary format (the
+/// magic decides between `RKB1` and `RKB2`). Inverse predicates are
+/// rebuilt for the top `inverse_fraction` where the format allows.
 pub fn load_kb(path: &Path, inverse_fraction: f64) -> Result<KnowledgeBase> {
     let ext = path
         .extension()
@@ -55,8 +63,24 @@ pub fn load_kb(path: &Path, inverse_fraction: f64) -> Result<KnowledgeBase> {
     }
 }
 
-/// Saves a KB to a path, dispatching on the extension as in [`load_kb`].
-pub fn save_kb(kb: &KnowledgeBase, path: &Path) -> Result<()> {
+/// Loads a KB and converts it to the requested backend (`None` keeps the
+/// format-native one: CSR for N-Triples/`RKB1`, succinct for `RKB2`).
+pub fn load_kb_as(
+    path: &Path,
+    inverse_fraction: f64,
+    backend: Option<Backend>,
+) -> Result<KnowledgeBase> {
+    let kb = load_kb(path, inverse_fraction)?;
+    Ok(match backend {
+        Some(b) => kb.with_backend(b),
+        None => kb,
+    })
+}
+
+/// Saves a KB to a path: `.nt`/`.ntriples` → N-Triples, `.rkb2` → the
+/// succinct `RKB2` format, anything else → `RKB1`. An explicit `format`
+/// overrides the binary-extension dispatch.
+pub fn save_kb_as(kb: &KnowledgeBase, path: &Path, format: Option<BinFormat>) -> Result<()> {
     let ext = path
         .extension()
         .and_then(|e| e.to_str())
@@ -66,10 +90,41 @@ pub fn save_kb(kb: &KnowledgeBase, path: &Path) -> Result<()> {
         let f = std::fs::File::create(path)
             .map_err(|e| CliError(format!("cannot create {}: {e}", path.display())))?;
         remi_kb::ntriples::write_kb(kb, std::io::BufWriter::new(f))?;
-        Ok(())
-    } else {
-        Ok(remi_kb::binfmt::save(kb, path)?)
+        return Ok(());
     }
+    let format = format.unwrap_or(if ext == "rkb2" {
+        BinFormat::Rkb2
+    } else {
+        BinFormat::Rkb1
+    });
+    Ok(remi_kb::binfmt::save_as(kb, path, format)?)
+}
+
+/// Saves a KB to a path, dispatching on the extension as in [`load_kb`].
+pub fn save_kb(kb: &KnowledgeBase, path: &Path) -> Result<()> {
+    save_kb_as(kb, path, None)
+}
+
+/// Formats the per-section store memory report shared by `stats` and
+/// `describe`.
+fn memory_report(kb: &KnowledgeBase) -> String {
+    let mem = kb.store_memory();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "store memory ({} backend): {} bytes",
+        kb.backend(),
+        mem.total()
+    );
+    for (name, bytes) in &mem.components {
+        let _ = writeln!(out, "  {bytes:>12}  {name}");
+    }
+    let _ = writeln!(
+        out,
+        "  {:>12}  dictionaries (est.)",
+        kb.node_dict().heap_bytes() + kb.pred_dict().heap_bytes()
+    );
+    out
 }
 
 /// `remi gen`: generates a synthetic KB and writes it out.
@@ -95,10 +150,11 @@ pub fn cmd_gen(profile: &str, scale: f64, seed: u64, out: &Path) -> Result<Strin
     ))
 }
 
-/// `remi convert`: transcodes between N-Triples and the binary format.
-pub fn cmd_convert(input: &Path, output: &Path) -> Result<String> {
+/// `remi convert`: transcodes between N-Triples and the binary formats
+/// (`--format rkb1|rkb2` overrides the output-extension dispatch).
+pub fn cmd_convert(input: &Path, output: &Path, format: Option<BinFormat>) -> Result<String> {
     let kb = load_kb(input, 0.0)?;
-    save_kb(&kb, output)?;
+    save_kb_as(&kb, output, format)?;
     Ok(format!(
         "converted {} → {} ({} triples)",
         input.display(),
@@ -107,11 +163,11 @@ pub fn cmd_convert(input: &Path, output: &Path) -> Result<String> {
     ))
 }
 
-/// `remi stats`: prints KB statistics — sizes, the most frequent
-/// predicates and entities (the head of the prominence ranking `Ĉ`
-/// builds on).
-pub fn cmd_stats(path: &Path) -> Result<String> {
-    let kb = load_kb(path, 0.01)?;
+/// `remi stats`: prints KB statistics — sizes, per-section store memory,
+/// the most frequent predicates and entities (the head of the prominence
+/// ranking `Ĉ` builds on).
+pub fn cmd_stats(path: &Path, backend: Option<Backend>) -> Result<String> {
+    let kb = load_kb_as(path, 0.01, backend)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -122,6 +178,8 @@ pub fn cmd_stats(path: &Path) -> Result<String> {
         kb.num_nodes(),
         kb.num_preds()
     );
+    let _ = writeln!(out);
+    out.push_str(&memory_report(&kb));
 
     let mut preds: Vec<PredId> = kb.pred_ids().filter(|&p| !kb.is_inverse(p)).collect();
     preds.sort_by_key(|&p| std::cmp::Reverse(kb.pred_frequency(p)));
@@ -153,6 +211,8 @@ pub struct DescribeOpts {
     pub pagerank: bool,
     /// Allow up to this many exceptions (§6 extension).
     pub exceptions: usize,
+    /// Storage backend override (`None` keeps the format-native one).
+    pub backend: Option<Backend>,
 }
 
 impl Default for DescribeOpts {
@@ -163,13 +223,14 @@ impl Default for DescribeOpts {
             timeout_ms: 0,
             pagerank: false,
             exceptions: 0,
+            backend: None,
         }
     }
 }
 
 /// `remi describe`: mines the most intuitive RE for the given entity IRIs.
 pub fn cmd_describe(path: &Path, iris: &[String], opts: &DescribeOpts) -> Result<String> {
-    let kb = load_kb(path, 0.01)?;
+    let kb = load_kb_as(path, 0.01, opts.backend)?;
     let targets: Vec<NodeId> = iris
         .iter()
         .map(|iri| {
@@ -242,12 +303,24 @@ pub fn cmd_describe(path: &Path, iris: &[String], opts: &DescribeOpts) -> Result
         outcome.stats.queue_time,
         outcome.stats.search_time,
     );
+    let _ = writeln!(
+        out,
+        "memory: {} backend, {} store bytes",
+        kb.backend(),
+        kb.store_memory().total()
+    );
     Ok(out)
 }
 
 /// `remi summarize`: prints a top-k summary of one entity.
-pub fn cmd_summarize(path: &Path, iri: &str, k: usize, method: &str) -> Result<String> {
-    let kb = load_kb(path, 0.01)?;
+pub fn cmd_summarize(
+    path: &Path,
+    iri: &str,
+    k: usize,
+    method: &str,
+    backend: Option<Backend>,
+) -> Result<String> {
+    let kb = load_kb_as(path, 0.01, backend)?;
     let entity = kb
         .node_id_by_iri(iri)
         .ok_or_else(|| CliError(format!("entity not found in KB: {iri}")))?;
@@ -288,12 +361,19 @@ pub const USAGE: &str = "\
 remi — mine intuitive referring expressions on RDF knowledge bases
 
 USAGE:
-  remi gen --profile dbpedia|wikidata [--scale F] [--seed N] -o <kb.{rkb,nt}>
-  remi convert <in.{rkb,nt}> <out.{rkb,nt}>
-  remi stats <kb>
+  remi gen --profile dbpedia|wikidata [--scale F] [--seed N] -o <kb.{rkb,rkb2,nt}>
+  remi convert <in.{rkb,rkb2,nt}> <out.{rkb,rkb2,nt}> [--format rkb1|rkb2]
+  remi stats <kb> [--backend csr|succinct]
   remi describe <kb> <iri>... [--standard] [--threads N] [--timeout-ms N]
                               [--pagerank] [--exceptions N]
+                              [--backend csr|succinct]
   remi summarize <kb> <iri> [--k N] [--method remi|faces|linksum]
+                            [--backend csr|succinct]
+
+STORAGE:
+  .rkb files are row-oriented RKB1 (loads into the CSR backend); .rkb2
+  files are succinct RKB2 bitmap triples (zero-copy load). --backend
+  converts after loading, so any command runs on either layout.
 
 ENVIRONMENT:
   REMI_THREADS  sizes the shared worker pool and is the default for
@@ -321,7 +401,7 @@ mod tests {
         let msg = cmd_gen("dbpedia", 0.2, 5, &kb_path).unwrap();
         assert!(msg.contains("base triples"));
 
-        let stats = cmd_stats(&kb_path).unwrap();
+        let stats = cmd_stats(&kb_path, None).unwrap();
         assert!(stats.contains("top predicates"));
 
         let out = cmd_describe(
@@ -343,11 +423,11 @@ mod tests {
         let bin = dir.join("kb.rkb");
         let nt = dir.join("kb.nt");
         cmd_gen("wikidata", 0.1, 3, &bin).unwrap();
-        let msg = cmd_convert(&bin, &nt).unwrap();
+        let msg = cmd_convert(&bin, &nt, None).unwrap();
         assert!(msg.contains("converted"));
         // And back.
         let bin2 = dir.join("kb2.rkb");
-        cmd_convert(&nt, &bin2).unwrap();
+        cmd_convert(&nt, &bin2, None).unwrap();
         let kb1 = load_kb(&bin, 0.0).unwrap();
         let kb2 = load_kb(&bin2, 0.0).unwrap();
         assert_eq!(kb1.num_triples(), kb2.num_triples());
@@ -367,7 +447,7 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("not found"));
-        assert!(cmd_summarize(&kb_path, "e:Person_0", 5, "magic").is_err());
+        assert!(cmd_summarize(&kb_path, "e:Person_0", 5, "magic", None).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -377,7 +457,7 @@ mod tests {
         let kb_path = dir.join("kb.rkb");
         cmd_gen("dbpedia", 0.2, 9, &kb_path).unwrap();
         for method in ["remi", "faces", "linksum"] {
-            let out = cmd_summarize(&kb_path, "e:Person_0", 5, method).unwrap();
+            let out = cmd_summarize(&kb_path, "e:Person_0", 5, method, None).unwrap();
             assert!(out.contains("summary of"), "{method}: {out}");
         }
         std::fs::remove_dir_all(&dir).ok();

@@ -69,16 +69,43 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             cmd_gen(&profile, scale, seed, &out).map(|s| s + "\n")
         }
         "convert" => {
-            let [input, output] = &args[1..] else {
+            let mut format = None;
+            let mut paths = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => {
+                        let v = it.next().ok_or_else(|| err("missing flag value"))?;
+                        format = Some(
+                            remi_kb::binfmt::BinFormat::parse(v)
+                                .ok_or_else(|| err("--format takes rkb1 or rkb2"))?,
+                        );
+                    }
+                    p if !p.starts_with("--") => paths.push(p.to_string()),
+                    other => return Err(err(&format!("unknown flag {other}"))),
+                }
+            }
+            let [input, output] = &paths[..] else {
                 return Err(err("convert takes exactly two paths"));
             };
-            cmd_convert(&PathBuf::from(input), &PathBuf::from(output)).map(|s| s + "\n")
+            cmd_convert(&PathBuf::from(input), &PathBuf::from(output), format).map(|s| s + "\n")
         }
         "stats" => {
             let Some(path) = args.get(1) else {
                 return Err(err("stats takes a KB path"));
             };
-            cmd_stats(&PathBuf::from(path))
+            let mut backend = None;
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--backend" => {
+                        let v = it.next().ok_or_else(|| err("missing flag value"))?;
+                        backend = Some(remi_cli::parse_backend(v)?);
+                    }
+                    other => return Err(err(&format!("unknown flag {other}"))),
+                }
+            }
+            cmd_stats(&PathBuf::from(path), backend)
         }
         "describe" => {
             let Some(path) = args.get(1) else {
@@ -107,6 +134,7 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
                             .parse()
                             .map_err(|_| err("--exceptions takes an int"))?
                     }
+                    "--backend" => opts.backend = Some(remi_cli::parse_backend(&value()?)?),
                     iri if !iri.starts_with("--") => iris.push(iri.to_string()),
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }
@@ -122,16 +150,18 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             };
             let mut k = 5usize;
             let mut method = "remi".to_string();
+            let mut backend = None;
             let mut it = args[3..].iter();
             while let Some(a) = it.next() {
                 let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
                 match a.as_str() {
                     "--k" => k = value()?.parse().map_err(|_| err("--k takes an int"))?,
                     "--method" => method = value()?,
+                    "--backend" => backend = Some(remi_cli::parse_backend(&value()?)?),
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }
             }
-            cmd_summarize(&PathBuf::from(path), iri, k, &method)
+            cmd_summarize(&PathBuf::from(path), iri, k, &method, backend)
         }
         "help" => Ok(USAGE.to_string()),
         other => Err(err(&format!("unknown subcommand {other}"))),

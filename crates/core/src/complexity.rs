@@ -266,7 +266,7 @@ impl<'kb> CostModel<'kb> {
         // are subjects of q — the strength of the p0 ⋈ q join.
         let mut weight: FxHashMap<u32, u32> = FxHashMap::default();
         for y in self.kb.index(p0).iter_objects() {
-            for &q in self.kb.preds_of_subject(y) {
+            for q in self.kb.preds_of_subject(y) {
                 *weight.entry(q).or_insert(0) += 1;
             }
         }
@@ -286,7 +286,7 @@ impl<'kb> CostModel<'kb> {
             .iter_subjects()
             .take(CLOSED_RANK_SUBJECT_CAP)
         {
-            for &q in self.kb.preds_of_subject(s) {
+            for q in self.kb.preds_of_subject(s) {
                 if q == p0.0 {
                     continue;
                 }

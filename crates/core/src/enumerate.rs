@@ -84,13 +84,13 @@ pub fn subgraph_expressions(
     let preds: Vec<PredId> = kb
         .preds_of_subject(t)
         .iter()
-        .map(|&p| PredId(p))
+        .map(PredId)
         .filter(|&p| !pred_excluded(kb, p, config))
         .collect();
 
     // Level 1: atoms p(x, o), skipping blank-node objects.
     for &p in &preds {
-        for &o in kb.objects(p, t) {
+        for o in kb.objects(p, t) {
             let o = NodeId(o);
             if kb.node_kind(o) == TermKind::Blank {
                 continue;
@@ -139,7 +139,7 @@ pub fn subgraph_expressions(
     // Paths through blank intermediates are always derived (they "hide"
     // the blank); prominent intermediates are never expanded.
     'paths: for &p0 in &preds {
-        for &y in kb.objects(p0, t) {
+        for y in kb.objects(p0, t) {
             let y = NodeId(y);
             match kb.node_kind(y) {
                 TermKind::Literal => continue,
@@ -152,12 +152,12 @@ pub fn subgraph_expressions(
             }
             // Collect the facts describing y (the candidate star atoms).
             let mut facts: Vec<(PredId, NodeId)> = Vec::new();
-            for &p1 in kb.preds_of_subject(y) {
+            for p1 in kb.preds_of_subject(y) {
                 let p1 = PredId(p1);
                 if pred_excluded(kb, p1, config) {
                     continue;
                 }
-                for &o1 in kb.objects(p1, y) {
+                for o1 in kb.objects(p1, y) {
                     let o1 = NodeId(o1);
                     if kb.node_kind(o1) == TermKind::Blank {
                         continue;
@@ -257,22 +257,22 @@ pub fn space_growth_counts(
 
     // Tier 3: additionally count distinct two-variable chain paths.
     let mut chains: FxHashSet<(PredId, PredId, PredId, NodeId)> = FxHashSet::default();
-    'outer: for &p0 in kb.preds_of_subject(t) {
+    'outer: for p0 in kb.preds_of_subject(t) {
         let p0 = PredId(p0);
         if pred_excluded(kb, p0, config) {
             continue;
         }
-        for &y in kb.objects(p0, t) {
+        for y in kb.objects(p0, t) {
             let y = NodeId(y);
             if kb.node_kind(y) == TermKind::Literal || ctx.is_prominent(y) {
                 continue;
             }
-            for &p1 in kb.preds_of_subject(y) {
+            for p1 in kb.preds_of_subject(y) {
                 let p1 = PredId(p1);
                 if pred_excluded(kb, p1, config) {
                     continue;
                 }
-                for &z in kb.objects(p1, y) {
+                for z in kb.objects(p1, y) {
                     let z = NodeId(z);
                     // The §3.5.2 prominence pruning applies to the object
                     // of the atom being *expanded* (y); the growth
@@ -281,12 +281,12 @@ pub fn space_growth_counts(
                     if kb.node_kind(z) == TermKind::Literal || z == t {
                         continue;
                     }
-                    for &p2 in kb.preds_of_subject(z) {
+                    for p2 in kb.preds_of_subject(z) {
                         let p2 = PredId(p2);
                         if pred_excluded(kb, p2, config) {
                             continue;
                         }
-                        for &o in kb.objects(p2, z) {
+                        for o in kb.objects(p2, z) {
                             let o = NodeId(o);
                             if kb.node_kind(o) == TermKind::Blank || o == t || o == y {
                                 continue;

@@ -11,35 +11,55 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use remi_kb::cache::LruCache;
-use remi_kb::{KnowledgeBase, NodeId};
+use remi_kb::{Bindings, KnowledgeBase, NodeId};
 
 use crate::expr::SubgraphExpr;
 
-/// Intersects two sorted id slices.
-pub fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+/// Intersects two sorted id lists (slices or backend [`Bindings`]).
+pub fn intersect_sorted<'a>(a: impl Into<Bindings<'a>>, b: impl Into<Bindings<'a>>) -> Vec<u32> {
+    let (a, b) = (a.into(), b.into());
     let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+    if let (Bindings::Slice(a), Bindings::Slice(b)) = (a, b) {
+        // Fast path for the CSR backend: direct slice indexing.
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        return out;
+    }
+    let (mut ai, mut bi) = (a.iter(), b.iter());
+    let (mut x, mut y) = (ai.next(), bi.next());
+    while let (Some(xa), Some(yb)) = (x, y) {
+        match xa.cmp(&yb) {
+            std::cmp::Ordering::Less => x = ai.next(),
+            std::cmp::Ordering::Greater => y = bi.next(),
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
+                out.push(xa);
+                x = ai.next();
+                y = bi.next();
             }
         }
     }
     out
 }
 
-/// True when two sorted slices share at least one element.
-pub fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+/// True when two sorted id lists share at least one element.
+pub fn sorted_intersects<'a>(a: impl Into<Bindings<'a>>, b: impl Into<Bindings<'a>>) -> bool {
+    let (a, b) = (a.into(), b.into());
+    let (mut ai, mut bi) = (a.iter(), b.iter());
+    let (mut x, mut y) = (ai.next(), bi.next());
+    while let (Some(xa), Some(yb)) = (x, y) {
+        match xa.cmp(&yb) {
+            std::cmp::Ordering::Less => x = ai.next(),
+            std::cmp::Ordering::Greater => y = bi.next(),
             std::cmp::Ordering::Equal => return true,
         }
     }
@@ -54,8 +74,8 @@ pub fn raw_bindings(kb: &KnowledgeBase, e: &SubgraphExpr) -> Vec<u32> {
         SubgraphExpr::Path { p0, p1, o } => {
             // x : ∃y p0(x,y) ∧ p1(y,o)
             let mut xs: Vec<u32> = Vec::new();
-            for &y in kb.subjects(p1, o) {
-                xs.extend_from_slice(kb.subjects(p0, NodeId(y)));
+            for y in kb.subjects(p1, o) {
+                xs.extend(kb.subjects(p0, NodeId(y)));
             }
             xs.sort_unstable();
             xs.dedup();
@@ -66,7 +86,7 @@ pub fn raw_bindings(kb: &KnowledgeBase, e: &SubgraphExpr) -> Vec<u32> {
             let ys = intersect_sorted(kb.subjects(p1, o1), kb.subjects(p2, o2));
             let mut xs: Vec<u32> = Vec::new();
             for &y in &ys {
-                xs.extend_from_slice(kb.subjects(p0, NodeId(y)));
+                xs.extend(kb.subjects(p0, NodeId(y)));
             }
             xs.sort_unstable();
             xs.dedup();
@@ -162,7 +182,7 @@ impl<'kb> Evaluator<'kb> {
                         break;
                     }
                     let b = self.bindings(part);
-                    acc = intersect_sorted(&acc, &b);
+                    acc = intersect_sorted(&acc, b.as_ref());
                 }
                 acc
             }

@@ -44,9 +44,9 @@ pub fn full_brevity(kb: &KnowledgeBase, targets: &[NodeId], max_len: usize) -> F
     // Candidate attributes: bound atoms shared by all targets.
     let first = targets[0];
     let mut attributes: Vec<SubgraphExpr> = Vec::new();
-    for &p in kb.preds_of_subject(first) {
+    for p in kb.preds_of_subject(first) {
         let p = PredId(p);
-        for &o in kb.objects(p, first) {
+        for o in kb.objects(p, first) {
             let o = NodeId(o);
             if kb.node_kind(o) == TermKind::Blank {
                 continue;

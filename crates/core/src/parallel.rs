@@ -18,7 +18,7 @@
 //! root at a time) so the incumbent-lock and cursor traffic amortises
 //! over a batch.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -32,9 +32,16 @@ use crate::expr::{Expression, SubgraphExpr};
 use crate::search::{ScoredExpr, SearchCounters, SearchResult, SearchStatus};
 
 struct Shared {
-    /// Incumbent: cost + expression. Cost duplicated outside the mutex is
-    /// not worth the complexity; the mutex is cheap at this granularity.
+    /// Incumbent expression, guarded by a mutex (written rarely — only on
+    /// genuine improvements).
     best: Mutex<Option<(Expression, Bits)>>,
+    /// The incumbent's cost as `f64` bit pattern — the lock-free fast
+    /// path for the read-heavy Alg. 3 line 6 check. Non-negative floats
+    /// order like their bit patterns, so `fetch_min` keeps it monotone;
+    /// a reader may observe a cost whose expression is still being
+    /// installed under the mutex, which is safe: that cost belongs to a
+    /// real solution, so pruning against it never discards the optimum.
+    best_cost_bits: AtomicU64,
     /// Lowest root index whose subtree exploration found no solution.
     /// Roots at or beyond this index are superfluous (§3.4, rule 2).
     no_solution_floor: FloorToken,
@@ -46,15 +53,28 @@ struct Shared {
 }
 
 impl Shared {
+    fn new() -> Shared {
+        Shared {
+            best: Mutex::new(None),
+            best_cost_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            no_solution_floor: FloorToken::new(),
+            next_root: AtomicUsize::new(0),
+            timed_out: CancelToken::new(),
+        }
+    }
+
+    /// The incumbent cost — one atomic load, no mutex (ROADMAP item:
+    /// P-REMI workers check the incumbent without the lock).
+    #[inline]
     fn best_cost(&self) -> Bits {
-        self.best
-            .lock()
-            .as_ref()
-            .map(|(_, c)| *c)
-            .unwrap_or(Bits::INFINITY)
+        Bits::new(f64::from_bits(self.best_cost_bits.load(Ordering::Acquire)))
     }
 
     fn offer(&self, expr: Expression, cost: Bits) {
+        // Advertise the cost first so concurrent readers prune as early
+        // as possible; fetch_min makes concurrent offers commute.
+        self.best_cost_bits
+            .fetch_min(cost.value().to_bits(), Ordering::AcqRel);
         let mut guard = self.best.lock();
         let better = match guard.as_ref() {
             Some((_, incumbent)) => cost < *incumbent,
@@ -207,12 +227,7 @@ pub fn parallel_remi_search_on(
     sorted_targets.sort_unstable();
     sorted_targets.dedup();
 
-    let shared = Shared {
-        best: Mutex::new(None),
-        no_solution_floor: FloorToken::new(),
-        next_root: AtomicUsize::new(0),
-        timed_out: CancelToken::new(),
-    };
+    let shared = Shared::new();
     let counters_total = Mutex::new(SearchCounters::default());
 
     let tasks = threads.max(1).min(queue.len().max(1));
@@ -441,6 +456,36 @@ mod tests {
             costs.push(par.best.map(|(_, c)| c));
         }
         assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
+    }
+
+    /// The lock-free cost mirror agrees with the mutex-guarded incumbent
+    /// and is monotone under out-of-order offers.
+    #[test]
+    fn atomic_best_cost_tracks_offers_monotonically() {
+        let kb = rennes_kb();
+        let (queue, _, model) = setup(&kb, &["e:Rennes"]);
+        let exprs: Vec<Expression> = queue
+            .iter()
+            .take(3)
+            .map(|se| Expression {
+                parts: vec![se.expr],
+            })
+            .collect();
+        assert!(exprs.len() >= 2, "need expressions to offer");
+        let shared = Shared::new();
+        assert!(shared.best_cost().is_infinite());
+        // Offer in a worsening-then-improving order.
+        shared.offer(exprs[0].clone(), Bits::new(5.0));
+        assert_eq!(shared.best_cost(), Bits::new(5.0));
+        shared.offer(exprs[1].clone(), Bits::new(9.0)); // worse: ignored
+        assert_eq!(shared.best_cost(), Bits::new(5.0));
+        shared.offer(exprs[1].clone(), Bits::new(2.0));
+        assert_eq!(shared.best_cost(), Bits::new(2.0));
+        let guard = shared.best.lock();
+        let (_, cost) = guard.as_ref().expect("incumbent installed");
+        assert_eq!(*cost, Bits::new(2.0));
+        drop(guard);
+        let _ = model;
     }
 
     #[test]

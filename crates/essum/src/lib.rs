@@ -35,12 +35,12 @@ pub type Summary = Vec<(PredId, NodeId)>;
 /// base predicates only, no `rdf:type`, no `rdfs:label`.
 pub fn candidate_facts(kb: &KnowledgeBase, entity: NodeId) -> Vec<(PredId, NodeId)> {
     let mut out = Vec::new();
-    for &p in kb.preds_of_subject(entity) {
+    for p in kb.preds_of_subject(entity) {
         let p = PredId(p);
         if kb.is_inverse(p) || Some(p) == kb.type_pred() || Some(p) == kb.label_pred() {
             continue;
         }
-        for &o in kb.objects(p, entity) {
+        for o in kb.objects(p, entity) {
             out.push((p, NodeId(o)));
         }
     }
@@ -162,7 +162,7 @@ pub fn linksum_summary(kb: &KnowledgeBase, pr: &PageRank, entity: NodeId, k: usi
         .into_iter()
         .map(|(p, o)| {
             let mut score = pr.score(o);
-            let backlink = kb.preds_of_subject(o).iter().any(|&q| {
+            let backlink = kb.preds_of_subject(o).iter().any(|q| {
                 let q = PredId(q);
                 !kb.is_inverse(q) && kb.contains(o, q, entity)
             });

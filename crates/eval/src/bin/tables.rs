@@ -4,6 +4,7 @@
 //! ```text
 //! remi-tables [--table all|2|3|4|fit|space|map|perceived|ablation]
 //!             [--scale F] [--seed N] [--sets N] [--timeout-ms N] [--threads N]
+//!             [--backend csr|succinct]
 //! ```
 
 use std::time::Duration;
@@ -21,6 +22,7 @@ struct Args {
     sets: usize,
     timeout_ms: u64,
     threads: usize,
+    backend: Option<remi_kb::Backend>,
 }
 
 impl Default for Args {
@@ -34,6 +36,7 @@ impl Default for Args {
             // REMI_THREADS (the knob shared by every parallel path) wins
             // over the paper's 8-thread default; --threads beats both.
             threads: remi_pool::env_threads().unwrap_or(8),
+            backend: None,
         }
     }
 }
@@ -61,10 +64,17 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--threads takes an integer")
             }
+            "--backend" => {
+                args.backend = Some(
+                    remi_kb::Backend::parse(&take("--backend"))
+                        .expect("--backend takes csr or succinct"),
+                )
+            }
             "--help" | "-h" => {
                 println!(
                     "remi-tables [--table all|2|3|4|fit|space|map|perceived|ablation] \
-                     [--scale F] [--seed N] [--sets N] [--timeout-ms N] [--threads N]\n\
+                     [--scale F] [--seed N] [--sets N] [--timeout-ms N] [--threads N] \
+                     [--backend csr|succinct]\n\
                      (REMI_THREADS sizes the shared pool and is the --threads default)"
                 );
                 std::process::exit(0);
@@ -86,8 +96,18 @@ fn main() {
         "# generating KBs (dbpedia & wikidata profiles, scale {}, seed {})…",
         args.scale, args.seed
     );
-    let db = experiments::dbpedia_kb(args.scale, args.seed);
-    let wd = experiments::wikidata_kb(args.scale, args.seed);
+    let mut db = experiments::dbpedia_kb(args.scale, args.seed);
+    let mut wd = experiments::wikidata_kb(args.scale, args.seed);
+    if let Some(backend) = args.backend {
+        // Re-house both KBs on the requested backend; every driver below
+        // sees identical bindings either way.
+        for synth in [&mut db, &mut wd] {
+            let mut owned = (**synth).clone();
+            owned.kb = owned.kb.with_backend(backend);
+            *synth = std::sync::Arc::new(owned);
+        }
+        eprintln!("# storage backend: {backend}");
+    }
     eprintln!(
         "# dbpedia-like:  {} facts ({} with inverses), {} predicates",
         db.kb.num_triples(),
@@ -121,6 +141,7 @@ fn main() {
             timeout: Duration::from_millis(args.timeout_ms),
             threads: args.threads,
             seed: args.seed,
+            include_amie: true,
         };
         for (synth, classes) in [(&db, &DBPEDIA_CLASSES[..]), (&wd, &WIKIDATA_CLASSES[..])] {
             for language in [LanguageBias::Standard, LanguageBias::Remi] {

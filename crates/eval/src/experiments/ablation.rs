@@ -153,11 +153,11 @@ impl fmt::Display for AblationResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::dbpedia_kb;
+    use crate::experiments::test_worlds;
 
     #[test]
     fn ablations_report_plausible_solution_counts() {
-        let synth = dbpedia_kb(1.0, 53);
+        let synth = test_worlds::dbpedia();
         let result = run(&synth, &["Person", "Settlement"], 15, 3);
         assert_eq!(result.rows.len(), 6);
         // Variants change speed, and under the per-set timeout a slower
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn pruning_shrinks_the_queue() {
-        let synth = dbpedia_kb(1.0, 53);
+        let synth = test_worlds::dbpedia();
         let result = run(&synth, &["Person", "Settlement"], 15, 5);
         let get = |name: &str| {
             result

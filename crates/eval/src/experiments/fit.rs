@@ -58,11 +58,11 @@ impl fmt::Display for FitResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::{dbpedia_kb, wikidata_kb};
+    use crate::experiments::test_worlds;
 
     #[test]
     fn r2_is_high_on_zipf_generated_data() {
-        let synth = dbpedia_kb(2.0, 13);
+        let synth = test_worlds::dbpedia();
         let fit = run(&synth, 10);
         assert!(fit.fitted_preds > 5);
         // The generators draw objects from Zipf distributions, so the
@@ -74,8 +74,8 @@ mod tests {
 
     #[test]
     fn works_on_both_profiles() {
-        let db = run(&dbpedia_kb(1.0, 1), 10);
-        let wd = run(&wikidata_kb(1.0, 1), 10);
+        let db = run(&test_worlds::dbpedia(), 10);
+        let wd = run(&test_worlds::wikidata(), 10);
         assert_eq!(db.dataset, "dbpedia");
         assert_eq!(wd.dataset, "wikidata");
         assert!(wd.r2_fr > 0.7, "wikidata fr R² = {}", wd.r2_fr);

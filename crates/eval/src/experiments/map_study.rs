@@ -150,11 +150,11 @@ impl fmt::Display for MapStudyResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::dbpedia_kb;
+    use crate::experiments::test_worlds;
 
     #[test]
     fn map_reflects_partial_agreement() {
-        let synth = dbpedia_kb(1.0, 37);
+        let synth = test_worlds::dbpedia();
         let result = run(
             &synth,
             &["Person", "Settlement", "Film", "Organization"],
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn alternatives_start_with_the_reported_solution() {
-        let synth = dbpedia_kb(1.0, 37);
+        let synth = test_worlds::dbpedia();
         let remi = Remi::new(&synth.kb, RemiConfig::default());
         let sets = sample_target_sets(
             &synth,

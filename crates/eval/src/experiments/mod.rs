@@ -39,3 +39,23 @@ pub fn wikidata_kb(scale: f64, seed: u64) -> Arc<SynthKb> {
 pub fn pm(mean: f64, std: f64) -> String {
     format!("{mean:.2}±{std:.2}")
 }
+
+/// Shared unit-test worlds. Every driver's tests draw from these two
+/// memoised fixtures (one per profile) so the debug suite builds two KBs
+/// per process instead of one per test module, and at a deliberately
+/// reduced scale — full-size runs belong to `remi-tables`, not `cargo
+/// test`.
+#[cfg(test)]
+pub(crate) mod test_worlds {
+    use super::*;
+
+    /// The shared DBpedia-like test world.
+    pub fn dbpedia() -> Arc<SynthKb> {
+        dbpedia_kb(0.75, 17)
+    }
+
+    /// The shared Wikidata-like test world.
+    pub fn wikidata() -> Arc<SynthKb> {
+        wikidata_kb(0.5, 2)
+    }
+}

@@ -115,11 +115,11 @@ impl fmt::Display for PerceivedResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::wikidata_kb;
+    use crate::experiments::test_worlds;
 
     #[test]
     fn grades_land_mid_scale() {
-        let synth = wikidata_kb(1.0, 43);
+        let synth = test_worlds::wikidata();
         let result = run(&synth, &["Company", "City", "Film", "Human"], 20, 3, 9);
         assert!(result.descriptions > 0);
         assert!(result.answers >= result.descriptions);
@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let synth = wikidata_kb(0.5, 2);
+        let synth = test_worlds::wikidata();
         let a = run(&synth, &["City", "Human"], 10, 2, 4);
         let b = run(&synth, &["City", "Human"], 10, 2, 4);
         assert_eq!(format!("{a}"), format!("{b}"));

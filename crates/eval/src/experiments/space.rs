@@ -109,11 +109,11 @@ impl fmt::Display for SpaceResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::dbpedia_kb;
+    use crate::experiments::test_worlds;
 
     #[test]
     fn second_variable_explodes_the_space() {
-        let synth = dbpedia_kb(1.5, 23);
+        let synth = test_worlds::dbpedia();
         let result = run(
             &synth,
             &["Person", "Settlement", "Organization"],

@@ -173,11 +173,11 @@ impl fmt::Display for Table2Result {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::dbpedia_kb;
+    use crate::experiments::test_worlds;
 
     #[test]
     fn runs_and_shows_positive_correlation() {
-        let synth = dbpedia_kb(1.0, 11);
+        let synth = test_worlds::dbpedia();
         let result = run(
             &synth,
             &["Person", "Settlement", "Album", "Film", "Organization"],
@@ -213,7 +213,7 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let synth = dbpedia_kb(0.5, 3);
+        let synth = test_worlds::dbpedia();
         let a = run(&synth, &["Person", "Settlement"], 10, 2, 9);
         let b = run(&synth, &["Person", "Settlement"], 10, 2, 9);
         assert_eq!(format!("{a}"), format!("{b}"));

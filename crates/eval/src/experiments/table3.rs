@@ -137,11 +137,11 @@ impl fmt::Display for Table3Result {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::dbpedia_kb;
+    use crate::experiments::test_worlds;
 
     #[test]
     fn produces_all_rows_with_sane_values() {
-        let synth = dbpedia_kb(1.0, 17);
+        let synth = test_worlds::dbpedia();
         let result = run(
             &synth,
             &["Person", "Settlement", "Film", "Organization"],
@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn summarisers_beat_nothing_and_experts_agree_with_someone() {
-        let synth = dbpedia_kb(1.0, 17);
+        let synth = test_worlds::dbpedia();
         let result = run(&synth, &["Person", "Settlement"], 12, 5);
         // At least one method achieves non-trivial overlap at top-10.
         assert!(result.rows.iter().any(|r| r.top10_o.0 > 0.5), "{result}");
@@ -174,7 +174,7 @@ mod tests {
         // The dedicated summarisers optimise the gold standard's own
         // criteria, so they should not lose to REMI at top-10 PO (the
         // paper's headline observation).
-        let synth = dbpedia_kb(1.5, 41);
+        let synth = test_worlds::dbpedia();
         let result = run(
             &synth,
             &["Person", "Settlement", "Film", "Organization"],

@@ -1,9 +1,10 @@
-//! An HDT-like compressed binary format for knowledge bases.
+//! HDT-like compressed binary formats for knowledge bases.
 //!
 //! The paper stores its KBs as HDT files: a binary, dictionary-compressed
 //! representation that supports atom-level retrieval without full
-//! decompression (§3.5.1). This module implements the same idea, tuned to
-//! our store layout:
+//! decompression (§3.5.1). Two generations of that idea live here:
+//!
+//! **`RKB1`** — the original row-oriented format:
 //!
 //! ```text
 //! magic "RKB1" | flags u8
@@ -13,23 +14,88 @@
 //! footer:           FNV-1a checksum of everything before it
 //! ```
 //!
-//! Keys are *front-coded*: each entry stores the length of the prefix shared
-//! with its predecessor plus the differing suffix — the classic dictionary
-//! compression used by HDT. Triples are stored sorted by `(s, o)` per
-//! predicate with LEB128 gap encoding, so loading rebuilds CSR indexes
-//! directly.
+//! Loading `RKB1` replays the triples through [`KbBuilder`] and produces
+//! the CSR backend; inverse predicates are rebuilt at load time from the
+//! caller's fraction.
+//!
+//! **`RKB2`** — the succinct section-table format:
+//!
+//! ```text
+//! magic "RKB2" | flags u8
+//! section table:    count, then (tag u8, offset u64, len u64)
+//! NODES section:    front-coded node dictionary (with kind bytes)
+//! PREDS section:    front-coded predicate dictionary (incl. inverses)
+//! META section:     base-triple count + per-node frequencies
+//! TRIPLES section:  the three BitmapTriples waves (SPO, OPS, SP), each a
+//!                   packed key sequence + run bitmap + packed values
+//! footer:           FNV-1a checksum of everything before it
+//! ```
+//!
+//! The `RKB2` word payloads (packed sequences and bitmaps) load
+//! *zero-copy*: the loader slices the input [`Bytes`] buffer and the
+//! succinct backend reads little-endian words straight out of it. Inverse
+//! predicates are baked into the file; loading with a non-zero inverse
+//! fraction falls back to a rebuilding load only when the file holds no
+//! materialised inverses.
+//!
+//! Keys are *front-coded* in both formats: each entry stores the length of
+//! the prefix shared with its predecessor plus the differing suffix — the
+//! classic dictionary compression used by HDT.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
 use std::path::Path;
 
+use crate::backend::{build_bitmap_triples, StoreBackend};
+use crate::dict::Dictionary;
 use crate::error::{KbError, Result};
 use crate::ids::{NodeId, PredId};
 use crate::store::{KbBuilder, KnowledgeBase};
+use crate::succinct::{BitmapTriples, PackedSeq, RsBitVec, WaveIndex, WordSeq};
 use crate::term::TermKind;
 use crate::varint;
 
-const MAGIC: &[u8; 4] = b"RKB1";
+const MAGIC_V1: &[u8; 4] = b"RKB1";
+const MAGIC_V2: &[u8; 4] = b"RKB2";
+
+/// `RKB2` section tags.
+const SEC_NODES: u8 = 1;
+const SEC_PREDS: u8 = 2;
+const SEC_META: u8 = 3;
+const SEC_TRIPLES: u8 = 4;
+
+/// `RKB2` flag bit: the file contains materialised inverse predicates.
+const FLAG_HAS_INVERSES: u8 = 1;
+
+/// On-disk format generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BinFormat {
+    /// Row-oriented `RKB1` (loads into the CSR backend).
+    #[default]
+    Rkb1,
+    /// Succinct section-table `RKB2` (loads zero-copy into the succinct
+    /// backend).
+    Rkb2,
+}
+
+impl BinFormat {
+    /// Parses a format name (`rkb1` / `rkb2`).
+    pub fn parse(s: &str) -> Option<BinFormat> {
+        match s {
+            "rkb1" => Some(BinFormat::Rkb1),
+            "rkb2" => Some(BinFormat::Rkb2),
+            _ => None,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinFormat::Rkb1 => "rkb1",
+            BinFormat::Rkb2 => "rkb2",
+        }
+    }
+}
 
 fn kind_to_u8(k: TermKind) -> u8 {
     match k {
@@ -71,12 +137,25 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Serialises a KB into the binary format. Only base triples are written;
-/// pass the inverse-materialisation fraction to [`read_bytes`] to rebuild
-/// derived facts at load time.
+/// Decodes one front-coded key given the previous key.
+fn read_front_coded(buf: &mut impl Buf, prev: &str) -> Result<String> {
+    let shared = varint::read_u64(buf)? as usize;
+    if shared > prev.len() {
+        return Err(KbError::Format("front-coding prefix overruns".into()));
+    }
+    let suffix = varint::read_str(buf)?;
+    let mut key = String::with_capacity(shared + suffix.len());
+    key.push_str(&prev[..shared]);
+    key.push_str(&suffix);
+    Ok(key)
+}
+
+/// Serialises a KB into `RKB1`. Only base triples are written; pass the
+/// inverse-materialisation fraction to [`read_bytes`] to rebuild derived
+/// facts at load time.
 pub fn write_bytes(kb: &KnowledgeBase) -> Bytes {
     let mut out = BytesMut::with_capacity(1 << 16);
-    out.put_slice(MAGIC);
+    out.put_slice(MAGIC_V1);
     out.put_u8(0); // flags, reserved
 
     // Node dictionary, front-coded in id order.
@@ -108,7 +187,7 @@ pub fn write_bytes(kb: &KnowledgeBase) -> Bytes {
         varint::write_u64(&mut out, idx.num_facts() as u64);
         let mut last_s = 0u32;
         for (s, objs) in idx.iter_subjects() {
-            for &o in objs {
+            for o in objs {
                 // Gap on s; when the gap is 0 the o stream continues.
                 varint::write_u32(&mut out, s.0 - last_s);
                 varint::write_u32(&mut out, o);
@@ -122,24 +201,324 @@ pub fn write_bytes(kb: &KnowledgeBase) -> Bytes {
     out.freeze()
 }
 
-/// Deserialises a KB from bytes, rebuilding inverse predicates for the top
-/// `inverse_fraction` most frequent entities (pass `0.0` for none).
-pub fn read_bytes(bytes: &[u8], inverse_fraction: f64) -> Result<KnowledgeBase> {
-    if bytes.len() < MAGIC.len() + 8 {
-        return Err(KbError::Format("file too short".into()));
+fn write_packed(out: &mut BytesMut, seq: &PackedSeq) {
+    out.put_u8(seq.width() as u8);
+    varint::write_u64(out, seq.len() as u64);
+    varint::write_u64(out, seq.words().len_words() as u64);
+    seq.words().write_le(out);
+}
+
+fn write_bitvec(out: &mut BytesMut, bv: &RsBitVec) {
+    varint::write_u64(out, bv.len() as u64);
+    varint::write_u64(out, bv.words().len_words() as u64);
+    bv.words().write_le(out);
+}
+
+fn write_wave(out: &mut BytesMut, wave: &WaveIndex) {
+    let (key_bounds, val_bounds, keys, last, vals) = wave.parts();
+    varint::write_u64(out, (key_bounds.len() - 1) as u64);
+    for &b in key_bounds {
+        varint::write_u32(out, b);
     }
-    let (body, footer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(footer.try_into().expect("footer is 8 bytes"));
-    if fnv1a(body) != stored {
-        return Err(KbError::Format("checksum mismatch".into()));
+    for &b in val_bounds {
+        varint::write_u32(out, b);
+    }
+    write_packed(out, keys);
+    write_bitvec(out, last);
+    write_packed(out, vals);
+}
+
+/// Serialises a KB into the succinct `RKB2` format. All predicates —
+/// including materialised inverses — are written, so the file loads
+/// without any rebuilding.
+pub fn write_bytes_v2(kb: &KnowledgeBase) -> Bytes {
+    // Reuse the live succinct store when the KB already runs on it.
+    let built;
+    let triples: &BitmapTriples = match kb.store() {
+        StoreBackend::Succinct(bt) => bt,
+        other => {
+            built = build_bitmap_triples(other, kb.num_nodes());
+            &built
+        }
+    };
+
+    // Section payloads.
+    let mut nodes = BytesMut::new();
+    varint::write_u64(&mut nodes, kb.num_nodes() as u64);
+    let mut prev = String::new();
+    for (_, key, kind) in kb.node_dict().iter() {
+        nodes.put_u8(kind_to_u8(kind));
+        let shared = common_prefix_len(&prev, key);
+        varint::write_u64(&mut nodes, shared as u64);
+        varint::write_str(&mut nodes, &key[shared..]);
+        prev = key.to_string();
     }
 
-    let mut buf = body;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(KbError::Format("bad magic".into()));
+    let mut preds = BytesMut::new();
+    varint::write_u64(&mut preds, kb.num_preds() as u64);
+    let mut prev = String::new();
+    for (_, key, _) in kb.pred_dict().iter() {
+        let shared = common_prefix_len(&prev, key);
+        varint::write_u64(&mut preds, shared as u64);
+        varint::write_str(&mut preds, &key[shared..]);
+        prev = key.to_string();
     }
+
+    let mut meta = BytesMut::new();
+    varint::write_u64(&mut meta, kb.num_triples() as u64);
+    varint::write_u64(&mut meta, kb.num_nodes() as u64);
+    for n in kb.node_ids() {
+        varint::write_u32(&mut meta, kb.node_frequency(n));
+    }
+
+    let mut waves = BytesMut::new();
+    write_wave(&mut waves, triples.spo());
+    write_wave(&mut waves, triples.ops());
+    write_wave(&mut waves, triples.sp());
+
+    // Assemble: header | section table | payloads | checksum.
+    let has_inverses = kb.pred_ids().any(|p| kb.is_inverse(p));
+    let sections: [(u8, &BytesMut); 4] = [
+        (SEC_NODES, &nodes),
+        (SEC_PREDS, &preds),
+        (SEC_META, &meta),
+        (SEC_TRIPLES, &waves),
+    ];
+    let header_len = MAGIC_V2.len() + 1 + 1 + sections.len() * 17;
+    let mut out = BytesMut::with_capacity(
+        header_len + sections.iter().map(|(_, s)| s.len()).sum::<usize>() + 8,
+    );
+    out.put_slice(MAGIC_V2);
+    out.put_u8(if has_inverses { FLAG_HAS_INVERSES } else { 0 });
+    out.put_u8(sections.len() as u8);
+    let mut offset = header_len as u64;
+    for (tag, payload) in &sections {
+        out.put_u8(*tag);
+        out.put_u64_le(offset);
+        out.put_u64_le(payload.len() as u64);
+        offset += payload.len() as u64;
+    }
+    for (_, payload) in &sections {
+        out.put_slice(payload);
+    }
+    let checksum = fnv1a(&out);
+    out.put_u64_le(checksum);
+    out.freeze()
+}
+
+fn read_packed(cur: &mut Bytes) -> Result<PackedSeq> {
+    if !cur.has_remaining() {
+        return Err(KbError::Format("truncated packed sequence".into()));
+    }
+    let width = u32::from(cur.get_u8());
+    if !(1..=32).contains(&width) {
+        return Err(KbError::Format(format!("bad packed width {width}")));
+    }
+    let len = varint::read_u64(cur)? as usize;
+    let n_words = varint::read_u64(cur)? as usize;
+    let n_bytes = n_words * 8;
+    if cur.remaining() < n_bytes || n_words * 64 < len * width as usize {
+        return Err(KbError::Format("truncated packed sequence".into()));
+    }
+    let words = cur.slice(..n_bytes);
+    cur.advance(n_bytes);
+    Ok(PackedSeq::from_words(WordSeq::Shared(words), width, len))
+}
+
+fn read_bitvec(cur: &mut Bytes) -> Result<RsBitVec> {
+    let len_bits = varint::read_u64(cur)? as usize;
+    let n_words = varint::read_u64(cur)? as usize;
+    let n_bytes = n_words * 8;
+    if cur.remaining() < n_bytes || n_words * 64 < len_bits {
+        return Err(KbError::Format("truncated bitmap".into()));
+    }
+    let words = cur.slice(..n_bytes);
+    cur.advance(n_bytes);
+    Ok(RsBitVec::from_words(WordSeq::Shared(words), len_bits))
+}
+
+fn read_wave(cur: &mut Bytes) -> Result<WaveIndex> {
+    let n_groups = varint::read_u64(cur)? as usize;
+    // Bounds are validated after the sequences are known; read raw first.
+    let mut raw_key_bounds = Vec::with_capacity(n_groups + 1);
+    for _ in 0..=n_groups {
+        raw_key_bounds.push(varint::read_u32(cur)?);
+    }
+    let mut raw_val_bounds = Vec::with_capacity(n_groups + 1);
+    for _ in 0..=n_groups {
+        raw_val_bounds.push(varint::read_u32(cur)?);
+    }
+    let keys = read_packed(cur)?;
+    let last = read_bitvec(cur)?;
+    let vals = read_packed(cur)?;
+    let check = |bounds: &[u32], last_val: usize| -> Result<()> {
+        let monotone = bounds.windows(2).all(|w| w[0] <= w[1]);
+        if bounds.first() != Some(&0) || !monotone || bounds.last() != Some(&(last_val as u32)) {
+            return Err(KbError::Format("inconsistent wave bounds".into()));
+        }
+        Ok(())
+    };
+    check(&raw_key_bounds, keys.len())?;
+    check(&raw_val_bounds, vals.len())?;
+    if last.len() != vals.len() || last.count_ones() != keys.len() {
+        return Err(KbError::Format(
+            "wave bitmap disagrees with sequences".into(),
+        ));
+    }
+    Ok(WaveIndex::from_parts(
+        raw_key_bounds,
+        raw_val_bounds,
+        keys,
+        last,
+        vals,
+    ))
+}
+
+/// Locates an `RKB2` section by tag.
+fn section(table: &[(u8, u64, u64)], tag: u8, body: &Bytes) -> Result<Bytes> {
+    let &(_, off, len) = table
+        .iter()
+        .find(|&&(t, _, _)| t == tag)
+        .ok_or_else(|| KbError::Format(format!("missing section {tag}")))?;
+    // Checked arithmetic: a crafted table with offset near u64::MAX must
+    // not wrap past the bounds test.
+    let end = off
+        .checked_add(len)
+        .filter(|&e| e <= body.len() as u64)
+        .ok_or_else(|| KbError::Format("section extends past file body".into()))?;
+    Ok(body.slice(off as usize..end as usize))
+}
+
+/// Loads an `RKB2` body (already checksum-verified, magic consumed by the
+/// caller's offset bookkeeping) into a succinct-backed KB.
+fn read_v2(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
+    let mut header = body.slice(MAGIC_V2.len()..);
+    if header.remaining() < 2 {
+        return Err(KbError::Format("truncated RKB2 header".into()));
+    }
+    let flags = header.get_u8();
+    let n_sections = header.get_u8() as usize;
+    if header.remaining() < n_sections * 17 {
+        return Err(KbError::Format("truncated section table".into()));
+    }
+    let mut table = Vec::with_capacity(n_sections);
+    for _ in 0..n_sections {
+        let tag = header.get_u8();
+        let off = header.get_u64_le();
+        let len = header.get_u64_le();
+        table.push((tag, off, len));
+    }
+
+    // Dictionaries.
+    let mut nodes_sec = section(&table, SEC_NODES, body)?;
+    let n_nodes = varint::read_u64(&mut nodes_sec)? as usize;
+    let mut nodes = Dictionary::with_capacity(n_nodes);
+    let mut prev = String::new();
+    for _ in 0..n_nodes {
+        if !nodes_sec.has_remaining() {
+            return Err(KbError::Format("truncated node dictionary".into()));
+        }
+        let kind = kind_from_u8(nodes_sec.get_u8())?;
+        let key = read_front_coded(&mut nodes_sec, &prev)?;
+        nodes.intern_key(&key, kind);
+        prev = key;
+    }
+    if nodes.len() != n_nodes {
+        return Err(KbError::Format("duplicate node dictionary entries".into()));
+    }
+
+    let mut preds_sec = section(&table, SEC_PREDS, body)?;
+    let n_preds = varint::read_u64(&mut preds_sec)? as usize;
+    let mut preds = Dictionary::with_capacity(n_preds);
+    let mut prev = String::new();
+    for _ in 0..n_preds {
+        let key = read_front_coded(&mut preds_sec, &prev)?;
+        preds.intern_key(&key, TermKind::Iri);
+        prev = key;
+    }
+    if preds.len() != n_preds {
+        return Err(KbError::Format(
+            "duplicate predicate dictionary entries".into(),
+        ));
+    }
+
+    // Metadata.
+    let mut meta_sec = section(&table, SEC_META, body)?;
+    let n_base = varint::read_u64(&mut meta_sec)? as usize;
+    let n_freq = varint::read_u64(&mut meta_sec)? as usize;
+    if n_freq != n_nodes {
+        return Err(KbError::Format("frequency table length mismatch".into()));
+    }
+    let mut node_freq = Vec::with_capacity(n_freq);
+    for _ in 0..n_freq {
+        node_freq.push(varint::read_u32(&mut meta_sec)?);
+    }
+
+    // The succinct payload — zero-copy over the shared body buffer.
+    let mut waves_sec = section(&table, SEC_TRIPLES, body)?;
+    let spo = read_wave(&mut waves_sec)?;
+    let ops = read_wave(&mut waves_sec)?;
+    let sp = read_wave(&mut waves_sec)?;
+    if spo.num_groups() != n_preds || ops.num_groups() != n_preds {
+        return Err(KbError::Format(
+            "wave predicate count disagrees with dictionary".into(),
+        ));
+    }
+    let store = StoreBackend::Succinct(BitmapTriples::from_waves(spo, ops, sp));
+
+    let kb = KnowledgeBase::from_parts(nodes, preds, store, node_freq, n_base);
+
+    // The file bakes its inverse predicates. Only when the caller asks for
+    // inverses and the file has none do we fall back to a rebuilding load.
+    if inverse_fraction > 0.0 && flags & FLAG_HAS_INVERSES == 0 {
+        let mut b = KbBuilder::new();
+        for n in kb.node_ids() {
+            b.node(&kb.node_term(n));
+        }
+        for p in kb.pred_ids() {
+            b.pred(kb.pred_iri(p));
+        }
+        for t in kb.iter_triples() {
+            b.add_ids(t.s, t.p, t.o);
+        }
+        return Ok(b
+            .build_with_inverses(inverse_fraction)?
+            .with_backend(crate::backend::Backend::Succinct));
+    }
+    Ok(kb)
+}
+
+/// Deserialises a KB from a shared buffer, rebuilding inverse predicates
+/// for the top `inverse_fraction` most frequent entities where the format
+/// calls for it (`RKB1` always; `RKB2` only when the file holds none).
+///
+/// For `RKB2` input the succinct payload is *not* copied: the returned
+/// KB's packed sequences and bitmaps read directly from `bytes`.
+pub fn read_shared(bytes: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
+    if bytes.len() < MAGIC_V1.len() + 8 {
+        return Err(KbError::Format("file too short".into()));
+    }
+    let body_len = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[body_len..].try_into().expect("footer is 8 bytes"));
+    if fnv1a(&bytes[..body_len]) != stored {
+        return Err(KbError::Format("checksum mismatch".into()));
+    }
+    let body = bytes.slice(..body_len);
+    match &body[..4] {
+        m if m == &MAGIC_V1[..] => read_v1(&body, inverse_fraction),
+        m if m == &MAGIC_V2[..] => read_v2(&body, inverse_fraction),
+        _ => Err(KbError::Format("bad magic".into())),
+    }
+}
+
+/// Deserialises a KB from bytes (copies `RKB2` payloads into a fresh
+/// buffer; prefer [`read_shared`] for zero-copy loads).
+pub fn read_bytes(bytes: &[u8], inverse_fraction: f64) -> Result<KnowledgeBase> {
+    read_shared(&Bytes::copy_from_slice(bytes), inverse_fraction)
+}
+
+fn read_v1(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
+    let mut buf = body.slice(MAGIC_V1.len()..);
     let _flags = buf.get_u8();
 
     let mut builder = KbBuilder::new();
@@ -153,14 +532,7 @@ pub fn read_bytes(bytes: &[u8], inverse_fraction: f64) -> Result<KnowledgeBase> 
             return Err(KbError::Format("truncated node dictionary".into()));
         }
         let kind = kind_from_u8(buf.get_u8())?;
-        let shared = varint::read_u64(&mut buf)? as usize;
-        if shared > prev.len() {
-            return Err(KbError::Format("front-coding prefix overruns".into()));
-        }
-        let suffix = varint::read_str(&mut buf)?;
-        let mut key = String::with_capacity(shared + suffix.len());
-        key.push_str(&prev[..shared]);
-        key.push_str(&suffix);
+        let key = read_front_coded(&mut buf, &prev)?;
         let term = crate::term::Term::from_dict_key(&key);
         if term.kind() != kind {
             return Err(KbError::Format(format!(
@@ -176,14 +548,7 @@ pub fn read_bytes(bytes: &[u8], inverse_fraction: f64) -> Result<KnowledgeBase> 
     let mut pred_ids = Vec::with_capacity(n_preds);
     let mut prev = String::new();
     for _ in 0..n_preds {
-        let shared = varint::read_u64(&mut buf)? as usize;
-        if shared > prev.len() {
-            return Err(KbError::Format("front-coding prefix overruns".into()));
-        }
-        let suffix = varint::read_str(&mut buf)?;
-        let mut key = String::with_capacity(shared + suffix.len());
-        key.push_str(&prev[..shared]);
-        key.push_str(&suffix);
+        let key = read_front_coded(&mut buf, &prev)?;
         pred_ids.push(builder.pred(&key));
         prev = key;
     }
@@ -213,25 +578,35 @@ pub fn read_bytes(bytes: &[u8], inverse_fraction: f64) -> Result<KnowledgeBase> 
     builder.build_with_inverses(inverse_fraction)
 }
 
-/// Writes a KB to a file.
-pub fn save(kb: &KnowledgeBase, path: impl AsRef<Path>) -> Result<()> {
-    let bytes = write_bytes(kb);
+/// Writes a KB to a file in the given format.
+pub fn save_as(kb: &KnowledgeBase, path: impl AsRef<Path>, format: BinFormat) -> Result<()> {
+    let bytes = match format {
+        BinFormat::Rkb1 => write_bytes(kb),
+        BinFormat::Rkb2 => write_bytes_v2(kb),
+    };
     let mut f = std::fs::File::create(path)?;
     f.write_all(&bytes)?;
     Ok(())
 }
 
-/// Loads a KB from a file.
+/// Writes a KB to a file (`RKB1`).
+pub fn save(kb: &KnowledgeBase, path: impl AsRef<Path>) -> Result<()> {
+    save_as(kb, path, BinFormat::Rkb1)
+}
+
+/// Loads a KB from a file, sniffing the format from its magic. `RKB2`
+/// payloads stay zero-copy views of the (shared) file buffer.
 pub fn load(path: impl AsRef<Path>, inverse_fraction: f64) -> Result<KnowledgeBase> {
     let mut f = std::fs::File::open(path)?;
     let mut bytes = Vec::new();
     f.read_to_end(&mut bytes)?;
-    read_bytes(&bytes, inverse_fraction)
+    read_shared(&Bytes::from(bytes), inverse_fraction)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::Backend;
     use crate::term::Term;
 
     fn sample_kb() -> KnowledgeBase {
@@ -272,15 +647,38 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_with_inverse_rebuild() {
+    fn v2_roundtrip_preserves_triples_and_loads_succinct() {
+        let kb = sample_kb();
+        let bytes = write_bytes_v2(&kb);
+        let kb2 = read_bytes(&bytes, 0.0).unwrap();
+        assert_eq!(kb2.backend(), Backend::Succinct);
+        assert_eq!(kb2.num_triples(), kb.num_triples());
+        assert_eq!(kb_lines(&kb), kb_lines(&kb2));
+        // Statistics survive the format hop.
+        for p in kb.pred_ids() {
+            let p2 = kb2.pred_id(kb.pred_iri(p)).unwrap();
+            assert_eq!(kb.pred_frequency(p), kb2.pred_frequency(p2));
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_from_succinct_backend() {
+        let kb = sample_kb().with_backend(Backend::Succinct);
+        let bytes = write_bytes_v2(&kb);
+        let kb2 = read_bytes(&bytes, 0.0).unwrap();
+        assert_eq!(kb_lines(&kb), kb_lines(&kb2));
+    }
+
+    #[test]
+    fn v2_bakes_inverses_and_skips_rebuild() {
         let mut b = KbBuilder::new();
         for city in ["a", "b", "c", "d"] {
             b.add_iri(&format!("e:{city}"), "p:cityIn", "e:France");
         }
         let kb = b.build_with_inverses(0.25).unwrap();
-        let bytes = write_bytes(&kb);
-        let kb2 = read_bytes(&bytes, 0.25).unwrap();
-        // Inverse predicate is reconstructed.
+        let bytes = write_bytes_v2(&kb);
+        // Loading with any fraction keeps the baked inverses.
+        let kb2 = read_bytes(&bytes, 0.9).unwrap();
         let inv_iri = format!("p:cityIn{}", crate::store::INVERSE_SUFFIX);
         assert!(kb2.pred_id(&inv_iri).is_some());
         assert_eq!(
@@ -290,24 +688,91 @@ mod tests {
     }
 
     #[test]
+    fn v2_without_inverses_rebuilds_on_request() {
+        let mut b = KbBuilder::new();
+        for city in ["a", "b", "c", "d"] {
+            b.add_iri(&format!("e:{city}"), "p:cityIn", "e:France");
+        }
+        let kb = b.build().unwrap();
+        let bytes = write_bytes_v2(&kb);
+        let kb2 = read_bytes(&bytes, 0.25).unwrap();
+        let inv_iri = format!("p:cityIn{}", crate::store::INVERSE_SUFFIX);
+        assert!(kb2.pred_id(&inv_iri).is_some());
+        assert_eq!(kb2.backend(), Backend::Succinct);
+    }
+
+    #[test]
+    fn v2_load_is_zero_copy_for_wave_payloads() {
+        let kb = sample_kb();
+        let bytes = write_bytes_v2(&kb);
+        let shared = Bytes::copy_from_slice(&bytes);
+        let kb2 = read_shared(&shared, 0.0).unwrap();
+        let StoreBackend::Succinct(bt) = kb2.store() else {
+            panic!("RKB2 must load succinct");
+        };
+        // The packed value stream must reference the shared buffer, not an
+        // owned copy.
+        assert!(matches!(
+            bt.spo().vals().words(),
+            crate::succinct::WordSeq::Shared(_)
+        ));
+    }
+
+    #[test]
     fn corruption_is_detected() {
         let kb = sample_kb();
-        let mut bytes = write_bytes(&kb).to_vec();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xff;
-        assert!(matches!(
-            read_bytes(&bytes, 0.0),
-            Err(KbError::Format(msg)) if msg.contains("checksum")
-        ));
+        for bytes in [write_bytes(&kb).to_vec(), write_bytes_v2(&kb).to_vec()] {
+            let mut bytes = bytes;
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            assert!(matches!(
+                read_bytes(&bytes, 0.0),
+                Err(KbError::Format(msg)) if msg.contains("checksum")
+            ));
+        }
     }
 
     #[test]
     fn truncation_is_detected() {
         let kb = sample_kb();
-        let bytes = write_bytes(&kb);
-        assert!(read_bytes(&bytes[..bytes.len() - 9], 0.0).is_err());
-        assert!(read_bytes(&bytes[..4], 0.0).is_err());
+        for bytes in [write_bytes(&kb), write_bytes_v2(&kb)] {
+            assert!(read_bytes(&bytes[..bytes.len() - 9], 0.0).is_err());
+            assert!(read_bytes(&bytes[..4], 0.0).is_err());
+        }
         assert!(read_bytes(&[], 0.0).is_err());
+    }
+
+    /// Re-checksums a mutated RKB2 body so crafted-input tests reach the
+    /// parser instead of the checksum gate.
+    fn reseal(mut bytes: Vec<u8>) -> Vec<u8> {
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn v2_crafted_section_offsets_error_instead_of_panicking() {
+        let kb = sample_kb();
+        let mut bytes = write_bytes_v2(&kb).to_vec();
+        // First table entry starts right after magic+flags+count; poison
+        // its offset with u64::MAX (wraps `off + len` if unchecked).
+        let entry = MAGIC_V2.len() + 2 + 1;
+        bytes[entry..entry + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            read_bytes(&reseal(bytes), 0.0),
+            Err(KbError::Format(msg)) if msg.contains("section")
+        ));
+    }
+
+    #[test]
+    fn v2_checksummed_but_headerless_file_errors() {
+        // Exactly magic + a valid checksum: no flags or section count.
+        let bytes = reseal(b"RKB2\0\0\0\0\0\0\0\0".to_vec());
+        assert!(matches!(
+            read_bytes(&bytes, 0.0),
+            Err(KbError::Format(msg)) if msg.contains("truncated")
+        ));
     }
 
     #[test]
@@ -326,15 +791,28 @@ mod tests {
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip_both_formats() {
         let kb = sample_kb();
         let dir = std::env::temp_dir().join("remi_kb_binfmt_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("sample.rkb");
-        save(&kb, &path).unwrap();
-        let kb2 = load(&path, 0.0).unwrap();
-        assert_eq!(kb_lines(&kb), kb_lines(&kb2));
-        std::fs::remove_file(&path).ok();
+        for (name, format) in [
+            ("sample.rkb", BinFormat::Rkb1),
+            ("sample.rkb2", BinFormat::Rkb2),
+        ] {
+            let path = dir.join(name);
+            save_as(&kb, &path, format).unwrap();
+            let kb2 = load(&path, 0.0).unwrap();
+            assert_eq!(kb_lines(&kb), kb_lines(&kb2), "{name}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn format_names_roundtrip() {
+        for f in [BinFormat::Rkb1, BinFormat::Rkb2] {
+            assert_eq!(BinFormat::parse(f.name()), Some(f));
+        }
+        assert_eq!(BinFormat::parse("hdt"), None);
     }
 
     #[test]
@@ -365,8 +843,9 @@ mod tests {
         b.add_iri("e:café", "p:r", "e:x");
         b.add_iri("e:cafés", "p:r", "e:x");
         let kb = b.build().unwrap();
-        let bytes = write_bytes(&kb);
-        let kb2 = read_bytes(&bytes, 0.0).unwrap();
-        assert_eq!(kb_lines(&kb), kb_lines(&kb2));
+        for bytes in [write_bytes(&kb), write_bytes_v2(&kb)] {
+            let kb2 = read_bytes(&bytes, 0.0).unwrap();
+            assert_eq!(kb_lines(&kb), kb_lines(&kb2));
+        }
     }
 }

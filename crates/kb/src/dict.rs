@@ -1,8 +1,13 @@
 //! String-interning dictionary mapping terms to dense `u32` ids.
 //!
-//! Every node and predicate string is stored exactly once. Interning uses an
-//! [`FxHashMap`](crate::fx::FxHashMap) from the canonical dictionary key to
-//! the id; lookups by id are a flat `Vec` index.
+//! Every node and predicate string is stored exactly once — and allocated
+//! exactly once: the hash-map key and the id-indexed entry share one
+//! `Arc<str>`, so string-heavy KBs pay one heap string per distinct term
+//! instead of two. Interning uses an [`FxHashMap`](crate::fx::FxHashMap)
+//! from the canonical dictionary key to the id; lookups by id are a flat
+//! `Vec` index.
+
+use std::sync::Arc;
 
 use crate::fx::FxHashMap;
 use crate::term::{Term, TermKind};
@@ -14,13 +19,13 @@ use crate::term::{Term, TermKind};
 /// without reparsing the string.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    ids: FxHashMap<Box<str>, u32>,
+    ids: FxHashMap<Arc<str>, u32>,
     entries: Vec<Entry>,
 }
 
 #[derive(Debug, Clone)]
 struct Entry {
-    key: Box<str>,
+    key: Arc<str>,
     kind: TermKind,
 }
 
@@ -52,12 +57,13 @@ impl Dictionary {
             return id;
         }
         let id = self.entries.len() as u32;
-        let boxed: Box<str> = key.into();
+        // One allocation, shared between the map key and the entry.
+        let shared: Arc<str> = Arc::from(key);
         self.entries.push(Entry {
-            key: boxed.clone(),
+            key: Arc::clone(&shared),
             kind,
         });
-        self.ids.insert(boxed, id);
+        self.ids.insert(shared, id);
         id
     }
 
@@ -102,6 +108,17 @@ impl Dictionary {
             .iter()
             .enumerate()
             .map(|(i, e)| (i as u32, &*e.key, e.kind))
+    }
+
+    /// Estimated heap bytes: one shared string allocation per entry (string
+    /// data + `Arc` header) plus the map and vec tables.
+    pub fn heap_bytes(&self) -> usize {
+        // Arc<str> header: strong + weak counts.
+        const ARC_HEADER: usize = 16;
+        let strings: usize = self.entries.iter().map(|e| e.key.len() + ARC_HEADER).sum();
+        let tables = self.ids.capacity() * (std::mem::size_of::<(Arc<str>, u32)>() + 1)
+            + self.entries.capacity() * std::mem::size_of::<Entry>();
+        strings + tables
     }
 }
 
@@ -178,5 +195,27 @@ mod tests {
         d.intern(&Term::iri("a"));
         let collected: Vec<_> = d.iter().map(|(id, k, _)| (id, k.to_string())).collect();
         assert_eq!(collected, vec![(0, "b".into()), (1, "a".into())]);
+    }
+
+    #[test]
+    fn map_key_and_entry_share_one_allocation() {
+        let mut d = Dictionary::new();
+        let id = d.intern(&Term::iri("http://x/shared"));
+        let entry_key = Arc::clone(&d.entries[id as usize].key);
+        let (map_key, _) = d
+            .ids
+            .get_key_value("http://x/shared")
+            .expect("interned key");
+        assert!(Arc::ptr_eq(&entry_key, map_key));
+        // Shared by entry, map, and our local clone.
+        assert_eq!(Arc::strong_count(&entry_key), 3);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_string_growth() {
+        let mut d = Dictionary::new();
+        let empty = d.heap_bytes();
+        d.intern(&Term::iri("http://example.org/a-reasonably-long-iri"));
+        assert!(d.heap_bytes() > empty);
     }
 }

@@ -5,11 +5,16 @@
 //! the pure-Rust equivalent of that storage/access layer:
 //!
 //! * [`term`] / [`dict`] / [`ids`] — RDF terms and dictionary encoding.
-//! * [`store`] — an immutable in-memory triple store with per-predicate CSR
-//!   indexes in both directions, inverse-predicate materialisation, and the
-//!   frequency statistics that drive REMI's prominence rankings.
+//! * [`store`] — the immutable in-memory KB: dictionaries, statistics,
+//!   inverse-predicate materialisation, and the default CSR backend.
+//! * [`backend`] — the [`TripleStore`] abstraction: pluggable storage
+//!   backends behind a branch-predictable enum facade, with [`Bindings`]
+//!   as the universal sorted-id-list view.
+//! * [`succinct`] — HDT-style bitmap triples: rank/select bitvectors and
+//!   packed sequences, zero-copy loadable.
 //! * [`ntriples`] — N-Triples parsing and serialisation.
-//! * [`binfmt`] — an HDT-like compressed binary file format.
+//! * [`binfmt`] — the `RKB1` (row-oriented) and `RKB2` (succinct,
+//!   section-table) binary file formats.
 //! * [`pagerank`] — endogenous PageRank, the `pr` prominence metric.
 //! * [`cache`] — the LRU query cache of §3.5.2.
 //! * [`fx`] — a fast non-cryptographic hasher used throughout.
@@ -31,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod binfmt;
 pub mod cache;
 pub mod dict;
@@ -40,10 +46,12 @@ pub mod ids;
 pub mod ntriples;
 pub mod pagerank;
 pub mod store;
+pub mod succinct;
 pub mod term;
 pub mod varint;
 
+pub use backend::{Backend, Bindings, PredView, StoreMemory, TripleStore};
 pub use error::{KbError, Result};
 pub use ids::{NodeId, PredId, Triple};
-pub use store::{KbBuilder, KnowledgeBase, PredIndex};
+pub use store::{KbBuilder, KnowledgeBase};
 pub use term::{Term, TermKind};

@@ -1,12 +1,17 @@
-//! The in-memory knowledge base: dictionary-encoded triples with
-//! per-predicate CSR indexes in both directions.
+//! The in-memory knowledge base: dictionary-encoded triples behind a
+//! pluggable storage backend.
 //!
-//! The paper stores KBs in HDT and retrieves bindings for atoms `p(X, Y)`
+//! The paper stores KBs as HDT and retrieves bindings for atom `p(X, Y)`
 //! through Jena (§3.5.1). Our substrate offers the same primitive — binding
-//! retrieval for a predicate given the subject or the object — as slice
-//! lookups over compressed sparse rows, plus the statistics (frequencies,
-//! prominence rankings) the complexity model needs.
+//! retrieval for a predicate given the subject or the object — behind the
+//! [`TripleStore`] abstraction: the default [`CsrStore`] answers lookups as
+//! slice views over compressed sparse rows, while the succinct
+//! [`BitmapTriples`](crate::succinct::BitmapTriples) backend answers them
+//! from rank/select-delimited packed sequences at a fraction of the
+//! footprint. Statistics (frequencies, prominence rankings) are
+//! backend-independent and live on [`KnowledgeBase`] itself.
 
+use crate::backend::{Backend, Bindings, PredView, StoreBackend, StoreMemory, TripleStore};
 use crate::dict::Dictionary;
 use crate::error::{KbError, Result};
 use crate::fx::FxHashMap;
@@ -57,13 +62,16 @@ impl Csr {
     #[inline]
     fn get(&self, key: u32) -> &[u32] {
         match self.keys.binary_search(&key) {
-            Ok(i) => {
-                let lo = self.offsets[i] as usize;
-                let hi = self.offsets[i + 1] as usize;
-                &self.values[lo..hi]
-            }
+            Ok(i) => self.group(i),
             Err(_) => &[],
         }
+    }
+
+    #[inline]
+    fn group(&self, i: usize) -> &[u32] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.values[lo..hi]
     }
 
     #[inline]
@@ -71,90 +79,162 @@ impl Csr {
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
-    fn iter_groups(&self) -> impl Iterator<Item = (u32, &[u32])> + '_ {
-        self.keys.iter().enumerate().map(move |(i, &k)| {
-            let lo = self.offsets[i] as usize;
-            let hi = self.offsets[i + 1] as usize;
-            (k, &self.values[lo..hi])
-        })
+    /// Resident bytes of the three arrays.
+    fn size_in_bytes(&self) -> usize {
+        (self.keys.len() + self.offsets.len() + self.values.len()) * 4
     }
 }
 
 /// Per-predicate index: bindings by subject and by object.
 #[derive(Debug, Clone, Default)]
-pub struct PredIndex {
+struct PredIndex {
     by_subject: Csr,
     by_object: Csr,
     facts: u32,
 }
 
-impl PredIndex {
-    /// Objects `o` with `p(s, o)`, sorted ascending.
-    #[inline]
-    pub fn objects_of(&self, s: NodeId) -> &[u32] {
-        self.by_subject.get(s.0)
+/// The default storage backend: per-predicate CSR adjacency in both
+/// directions plus a subject→predicates CSR.
+#[derive(Debug, Clone, Default)]
+pub struct CsrStore {
+    indexes: Vec<PredIndex>,
+    /// node → sorted predicates (incl. inverses) having the node as subject.
+    subject_preds: Csr,
+}
+
+impl CsrStore {
+    /// Builds from per-predicate `(s, o)` pair lists, each sorted by
+    /// `(s, o)` and deduplicated.
+    pub(crate) fn from_pred_pairs(per_pred: Vec<Vec<(u32, u32)>>) -> CsrStore {
+        let mut indexes = Vec::with_capacity(per_pred.len());
+        for pairs in per_pred {
+            let by_subject = Csr::from_sorted_pairs(&pairs);
+            let mut flipped: Vec<(u32, u32)> = pairs.iter().map(|&(s, o)| (o, s)).collect();
+            flipped.sort_unstable();
+            let by_object = Csr::from_sorted_pairs(&flipped);
+            indexes.push(PredIndex {
+                by_subject,
+                by_object,
+                facts: pairs.len() as u32,
+            });
+        }
+        let subject_preds = Self::subject_preds_of(&indexes);
+        CsrStore {
+            indexes,
+            subject_preds,
+        }
     }
 
-    /// Subjects `s` with `p(s, o)`, sorted ascending.
-    #[inline]
-    pub fn subjects_of(&self, o: NodeId) -> &[u32] {
-        self.by_object.get(o.0)
+    fn subject_preds_of(indexes: &[PredIndex]) -> Csr {
+        let mut sp_pairs: Vec<(u32, u32)> = Vec::new();
+        for (p, idx) in indexes.iter().enumerate() {
+            for &s in &idx.by_subject.keys {
+                sp_pairs.push((s, p as u32));
+            }
+        }
+        sp_pairs.sort_unstable();
+        sp_pairs.dedup();
+        Csr::from_sorted_pairs(&sp_pairs)
     }
 
-    /// Number of facts with this predicate.
-    #[inline]
-    pub fn num_facts(&self) -> usize {
-        self.facts as usize
+    /// Rebuilds a CSR store from any other backend.
+    pub(crate) fn from_store(src: &StoreBackend, _num_nodes: usize) -> CsrStore {
+        let num_preds = src.num_preds();
+        let mut per_pred = Vec::with_capacity(num_preds);
+        for p in (0..num_preds as u32).map(PredId) {
+            let mut pairs = Vec::with_capacity(src.num_facts(p));
+            for i in 0..src.num_subjects(p) {
+                let s = src.subject_at(p, i).0;
+                for o in src.objects_at(p, i) {
+                    pairs.push((s, o));
+                }
+            }
+            per_pred.push(pairs);
+        }
+        CsrStore::from_pred_pairs(per_pred)
+    }
+}
+
+impl TripleStore for CsrStore {
+    fn backend(&self) -> Backend {
+        Backend::Csr
     }
 
-    /// Number of distinct subjects.
-    #[inline]
-    pub fn num_subjects(&self) -> usize {
-        self.by_subject.keys.len()
+    fn num_preds(&self) -> usize {
+        self.indexes.len()
     }
 
-    /// Number of distinct objects.
     #[inline]
-    pub fn num_objects(&self) -> usize {
-        self.by_object.keys.len()
+    fn num_facts(&self, p: PredId) -> usize {
+        self.indexes[p.idx()].facts as usize
     }
 
-    /// How many facts have `o` as object (the conditional frequency
-    /// `fr(o | p)` of §3.5.3).
     #[inline]
-    pub fn object_frequency(&self, o: NodeId) -> usize {
-        self.subjects_of(o).len()
+    fn num_subjects(&self, p: PredId) -> usize {
+        self.indexes[p.idx()].by_subject.keys.len()
     }
 
-    /// How many facts have `s` as subject.
     #[inline]
-    pub fn subject_frequency(&self, s: NodeId) -> usize {
-        self.objects_of(s).len()
+    fn num_objects(&self, p: PredId) -> usize {
+        self.indexes[p.idx()].by_object.keys.len()
     }
 
-    /// Iterates `(object, conditional-frequency)` over distinct objects.
-    pub fn iter_object_frequencies(&self) -> impl Iterator<Item = (NodeId, usize)> + '_ {
-        self.by_object
-            .keys
+    #[inline]
+    fn objects(&self, p: PredId, s: NodeId) -> Bindings<'_> {
+        Bindings::Slice(self.indexes[p.idx()].by_subject.get(s.0))
+    }
+
+    #[inline]
+    fn subjects(&self, p: PredId, o: NodeId) -> Bindings<'_> {
+        Bindings::Slice(self.indexes[p.idx()].by_object.get(o.0))
+    }
+
+    #[inline]
+    fn subject_at(&self, p: PredId, i: usize) -> NodeId {
+        NodeId(self.indexes[p.idx()].by_subject.keys[i])
+    }
+
+    #[inline]
+    fn objects_at(&self, p: PredId, i: usize) -> Bindings<'_> {
+        Bindings::Slice(self.indexes[p.idx()].by_subject.group(i))
+    }
+
+    #[inline]
+    fn object_at(&self, p: PredId, i: usize) -> NodeId {
+        NodeId(self.indexes[p.idx()].by_object.keys[i])
+    }
+
+    #[inline]
+    fn subjects_at(&self, p: PredId, i: usize) -> Bindings<'_> {
+        Bindings::Slice(self.indexes[p.idx()].by_object.group(i))
+    }
+
+    #[inline]
+    fn object_group_len(&self, p: PredId, i: usize) -> usize {
+        self.indexes[p.idx()].by_object.group_len(i)
+    }
+
+    #[inline]
+    fn preds_of_subject(&self, s: NodeId) -> Bindings<'_> {
+        Bindings::Slice(self.subject_preds.get(s.0))
+    }
+
+    fn memory(&self) -> StoreMemory {
+        let mut m = StoreMemory::default();
+        let by_subject: usize = self
+            .indexes
             .iter()
-            .enumerate()
-            .map(move |(i, &o)| (NodeId(o), self.by_object.group_len(i)))
-    }
-
-    /// Iterates `(subject, objects)` groups.
-    pub fn iter_subjects(&self) -> impl Iterator<Item = (NodeId, &[u32])> + '_ {
-        self.by_subject.iter_groups().map(|(k, vs)| (NodeId(k), vs))
-    }
-
-    /// Iterates distinct objects.
-    pub fn iter_objects(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.by_object.keys.iter().map(|&o| NodeId(o))
-    }
-
-    /// Tests whether `p(s, o)` holds.
-    #[inline]
-    pub fn contains(&self, s: NodeId, o: NodeId) -> bool {
-        self.objects_of(s).binary_search(&o.0).is_ok()
+            .map(|i| i.by_subject.size_in_bytes())
+            .sum();
+        let by_object: usize = self
+            .indexes
+            .iter()
+            .map(|i| i.by_object.size_in_bytes())
+            .sum();
+        m.add("csr.by_subject", by_subject);
+        m.add("csr.by_object", by_object);
+        m.add("csr.subject_preds", self.subject_preds.size_in_bytes());
+        m
     }
 }
 
@@ -163,9 +243,7 @@ impl PredIndex {
 pub struct KnowledgeBase {
     nodes: Dictionary,
     preds: Dictionary,
-    indexes: Vec<PredIndex>,
-    /// node → sorted predicates (incl. inverses) having the node as subject.
-    subject_preds: Csr,
+    store: StoreBackend,
     /// Facts mentioning the node (as s or o) in *base* (non-inverse) facts.
     node_freq: Vec<u32>,
     /// Facts per predicate.
@@ -180,7 +258,56 @@ pub struct KnowledgeBase {
     n_total_triples: usize,
 }
 
+/// Derives `(inverse_of, base_of)` links from predicate IRIs: `p⁻¹` is the
+/// inverse of `p` whenever both are interned.
+pub(crate) fn derive_inverse_links(
+    preds: &Dictionary,
+) -> (Vec<Option<PredId>>, Vec<Option<PredId>>) {
+    let num_preds = preds.len();
+    let mut inverse_of: Vec<Option<PredId>> = vec![None; num_preds];
+    let mut base_of: Vec<Option<PredId>> = vec![None; num_preds];
+    for p in 0..num_preds as u32 {
+        if let Some(base_iri) = preds.key(p).strip_suffix(INVERSE_SUFFIX) {
+            if let Some(b) = preds.get_key(base_iri) {
+                inverse_of[b as usize] = Some(PredId(p));
+                base_of[p as usize] = Some(PredId(b));
+            }
+        }
+    }
+    (inverse_of, base_of)
+}
+
 impl KnowledgeBase {
+    /// Assembles a KB from already-built parts (the `RKB2` loader).
+    pub(crate) fn from_parts(
+        nodes: Dictionary,
+        preds: Dictionary,
+        store: StoreBackend,
+        node_freq: Vec<u32>,
+        n_base_triples: usize,
+    ) -> KnowledgeBase {
+        let (inverse_of, base_of) = derive_inverse_links(&preds);
+        let pred_freq: Vec<u32> = (0..preds.len() as u32)
+            .map(|p| store.num_facts(PredId(p)) as u32)
+            .collect();
+        let n_total = pred_freq.iter().map(|&f| f as usize).sum();
+        let type_pred = preds.get_key(RDF_TYPE).map(PredId);
+        let label_pred = preds.get_key(RDFS_LABEL).map(PredId);
+        KnowledgeBase {
+            nodes,
+            preds,
+            store,
+            node_freq,
+            pred_freq,
+            inverse_of,
+            base_of,
+            type_pred,
+            label_pred,
+            n_base_triples,
+            n_total_triples: n_total,
+        }
+    }
+
     /// Number of node terms in the dictionary.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -209,6 +336,30 @@ impl KnowledgeBase {
     /// The predicate dictionary.
     pub fn pred_dict(&self) -> &Dictionary {
         &self.preds
+    }
+
+    /// The storage backend in use.
+    pub fn backend(&self) -> Backend {
+        self.store.backend()
+    }
+
+    /// The raw store (for backend-aware tooling like the binary writer).
+    pub fn store(&self) -> &StoreBackend {
+        &self.store
+    }
+
+    /// Rebuilds the KB with another storage backend. Dictionaries and
+    /// statistics are shared; only the triple index layout changes, so
+    /// every query answers identically afterwards.
+    pub fn with_backend(mut self, kind: Backend) -> KnowledgeBase {
+        self.store = self.store.to_backend(kind, self.nodes.len());
+        self
+    }
+
+    /// Per-component resident memory of the triple store (dictionaries
+    /// excluded; see [`Dictionary::heap_bytes`] for those).
+    pub fn store_memory(&self) -> StoreMemory {
+        self.store.memory()
     }
 
     /// Id of a node term, if present.
@@ -276,43 +427,43 @@ impl KnowledgeBase {
     pub fn label(&self, n: NodeId) -> Option<String> {
         let lp = self.label_pred?;
         let objs = self.index(lp).objects_of(n);
-        objs.first().map(|&o| match self.nodes.term(o) {
+        objs.first().map(|o| match self.nodes.term(o) {
             Term::Literal { lexical, .. } => lexical,
             other => other.short_name().to_string(),
         })
     }
 
-    /// The index of predicate `p`.
+    /// A backend-agnostic view of predicate `p`'s index.
     // Not `std::ops::Index`: that trait cannot return a non-reference or
     // take our id type ergonomically, and `kb.index(p)` is established API.
     #[allow(clippy::should_implement_trait)]
     #[inline]
-    pub fn index(&self, p: PredId) -> &PredIndex {
-        &self.indexes[p.idx()]
+    pub fn index(&self, p: PredId) -> PredView<'_> {
+        PredView::new(&self.store, p)
     }
 
     /// Bindings of `y` in `p(s, y)`, sorted by id.
     #[inline]
-    pub fn objects(&self, p: PredId, s: NodeId) -> &[u32] {
-        self.index(p).objects_of(s)
+    pub fn objects(&self, p: PredId, s: NodeId) -> Bindings<'_> {
+        self.store.objects(p, s)
     }
 
     /// Bindings of `x` in `p(x, o)`, sorted by id.
     #[inline]
-    pub fn subjects(&self, p: PredId, o: NodeId) -> &[u32] {
-        self.index(p).subjects_of(o)
+    pub fn subjects(&self, p: PredId, o: NodeId) -> Bindings<'_> {
+        self.store.subjects(p, o)
     }
 
     /// Tests whether `p(s, o)` is a fact.
     #[inline]
     pub fn contains(&self, s: NodeId, p: PredId, o: NodeId) -> bool {
-        self.index(p).contains(s, o)
+        self.store.contains(s, p, o)
     }
 
     /// Predicates (including inverses) with `s` as subject, sorted.
     #[inline]
-    pub fn preds_of_subject(&self, s: NodeId) -> &[u32] {
-        self.subject_preds.get(s.0)
+    pub fn preds_of_subject(&self, s: NodeId) -> Bindings<'_> {
+        self.store.preds_of_subject(s)
     }
 
     /// Frequency of a node (mentions in base facts) — the `fr` prominence.
@@ -374,7 +525,7 @@ impl KnowledgeBase {
             .filter(move |&p| !self.is_inverse(p))
             .flat_map(move |p| {
                 self.index(p).iter_subjects().flat_map(move |(s, objs)| {
-                    objs.iter().map(move |&o| Triple::new(s, p, NodeId(o)))
+                    objs.iter().map(move |o| Triple::new(s, p, NodeId(o)))
                 })
             })
     }
@@ -395,10 +546,10 @@ impl KnowledgeBase {
     }
 
     /// Instances of a class: bindings of `x` in `rdf:type(x, class)`.
-    pub fn instances_of(&self, class: NodeId) -> &[u32] {
+    pub fn instances_of(&self, class: NodeId) -> Bindings<'_> {
         match self.type_pred {
             Some(tp) => self.subjects(tp, class),
-            None => &[],
+            None => Bindings::EMPTY,
         }
     }
 }
@@ -483,7 +634,8 @@ impl KbBuilder {
     /// exactly the preprocessing of §4 (the paper uses the top 1 %).
     ///
     /// Inverse facts are only created for non-literal objects, matching the
-    /// RDF-compliance footnote of §2.1.
+    /// RDF-compliance footnote of §2.1. The result uses the CSR backend;
+    /// call [`KnowledgeBase::with_backend`] to convert.
     pub fn build_with_inverses(mut self, fraction: f64) -> Result<KnowledgeBase> {
         if self.triples.is_empty() {
             return Err(KbError::Empty);
@@ -539,48 +691,19 @@ impl KbBuilder {
         }
 
         let num_preds = self.preds.len();
-        let mut inverse_of: Vec<Option<PredId>> = vec![None; num_preds];
-        let mut base_of: Vec<Option<PredId>> = vec![None; num_preds];
-        for p in 0..num_preds as u32 {
-            if let Some(base_iri) = self.preds.key(p).strip_suffix(INVERSE_SUFFIX) {
-                if let Some(b) = self.preds.get_key(base_iri) {
-                    inverse_of[b as usize] = Some(PredId(p));
-                    base_of[p as usize] = Some(PredId(b));
-                }
-            }
-        }
+        let (inverse_of, base_of) = derive_inverse_links(&self.preds);
 
-        // Group triples by predicate and build both CSR directions.
+        // Group triples by predicate and build the CSR backend.
         let mut per_pred: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_preds];
         for t in &self.triples {
             per_pred[t.p.idx()].push((t.s.0, t.o.0));
         }
         let mut pred_freq = vec![0u32; num_preds];
-        let mut indexes = Vec::with_capacity(num_preds);
-        for (p, mut pairs) in per_pred.into_iter().enumerate() {
+        for (p, pairs) in per_pred.iter_mut().enumerate() {
             pred_freq[p] = pairs.len() as u32;
             pairs.sort_unstable();
-            let by_subject = Csr::from_sorted_pairs(&pairs);
-            let mut flipped: Vec<(u32, u32)> = pairs.iter().map(|&(s, o)| (o, s)).collect();
-            flipped.sort_unstable();
-            let by_object = Csr::from_sorted_pairs(&flipped);
-            indexes.push(PredIndex {
-                by_subject,
-                by_object,
-                facts: pairs.len() as u32,
-            });
         }
-
-        // node → predicates with node as subject.
-        let mut sp_pairs: Vec<(u32, u32)> = Vec::new();
-        for (p, idx) in indexes.iter().enumerate() {
-            for &s in &idx.by_subject.keys {
-                sp_pairs.push((s, p as u32));
-            }
-        }
-        sp_pairs.sort_unstable();
-        sp_pairs.dedup();
-        let subject_preds = Csr::from_sorted_pairs(&sp_pairs);
+        let store = StoreBackend::Csr(CsrStore::from_pred_pairs(per_pred));
 
         let type_pred = self.preds.get_key(RDF_TYPE).map(PredId);
         let label_pred = self.preds.get_key(RDFS_LABEL).map(PredId);
@@ -589,8 +712,7 @@ impl KbBuilder {
         Ok(KnowledgeBase {
             nodes: self.nodes,
             preds: self.preds,
-            indexes,
-            subject_preds,
+            store,
             node_freq,
             pred_freq,
             inverse_of,
@@ -653,7 +775,7 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(subs, expect);
 
-        assert_eq!(kb.objects(city_in, paris), &[france.0]);
+        assert_eq!(kb.objects(city_in, paris).to_vec(), vec![france.0]);
         assert!(kb.contains(paris, city_in, france));
         assert!(!kb.contains(france, city_in, paris));
     }
@@ -665,7 +787,7 @@ mod tests {
         let preds: Vec<String> = kb
             .preds_of_subject(paris)
             .iter()
-            .map(|&p| kb.pred_iri(PredId(p)).to_string())
+            .map(|p| kb.pred_iri(PredId(p)).to_string())
             .collect();
         assert!(preds.contains(&"p:capitalOf".to_string()));
         assert!(preds.contains(&"p:cityIn".to_string()));
@@ -791,6 +913,65 @@ mod tests {
         let total: usize = idx.iter_object_frequencies().map(|(_, c)| c).sum();
         assert_eq!(total, 3);
     }
+
+    #[test]
+    fn backend_roundtrip_preserves_all_primitives() {
+        let kb = small_kb();
+        assert_eq!(kb.backend(), Backend::Csr);
+        let succ = kb.clone().with_backend(Backend::Succinct);
+        assert_eq!(succ.backend(), Backend::Succinct);
+        // Converting back lands on CSR again.
+        let back = succ.clone().with_backend(Backend::Csr);
+        assert_eq!(back.backend(), Backend::Csr);
+
+        for variant in [&succ, &back] {
+            assert_eq!(variant.num_triples(), kb.num_triples());
+            for p in kb.pred_ids() {
+                let a = kb.index(p);
+                let b = variant.index(p);
+                assert_eq!(a.num_facts(), b.num_facts());
+                assert_eq!(a.num_subjects(), b.num_subjects());
+                assert_eq!(a.num_objects(), b.num_objects());
+                for (s, objs) in a.iter_subjects() {
+                    assert_eq!(objs.to_vec(), b.objects_of(s).to_vec());
+                }
+                for o in a.iter_objects() {
+                    assert_eq!(a.subjects_of(o).to_vec(), b.subjects_of(o).to_vec());
+                }
+            }
+            for n in kb.node_ids() {
+                assert_eq!(
+                    kb.preds_of_subject(n).to_vec(),
+                    variant.preds_of_subject(n).to_vec()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn succinct_store_is_smaller_than_csr() {
+        // A KB big enough for packed widths to pay off.
+        let mut b = KbBuilder::new();
+        for i in 0..400u32 {
+            b.add_iri(
+                &format!("e:s{i}"),
+                &format!("p:r{}", i % 5),
+                &format!("e:o{}", i % 97),
+            );
+            b.add_iri(&format!("e:s{i}"), "p:t", &format!("e:o{}", i % 13));
+        }
+        let kb = b.build().unwrap();
+        let csr = kb.store_memory().total();
+        let succ = kb
+            .clone()
+            .with_backend(Backend::Succinct)
+            .store_memory()
+            .total();
+        assert!(
+            succ * 10 <= csr * 6,
+            "succinct {succ} bytes should be <= 60% of CSR {csr} bytes"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -823,9 +1004,9 @@ mod proptests {
                 let mut forward = 0usize;
                 for (s, objs) in idx.iter_subjects() {
                     forward += objs.len();
-                    for &o in objs {
+                    for o in objs {
                         prop_assert!(
-                            idx.subjects_of(NodeId(o)).binary_search(&s.0).is_ok(),
+                            idx.subjects_of(NodeId(o)).contains_sorted(s.0),
                             "missing reverse edge {s:?} -{p:?}-> {o}"
                         );
                     }
@@ -868,8 +1049,8 @@ mod proptests {
                 let p = kb.pred_id(&format!("p:r{p}")).unwrap();
                 let o = kb.node_id_by_iri(&format!("e:n{o}")).unwrap();
                 prop_assert!(kb.contains(s, p, o));
-                prop_assert!(kb.objects(p, s).binary_search(&o.0).is_ok());
-                prop_assert!(kb.preds_of_subject(s).binary_search(&p.0).is_ok());
+                prop_assert!(kb.objects(p, s).contains_sorted(o.0));
+                prop_assert!(kb.preds_of_subject(s).contains_sorted(p.0));
             }
         }
 
@@ -885,6 +1066,42 @@ mod proptests {
                 let p = kb2.pred_id(kb.pred_iri(t.p)).unwrap();
                 let o = kb2.node_id_by_iri(kb.node_key(t.o)).unwrap();
                 prop_assert!(kb2.contains(s, p, o));
+            }
+        }
+
+        /// The succinct backend answers every primitive identically to the
+        /// CSR backend it was converted from.
+        #[test]
+        fn prop_backends_agree_on_primitives(facts in arb_facts()) {
+            let kb = build(&facts);
+            let succ = kb.clone().with_backend(Backend::Succinct);
+            for p in kb.pred_ids() {
+                prop_assert_eq!(kb.index(p).num_facts(), succ.index(p).num_facts());
+                prop_assert_eq!(
+                    kb.index(p).num_subjects(), succ.index(p).num_subjects());
+                prop_assert_eq!(
+                    kb.index(p).num_objects(), succ.index(p).num_objects());
+                for (s, objs) in kb.index(p).iter_subjects() {
+                    prop_assert_eq!(objs.to_vec(), succ.objects(p, s).to_vec());
+                }
+                for (o, freq) in kb.index(p).iter_object_frequencies() {
+                    prop_assert_eq!(freq, succ.index(p).object_frequency(o));
+                    prop_assert_eq!(
+                        kb.subjects(p, o).to_vec(), succ.subjects(p, o).to_vec());
+                }
+            }
+            for n in kb.node_ids() {
+                prop_assert_eq!(
+                    kb.preds_of_subject(n).to_vec(),
+                    succ.preds_of_subject(n).to_vec()
+                );
+            }
+            // Spot-check membership on the raw facts.
+            for &(s, p, o) in facts.iter().take(20) {
+                let s = kb.node_id_by_iri(&format!("e:n{s}")).unwrap();
+                let p = kb.pred_id(&format!("p:r{p}")).unwrap();
+                let o = kb.node_id_by_iri(&format!("e:n{o}")).unwrap();
+                prop_assert!(succ.contains(s, p, o));
             }
         }
 
@@ -904,7 +1121,7 @@ mod proptests {
             for p in kb.pred_ids() {
                 let Some(base) = kb.base_pred(p) else { continue };
                 for (o, subs) in kb.index(p).iter_subjects() {
-                    for &s in subs {
+                    for s in subs {
                         prop_assert!(
                             kb.contains(NodeId(s), base, o),
                             "inverse fact without base fact"

@@ -1,0 +1,819 @@
+//! Succinct storage primitives: rank/select bitvectors, fixed-width packed
+//! integer sequences, and the HDT-style [`BitmapTriples`] layout built from
+//! them.
+//!
+//! The paper keeps its KBs in HDT — dictionary-compressed *bitmap triples*
+//! whose adjacency lists are delimited by rank/select bitmaps instead of
+//! offset arrays (§3.5.1). This module is the same construction in the
+//! style of the Rust HDT engines: a triple wave is a packed key sequence,
+//! a packed value sequence, and a bitmap with one bit per value marking the
+//! last value of each key's run. Lookups are a binary search over the packed
+//! keys plus two `select1` calls; nothing is ever decompressed wholesale.
+//!
+//! All word storage goes through [`WordSeq`], which is either owned or a
+//! zero-copy view into a shared [`Bytes`] buffer — the `RKB2` loader maps
+//! file sections straight into these structures without copying the
+//! payload.
+
+use bytes::Bytes;
+
+use crate::ids::{NodeId, PredId};
+
+/// Bits needed to store values in `0..=max` (at least 1).
+pub fn bits_for(max: u64) -> u32 {
+    (64 - max.leading_zeros()).max(1)
+}
+
+/// A `u64` word array: owned, or a zero-copy little-endian view into a
+/// shared byte buffer.
+#[derive(Debug, Clone)]
+pub enum WordSeq {
+    /// Heap-owned words.
+    Owned(Vec<u64>),
+    /// Little-endian words backed by a shared [`Bytes`] buffer (length must
+    /// be a multiple of 8).
+    Shared(Bytes),
+}
+
+impl WordSeq {
+    /// The `i`-th word.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        match self {
+            WordSeq::Owned(v) => v[i],
+            WordSeq::Shared(b) => {
+                let lo = i * 8;
+                u64::from_le_bytes(b[lo..lo + 8].try_into().expect("8-byte word"))
+            }
+        }
+    }
+
+    /// Number of words.
+    pub fn len_words(&self) -> usize {
+        match self {
+            WordSeq::Owned(v) => v.len(),
+            WordSeq::Shared(b) => b.len() / 8,
+        }
+    }
+
+    /// Resident bytes of the word payload.
+    pub fn size_in_bytes(&self) -> usize {
+        self.len_words() * 8
+    }
+
+    /// Appends the words as little-endian bytes (the `RKB2` wire form).
+    pub fn write_le(&self, out: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        for i in 0..self.len_words() {
+            out.put_u64_le(self.word(i));
+        }
+    }
+}
+
+/// An immutable sequence of fixed-width unsigned integers packed into
+/// 64-bit words.
+#[derive(Debug, Clone)]
+pub struct PackedSeq {
+    words: WordSeq,
+    width: u32,
+    len: usize,
+}
+
+impl PackedSeq {
+    /// Packs `values` at `width` bits each. Panics if a value overflows the
+    /// width.
+    pub fn from_values(width: u32, values: impl IntoIterator<Item = u32>) -> PackedSeq {
+        assert!((1..=32).contains(&width), "width {width} out of range");
+        let mut words: Vec<u64> = Vec::new();
+        let mut len = 0usize;
+        for v in values {
+            debug_assert!(u64::from(v) < (1u64 << width), "value overflows width");
+            let bit = len * width as usize;
+            let (w, off) = (bit / 64, (bit % 64) as u32);
+            if w == words.len() {
+                words.push(0);
+            }
+            words[w] |= u64::from(v) << off;
+            if off + width > 64 {
+                words.push(u64::from(v) >> (64 - off));
+            }
+            len += 1;
+        }
+        PackedSeq {
+            words: WordSeq::Owned(words),
+            width,
+            len,
+        }
+    }
+
+    /// Wraps pre-packed words (e.g. a zero-copy file section).
+    pub fn from_words(words: WordSeq, width: u32, len: usize) -> PackedSeq {
+        assert!((1..=32).contains(&width), "width {width} out of range");
+        assert!(
+            words.len_words() * 64 >= len * width as usize,
+            "word payload too short for {len} x {width}-bit values"
+        );
+        PackedSeq { words, width, len }
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the sequence holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit width per value.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The backing words.
+    pub fn words(&self) -> &WordSeq {
+        &self.words
+    }
+
+    /// The `i`-th value. O(1); at most two word reads.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        let bit = i * self.width as usize;
+        let (w, off) = (bit / 64, (bit % 64) as u32);
+        let mut v = self.words.word(w) >> off;
+        if off + self.width > 64 {
+            v |= self.words.word(w + 1) << (64 - off);
+        }
+        // width <= 32, so the mask never overflows a u64 shift.
+        (v & ((1u64 << self.width) - 1)) as u32
+    }
+
+    /// Binary search for `value` in the sorted range `lo..hi`.
+    pub fn binary_search_range(&self, lo: usize, hi: usize, value: u32) -> Result<usize, usize> {
+        let (mut lo, mut hi) = (lo, hi);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.get(mid).cmp(&value) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Resident bytes (words + header).
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.size_in_bytes() + std::mem::size_of::<Self>()
+    }
+}
+
+/// How many words one rank superblock covers (512 bits, rank9-style).
+const SUPERBLOCK_WORDS: usize = 8;
+
+/// A plain append-only bitvector builder for [`RsBitVec`].
+#[derive(Debug, Default, Clone)]
+pub struct BitVecBuilder {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVecBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let (w, off) = (self.len / 64, self.len % 64);
+        if w == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[w] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Freezes into a rank/select bitvector.
+    pub fn finish(self) -> RsBitVec {
+        RsBitVec::from_words(WordSeq::Owned(self.words), self.len)
+    }
+}
+
+/// A bitvector with O(1) rank and O(log n) select, in the broadword
+/// rank9 style: one cumulative counter per 512-bit superblock plus
+/// popcounts inside the block.
+///
+/// The word payload may be a zero-copy [`WordSeq::Shared`] view; the small
+/// rank directory is always rebuilt in memory (O(n/64) on load).
+#[derive(Debug, Clone)]
+pub struct RsBitVec {
+    words: WordSeq,
+    len_bits: usize,
+    /// Ones before each superblock (`len = ceil(words / 8) + 1`; the last
+    /// entry is the total count).
+    blocks: Vec<u64>,
+}
+
+impl RsBitVec {
+    /// Builds the rank directory over `words` (`len_bits` of which are
+    /// valid; trailing bits of the last word must be zero).
+    pub fn from_words(words: WordSeq, len_bits: usize) -> RsBitVec {
+        let n_words = words.len_words();
+        assert!(n_words * 64 >= len_bits, "word payload too short");
+        let mut blocks = Vec::with_capacity(n_words / SUPERBLOCK_WORDS + 2);
+        let mut total = 0u64;
+        for w in 0..n_words {
+            if w % SUPERBLOCK_WORDS == 0 {
+                blocks.push(total);
+            }
+            total += u64::from(words.word(w).count_ones());
+        }
+        blocks.push(total);
+        RsBitVec {
+            words,
+            len_bits,
+            blocks,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len_bits
+    }
+
+    /// True when the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len_bits == 0
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        *self.blocks.last().expect("blocks never empty") as usize
+    }
+
+    /// The backing words.
+    pub fn words(&self) -> &WordSeq {
+        &self.words
+    }
+
+    /// The `i`-th bit.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len_bits);
+        self.words.word(i / 64) >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits in `[0, i)`.
+    pub fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len_bits);
+        let word = i / 64;
+        let sb = word / SUPERBLOCK_WORDS;
+        let mut count = self.blocks[sb];
+        for w in (sb * SUPERBLOCK_WORDS)..word {
+            count += u64::from(self.words.word(w).count_ones());
+        }
+        let rem = i % 64;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            count += u64::from((self.words.word(word) & mask).count_ones());
+        }
+        count as usize
+    }
+
+    /// Position of the first set bit at or after `from`. Panics if no set
+    /// bit remains — callers iterate runs whose final bit is always set.
+    /// Amortised O(1) over a sequential sweep (word-at-a-time scan).
+    pub fn next_one(&self, from: usize) -> usize {
+        debug_assert!(from < self.len_bits);
+        let mut w = from / 64;
+        let mut word = self.words.word(w) & (u64::MAX << (from % 64));
+        while word == 0 {
+            w += 1;
+            word = self.words.word(w);
+        }
+        w * 64 + word.trailing_zeros() as usize
+    }
+
+    /// Position of the `k`-th set bit (0-based). Panics if fewer than
+    /// `k + 1` bits are set.
+    pub fn select1(&self, k: usize) -> usize {
+        let k = k as u64;
+        assert!(
+            k < *self.blocks.last().expect("blocks never empty"),
+            "select1 out of range"
+        );
+        // Superblock: last block whose prefix count is <= k.
+        let sb = self.blocks.partition_point(|&c| c <= k) - 1;
+        let mut count = self.blocks[sb];
+        let mut w = sb * SUPERBLOCK_WORDS;
+        loop {
+            let ones = u64::from(self.words.word(w).count_ones());
+            if count + ones > k {
+                break;
+            }
+            count += ones;
+            w += 1;
+        }
+        let mut word = self.words.word(w);
+        for _ in 0..(k - count) {
+            word &= word - 1; // clear lowest set bit
+        }
+        w * 64 + word.trailing_zeros() as usize
+    }
+
+    /// Resident bytes (words + rank directory).
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.size_in_bytes() + self.blocks.len() * 8 + std::mem::size_of::<Self>()
+    }
+}
+
+/// One direction of a bitmap-triples index: adjacency lists for every
+/// group (predicate), each list keyed by a packed, sorted key sequence and
+/// delimited in the packed value stream by a "last value of this key"
+/// bitmap — the HDT wave layout.
+#[derive(Debug, Clone)]
+pub struct WaveIndex {
+    /// Key-range bounds per group (`num_groups + 1` entries).
+    key_bounds: Vec<u32>,
+    /// Value-range bounds per group (`num_groups + 1` entries).
+    val_bounds: Vec<u32>,
+    /// All keys, grouped by group id, sorted within a group.
+    keys: PackedSeq,
+    /// One bit per value; set on the last value of each key's run.
+    last: RsBitVec,
+    /// All values, grouped by key, sorted within a key's run.
+    vals: PackedSeq,
+}
+
+impl WaveIndex {
+    /// Assembles a wave from its parts (the `RKB2` loader and
+    /// [`WaveBuilder`] both end here).
+    pub fn from_parts(
+        key_bounds: Vec<u32>,
+        val_bounds: Vec<u32>,
+        keys: PackedSeq,
+        last: RsBitVec,
+        vals: PackedSeq,
+    ) -> WaveIndex {
+        assert_eq!(key_bounds.len(), val_bounds.len(), "bound tables disagree");
+        assert!(!key_bounds.is_empty(), "bound tables must not be empty");
+        assert_eq!(
+            *key_bounds.last().expect("non-empty") as usize,
+            keys.len(),
+            "key bounds do not cover the key sequence"
+        );
+        assert_eq!(
+            *val_bounds.last().expect("non-empty") as usize,
+            vals.len(),
+            "value bounds do not cover the value sequence"
+        );
+        assert_eq!(last.len(), vals.len(), "bitmap length != value count");
+        assert_eq!(
+            last.count_ones(),
+            keys.len(),
+            "bitmap must hold one run per key"
+        );
+        WaveIndex {
+            key_bounds,
+            val_bounds,
+            keys,
+            last,
+            vals,
+        }
+    }
+
+    /// Number of groups (predicates).
+    pub fn num_groups(&self) -> usize {
+        self.key_bounds.len() - 1
+    }
+
+    /// Number of distinct keys in group `g`.
+    #[inline]
+    pub fn num_keys(&self, g: usize) -> usize {
+        (self.key_bounds[g + 1] - self.key_bounds[g]) as usize
+    }
+
+    /// Number of values in group `g`.
+    #[inline]
+    pub fn num_vals(&self, g: usize) -> usize {
+        (self.val_bounds[g + 1] - self.val_bounds[g]) as usize
+    }
+
+    /// The `i`-th key of group `g`.
+    #[inline]
+    pub fn key_at(&self, g: usize, i: usize) -> u32 {
+        self.keys.get(self.key_bounds[g] as usize + i)
+    }
+
+    /// The packed value stream (for [`Bindings`](crate::backend::Bindings)
+    /// construction).
+    pub fn vals(&self) -> &PackedSeq {
+        &self.vals
+    }
+
+    /// Locates `key` within group `g`, returning its local index.
+    #[inline]
+    pub fn find(&self, g: usize, key: u32) -> Option<usize> {
+        let lo = self.key_bounds[g] as usize;
+        let hi = self.key_bounds[g + 1] as usize;
+        self.keys
+            .binary_search_range(lo, hi, key)
+            .ok()
+            .map(|abs| abs - lo)
+    }
+
+    /// The global value range `(start, len)` of the `i`-th key of group
+    /// `g`: two `select1` probes into the run-delimiter bitmap.
+    #[inline]
+    pub fn run_at(&self, g: usize, i: usize) -> (usize, usize) {
+        let k = self.key_bounds[g] as usize + i;
+        let start = if k == 0 {
+            0
+        } else {
+            self.last.select1(k - 1) + 1
+        };
+        let end = self.last.select1(k) + 1;
+        (start, end - start)
+    }
+
+    /// The run length of the `i`-th key of group `g`.
+    #[inline]
+    pub fn run_len_at(&self, g: usize, i: usize) -> usize {
+        self.run_at(g, i).1
+    }
+
+    /// Start of group `g`'s value range (the first key's run begins here).
+    #[inline]
+    pub fn val_start(&self, g: usize) -> usize {
+        self.val_bounds[g] as usize
+    }
+
+    /// The run beginning at value position `start`, found by scanning the
+    /// delimiter bitmap forward — amortised O(1) per run when sweeping a
+    /// group sequentially, vs two `select1` probes for random access.
+    #[inline]
+    pub fn run_from(&self, start: usize) -> (usize, usize) {
+        let end = self.last.next_one(start) + 1;
+        (start, end - start)
+    }
+
+    /// Per-component sizes `(keys, bitmap, values, bounds)` in bytes.
+    pub fn component_sizes(&self) -> (usize, usize, usize, usize) {
+        (
+            self.keys.size_in_bytes(),
+            self.last.size_in_bytes(),
+            self.vals.size_in_bytes(),
+            (self.key_bounds.len() + self.val_bounds.len()) * 4,
+        )
+    }
+
+    /// Total resident bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        let (k, b, v, bounds) = self.component_sizes();
+        k + b + v + bounds
+    }
+
+    /// The serialisable parts: `(key_bounds, val_bounds, keys, last, vals)`.
+    pub fn parts(&self) -> (&[u32], &[u32], &PackedSeq, &RsBitVec, &PackedSeq) {
+        (
+            &self.key_bounds,
+            &self.val_bounds,
+            &self.keys,
+            &self.last,
+            &self.vals,
+        )
+    }
+}
+
+/// Incremental [`WaveIndex`] builder: call [`WaveBuilder::begin_group`] per
+/// group, then [`WaveBuilder::push_run`] for each key in ascending order.
+#[derive(Debug)]
+pub struct WaveBuilder {
+    key_width: u32,
+    val_width: u32,
+    key_bounds: Vec<u32>,
+    val_bounds: Vec<u32>,
+    keys: Vec<u32>,
+    last: BitVecBuilder,
+    vals: Vec<u32>,
+}
+
+impl WaveBuilder {
+    /// Creates a builder for keys/values of the given bit widths.
+    pub fn new(key_width: u32, val_width: u32) -> WaveBuilder {
+        WaveBuilder {
+            key_width,
+            val_width,
+            key_bounds: vec![0],
+            val_bounds: vec![0],
+            keys: Vec::new(),
+            last: BitVecBuilder::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Starts the next group.
+    pub fn begin_group(&mut self) {
+        self.key_bounds.push(self.keys.len() as u32);
+        self.val_bounds.push(self.vals.len() as u32);
+    }
+
+    /// Appends one key and its non-empty, ascending value run.
+    pub fn push_run(&mut self, key: u32, run: impl IntoIterator<Item = u32>) {
+        self.keys.push(key);
+        let before = self.vals.len();
+        for v in run {
+            self.vals.push(v);
+            self.last.push(false);
+        }
+        assert!(self.vals.len() > before, "empty adjacency run for {key}");
+        // Re-mark the final value of the run.
+        let fixed = self.last.len() - 1;
+        self.last.words[fixed / 64] |= 1u64 << (fixed % 64);
+        *self.key_bounds.last_mut().expect("bounds are never empty") = self.keys.len() as u32;
+        *self.val_bounds.last_mut().expect("bounds are never empty") = self.vals.len() as u32;
+    }
+
+    /// Freezes into an immutable wave.
+    pub fn finish(self) -> WaveIndex {
+        let WaveBuilder {
+            key_width,
+            val_width,
+            key_bounds,
+            val_bounds,
+            keys,
+            last,
+            vals,
+        } = self;
+        WaveIndex::from_parts(
+            key_bounds,
+            val_bounds,
+            PackedSeq::from_values(key_width, keys),
+            last.finish(),
+            PackedSeq::from_values(val_width, vals),
+        )
+    }
+}
+
+/// The succinct triple store: an SPO wave (per predicate: subjects →
+/// object runs), an OPS wave (per predicate: objects → subject runs), and
+/// a subject→predicates wave, all rank/select-delimited packed sequences.
+#[derive(Debug, Clone)]
+pub struct BitmapTriples {
+    /// Per predicate: subject keys, object runs.
+    pub(crate) spo: WaveIndex,
+    /// Per predicate: object keys, subject runs.
+    pub(crate) ops: WaveIndex,
+    /// Single-group wave: subject keys, predicate runs.
+    pub(crate) sp: WaveIndex,
+}
+
+impl BitmapTriples {
+    /// Assembles the store from its three waves.
+    pub fn from_waves(spo: WaveIndex, ops: WaveIndex, sp: WaveIndex) -> BitmapTriples {
+        assert_eq!(
+            spo.num_groups(),
+            ops.num_groups(),
+            "SPO and OPS predicate counts disagree"
+        );
+        assert_eq!(sp.num_groups(), 1, "subject-preds wave is single-group");
+        BitmapTriples { spo, ops, sp }
+    }
+
+    /// The SPO wave.
+    pub fn spo(&self) -> &WaveIndex {
+        &self.spo
+    }
+
+    /// The OPS wave.
+    pub fn ops(&self) -> &WaveIndex {
+        &self.ops
+    }
+
+    /// The subject→predicates wave.
+    pub fn sp(&self) -> &WaveIndex {
+        &self.sp
+    }
+
+    /// Number of predicates.
+    pub fn num_preds(&self) -> usize {
+        self.spo.num_groups()
+    }
+
+    /// Total facts across predicates.
+    pub fn num_facts_total(&self) -> usize {
+        self.spo.vals().len()
+    }
+
+    /// Fact count of one predicate.
+    #[inline]
+    pub fn num_facts(&self, p: PredId) -> usize {
+        self.spo.num_vals(p.idx())
+    }
+
+    /// Distinct subjects of one predicate.
+    #[inline]
+    pub fn num_subjects(&self, p: PredId) -> usize {
+        self.spo.num_keys(p.idx())
+    }
+
+    /// Distinct objects of one predicate.
+    #[inline]
+    pub fn num_objects(&self, p: PredId) -> usize {
+        self.ops.num_keys(p.idx())
+    }
+
+    /// The value run for `objects(p, s)` as `(start, len)` into
+    /// [`WaveIndex::vals`] of the SPO wave.
+    #[inline]
+    pub fn objects_run(&self, p: PredId, s: NodeId) -> Option<(usize, usize)> {
+        let i = self.spo.find(p.idx(), s.0)?;
+        Some(self.spo.run_at(p.idx(), i))
+    }
+
+    /// The value run for `subjects(p, o)` in the OPS wave.
+    #[inline]
+    pub fn subjects_run(&self, p: PredId, o: NodeId) -> Option<(usize, usize)> {
+        let i = self.ops.find(p.idx(), o.0)?;
+        Some(self.ops.run_at(p.idx(), i))
+    }
+
+    /// The value run for `preds_of_subject(s)` in the SP wave.
+    #[inline]
+    pub fn preds_run(&self, s: NodeId) -> Option<(usize, usize)> {
+        let i = self.sp.find(0, s.0)?;
+        Some(self.sp.run_at(0, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_covers_boundaries() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u32::MAX as u64), 32);
+    }
+
+    #[test]
+    fn packed_seq_roundtrip_all_widths() {
+        for width in 1..=32u32 {
+            let max = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let values: Vec<u32> = (0..200u32)
+                .map(|i| (i.wrapping_mul(2_654_435_761)) % max.saturating_add(1).max(1))
+                .chain([0, max])
+                .collect();
+            let seq = PackedSeq::from_values(width, values.iter().copied());
+            assert_eq!(seq.len(), values.len());
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(seq.get(i), v, "width {width}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_seq_binary_search() {
+        let seq = PackedSeq::from_values(7, [3u32, 9, 27, 81, 100]);
+        assert_eq!(seq.binary_search_range(0, 5, 27), Ok(2));
+        assert_eq!(seq.binary_search_range(0, 5, 28), Err(3));
+        assert_eq!(seq.binary_search_range(2, 5, 3), Err(2));
+        assert_eq!(seq.binary_search_range(0, 0, 3), Err(0));
+    }
+
+    #[test]
+    fn packed_seq_zero_copy_view_matches_owned() {
+        let values: Vec<u32> = (0..500).map(|i| i * 37 % 1024).collect();
+        let owned = PackedSeq::from_values(10, values.iter().copied());
+        let mut buf = bytes::BytesMut::new();
+        owned.words().write_le(&mut buf);
+        let shared = PackedSeq::from_words(WordSeq::Shared(buf.freeze()), 10, values.len());
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(shared.get(i), v);
+        }
+    }
+
+    #[test]
+    fn rank_select_agree_with_naive() {
+        let mut b = BitVecBuilder::new();
+        let pattern: Vec<bool> = (0..1500usize)
+            .map(|i| (i * i + i / 3) % 7 < 2 || i % 64 == 63)
+            .collect();
+        for &bit in &pattern {
+            b.push(bit);
+        }
+        let bv = b.finish();
+        assert_eq!(bv.len(), pattern.len());
+        let mut ones = 0usize;
+        for (i, &bit) in pattern.iter().enumerate() {
+            assert_eq!(bv.rank1(i), ones, "rank at {i}");
+            assert_eq!(bv.get(i), bit);
+            if bit {
+                assert_eq!(bv.select1(ones), i, "select of one #{ones}");
+                ones += 1;
+            }
+        }
+        assert_eq!(bv.count_ones(), ones);
+        assert_eq!(bv.rank1(pattern.len()), ones);
+    }
+
+    #[test]
+    #[should_panic(expected = "select1 out of range")]
+    fn select_past_last_one_panics() {
+        let mut b = BitVecBuilder::new();
+        b.push(true);
+        b.push(false);
+        b.finish().select1(1);
+    }
+
+    #[test]
+    fn rank_select_on_zero_copy_words() {
+        let mut b = BitVecBuilder::new();
+        for i in 0..700usize {
+            b.push(i % 5 == 0);
+        }
+        let owned = b.finish();
+        let mut buf = bytes::BytesMut::new();
+        owned.words().write_le(&mut buf);
+        let shared = RsBitVec::from_words(WordSeq::Shared(buf.freeze()), owned.len());
+        assert_eq!(shared.count_ones(), owned.count_ones());
+        for k in 0..shared.count_ones() {
+            assert_eq!(shared.select1(k), owned.select1(k));
+        }
+    }
+
+    #[test]
+    fn wave_index_runs_and_lookups() {
+        // Two groups: group 0 has keys {2: [1, 4], 7: [0]}, group 1 has
+        // {2: [9]}.
+        let mut w = WaveBuilder::new(4, 5);
+        w.begin_group();
+        w.push_run(2, [1, 4]);
+        w.push_run(7, [0]);
+        w.begin_group();
+        w.push_run(2, [9]);
+        let wave = w.finish();
+
+        assert_eq!(wave.num_groups(), 2);
+        assert_eq!(wave.num_keys(0), 2);
+        assert_eq!(wave.num_vals(0), 3);
+        assert_eq!(wave.num_keys(1), 1);
+        assert_eq!(wave.key_at(0, 1), 7);
+        assert_eq!(wave.find(0, 2), Some(0));
+        assert_eq!(wave.find(0, 3), None);
+        assert_eq!(wave.find(1, 2), Some(0));
+        assert_eq!(wave.run_at(0, 0), (0, 2));
+        assert_eq!(wave.run_at(0, 1), (2, 1));
+        assert_eq!(wave.run_at(1, 0), (3, 1));
+        assert_eq!(wave.vals().get(3), 9);
+    }
+
+    #[test]
+    fn empty_groups_are_fine() {
+        let mut w = WaveBuilder::new(3, 3);
+        w.begin_group(); // empty predicate
+        w.begin_group();
+        w.push_run(1, [2, 3]);
+        w.begin_group(); // empty again
+        let wave = w.finish();
+        assert_eq!(wave.num_groups(), 3);
+        assert_eq!(wave.num_keys(0), 0);
+        assert_eq!(wave.num_vals(0), 0);
+        assert_eq!(wave.find(0, 1), None);
+        assert_eq!(wave.num_keys(1), 1);
+        assert_eq!(wave.run_at(1, 0), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty adjacency run")]
+    fn empty_runs_are_rejected() {
+        let mut w = WaveBuilder::new(3, 3);
+        w.begin_group();
+        w.push_run(1, []);
+    }
+}

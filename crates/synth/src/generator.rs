@@ -17,7 +17,7 @@ use crate::zipf::Zipf;
 
 /// A generated KB plus the bookkeeping experiments need: which entities
 /// belong to which class, in prominence order (index 0 = most prominent).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SynthKb {
     /// The built knowledge base (with inverse predicates materialised per
     /// the profile's `inverse_fraction`).

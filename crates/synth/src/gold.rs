@@ -47,7 +47,7 @@ pub struct GoldStandard {
 /// matching the language of the FACES/LinkSUM gold standard.
 pub fn candidate_facts(kb: &KnowledgeBase, entity: NodeId) -> Vec<(PredId, NodeId)> {
     let mut out = Vec::new();
-    for &p in kb.preds_of_subject(entity) {
+    for p in kb.preds_of_subject(entity) {
         let p = PredId(p);
         if kb.is_inverse(p) {
             continue;
@@ -55,7 +55,7 @@ pub fn candidate_facts(kb: &KnowledgeBase, entity: NodeId) -> Vec<(PredId, NodeI
         if Some(p) == kb.type_pred() || Some(p) == kb.label_pred() {
             continue;
         }
-        for &o in kb.objects(p, entity) {
+        for o in kb.objects(p, entity) {
             out.push((p, NodeId(o)));
         }
     }

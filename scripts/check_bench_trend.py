@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Diff two criterion-shim JSON-line files and fail on median regressions.
+
+The vendored criterion shim emits one JSON object per benchmark when
+CRITERION_JSON is set:
+
+    {"id": "...", "median_ns": 1.0, "mean_ns": 1.0, "stddev_ns": 0.0, ...}
+
+Usage:
+    check_bench_trend.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Exit status is 1 when any benchmark present in both files regressed by
+more than the threshold (current median > baseline median * (1 + t)).
+Benchmarks appearing in only one file are reported but never fail the
+check, so adding or retiring benchmarks stays cheap.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """Parses a JSON-lines bench file into {id: median_ns}."""
+    out = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                sys.exit(f"{path}: malformed JSON line: {exc}\n  {line[:120]}")
+            if "id" in rec and "median_ns" in rec:
+                out[rec["id"]] = float(rec["median_ns"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional median regression (default 0.25 = +25%%)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if not base:
+        print(f"baseline {args.baseline} holds no benchmarks; nothing to compare")
+        return 0
+
+    regressions = []
+    width = max((len(k) for k in sorted(set(base) | set(cur))), default=10)
+    for bench_id in sorted(set(base) | set(cur)):
+        if bench_id not in base:
+            print(f"  NEW      {bench_id:<{width}}  {cur[bench_id]:>12.1f} ns")
+            continue
+        if bench_id not in cur:
+            print(f"  RETIRED  {bench_id:<{width}}")
+            continue
+        b, c = base[bench_id], cur[bench_id]
+        ratio = c / b if b > 0 else float("inf")
+        marker = "ok"
+        if ratio > 1.0 + args.threshold:
+            marker = "REGRESSED"
+            regressions.append((bench_id, b, c, ratio))
+        elif ratio < 1.0 - args.threshold:
+            marker = "improved"
+        print(
+            f"  {marker:<9}{bench_id:<{width}}  "
+            f"{b:>12.1f} -> {c:>12.1f} ns  ({ratio:.2f}x)"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"+{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for bench_id, b, c, ratio in regressions:
+            print(f"  {bench_id}: {b:.1f} -> {c:.1f} ns ({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print("\nno median regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,13 @@ pub trait Buf {
         b
     }
 
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
     /// Fills `dst` from the buffer and advances by `dst.len()`.
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         assert!(
