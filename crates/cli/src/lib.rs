@@ -48,19 +48,8 @@ pub fn parse_backend(s: &str) -> Result<Backend> {
 /// magic decides between `RKB1` and `RKB2`). Inverse predicates are
 /// rebuilt for the top `inverse_fraction` where the format allows.
 pub fn load_kb(path: &Path, inverse_fraction: f64) -> Result<KnowledgeBase> {
-    let ext = path
-        .extension()
-        .and_then(|e| e.to_str())
-        .unwrap_or("")
-        .to_ascii_lowercase();
-    if ext == "nt" || ext == "ntriples" {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))?;
-        let builder = remi_kb::ntriples::parse_document(&text)?;
-        Ok(builder.build_with_inverses(inverse_fraction)?)
-    } else {
-        Ok(remi_kb::binfmt::load(path, inverse_fraction)?)
-    }
+    remi_kb::load_path(path, inverse_fraction)
+        .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))
 }
 
 /// Loads a KB and converts it to the requested backend (`None` keeps the
@@ -356,6 +345,62 @@ pub fn cmd_summarize(
     Ok(out)
 }
 
+/// Options for `remi serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Bind address.
+    pub addr: String,
+    /// Storage backend override (`None` keeps the format-native one).
+    pub backend: Option<Backend>,
+    /// Response-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Admission-control watermark (503 load-shedding beyond it).
+    pub max_inflight: usize,
+    /// Default P-REMI task count per describe request.
+    pub threads: usize,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        let defaults = remi_serve::ServeConfig::default();
+        ServeOpts {
+            addr: "127.0.0.1:8080".to_string(),
+            backend: None,
+            cache_entries: defaults.cache_entries,
+            max_inflight: defaults.max_inflight,
+            threads: defaults.threads,
+        }
+    }
+}
+
+/// `remi serve`: loads the KB once and boots the embedded HTTP service.
+/// Returns the running server handle plus the banner to print; the caller
+/// decides whether to block on [`remi_serve::ServerHandle::wait`] (the
+/// binary does) or to drive and shut it down programmatically (tests do).
+pub fn cmd_serve(path: &Path, opts: &ServeOpts) -> Result<(remi_serve::ServerHandle, String)> {
+    let kb = load_kb(path, 0.01)?;
+    let config = remi_serve::ServeConfig {
+        addr: opts.addr.clone(),
+        backend: opts.backend,
+        cache_entries: opts.cache_entries,
+        max_inflight: opts.max_inflight,
+        threads: opts.threads,
+    };
+    let handle = remi_serve::serve(kb, config)
+        .map_err(|e| CliError(format!("cannot serve on {}: {e}", opts.addr)))?;
+    let banner = format!(
+        "serving {} on http://{} ({} backend, cache {} entries, max-inflight {})\n\
+         routes: GET /healthz | GET /stats | GET /describe/{{entity}} | \
+         POST /describe | GET /summarize/{{entity}}",
+        path.display(),
+        handle.addr(),
+        opts.backend.map(|b| b.name()).unwrap_or("format-native"),
+        opts.cache_entries,
+        opts.max_inflight,
+    );
+    Ok((handle, banner))
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 remi — mine intuitive referring expressions on RDF knowledge bases
@@ -369,6 +414,15 @@ USAGE:
                               [--backend csr|succinct]
   remi summarize <kb> <iri> [--k N] [--method remi|faces|linksum]
                             [--backend csr|succinct]
+  remi serve <kb> [--addr HOST:PORT] [--backend csr|succinct]
+                  [--cache-entries N] [--max-inflight N] [--threads N]
+
+SERVING:
+  remi serve keeps the KB resident and answers JSON over HTTP/1.1:
+  GET /healthz, GET /stats, GET /describe/{entity}?k=&threads=&backend=,
+  POST /describe {\"entities\": [...]}, GET /summarize/{entity}?k=&method=.
+  Responses are cached (LRU, --cache-entries; 0 disables) and work beyond
+  --max-inflight is shed with 503.
 
 STORAGE:
   .rkb files are row-oriented RKB1 (loads into the CSR backend); .rkb2

@@ -1,11 +1,61 @@
 //! The `remi` command-line entry point. Argument parsing only; the
 //! subcommand logic lives in the library for testability.
+//!
+//! Error-path contract: every failure prints one `error: ...` line to
+//! stderr and exits non-zero. Usage errors (unknown subcommand/flag,
+//! missing or malformed flag value) additionally print the usage text and
+//! exit 2; runtime errors (unreadable KB, unknown entity, bind failure)
+//! exit 1 without the usage noise.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use remi_cli::{cmd_convert, cmd_describe, cmd_gen, cmd_stats, cmd_summarize, DescribeOpts, USAGE};
+use remi_cli::{
+    cmd_convert, cmd_describe, cmd_gen, cmd_serve, cmd_stats, cmd_summarize, DescribeOpts,
+    ServeOpts, USAGE,
+};
 use remi_core::LanguageBias;
+
+/// What a successfully parsed invocation does.
+enum Action {
+    /// Print this output and exit.
+    Print(String),
+    /// A booted server to block on (the banner prints first).
+    Serve(Box<remi_serve::ServerHandle>, String),
+}
+
+impl std::fmt::Debug for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Print(out) => f.debug_tuple("Print").field(out).finish(),
+            Action::Serve(handle, _) => write!(f, "Serve({})", handle.addr()),
+        }
+    }
+}
+
+/// A failed invocation, split by whether the usage text helps.
+#[derive(Debug)]
+enum Failure {
+    /// Bad command line: print `error:` + usage, exit 2.
+    Usage(String),
+    /// The command itself failed: print `error:` only, exit 1.
+    Runtime(remi_cli::CliError),
+}
+
+impl From<remi_cli::CliError> for Failure {
+    fn from(e: remi_cli::CliError) -> Self {
+        Failure::Runtime(e)
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Usage(msg) => write!(f, "{msg}"),
+            Failure::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     // `std::env::args()` panics on non-UTF-8 arguments; surface those as a
@@ -20,31 +70,45 @@ fn main() -> ExitCode {
                     i + 1,
                     raw
                 );
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         }
     }
     match run(&args) {
-        Ok(output) => {
+        Ok(Action::Print(output)) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+        Ok(Action::Serve(mut handle, banner)) => {
+            println!("{banner}");
+            // Foreground server: block until something shuts it down
+            // (process signal / supervisor kill).
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(Failure::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(Failure::Runtime(e)) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> remi_cli::Result<String> {
-    let err = |msg: &str| remi_cli::CliError(msg.to_string());
+fn run(args: &[String]) -> Result<Action, Failure> {
+    let err = |msg: &str| Failure::Usage(msg.to_string());
     // `--help` anywhere wins, so `remi gen --help` explains instead of
     // complaining about an unknown flag.
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        return Ok(USAGE.to_string());
+        return Ok(Action::Print(USAGE.to_string()));
     }
     let Some(cmd) = args.first() else {
         return Err(err("missing subcommand"));
+    };
+    let print = |result: remi_cli::Result<String>| -> Result<Action, Failure> {
+        Ok(Action::Print(result?))
     };
     match cmd.as_str() {
         "gen" => {
@@ -56,7 +120,14 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             while let Some(flag) = it.next() {
                 let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
                 match flag.as_str() {
-                    "--profile" => profile = value()?,
+                    "--profile" => {
+                        profile = value()?;
+                        if !matches!(profile.as_str(), "dbpedia" | "wikidata") {
+                            return Err(err(&format!(
+                                "unknown profile {profile:?} (expected dbpedia or wikidata)"
+                            )));
+                        }
+                    }
                     "--scale" => {
                         scale = value()?.parse().map_err(|_| err("--scale takes a float"))?
                     }
@@ -66,7 +137,7 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
                 }
             }
             let out = out.ok_or_else(|| err("gen requires -o <path>"))?;
-            cmd_gen(&profile, scale, seed, &out).map(|s| s + "\n")
+            print(cmd_gen(&profile, scale, seed, &out).map(|s| s + "\n"))
         }
         "convert" => {
             let mut format = None;
@@ -88,7 +159,10 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             let [input, output] = &paths[..] else {
                 return Err(err("convert takes exactly two paths"));
             };
-            cmd_convert(&PathBuf::from(input), &PathBuf::from(output), format).map(|s| s + "\n")
+            print(
+                cmd_convert(&PathBuf::from(input), &PathBuf::from(output), format)
+                    .map(|s| s + "\n"),
+            )
         }
         "stats" => {
             let Some(path) = args.get(1) else {
@@ -100,12 +174,12 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
                 match a.as_str() {
                     "--backend" => {
                         let v = it.next().ok_or_else(|| err("missing flag value"))?;
-                        backend = Some(remi_cli::parse_backend(v)?);
+                        backend = Some(parse_backend_usage(v)?);
                     }
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }
             }
-            cmd_stats(&PathBuf::from(path), backend)
+            print(cmd_stats(&PathBuf::from(path), backend))
         }
         "describe" => {
             let Some(path) = args.get(1) else {
@@ -134,7 +208,7 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
                             .parse()
                             .map_err(|_| err("--exceptions takes an int"))?
                     }
-                    "--backend" => opts.backend = Some(remi_cli::parse_backend(&value()?)?),
+                    "--backend" => opts.backend = Some(parse_backend_usage(&value()?)?),
                     iri if !iri.starts_with("--") => iris.push(iri.to_string()),
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }
@@ -142,7 +216,7 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
             if iris.is_empty() {
                 return Err(err("describe needs at least one entity IRI"));
             }
-            cmd_describe(&PathBuf::from(path), &iris, &opts)
+            print(cmd_describe(&PathBuf::from(path), &iris, &opts))
         }
         "summarize" => {
             let (Some(path), Some(iri)) = (args.get(1), args.get(2)) else {
@@ -156,16 +230,71 @@ fn run(args: &[String]) -> remi_cli::Result<String> {
                 let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
                 match a.as_str() {
                     "--k" => k = value()?.parse().map_err(|_| err("--k takes an int"))?,
-                    "--method" => method = value()?,
-                    "--backend" => backend = Some(remi_cli::parse_backend(&value()?)?),
+                    "--method" => {
+                        method = value()?;
+                        if !matches!(method.as_str(), "remi" | "faces" | "linksum") {
+                            return Err(err(&format!(
+                                "unknown method {method:?} (expected remi, faces, or linksum)"
+                            )));
+                        }
+                    }
+                    "--backend" => backend = Some(parse_backend_usage(&value()?)?),
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }
             }
-            cmd_summarize(&PathBuf::from(path), iri, k, &method, backend)
+            print(cmd_summarize(
+                &PathBuf::from(path),
+                iri,
+                k,
+                &method,
+                backend,
+            ))
         }
-        "help" => Ok(USAGE.to_string()),
+        "serve" => {
+            let Some(path) = args.get(1) else {
+                return Err(err("serve takes a KB path"));
+            };
+            let mut opts = ServeOpts::default();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
+                match a.as_str() {
+                    "--addr" => opts.addr = value()?,
+                    "--backend" => opts.backend = Some(parse_backend_usage(&value()?)?),
+                    "--cache-entries" => {
+                        opts.cache_entries = value()?
+                            .parse()
+                            .map_err(|_| err("--cache-entries takes an int"))?
+                    }
+                    "--max-inflight" => {
+                        opts.max_inflight = value()?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| err("--max-inflight takes a positive int"))?
+                    }
+                    "--threads" => {
+                        opts.threads = value()?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| err("--threads takes a positive int"))?
+                    }
+                    other => return Err(err(&format!("unknown flag {other}"))),
+                }
+            }
+            let (handle, banner) = cmd_serve(&PathBuf::from(path), &opts)?;
+            Ok(Action::Serve(Box::new(handle), banner))
+        }
+        "help" => Ok(Action::Print(USAGE.to_string())),
         other => Err(err(&format!("unknown subcommand {other}"))),
     }
+}
+
+/// `--backend` parsing at the argument layer: a bad value is a usage
+/// error.
+fn parse_backend_usage(v: &str) -> Result<remi_kb::Backend, Failure> {
+    remi_cli::parse_backend(v).map_err(|e| Failure::Usage(e.to_string()))
 }
 
 #[cfg(test)]
@@ -176,6 +305,14 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn output(result: Result<Action, Failure>) -> String {
+        match result {
+            Ok(Action::Print(out)) => out,
+            Ok(Action::Serve(..)) => panic!("expected printed output, got a server"),
+            Err(e) => panic!("expected success, got error: {e}"),
+        }
+    }
+
     #[test]
     fn help_prints_usage_from_anywhere() {
         for line in [
@@ -184,8 +321,9 @@ mod tests {
             vec!["help"],
             vec!["gen", "--help"],
             vec!["describe", "kb.rkb", "-h"],
+            vec!["serve", "kb.rkb", "--help"],
         ] {
-            let out = run(&args(&line)).unwrap();
+            let out = output(run(&args(&line)));
             assert_eq!(out, USAGE, "{line:?}");
         }
     }
@@ -193,30 +331,107 @@ mod tests {
     #[test]
     fn missing_subcommand_is_an_error() {
         let e = run(&[]).unwrap_err();
-        assert!(e.to_string().contains("missing subcommand"), "{e}");
+        assert!(
+            matches!(&e, Failure::Usage(m) if m.contains("missing subcommand")),
+            "{e}"
+        );
     }
 
     #[test]
-    fn unknown_subcommand_and_flags_error_clearly() {
-        let e = run(&args(&["frobnicate"])).unwrap_err();
-        assert!(e.to_string().contains("unknown subcommand"), "{e}");
-        let e = run(&args(&["gen", "--bogus"])).unwrap_err();
-        assert!(e.to_string().contains("unknown flag --bogus"), "{e}");
-        let e = run(&args(&["summarize", "kb.rkb", "e:x", "--k"])).unwrap_err();
-        assert!(e.to_string().contains("missing flag value"), "{e}");
+    fn unknown_subcommand_and_flags_are_usage_errors() {
+        for (line, needle) in [
+            (vec!["frobnicate"], "unknown subcommand"),
+            (vec!["gen", "--bogus"], "unknown flag --bogus"),
+            (
+                vec!["summarize", "kb.rkb", "e:x", "--k"],
+                "missing flag value",
+            ),
+            (vec!["serve", "kb.rkb", "--bogus"], "unknown flag --bogus"),
+            (vec!["serve"], "serve takes a KB path"),
+            (
+                vec!["serve", "kb.rkb", "--max-inflight", "0"],
+                "--max-inflight",
+            ),
+            (
+                vec!["describe", "kb.rkb", "e:x", "--backend", "hologram"],
+                "unknown backend",
+            ),
+            (
+                vec!["gen", "--profile", "freebase", "-o", "x.rkb"],
+                "unknown profile",
+            ),
+            (
+                vec!["summarize", "kb.rkb", "e:x", "--method", "magic"],
+                "unknown method",
+            ),
+        ] {
+            let e = run(&args(&line)).unwrap_err();
+            assert!(
+                matches!(&e, Failure::Usage(m) if m.contains(needle)),
+                "{line:?}: {e}"
+            );
+        }
     }
 
     #[test]
     fn malformed_flag_values_error_clearly() {
         let e = run(&args(&["gen", "--scale", "fast", "-o", "kb.rkb"])).unwrap_err();
-        assert!(e.to_string().contains("--scale takes a float"), "{e}");
+        assert!(
+            matches!(&e, Failure::Usage(m) if m.contains("--scale takes a float")),
+            "{e}"
+        );
         let e = run(&args(&["describe", "kb.rkb", "e:x", "--threads", "many"])).unwrap_err();
-        assert!(e.to_string().contains("--threads takes an int"), "{e}");
+        assert!(
+            matches!(&e, Failure::Usage(m) if m.contains("--threads takes an int")),
+            "{e}"
+        );
     }
 
     #[test]
     fn gen_requires_an_output_path() {
         let e = run(&args(&["gen", "--profile", "dbpedia"])).unwrap_err();
-        assert!(e.to_string().contains("requires -o"), "{e}");
+        assert!(
+            matches!(&e, Failure::Usage(m) if m.contains("requires -o")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn unreadable_kb_paths_are_runtime_errors() {
+        // The same `error:` contract, but without the usage text: the
+        // command line was fine, the file was not.
+        for line in [
+            vec!["stats", "/no/such/file.rkb"],
+            vec!["describe", "/no/such/file.rkb", "e:x"],
+            vec!["summarize", "/no/such/file.rkb", "e:x"],
+            vec!["serve", "/no/such/file.rkb"],
+        ] {
+            let e = run(&args(&line)).unwrap_err();
+            assert!(matches!(&e, Failure::Runtime(_)), "{line:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn serve_boots_from_the_command_line() {
+        let dir = std::env::temp_dir().join(format!("remi_main_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let kb_path = dir.join("kb.rkb");
+        cmd_gen("dbpedia", 0.1, 3, &kb_path).unwrap();
+        let line = args(&[
+            "serve",
+            kb_path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-entries",
+            "16",
+        ]);
+        let Ok(Action::Serve(mut handle, banner)) = run(&line) else {
+            panic!("serve did not boot");
+        };
+        assert!(banner.contains("serving"), "{banner}");
+        let mut c = remi_serve::client::Client::connect(handle.addr()).unwrap();
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

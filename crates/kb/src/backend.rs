@@ -432,8 +432,7 @@ pub(crate) fn build_bitmap_triples(src: &StoreBackend, num_nodes: usize) -> Bitm
         }
         ops.begin_group();
         for i in 0..src.num_objects(p) {
-            let o = src.object_at(p, i);
-            ops.push_run(o.0, src.subjects(p, o).iter());
+            ops.push_run(src.object_at(p, i).0, src.subjects_at(p, i).iter());
         }
     }
 

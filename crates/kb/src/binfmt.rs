@@ -137,10 +137,24 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Validates a file-derived element count against the bytes actually
+/// available: each element consumes at least `min_bytes` of input, so a
+/// larger count is malformed. Catching it here keeps hostile counts out
+/// of `with_capacity` (which aborts, rather than unwinding, on overflow).
+fn checked_count(n: u64, remaining: usize, min_bytes: usize) -> Result<usize> {
+    let bound = remaining / min_bytes.max(1);
+    if n > bound as u64 {
+        return Err(KbError::Format(format!(
+            "element count {n} overruns its section ({remaining} bytes left)"
+        )));
+    }
+    Ok(n as usize)
+}
+
 /// Decodes one front-coded key given the previous key.
 fn read_front_coded(buf: &mut impl Buf, prev: &str) -> Result<String> {
     let shared = varint::read_u64(buf)? as usize;
-    if shared > prev.len() {
+    if shared > prev.len() || !prev.is_char_boundary(shared) {
         return Err(KbError::Format("front-coding prefix overruns".into()));
     }
     let suffix = varint::read_str(buf)?;
@@ -314,31 +328,35 @@ fn read_packed(cur: &mut Bytes) -> Result<PackedSeq> {
     if !(1..=32).contains(&width) {
         return Err(KbError::Format(format!("bad packed width {width}")));
     }
-    let len = varint::read_u64(cur)? as usize;
-    let n_words = varint::read_u64(cur)? as usize;
-    let n_bytes = n_words * 8;
-    if cur.remaining() < n_bytes || n_words * 64 < len * width as usize {
+    let len = varint::read_u64(cur)?;
+    let n_words = checked_count(varint::read_u64(cur)?, cur.remaining(), 8)?;
+    let n_bytes = n_words * 8; // cannot overflow: n_words <= remaining/8
+    if (n_words as u128) * 64 < (len as u128) * u128::from(width) {
         return Err(KbError::Format("truncated packed sequence".into()));
     }
+    let len = len as usize;
     let words = cur.slice(..n_bytes);
     cur.advance(n_bytes);
     Ok(PackedSeq::from_words(WordSeq::Shared(words), width, len))
 }
 
 fn read_bitvec(cur: &mut Bytes) -> Result<RsBitVec> {
-    let len_bits = varint::read_u64(cur)? as usize;
-    let n_words = varint::read_u64(cur)? as usize;
-    let n_bytes = n_words * 8;
-    if cur.remaining() < n_bytes || n_words * 64 < len_bits {
+    let len_bits = varint::read_u64(cur)?;
+    let n_words = checked_count(varint::read_u64(cur)?, cur.remaining(), 8)?;
+    let n_bytes = n_words * 8; // cannot overflow: n_words <= remaining/8
+    if (n_words as u128) * 64 < len_bits as u128 {
         return Err(KbError::Format("truncated bitmap".into()));
     }
+    let len_bits = len_bits as usize;
     let words = cur.slice(..n_bytes);
     cur.advance(n_bytes);
     Ok(RsBitVec::from_words(WordSeq::Shared(words), len_bits))
 }
 
 fn read_wave(cur: &mut Bytes) -> Result<WaveIndex> {
-    let n_groups = varint::read_u64(cur)? as usize;
+    // Each group contributes at least one key-bound and one val-bound
+    // varint byte.
+    let n_groups = checked_count(varint::read_u64(cur)?, cur.remaining(), 2)?;
     // Bounds are validated after the sequences are known; read raw first.
     let mut raw_key_bounds = Vec::with_capacity(n_groups + 1);
     for _ in 0..=n_groups {
@@ -411,7 +429,8 @@ fn read_v2(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
 
     // Dictionaries.
     let mut nodes_sec = section(&table, SEC_NODES, body)?;
-    let n_nodes = varint::read_u64(&mut nodes_sec)? as usize;
+    // Each entry holds a kind byte plus two front-coding varints.
+    let n_nodes = checked_count(varint::read_u64(&mut nodes_sec)?, nodes_sec.remaining(), 3)?;
     let mut nodes = Dictionary::with_capacity(n_nodes);
     let mut prev = String::new();
     for _ in 0..n_nodes {
@@ -428,7 +447,7 @@ fn read_v2(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
     }
 
     let mut preds_sec = section(&table, SEC_PREDS, body)?;
-    let n_preds = varint::read_u64(&mut preds_sec)? as usize;
+    let n_preds = checked_count(varint::read_u64(&mut preds_sec)?, preds_sec.remaining(), 2)?;
     let mut preds = Dictionary::with_capacity(n_preds);
     let mut prev = String::new();
     for _ in 0..n_preds {
@@ -523,8 +542,8 @@ fn read_v1(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
 
     let mut builder = KbBuilder::new();
 
-    // Node dictionary.
-    let n_nodes = varint::read_u64(&mut buf)? as usize;
+    // Node dictionary (kind byte + two front-coding varints per entry).
+    let n_nodes = checked_count(varint::read_u64(&mut buf)?, buf.remaining(), 3)?;
     let mut node_ids = Vec::with_capacity(n_nodes);
     let mut prev = String::new();
     for _ in 0..n_nodes {
@@ -544,7 +563,7 @@ fn read_v1(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
     }
 
     // Predicate dictionary.
-    let n_preds = varint::read_u64(&mut buf)? as usize;
+    let n_preds = checked_count(varint::read_u64(&mut buf)?, buf.remaining(), 2)?;
     let mut pred_ids = Vec::with_capacity(n_preds);
     let mut prev = String::new();
     for _ in 0..n_preds {
@@ -749,6 +768,57 @@ mod tests {
         let sum = fnv1a(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
         bytes
+    }
+
+    /// Hostile element counts must error before reaching `with_capacity`
+    /// (which aborts, not unwinds, on capacity overflow).
+    #[test]
+    fn crafted_huge_counts_error_instead_of_aborting() {
+        // RKB1 whose node-count varint claims u64::MAX entries.
+        let mut bytes = BytesMut::new();
+        bytes.put_slice(MAGIC_V1);
+        bytes.put_u8(0); // flags
+        varint::write_u64(&mut bytes, u64::MAX);
+        let mut bytes = bytes.to_vec();
+        bytes.extend_from_slice(&[0u8; 8]); // checksum placeholder
+        assert!(matches!(
+            read_bytes(&reseal(bytes), 0.0),
+            Err(KbError::Format(msg)) if msg.contains("overruns")
+        ));
+
+        // Packed sequence / bitmap with a word count far beyond the
+        // remaining bytes, and one whose capacity cannot hold its length.
+        let mut raw = BytesMut::new();
+        raw.put_u8(8); // width
+        varint::write_u64(&mut raw, 4);
+        varint::write_u64(&mut raw, u64::MAX); // n_words
+        assert!(read_packed(&mut raw.freeze()).is_err());
+
+        let mut raw = BytesMut::new();
+        raw.put_u8(8); // width
+        varint::write_u64(&mut raw, u64::MAX); // len: needs 2^64 values
+        varint::write_u64(&mut raw, 1); // ...in one word
+        raw.put_u64_le(0);
+        assert!(read_packed(&mut raw.freeze()).is_err());
+
+        let mut raw = BytesMut::new();
+        varint::write_u64(&mut raw, u64::MAX); // len_bits
+        varint::write_u64(&mut raw, 1); // n_words
+        raw.put_u64_le(0);
+        assert!(read_bitvec(&mut raw.freeze()).is_err());
+    }
+
+    /// A shared-prefix length that splits a multibyte character must be
+    /// rejected, not panic on the slice.
+    #[test]
+    fn front_coding_respects_char_boundaries() {
+        let mut raw = BytesMut::new();
+        varint::write_u64(&mut raw, 1); // shared: splits the 2-byte 'é'
+        varint::write_str(&mut raw, "x");
+        assert!(matches!(
+            read_front_coded(&mut raw.freeze(), "é"),
+            Err(KbError::Format(msg)) if msg.contains("prefix overruns")
+        ));
     }
 
     #[test]

@@ -55,3 +55,24 @@ pub use error::{KbError, Result};
 pub use ids::{NodeId, PredId, Triple};
 pub use store::{KbBuilder, KnowledgeBase};
 pub use term::{Term, TermKind};
+
+/// Loads a KB from a path, dispatching on the extension: `.nt` /
+/// `.ntriples` → N-Triples, anything else → a binary format (the magic
+/// decides between `RKB1` and `RKB2`). Inverse predicates are rebuilt for
+/// the top `inverse_fraction` of predicates where the format allows.
+///
+/// This is the one shared loading dispatch — the `remi` CLI and the
+/// serve load generator both route through it.
+pub fn load_path(path: &std::path::Path, inverse_fraction: f64) -> Result<KnowledgeBase> {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    if ext == "nt" || ext == "ntriples" {
+        let text = std::fs::read_to_string(path).map_err(KbError::Io)?;
+        ntriples::parse_document(&text)?.build_with_inverses(inverse_fraction)
+    } else {
+        binfmt::load(path, inverse_fraction)
+    }
+}

@@ -174,6 +174,11 @@ impl PackedSeq {
 /// How many words one rank superblock covers (512 bits, rank9-style).
 const SUPERBLOCK_WORDS: usize = 8;
 
+/// Sampling rate of the select directory: the superblock of every
+/// `SELECT_SAMPLE`-th set bit is recorded, so a `select1` never binary
+/// searches more than the superblocks spanned by 64 ones.
+const SELECT_SAMPLE: usize = 64;
+
 /// A plain append-only bitvector builder for [`RsBitVec`].
 #[derive(Debug, Default, Clone)]
 pub struct BitVecBuilder {
@@ -216,12 +221,16 @@ impl BitVecBuilder {
     }
 }
 
-/// A bitvector with O(1) rank and O(log n) select, in the broadword
+/// A bitvector with O(1) rank and O(1) select, in the broadword
 /// rank9 style: one cumulative counter per 512-bit superblock plus
-/// popcounts inside the block.
+/// popcounts inside the block, and a sampled select directory that pins
+/// every 64th set bit to its superblock so a `select1` probe touches a
+/// constant number of counters on the dense delimiter bitmaps the wave
+/// indexes use.
 ///
 /// The word payload may be a zero-copy [`WordSeq::Shared`] view; the small
-/// rank directory is always rebuilt in memory (O(n/64) on load).
+/// rank and select directories are always rebuilt in memory (O(n/64) on
+/// load).
 #[derive(Debug, Clone)]
 pub struct RsBitVec {
     words: WordSeq,
@@ -229,27 +238,40 @@ pub struct RsBitVec {
     /// Ones before each superblock (`len = ceil(words / 8) + 1`; the last
     /// entry is the total count).
     blocks: Vec<u64>,
+    /// Superblock index containing the `(i * SELECT_SAMPLE)`-th set bit —
+    /// the select directory. Empty iff the vector holds no set bits.
+    select_samples: Vec<u32>,
 }
 
 impl RsBitVec {
-    /// Builds the rank directory over `words` (`len_bits` of which are
-    /// valid; trailing bits of the last word must be zero).
+    /// Builds the rank and select directories over `words` (`len_bits` of
+    /// which are valid; trailing bits of the last word must be zero).
     pub fn from_words(words: WordSeq, len_bits: usize) -> RsBitVec {
         let n_words = words.len_words();
         assert!(n_words * 64 >= len_bits, "word payload too short");
         let mut blocks = Vec::with_capacity(n_words / SUPERBLOCK_WORDS + 2);
+        let mut select_samples = Vec::new();
         let mut total = 0u64;
         for w in 0..n_words {
             if w % SUPERBLOCK_WORDS == 0 {
                 blocks.push(total);
             }
-            total += u64::from(words.word(w).count_ones());
+            let ones = u64::from(words.word(w).count_ones());
+            // Record the superblock of every SELECT_SAMPLE-th one crossed
+            // by this word (a single word can cross at most two samples).
+            let mut next = select_samples.len() as u64 * SELECT_SAMPLE as u64;
+            while next < total + ones {
+                select_samples.push((w / SUPERBLOCK_WORDS) as u32);
+                next += SELECT_SAMPLE as u64;
+            }
+            total += ones;
         }
         blocks.push(total);
         RsBitVec {
             words,
             len_bits,
             blocks,
+            select_samples,
         }
     }
 
@@ -312,15 +334,27 @@ impl RsBitVec {
     }
 
     /// Position of the `k`-th set bit (0-based). Panics if fewer than
-    /// `k + 1` bits are set.
+    /// `k + 1` bits are set. O(1): the select directory narrows the
+    /// superblock search to the span of one 64-one sample window.
     pub fn select1(&self, k: usize) -> usize {
-        let k = k as u64;
         assert!(
-            k < *self.blocks.last().expect("blocks never empty"),
+            (k as u64) < *self.blocks.last().expect("blocks never empty"),
             "select1 out of range"
         );
-        // Superblock: last block whose prefix count is <= k.
-        let sb = self.blocks.partition_point(|&c| c <= k) - 1;
+        // The sample window bounding the k-th one's superblock: it lies at
+        // or after the (k / SAMPLE)-th sample and strictly before the next
+        // sample's successor.
+        let lo = self.select_samples[k / SELECT_SAMPLE] as usize;
+        let hi = self
+            .select_samples
+            .get(k / SELECT_SAMPLE + 1)
+            .map(|&s| s as usize + 1)
+            .unwrap_or(self.blocks.len() - 1);
+        let k = k as u64;
+        // Last superblock in [lo, hi] whose prefix count is <= k; the
+        // window spans the superblocks of at most 64 ones.
+        let window = &self.blocks[lo..=hi];
+        let sb = lo + window.partition_point(|&c| c <= k) - 1;
         let mut count = self.blocks[sb];
         let mut w = sb * SUPERBLOCK_WORDS;
         loop {
@@ -338,9 +372,12 @@ impl RsBitVec {
         w * 64 + word.trailing_zeros() as usize
     }
 
-    /// Resident bytes (words + rank directory).
+    /// Resident bytes (words + rank and select directories).
     pub fn size_in_bytes(&self) -> usize {
-        self.words.size_in_bytes() + self.blocks.len() * 8 + std::mem::size_of::<Self>()
+        self.words.size_in_bytes()
+            + self.blocks.len() * 8
+            + self.select_samples.len() * 4
+            + std::mem::size_of::<Self>()
     }
 }
 
@@ -740,6 +777,49 @@ mod tests {
         }
         assert_eq!(bv.count_ones(), ones);
         assert_eq!(bv.rank1(pattern.len()), ones);
+    }
+
+    #[test]
+    fn select_directory_handles_sparse_and_dense_extremes() {
+        // Sparse: one set bit every 997 positions — samples are far apart
+        // and most superblocks are empty.
+        let mut b = BitVecBuilder::new();
+        let mut expected = Vec::new();
+        for i in 0..50_000usize {
+            let bit = i % 997 == 0;
+            if bit {
+                expected.push(i);
+            }
+            b.push(bit);
+        }
+        let bv = b.finish();
+        for (k, &pos) in expected.iter().enumerate() {
+            assert_eq!(bv.select1(k), pos, "sparse select of one #{k}");
+        }
+
+        // Dense: all ones — every sample lands SELECT_SAMPLE bits apart.
+        let mut b = BitVecBuilder::new();
+        for _ in 0..(SELECT_SAMPLE * 5 + 3) {
+            b.push(true);
+        }
+        let bv = b.finish();
+        for k in 0..bv.count_ones() {
+            assert_eq!(bv.select1(k), k, "dense select of one #{k}");
+        }
+
+        // Exactly one sample boundary: SELECT_SAMPLE ones then a long tail
+        // of zeros then one more one (the 64th one starts a new sample).
+        let mut b = BitVecBuilder::new();
+        for _ in 0..SELECT_SAMPLE {
+            b.push(true);
+        }
+        for _ in 0..10_000 {
+            b.push(false);
+        }
+        b.push(true);
+        let bv = b.finish();
+        assert_eq!(bv.select1(SELECT_SAMPLE - 1), SELECT_SAMPLE - 1);
+        assert_eq!(bv.select1(SELECT_SAMPLE), SELECT_SAMPLE + 10_000);
     }
 
     #[test]

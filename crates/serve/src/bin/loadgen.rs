@@ -1,0 +1,229 @@
+//! `remi-serve-load` — load generator for the embedded HTTP service.
+//!
+//! Boots an in-process server over a KB file, fires concurrent keep-alive
+//! clients at it, and reports throughput and latency quantiles (p50/p90/
+//! p99/max) plus the server's own cache counters. The `--cold` flag
+//! disables the response cache, so a warm/cold pair of runs measures how
+//! much of the serving path caching removes.
+//!
+//! Usage:
+//!   remi-serve-load <kb.{rkb,rkb2,nt}> [--requests N] [--clients C]
+//!                   [--backend csr|succinct] [--entities e:A,e:B,...]
+//!                   [--mode describe|summarize|healthz] [--cold]
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use remi_serve::client::Client;
+use remi_serve::http::percent_encode;
+use remi_serve::{serve, ServeConfig};
+
+struct Args {
+    kb_path: String,
+    requests: usize,
+    clients: usize,
+    backend: Option<remi_kb::Backend>,
+    entities: Vec<String>,
+    mode: String,
+    cold: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        kb_path: String::new(),
+        requests: 2000,
+        clients: 4,
+        backend: None,
+        entities: Vec::new(),
+        mode: "describe".to_string(),
+        cold: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {a}"))
+        };
+        match a.as_str() {
+            "--requests" => {
+                args.requests = value()?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--requests takes a positive int".to_string())?
+            }
+            "--clients" => {
+                args.clients = value()?
+                    .parse::<usize>()
+                    .map_err(|_| "--clients takes an int".to_string())?
+                    .max(1)
+            }
+            "--backend" => {
+                let v = value()?;
+                args.backend = Some(
+                    remi_kb::Backend::parse(&v).ok_or_else(|| format!("unknown backend {v:?}"))?,
+                )
+            }
+            "--entities" => {
+                args.entities = value()?.split(',').map(str::to_string).collect();
+            }
+            "--mode" => {
+                let v = value()?;
+                if !matches!(v.as_str(), "describe" | "summarize" | "healthz") {
+                    return Err(format!("unknown mode {v:?}"));
+                }
+                args.mode = v;
+            }
+            "--cold" => args.cold = true,
+            p if !p.starts_with("--") && args.kb_path.is_empty() => args.kb_path = p.to_string(),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.kb_path.is_empty() {
+        return Err("usage: remi-serve-load <kb> [--requests N] [--clients C] \
+                    [--backend csr|succinct] [--entities a,b] \
+                    [--mode describe|summarize|healthz] [--cold]"
+            .to_string());
+    }
+    Ok(args)
+}
+
+fn load_kb(path: &str) -> Result<remi_kb::KnowledgeBase, String> {
+    // Same dispatch (and inverse fraction) as the `remi` CLI, so the
+    // load generator exercises the exact KB the CLI would serve.
+    remi_kb::load_path(std::path::Path::new(path), 0.01)
+        .map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<String, String> {
+    let args = parse_args(argv)?;
+    let kb = load_kb(&args.kb_path)?;
+
+    let mut entities = args.entities.clone();
+    if entities.is_empty() && args.mode != "healthz" {
+        // Default workload: the first eight entities that actually appear
+        // as subjects (every one of them is describable).
+        entities = kb
+            .entity_ids()
+            .filter(|&e| !kb.preds_of_subject(e).is_empty())
+            .take(8)
+            .map(|e| kb.node_key(e).to_string())
+            .collect();
+        if entities.is_empty() {
+            return Err("KB holds no describable entities".to_string());
+        }
+    }
+
+    let mut server = serve(
+        kb,
+        ServeConfig {
+            backend: args.backend,
+            cache_entries: if args.cold { 0 } else { 4096 },
+            max_inflight: args.clients.max(64),
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.addr();
+
+    let targets: Vec<String> = match args.mode.as_str() {
+        "healthz" => vec!["/healthz".to_string()],
+        "summarize" => entities
+            .iter()
+            .map(|e| format!("/summarize/{}", percent_encode(e)))
+            .collect(),
+        _ => entities
+            .iter()
+            .map(|e| format!("/describe/{}", percent_encode(e)))
+            .collect(),
+    };
+
+    // Warm-up pass (unless cold): prime the response cache and fault in
+    // the lazily-built structures, so the measured run is steady-state.
+    if !args.cold {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        for t in &targets {
+            let r = c.get(t).map_err(|e| e.to_string())?;
+            if r.status != 200 {
+                return Err(format!("warm-up {t} answered {}: {}", r.status, r.body));
+            }
+        }
+    }
+
+    let per_client = args.requests.div_ceil(args.clients);
+    let total = per_client * args.clients;
+    let t0 = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(total);
+    let results: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|c| {
+                let targets = &targets;
+                scope.spawn(move || -> Result<Vec<u64>, String> {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let t = &targets[(c + i) % targets.len()];
+                        let q0 = Instant::now();
+                        let r = client.get(t).map_err(|e| format!("{t}: {e}"))?;
+                        lat.push(q0.elapsed().as_micros() as u64);
+                        if r.status != 200 {
+                            return Err(format!("{t} answered {}: {}", r.status, r.body));
+                        }
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+    for r in results {
+        latencies_us.extend(r?);
+    }
+    latencies_us.sort_unstable();
+
+    let mut stats_client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let stats = stats_client.get("/stats").map_err(|e| e.to_string())?;
+    server.shutdown();
+
+    let q = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "serve-load: {total} requests, {} clients, mode {} ({})",
+        args.clients,
+        args.mode,
+        if args.cold { "cold, cache off" } else { "warm" }
+    );
+    let _ = writeln!(out, "  throughput:  {throughput:.0} req/s");
+    let _ = writeln!(
+        out,
+        "  latency:     p50 {}µs  p90 {}µs  p99 {}µs  max {}µs",
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        latencies_us.last().copied().unwrap_or(0),
+    );
+    let _ = writeln!(out, "  server:      {}", stats.body);
+    Ok(out)
+}

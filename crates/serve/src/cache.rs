@@ -1,0 +1,253 @@
+//! The sharded response cache: rendered JSON bodies keyed by
+//! `(entity, request fingerprint, KB fingerprint)`.
+//!
+//! Serving is read-only over an immutable KB, so a mined description never
+//! goes stale — the cache only bounds memory (LRU per shard) and contention
+//! (shard-per-key-hash, one mutex each, in the style of sharded web-cache
+//! tiers). Hit/miss/eviction counts are surfaced through `/stats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use remi_kb::cache::LruCache;
+
+/// A cache key: the entity plus fingerprints of everything else that
+/// determines the response bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The canonical request descriptor (endpoint + every parameter that
+    /// affects the body, in fixed order), e.g.
+    /// `describe?entity=e:X&exceptions=0&k=1&lang=remi&threads=2`.
+    pub request: String,
+    /// Fingerprint of the resident KB content (see
+    /// [`kb_fingerprint`](crate::kb_fingerprint)).
+    pub kb: u64,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to mining.
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Total capacity across shards (0 = caching disabled).
+    pub capacity: u64,
+}
+
+const SHARDS: usize = 16;
+
+/// A sharded LRU over rendered response bodies. Capacity 0 disables
+/// caching entirely (every `get` misses, every `put` is a no-op) — the
+/// configuration the cold-path benchmarks use.
+#[derive(Debug)]
+pub struct ResponseCache {
+    shards: Vec<Mutex<LruCache<CacheKey, Arc<str>>>>,
+    evictions: AtomicU64,
+    /// Misses on a disabled cache (shards empty) still need accounting.
+    disabled_misses: AtomicU64,
+    capacity: usize,
+}
+
+impl ResponseCache {
+    /// A cache holding at most `capacity` entries, spread over up to 16
+    /// shards.
+    pub fn new(capacity: usize) -> ResponseCache {
+        let shards = if capacity == 0 {
+            Vec::new()
+        } else {
+            // Small capacities get fewer shards so the per-shard LRU bound
+            // (capacity / shards) stays meaningful.
+            let n = SHARDS.min(capacity);
+            let per_shard = capacity.div_ceil(n);
+            (0..n)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect()
+        };
+        ResponseCache {
+            shards,
+            evictions: AtomicU64::new(0),
+            disabled_misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<LruCache<CacheKey, Arc<str>>> {
+        let mut hasher = remi_kb::fx::FxHasher::default();
+        std::hash::Hash::hash(key, &mut hasher);
+        let hash = std::hash::Hasher::finish(&hasher);
+        &self.shards[(hash as usize) % self.shards.len()]
+    }
+
+    /// Looks up a rendered body, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
+        if self.shards.is_empty() {
+            self.disabled_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self
+            .shard(key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.get(key).cloned()
+    }
+
+    /// Inserts a rendered body, evicting the shard's LRU entry when full.
+    pub fn put(&self, key: CacheKey, body: Arc<str>) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let mut shard = self
+            .shard(&key)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if shard.len() == shard.capacity() && shard.peek(&key).is_none() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.put(key, body);
+    }
+
+    /// Aggregated counters across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            evictions: self.evictions.load(Ordering::Relaxed),
+            misses: self.disabled_misses.load(Ordering::Relaxed),
+            capacity: self.capacity as u64,
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            stats.hits += shard.hits();
+            stats.misses += shard.misses();
+            stats.entries += shard.len() as u64;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(request: &str) -> CacheKey {
+        CacheKey {
+            request: request.to_string(),
+            kb: 7,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_accounting() {
+        let cache = ResponseCache::new(1); // single shard, single entry
+        assert!(cache.get(&key("a")).is_none());
+        cache.put(key("a"), "A".into());
+        assert_eq!(cache.get(&key("a")).as_deref(), Some("A"));
+        cache.put(key("b"), "B".into()); // evicts a
+        assert!(cache.get(&key("a")).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.capacity, 1);
+    }
+
+    #[test]
+    fn rewriting_a_key_is_not_an_eviction() {
+        let cache = ResponseCache::new(1);
+        cache.put(key("a"), "A".into());
+        cache.put(key("a"), "A2".into());
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&key("a")).as_deref(), Some("A2"));
+    }
+
+    #[test]
+    fn distinct_kb_fingerprints_do_not_collide() {
+        let cache = ResponseCache::new(64);
+        cache.put(
+            CacheKey {
+                request: "r".into(),
+                kb: 1,
+            },
+            "one".into(),
+        );
+        cache.put(
+            CacheKey {
+                request: "r".into(),
+                kb: 2,
+            },
+            "two".into(),
+        );
+        assert_eq!(
+            cache
+                .get(&CacheKey {
+                    request: "r".into(),
+                    kb: 1
+                })
+                .as_deref(),
+            Some("one")
+        );
+        assert_eq!(
+            cache
+                .get(&CacheKey {
+                    request: "r".into(),
+                    kb: 2
+                })
+                .as_deref(),
+            Some("two")
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_but_counts_misses() {
+        let cache = ResponseCache::new(0);
+        cache.put(key("a"), "A".into());
+        assert!(cache.get(&key("a")).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn concurrent_hammer_preserves_bounds_and_accounting() {
+        // Satellite test: many threads hammer a small cache; afterwards the
+        // resident-entry bound holds and hits + misses equals the exact
+        // number of get() calls issued.
+        let cache = Arc::new(ResponseCache::new(32));
+        let threads = 8;
+        let gets_per_thread = 2_000;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..gets_per_thread {
+                        let k = key(&format!("req-{}", (t * 31 + i * 7) % 101));
+                        if cache.get(&k).is_none() {
+                            cache.put(k, format!("body-{t}-{i}").into());
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            (threads * gets_per_thread) as u64
+        );
+        assert!(
+            stats.entries <= 32 + 15, // per-shard rounding: ceil(32/16)*16
+            "entries {} exceed the rounded capacity",
+            stats.entries
+        );
+        assert!(
+            stats.hits > 0,
+            "a 101-key working set must hit a 32-entry LRU"
+        );
+        assert!(stats.evictions > 0, "a 101-key working set must evict");
+    }
+}

@@ -1,0 +1,145 @@
+//! A tiny blocking HTTP/1.1 client: just enough to drive the server over
+//! keep-alive connections from tests, the example, and the load
+//! generator. Not a general-purpose client — it assumes the well-formed,
+//! `Content-Length`-framed responses this server emits.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of a (lower-case) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One keep-alive connection to a server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Bytes read past the previous response (pipelining slack).
+    residue: Vec<u8>,
+}
+
+impl Client {
+    /// Connects with a 10 s I/O timeout.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            stream,
+            residue: Vec::new(),
+        })
+    }
+
+    /// Issues a `GET` and reads the full response.
+    pub fn get(&mut self, target: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", target, None)
+    }
+
+    /// Issues a `POST` with a JSON body and reads the full response.
+    pub fn post(&mut self, target: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.request("POST", target, Some(body))
+    }
+
+    /// Issues one request on the connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: remi\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        if let Some(body) = body {
+            head.push_str(body);
+        }
+        self.stream.write_all(head.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes without awaiting a response (for protocol tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Reads one `Content-Length`-framed response.
+    pub fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let mut buf = std::mem::take(&mut self.residue);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = crate::http::find_subslice(&buf, b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed status line {status_line:?}"),
+                )
+            })?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|line| line.split_once(':'))
+            .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let body_start = head_end + 4;
+        while buf.len() < body_start + content_length {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let body =
+            String::from_utf8_lossy(&buf[body_start..body_start + content_length]).to_string();
+        self.residue = buf.split_off(body_start + content_length);
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

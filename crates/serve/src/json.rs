@@ -1,0 +1,435 @@
+//! Hand-rolled JSON: escaping, a small writer, and a minimal recursive
+//! parser for request bodies.
+//!
+//! No serde in the build image, and the API's payloads are small and
+//! flat, so this module carries the whole (de)serialisation surface: the
+//! writer produces deterministic, canonical output (field order is the
+//! caller's call order, no whitespace) — a property the serve cache and
+//! the byte-identity integration tests rely on.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` per RFC 8259 (double quotes included).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An escaped, quoted JSON string.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// Incremental writer for one JSON object: `{"a":1,"b":"x"}`.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) -> &mut String {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        escape_into(&mut self.buf, name);
+        self.buf.push(':');
+        &mut self.buf
+    }
+
+    /// Adds a string field.
+    pub fn field_str(mut self, name: &str, value: &str) -> Self {
+        let buf = self.key(name);
+        escape_into(buf, value);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(mut self, name: &str, value: u64) -> Self {
+        let buf = self.key(name);
+        let _ = write!(buf, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(mut self, name: &str, value: bool) -> Self {
+        let buf = self.key(name);
+        buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-serialised JSON.
+    pub fn field_raw(mut self, name: &str, raw: &str) -> Self {
+        let buf = self.key(name);
+        buf.push_str(raw);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serialises a sequence of already-serialised JSON values as an array.
+pub fn array_raw<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// Serialises a sequence of strings as a JSON array of strings.
+pub fn array_str<'a, I: IntoIterator<Item = &'a str>>(items: I) -> String {
+    array_raw(items.into_iter().map(escape))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+/// A parsed JSON value (request bodies only — numbers are kept as `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, fields in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if representable.
+    pub fn as_usize(&self) -> Option<usize> {
+        match *self {
+            Value::Number(n) if n >= 0.0 && n.fract() == 0.0 && n <= u32::MAX as f64 => {
+                Some(n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum nesting depth accepted by [`parse`].
+const MAX_DEPTH: usize = 32;
+
+/// Parses one JSON document (UTF-8 bytes), rejecting trailing garbage.
+pub fn parse(bytes: &[u8]) -> Result<Value, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "body is not UTF-8".to_string())?;
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    match p.chars.next() {
+        None => Ok(value),
+        Some((i, _)) => Err(format!("trailing characters at byte {i}")),
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, ' ' | '\t' | '\n' | '\r'))) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, got)) if got == c => Ok(()),
+            other => Err(format!("expected {c:?}, found {other:?}")),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".to_string());
+        }
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            Some((_, '{')) => self.object(depth),
+            Some((_, '[')) => self.array(depth),
+            Some((_, '"')) => Ok(Value::String(self.string()?)),
+            Some((_, 't')) => self.literal("true", Value::Bool(true)),
+            Some((_, 'f')) => self.literal("false", Value::Bool(false)),
+            Some((_, 'n')) => self.literal("null", Value::Null),
+            Some((_, c)) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        for expected in word.chars() {
+            self.expect(expected)?;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.chars.peek().map(|&(i, _)| i).unwrap_or(0);
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.text[start..end]
+            .parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("malformed number {:?}", &self.text[start..end]))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, c) = self.chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| format!("bad hex {c:?}"))?;
+                        }
+                        // Surrogates are rejected rather than paired — the
+                        // API's identifiers are plain IRIs.
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) if (c as u32) >= 0x20 => out.push(c),
+                other => return Err(format!("bad string character {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, ']'))) {
+            self.chars.next();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, ']')) => return Ok(Value::Array(items)),
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some((_, '}'))) {
+            self.chars.next();
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((name, value));
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => return Ok(Value::Object(fields)),
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b\\c"), r#""a\"b\\c""#);
+        assert_eq!(escape("line\nbreak\ttab"), r#""line\nbreak\ttab""#);
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("übermaß€"), "\"übermaß€\"");
+    }
+
+    #[test]
+    fn object_writer_is_canonical() {
+        let json = JsonObject::new()
+            .field_str("name", "e:X \"quoted\"")
+            .field_u64("count", 42)
+            .field_bool("ok", true)
+            .field_raw("list", &array_str(["a", "b"]))
+            .finish();
+        assert_eq!(
+            json,
+            r#"{"name":"e:X \"quoted\"","count":42,"ok":true,"list":["a","b"]}"#
+        );
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn parser_roundtrips_writer_output() {
+        let json = JsonObject::new()
+            .field_str("entity", "e:Person_0")
+            .field_u64("k", 3)
+            .field_raw("entities", &array_str(["e:A", "e:B"]))
+            .finish();
+        let v = parse(json.as_bytes()).unwrap();
+        assert_eq!(v.get("entity").unwrap().as_str(), Some("e:Person_0"));
+        assert_eq!(v.get("k").unwrap().as_usize(), Some(3));
+        let arr = v.get("entities").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].as_str(), Some("e:B"));
+    }
+
+    #[test]
+    fn parser_accepts_the_grammar() {
+        for (text, expected) in [
+            ("null", Value::Null),
+            (" true ", Value::Bool(true)),
+            ("-12.5e2", Value::Number(-1250.0)),
+            (r#""\u20ac a\/b""#, Value::String("€ a/b".to_string())),
+            ("[]", Value::Array(vec![])),
+            ("{}", Value::Object(vec![])),
+            (
+                "[1, [2, {\"a\": null}]]",
+                Value::Array(vec![
+                    Value::Number(1.0),
+                    Value::Array(vec![
+                        Value::Number(2.0),
+                        Value::Object(vec![("a".to_string(), Value::Null)]),
+                    ]),
+                ]),
+            ),
+        ] {
+            assert_eq!(parse(text.as_bytes()).unwrap(), expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for text in [
+            "",
+            "{",
+            "}",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "1 2",
+            "\"unterminated",
+            "nul",
+            "{\"a\":1,}",
+            "\"\\q\"",
+            "--1",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(text.as_bytes()).is_err(), "{text:?} parsed");
+        }
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(deep.as_bytes()).is_err(), "depth limit");
+        assert!(parse(&[0xff, 0xfe]).is_err(), "non-UTF-8");
+    }
+
+    #[test]
+    fn as_usize_guards_range_and_fraction() {
+        assert_eq!(Value::Number(3.0).as_usize(), Some(3));
+        assert_eq!(Value::Number(3.5).as_usize(), None);
+        assert_eq!(Value::Number(-1.0).as_usize(), None);
+        assert_eq!(Value::Number(1e18).as_usize(), None);
+        assert_eq!(Value::String("3".into()).as_usize(), None);
+    }
+}

@@ -1,0 +1,1211 @@
+//! `remi-serve` — an embedded HTTP/1.1 service layer that turns the REMI
+//! miner into a queryable online system.
+//!
+//! The batch tools re-load the KB on every invocation; this crate keeps a
+//! [`KnowledgeBase`] resident (either storage backend), answers
+//! describe/summarize queries concurrently, and caches rendered responses
+//! so repeated queries skip mining entirely. Everything is hand-rolled on
+//! `std::net` — the build image has no async runtime and no registry —
+//! and all concurrency runs as scoped tasks on the process-wide
+//! [`remi_pool::global`] executor:
+//!
+//! * [`http`] — incremental request parser + response writer, with hard
+//!   bounds on head/body sizes (400/404/405/413/500/503 mapping).
+//! * [`json`] — escaping, a canonical writer, and a minimal body parser.
+//! * [`cache`] — the sharded LRU response cache keyed by
+//!   `(request, KB fingerprint)` with hit/miss/eviction counters.
+//! * [`client`] — the tiny blocking client used by tests, the example,
+//!   and the load generator.
+//! * [`serve`] / [`ServerHandle`] — the server itself: keep-alive
+//!   connections, admission control (bounded in-flight work with 503
+//!   load-shedding), and graceful drain on shutdown.
+//!
+//! # The API
+//!
+//! | route                     | answer                                   |
+//! |---------------------------|------------------------------------------|
+//! | `GET /healthz`            | liveness (exempt from request shedding)  |
+//! | `GET /stats`              | KB + backend + cache + server metrics    |
+//! | `GET /describe/{entity}`  | best RE(s); `?k=&threads=&backend=`      |
+//! | `POST /describe`          | batched entity list, one shared miner    |
+//! | `GET /summarize/{entity}` | top-k facts; `?k=&method=&backend=`      |
+//!
+//! Mining responses are deterministic byte-for-byte: the same request on
+//! the same KB renders the same body whether it was mined, cached (the
+//! `X-Remi-Cache` header says which), or answered by the CSR or the
+//! succinct backend.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use remi_core::topk::describe_top_k;
+use remi_core::{Remi, RemiConfig};
+use remi_kb::pagerank::{pagerank, PageRank, PageRankConfig};
+use remi_kb::{Backend, KnowledgeBase, NodeId};
+use remi_pool::CancelToken;
+
+use cache::{CacheKey, ResponseCache};
+use http::{Parsed, Request, RequestParser};
+use json::JsonObject;
+
+/// How long an idle keep-alive connection is held before the server closes
+/// it (also the shutdown-drain latency bound for idle connections).
+const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Socket read timeout: the granularity at which blocked connection tasks
+/// re-check the shutdown flag and the idle deadline.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Socket write timeout: bounds how long a non-reading client can pin a
+/// worker mid-response before the connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Hard cap on `k` for describe/summarize.
+const MAX_K: usize = 64;
+
+/// Hard cap on one batched describe.
+const MAX_BATCH: usize = 64;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Storage backend to serve from (`None` keeps the KB's current one).
+    /// The other backend is materialised lazily when a request asks for it
+    /// with `?backend=`.
+    pub backend: Option<Backend>,
+    /// Response-cache capacity in entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Admission-control watermark: in-flight mining requests beyond this
+    /// answer `503` instead of queueing unboundedly. Total open
+    /// connections (idle parked ones included) are capped at 4× this
+    /// (min 8), bounding file descriptors without shedding cheap idle
+    /// keep-alive clients.
+    pub max_inflight: usize,
+    /// Default P-REMI task count per describe request (`?threads=`
+    /// overrides per request).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backend: None,
+            cache_entries: 4096,
+            max_inflight: 64,
+            threads: remi_pool::configured_threads(),
+        }
+    }
+}
+
+/// Fingerprint of a KB's logical content: every triple id plus the
+/// dictionary sizes, mixed through the workspace Fx hash. Two KBs holding
+/// the same triples fingerprint identically regardless of storage backend,
+/// so cached responses are shared across backends (the backends are
+/// observationally equivalent by the differential test suite).
+pub fn kb_fingerprint(kb: &KnowledgeBase) -> u64 {
+    use std::hash::Hasher;
+    let mut h = remi_kb::fx::FxHasher::default();
+    h.write_u64(kb.num_nodes() as u64);
+    h.write_u64(kb.num_preds() as u64);
+    h.write_u64(kb.num_triples() as u64);
+    for t in kb.iter_triples() {
+        h.write_u64(u64::from(t.s.0) << 32 | u64::from(t.o.0));
+        h.write_u32(t.p.0);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering (pure functions over the KB — the integration tests
+// call these directly to assert HTTP responses are byte-identical to
+// library output)
+
+/// A rendering failure: the HTTP status and error message to answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status (400 or 404).
+    pub status: u16,
+    /// Human-readable message (becomes the `error` field).
+    pub message: String,
+}
+
+impl ApiError {
+    fn not_found(what: impl std::fmt::Display) -> ApiError {
+        ApiError {
+            status: 404,
+            message: format!("entity not found in KB: {what}"),
+        }
+    }
+
+    fn bad(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// The body of an error response.
+pub fn error_body(message: &str) -> String {
+    JsonObject::new().field_str("error", message).finish()
+}
+
+fn resolve(kb: &KnowledgeBase, iri: &str) -> Result<NodeId, ApiError> {
+    kb.node_id_by_iri(iri)
+        .ok_or_else(|| ApiError::not_found(iri))
+}
+
+fn mining_config(threads: usize) -> RemiConfig {
+    RemiConfig::default().with_threads(threads)
+}
+
+/// Renders one `describe` response body using an already-constructed
+/// miner (the batched endpoint shares one miner — and thus one prominence
+/// ranking and enumeration context — across all entities of the batch).
+fn describe_body_with(remi: &Remi<'_>, iri: &str, k: usize) -> Result<String, ApiError> {
+    let kb = remi.kb();
+    let target = resolve(kb, iri)?;
+    let (results, status): (Vec<String>, &str) = if k == 1 {
+        let outcome = remi.describe(&[target]);
+        let status = match outcome.status {
+            remi_core::SearchStatus::Completed => "completed",
+            remi_core::SearchStatus::TimedOut => "timed-out",
+            remi_core::SearchStatus::NoSolution => "no-solution",
+        };
+        (
+            outcome
+                .best
+                .iter()
+                .map(|(expr, cost)| {
+                    JsonObject::new()
+                        .field_str("expression", &expr.display(kb).to_string())
+                        .field_str("verbalised", &remi_core::verbalize::verbalize(kb, expr))
+                        .field_str("complexity", &cost.to_string())
+                        .finish()
+                })
+                .collect(),
+            status,
+        )
+    } else {
+        let ranked = describe_top_k(remi, &[target], k);
+        let status = if ranked.is_empty() {
+            "no-solution"
+        } else {
+            "completed"
+        };
+        (
+            ranked
+                .iter()
+                .map(|re| {
+                    JsonObject::new()
+                        .field_str("expression", &re.expr.display(kb).to_string())
+                        .field_str("verbalised", &remi_core::verbalize::verbalize(kb, &re.expr))
+                        .field_str("complexity", &re.cost.to_string())
+                        .finish()
+                })
+                .collect(),
+            status,
+        )
+    };
+    Ok(JsonObject::new()
+        .field_str("entity", iri)
+        .field_u64("k", k as u64)
+        .field_str("status", status)
+        .field_raw("results", &json::array_raw(results))
+        .finish())
+}
+
+/// Renders the `describe` response for one entity: the most intuitive
+/// referring expression(s) mined by `remi_core`, as canonical JSON. This
+/// is exactly what `GET /describe/{entity}` answers on a cache miss.
+pub fn describe_body(
+    kb: &KnowledgeBase,
+    iri: &str,
+    k: usize,
+    threads: usize,
+) -> Result<String, ApiError> {
+    let remi = Remi::new(kb, mining_config(threads));
+    describe_body_with(&remi, iri, k)
+}
+
+/// Renders the `summarize` response for one entity — exactly what
+/// `GET /summarize/{entity}` answers on a cache miss. `ranks` lets the
+/// server reuse its cached PageRank; pass `None` to compute it on demand
+/// (the `linksum` method only).
+pub fn summarize_body(
+    kb: &KnowledgeBase,
+    iri: &str,
+    k: usize,
+    method: &str,
+    ranks: Option<&PageRank>,
+) -> Result<String, ApiError> {
+    let entity = resolve(kb, iri)?;
+    let summary = match method {
+        "remi" => {
+            let model = remi_core::complexity::CostModel::new(
+                kb,
+                remi_core::complexity::Prominence::Frequency,
+                remi_core::complexity::EntityCodeMode::PowerLaw,
+            );
+            remi_essum::remi_summary(kb, &model, entity, k)
+        }
+        "faces" => remi_essum::faces_summary(kb, entity, k),
+        "linksum" => match ranks {
+            Some(pr) => remi_essum::linksum_summary(kb, pr, entity, k),
+            None => {
+                let pr = pagerank(kb, PageRankConfig::default());
+                remi_essum::linksum_summary(kb, &pr, entity, k)
+            }
+        },
+        other => {
+            return Err(ApiError::bad(format!(
+                "unknown method {other:?} (expected remi, faces, or linksum)"
+            )))
+        }
+    };
+    let facts: Vec<String> = summary
+        .iter()
+        .map(|&(p, o)| {
+            JsonObject::new()
+                .field_str("predicate", kb.pred_iri(p))
+                .field_str("object", kb.node_key(o))
+                .finish()
+        })
+        .collect();
+    Ok(JsonObject::new()
+        .field_str("entity", iri)
+        .field_str("method", method)
+        .field_u64("k", k as u64)
+        .field_raw("facts", &json::array_raw(facts))
+        .finish())
+}
+
+// ---------------------------------------------------------------------------
+// Server state
+
+/// Request/connection counters, all monotonic except the two gauges.
+#[derive(Debug, Default)]
+struct Metrics {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    server_errors: AtomicU64,
+    shed: AtomicU64,
+    connections_total: AtomicU64,
+    connections_open: AtomicU64,
+    inflight: AtomicU64,
+}
+
+struct AppState {
+    /// Resident KBs by backend (`[csr, succinct]`); the primary is filled
+    /// at startup, the other materialises lazily on first `?backend=` use.
+    kbs: [OnceLock<Arc<KnowledgeBase>>; 2],
+    primary: Backend,
+    kb_fp: u64,
+    cache: ResponseCache,
+    metrics: Metrics,
+    max_inflight: u64,
+    /// Hard cap on simultaneously open connections (4 × `max_inflight`,
+    /// min 8): idle parked connections are cheap, so this only bounds
+    /// file descriptors and parser buffers.
+    max_conns: u64,
+    default_threads: usize,
+    /// PageRank over the KB, computed once on first `linksum` use.
+    ranks: OnceLock<PageRank>,
+    /// Quiet keep-alive connections waiting for bytes (see the
+    /// connection-handling section): their tasks have returned and the
+    /// accept thread's poll loop revives them.
+    parked: std::sync::Mutex<Vec<Conn>>,
+    shutdown: CancelToken,
+    started: Instant,
+}
+
+fn backend_slot(backend: Backend) -> usize {
+    match backend {
+        Backend::Csr => 0,
+        Backend::Succinct => 1,
+    }
+}
+
+impl AppState {
+    fn kb_for(&self, backend: Option<Backend>) -> Arc<KnowledgeBase> {
+        let backend = backend.unwrap_or(self.primary);
+        let slot = &self.kbs[backend_slot(backend)];
+        Arc::clone(slot.get_or_init(|| {
+            // Requested the non-resident layout: convert a clone of the
+            // primary once; later requests share it.
+            let primary = self.kbs[backend_slot(self.primary)]
+                .get()
+                .expect("primary KB is set at startup");
+            Arc::new(primary.as_ref().clone().with_backend(backend))
+        }))
+    }
+
+    fn resident_backends(&self) -> Vec<Backend> {
+        [Backend::Csr, Backend::Succinct]
+            .into_iter()
+            .filter(|&b| self.kbs[backend_slot(b)].get().is_some())
+            .collect()
+    }
+}
+
+/// Decrements a gauge on drop.
+struct GaugeGuard<'a>(&'a AtomicU64);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+
+struct Response {
+    status: u16,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Response {
+    fn ok(body: String) -> Response {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: error_body(message),
+        }
+    }
+
+    fn method_not_allowed(allow: &str) -> Response {
+        let mut r = Response::error(405, "method not allowed");
+        r.headers.push(("Allow", allow.to_string()));
+        r
+    }
+}
+
+/// Parses a bounded positive integer query parameter.
+fn int_param(req: &Request, name: &str, default: usize, max: usize) -> Result<usize, ApiError> {
+    match req.query_param(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&v| (1..=max).contains(&v))
+            .ok_or_else(|| ApiError::bad(format!("{name} must be an integer in 1..={max}"))),
+    }
+}
+
+fn backend_param(req: &Request) -> Result<Option<Backend>, ApiError> {
+    match req.query_param("backend") {
+        None => Ok(None),
+        Some(raw) => Backend::parse(raw).map(Some).ok_or_else(|| {
+            ApiError::bad(format!(
+                "unknown backend {raw:?} (expected csr or succinct)"
+            ))
+        }),
+    }
+}
+
+/// Consults the cache for `request_key`, rendering and inserting on a
+/// miss. The `X-Remi-Cache` header reports which path answered; the body
+/// bytes are identical either way.
+fn cached(
+    state: &AppState,
+    request_key: String,
+    render: impl FnOnce() -> Result<String, ApiError>,
+) -> Response {
+    let key = CacheKey {
+        request: request_key,
+        kb: state.kb_fp,
+    };
+    if let Some(body) = state.cache.get(&key) {
+        let mut r = Response::ok(body.to_string());
+        r.headers.push(("X-Remi-Cache", "hit".to_string()));
+        return r;
+    }
+    match render() {
+        Ok(body) => {
+            state.cache.put(key, Arc::from(body.as_str()));
+            let mut r = Response::ok(body);
+            r.headers.push(("X-Remi-Cache", "miss".to_string()));
+            r
+        }
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+fn handle_healthz(req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::method_not_allowed("GET");
+    }
+    Response::ok(JsonObject::new().field_str("status", "ok").finish())
+}
+
+fn handle_stats(state: &AppState, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::method_not_allowed("GET");
+    }
+    let kb = state.kb_for(None);
+    let cache = state.cache.stats();
+    let m = &state.metrics;
+    let store_bytes = state
+        .resident_backends()
+        .into_iter()
+        .map(|b| {
+            let kb = state.kb_for(Some(b));
+            JsonObject::new()
+                .field_str("backend", b.name())
+                .field_u64("bytes", kb.store_memory().total() as u64)
+                .finish()
+        })
+        .collect::<Vec<_>>();
+    let body = JsonObject::new()
+        .field_raw(
+            "kb",
+            &JsonObject::new()
+                .field_u64("triples", kb.num_triples() as u64)
+                .field_u64(
+                    "triples_with_inverses",
+                    kb.num_triples_with_inverses() as u64,
+                )
+                .field_u64("nodes", kb.num_nodes() as u64)
+                .field_u64("predicates", kb.num_preds() as u64)
+                .field_str("fingerprint", &format!("{:016x}", state.kb_fp))
+                .finish(),
+        )
+        .field_raw(
+            "backends",
+            &JsonObject::new()
+                .field_str("primary", state.primary.name())
+                .field_raw("resident", &json::array_raw(store_bytes))
+                .finish(),
+        )
+        .field_raw(
+            "cache",
+            &JsonObject::new()
+                .field_u64("hits", cache.hits)
+                .field_u64("misses", cache.misses)
+                .field_u64("evictions", cache.evictions)
+                .field_u64("entries", cache.entries)
+                .field_u64("capacity", cache.capacity)
+                .finish(),
+        )
+        .field_raw(
+            "server",
+            &JsonObject::new()
+                .field_u64("requests", m.requests.load(Ordering::Relaxed))
+                .field_u64("ok", m.ok.load(Ordering::Relaxed))
+                .field_u64("client_errors", m.client_errors.load(Ordering::Relaxed))
+                .field_u64("server_errors", m.server_errors.load(Ordering::Relaxed))
+                .field_u64("shed", m.shed.load(Ordering::Relaxed))
+                .field_u64(
+                    "connections_total",
+                    m.connections_total.load(Ordering::Relaxed),
+                )
+                .field_u64(
+                    "connections_open",
+                    m.connections_open.load(Ordering::Relaxed),
+                )
+                .field_u64("inflight", m.inflight.load(Ordering::Relaxed))
+                .field_u64("max_inflight", state.max_inflight)
+                .field_u64("max_connections", state.max_conns)
+                .field_u64("uptime_ms", state.started.elapsed().as_millis() as u64)
+                .finish(),
+        )
+        .finish();
+    Response::ok(body)
+}
+
+fn handle_describe_one(state: &AppState, req: &Request, iri: &str) -> Response {
+    if req.method != "GET" {
+        return Response::method_not_allowed("GET");
+    }
+    let (k, threads, backend) = match (|| {
+        Ok::<_, ApiError>((
+            int_param(req, "k", 1, MAX_K)?,
+            int_param(req, "threads", state.default_threads, 256)?,
+            backend_param(req)?,
+        ))
+    })() {
+        Ok(params) => params,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    cached(
+        state,
+        format!("describe?entity={iri}&k={k}&threads={threads}"),
+        // kb_for runs only on a miss: a cache hit must not materialise
+        // the lazily-built secondary backend.
+        || describe_body(&state.kb_for(backend), iri, k, threads),
+    )
+}
+
+fn handle_describe_batch(state: &AppState, req: &Request) -> Response {
+    if req.method != "POST" {
+        return Response::method_not_allowed("POST");
+    }
+    let doc = match json::parse(&req.body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("malformed JSON body: {e}")),
+    };
+    let Some(entities) = doc.get("entities").and_then(|v| v.as_array()) else {
+        return Response::error(400, "body must be {\"entities\": [...], ...}");
+    };
+    if entities.is_empty() || entities.len() > MAX_BATCH {
+        return Response::error(400, &format!("entities must hold 1..={MAX_BATCH} IRIs"));
+    }
+    let mut iris = Vec::with_capacity(entities.len());
+    for e in entities {
+        match e.as_str() {
+            Some(iri) => iris.push(iri),
+            None => return Response::error(400, "entities must be strings"),
+        }
+    }
+    let k = match doc.get("k").map(|v| v.as_usize()) {
+        None => 1,
+        Some(Some(k)) if (1..=MAX_K).contains(&k) => k,
+        _ => return Response::error(400, &format!("k must be an integer in 1..={MAX_K}")),
+    };
+    let threads = match doc.get("threads").map(|v| v.as_usize()) {
+        None => state.default_threads,
+        Some(Some(t)) if (1..=256).contains(&t) => t,
+        _ => return Response::error(400, "threads must be an integer in 1..=256"),
+    };
+    let backend = match doc.get("backend").map(|v| v.as_str()) {
+        None => None,
+        Some(Some(name)) => match Backend::parse(name) {
+            Some(b) => Some(b),
+            None => return Response::error(400, "unknown backend (expected csr or succinct)"),
+        },
+        Some(None) => return Response::error(400, "backend must be a string"),
+    };
+
+    let kb = state.kb_for(backend);
+    // One miner (prominence ranking + enumeration context) shared across
+    // the whole batch; only cache misses pay for mining.
+    let mut remi: Option<Remi<'_>> = None;
+    let mut results = Vec::with_capacity(iris.len());
+    for iri in &iris {
+        let key = CacheKey {
+            request: format!("describe?entity={iri}&k={k}&threads={threads}"),
+            kb: state.kb_fp,
+        };
+        if let Some(body) = state.cache.get(&key) {
+            results.push(body.to_string());
+            continue;
+        }
+        let remi = remi.get_or_insert_with(|| Remi::new(&kb, mining_config(threads)));
+        match describe_body_with(remi, iri, k) {
+            Ok(body) => {
+                state.cache.put(key, Arc::from(body.as_str()));
+                results.push(body);
+            }
+            Err(e) => results.push(error_body(&e.message)),
+        }
+    }
+    Response::ok(
+        JsonObject::new()
+            .field_u64("count", results.len() as u64)
+            .field_raw("results", &json::array_raw(results))
+            .finish(),
+    )
+}
+
+fn handle_summarize(state: &AppState, req: &Request, iri: &str) -> Response {
+    if req.method != "GET" {
+        return Response::method_not_allowed("GET");
+    }
+    let k = match int_param(req, "k", 5, MAX_K) {
+        Ok(k) => k,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    let backend = match backend_param(req) {
+        Ok(b) => b,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    let method = req.query_param("method").unwrap_or("remi").to_string();
+    cached(
+        state,
+        format!("summarize?entity={iri}&k={k}&method={method}"),
+        || {
+            let ranks = if method == "linksum" {
+                Some(state.ranks.get_or_init(|| {
+                    pagerank(state.kb_for(None).as_ref(), PageRankConfig::default())
+                }))
+            } else {
+                None
+            };
+            summarize_body(&state.kb_for(backend), iri, k, &method, ranks)
+        },
+    )
+}
+
+/// Routes one parsed request. Mining endpoints pass through admission
+/// control; `/healthz` and `/stats` stay answerable under full load.
+fn route(state: &AppState, req: &Request) -> Response {
+    match req.path.as_str() {
+        "/healthz" => handle_healthz(req),
+        "/stats" => handle_stats(state, req),
+        "/describe" => with_admission(state, req, handle_describe_batch),
+        path => {
+            if let Some(iri) = path.strip_prefix("/describe/") {
+                let iri = iri.to_string();
+                with_admission(state, req, move |state, req| {
+                    handle_describe_one(state, req, &iri)
+                })
+            } else if let Some(iri) = path.strip_prefix("/summarize/") {
+                let iri = iri.to_string();
+                with_admission(state, req, move |state, req| {
+                    handle_summarize(state, req, &iri)
+                })
+            } else {
+                Response::error(404, &format!("no such route: {path}"))
+            }
+        }
+    }
+}
+
+/// Request-level admission control: mining work beyond the watermark is
+/// shed with `503` + `Retry-After` instead of queueing unboundedly.
+fn with_admission(
+    state: &AppState,
+    req: &Request,
+    handler: impl FnOnce(&AppState, &Request) -> Response,
+) -> Response {
+    let inflight = state.metrics.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+    let _guard = GaugeGuard(&state.metrics.inflight);
+    if inflight > state.max_inflight {
+        state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        let mut r = Response::error(503, "server overloaded, retry later");
+        r.headers.push(("Retry-After", "1".to_string()));
+        return r;
+    }
+    handler(state, req)
+}
+
+/// Routes a request, turning panics into `500` and updating counters.
+fn respond(state: &AppState, req: &Request) -> Response {
+    state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let response = std::panic::catch_unwind(AssertUnwindSafe(|| route(state, req)))
+        .unwrap_or_else(|_| Response::error(500, "internal server error"));
+    let class = match response.status {
+        200..=299 => &state.metrics.ok,
+        503 => &state.metrics.shed, // already counted at the shed site
+        400..=499 => &state.metrics.client_errors,
+        _ => &state.metrics.server_errors,
+    };
+    if response.status != 503 {
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+    response
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+//
+// A connection task occupies a pool worker only while it is actively
+// parsing or answering. When the socket goes quiet, the task *parks* the
+// connection (stream + parser state) in `AppState::parked` and returns,
+// freeing the worker; the accept thread's poll loop `peek`s parked
+// sockets and re-spawns a task when bytes arrive. Without this, one idle
+// keep-alive connection would pin a worker for its whole lifetime — on a
+// small pool (1–2 cores) that starves every other connection.
+
+/// One parked (or in-flight) connection's state.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Close when idle past this instant (refreshed per request).
+    expires: Instant,
+    /// Set when the connection was parked for fairness with complete
+    /// input still buffered in the parser: the sweep revives it on the
+    /// next tick instead of waiting for socket-visible bytes.
+    resume: bool,
+    /// Owns the `connections_open` decrement (runs wherever the
+    /// connection is dropped — task, parked sweep, or state teardown).
+    _gauge: OpenGauge,
+}
+
+/// Decrements `connections_open` on drop.
+struct OpenGauge(Arc<AppState>);
+
+impl Drop for OpenGauge {
+    fn drop(&mut self) {
+        self.0
+            .metrics
+            .connections_open
+            .fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// After this many back-to-back requests, a hot connection on a contended
+/// pool yields its worker (parks) so queued connections get a turn.
+const FAIRNESS_BURST: usize = 256;
+
+impl AppState {
+    /// Parks a quiet connection for the poll loop to revive.
+    fn park(&self, conn: Conn) {
+        if conn.stream.set_nonblocking(true).is_err() {
+            return; // dropping the conn closes it and fixes the gauge
+        }
+        self.parked
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(conn);
+    }
+
+    /// More open connections than pool workers: hot connections must
+    /// yield between bursts or the rest starve.
+    fn contended(&self) -> bool {
+        self.metrics.connections_open.load(Ordering::Relaxed) > remi_pool::global().threads() as u64
+    }
+}
+
+/// Serves one connection until it closes, errors, or goes quiet (then it
+/// parks). Runs as a scoped task on the shared pool.
+fn drive_connection(mut conn: Conn, state: &Arc<AppState>) {
+    // The write timeout bounds how long a client that stops reading can
+    // pin this worker; on expiry write_all errors and the connection
+    // closes.
+    if conn.stream.set_nonblocking(false).is_err()
+        || conn.stream.set_read_timeout(Some(READ_TIMEOUT)).is_err()
+        || conn.stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    conn.resume = false;
+    let mut buf = [0u8; 4096];
+    let mut burst = 0usize;
+    loop {
+        // Drain any fully-buffered (possibly pipelined) request first.
+        match conn.parser.try_parse() {
+            Ok(Parsed::Complete(req)) => {
+                // Draining on shutdown: answer every request already
+                // received (the parser may hold more complete pipelined
+                // ones), then close instead of waiting for new ones.
+                let draining = state.shutdown.is_cancelled();
+                let keep_alive = req.keep_alive && (!draining || conn.parser.buffered() > 0);
+                let response = respond(state, &req);
+                let headers: Vec<(&str, &str)> = response
+                    .headers
+                    .iter()
+                    .map(|(n, v)| (*n, v.as_str()))
+                    .collect();
+                let bytes =
+                    http::write_response(response.status, &headers, &response.body, keep_alive);
+                if conn.stream.write_all(&bytes).is_err() || !keep_alive {
+                    return;
+                }
+                conn.expires = Instant::now() + IDLE_TIMEOUT;
+                burst += 1;
+                if burst >= FAIRNESS_BURST && state.contended() {
+                    // Yield the worker even mid-pipeline: `resume` tells
+                    // the sweep to re-spawn on the next tick rather than
+                    // wait for `peek` (the buffered bytes are invisible
+                    // to the socket).
+                    conn.resume = conn.parser.buffered() > 0;
+                    return state.park(conn);
+                }
+                continue;
+            }
+            Ok(Parsed::NeedMore) => {}
+            Err(e) => {
+                // Protocol error: answer with its status and close (the
+                // stream is no longer in sync).
+                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                let bytes = http::write_response(e.status, &[], &error_body(&e.message), false);
+                let _ = conn.stream.write_all(&bytes);
+                return;
+            }
+        }
+        if state.shutdown.is_cancelled() {
+            // No complete request buffered (NeedMore above): close. A
+            // partial request is dropped — only fully-received requests
+            // are part of the drain guarantee.
+            return;
+        }
+        if Instant::now() >= conn.expires {
+            return;
+        }
+        match conn.stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => conn.parser.push(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Quiet for a full read-timeout tick: park instead of
+                // pinning the worker (unless we are shutting down, in
+                // which case closing *is* the drain).
+                if state.shutdown.is_cancelled() {
+                    return;
+                }
+                return state.park(conn);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Nap length for the accept thread's poll loop when nothing happened.
+const POLL_NAP: Duration = Duration::from_millis(1);
+
+/// Scans parked connections: revives those with readable bytes, closes
+/// peers that disconnected or idled out. Returns true when any
+/// connection changed state.
+fn sweep_parked(state: &Arc<AppState>, scope: &remi_pool::Scope<'_, '_>) -> bool {
+    let mut progressed = false;
+    let now = Instant::now();
+    let mut parked = state
+        .parked
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut i = 0;
+    while i < parked.len() {
+        let mut probe = [0u8; 1];
+        let verdict = if parked[i].resume {
+            Some(true) // fairness-parked with input already buffered
+        } else {
+            match parked[i].stream.peek(&mut probe) {
+                Ok(0) => Some(false), // peer closed
+                Ok(_) => Some(true),  // bytes waiting
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if now >= parked[i].expires {
+                        Some(false) // idled out
+                    } else {
+                        None // still parked
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => None,
+                Err(_) => Some(false),
+            }
+        };
+        match verdict {
+            Some(true) => {
+                let conn = parked.swap_remove(i);
+                let state = Arc::clone(state);
+                scope.spawn(move || drive_connection(conn, &state));
+                progressed = true;
+            }
+            Some(false) => {
+                drop(parked.swap_remove(i)); // closes + fixes the gauge
+                progressed = true;
+            }
+            None => i += 1,
+        }
+    }
+    progressed
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    // Every connection runs as scoped tasks on the shared executor; the
+    // scope only closes once all of them have drained, which is exactly
+    // the graceful-shutdown barrier.
+    remi_pool::global().scope(|scope| {
+        loop {
+            let mut progressed = false;
+            // Drain the accept backlog.
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        progressed = true;
+                        if state.shutdown.is_cancelled() {
+                            break;
+                        }
+                        state
+                            .metrics
+                            .connections_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        let open = state
+                            .metrics
+                            .connections_open
+                            .fetch_add(1, Ordering::AcqRel)
+                            + 1;
+                        let gauge = OpenGauge(Arc::clone(&state));
+                        if open > state.max_conns {
+                            // Connection-level shedding: bounds file
+                            // descriptors and parser buffers; the mining
+                            // watermark is enforced per request.
+                            state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                            let mut stream = stream;
+                            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                            let bytes = http::write_response(
+                                503,
+                                &[("Retry-After", "1")],
+                                &error_body("server overloaded, retry later"),
+                                false,
+                            );
+                            let _ = stream.write_all(&bytes);
+                            drop(gauge);
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let conn = Conn {
+                            stream,
+                            parser: RequestParser::new(),
+                            expires: Instant::now() + IDLE_TIMEOUT,
+                            resume: false,
+                            _gauge: gauge,
+                        };
+                        let state = Arc::clone(&state);
+                        scope.spawn(move || drive_connection(conn, &state));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break, // transient (EMFILE, ECONNABORTED)
+                }
+            }
+            if state.shutdown.is_cancelled() {
+                // Drain parked connections: fairness-parked ones still
+                // hold complete pipelined requests (`resume`) and get one
+                // final task to answer them; idle ones are between
+                // requests, so closing them *is* the drain. In-flight
+                // tasks finish via the scope join.
+                let drained: Vec<Conn> = std::mem::take(
+                    &mut *state
+                        .parked
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                );
+                for conn in drained {
+                    if conn.resume {
+                        let state = Arc::clone(&state);
+                        scope.spawn(move || drive_connection(conn, &state));
+                    }
+                }
+                break;
+            }
+            progressed |= sweep_parked(&state, scope);
+            if !progressed {
+                std::thread::sleep(POLL_NAP);
+            }
+        }
+    });
+    // The scope join above waited for every in-flight task, so any task
+    // that raced the pre-break clear and parked afterwards has finished
+    // its push by now: one final clear closes those connections instead
+    // of leaving them silently open until the state itself drops.
+    state
+        .parked
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+}
+
+// ---------------------------------------------------------------------------
+// The server façade
+
+/// A running server. Dropping the handle shuts the server down
+/// gracefully: the listener stops accepting, in-flight requests drain on
+/// the pool, and the accept thread is joined.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://host:port` for this server.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Signals shutdown (SIGTERM-equivalent): sets the shared
+    /// [`CancelToken`]; the poll loop stops accepting, closes parked
+    /// (between-requests) connections, and the accept thread is joined
+    /// once every in-flight request has drained. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.shutdown.cancel();
+        // The poll loop notices the flag within one nap tick; no wakeup
+        // connection is needed (the listener is non-blocking).
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+
+    /// Blocks until the server shuts down (the `remi serve` foreground
+    /// path — some other actor must call for shutdown).
+    pub fn wait(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Boots a server over `kb`: binds `config.addr`, converts the KB to the
+/// configured backend if needed, fingerprints it, and starts the accept
+/// loop on a dedicated thread (connections run on the shared pool).
+pub fn serve(kb: KnowledgeBase, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let backend = config.backend.unwrap_or_else(|| kb.backend());
+    let kb = if kb.backend() == backend {
+        kb
+    } else {
+        kb.with_backend(backend)
+    };
+    let kb_fp = kb_fingerprint(&kb);
+    let kbs = [OnceLock::new(), OnceLock::new()];
+    kbs[backend_slot(backend)]
+        .set(Arc::new(kb))
+        .expect("fresh slot");
+    let state = Arc::new(AppState {
+        kbs,
+        primary: backend,
+        kb_fp,
+        cache: ResponseCache::new(config.cache_entries),
+        metrics: Metrics::default(),
+        max_inflight: config.max_inflight.max(1) as u64,
+        max_conns: (config.max_inflight.max(1) as u64).saturating_mul(4).max(8),
+        default_threads: config.threads.max(1),
+        ranks: OnceLock::new(),
+        parked: std::sync::Mutex::new(Vec::new()),
+        shutdown: CancelToken::new(),
+        started: Instant::now(),
+    });
+    let accept_state = Arc::clone(&state);
+    let thread = std::thread::Builder::new()
+        .name("remi-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_state))?;
+    Ok(ServerHandle {
+        addr,
+        state,
+        thread: Some(thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_kb() -> KnowledgeBase {
+        let mut b = remi_kb::KbBuilder::new();
+        b.add_iri("e:Paris", "p:capitalOf", "e:France");
+        b.add_iri("e:Paris", "p:cityIn", "e:France");
+        b.add_iri("e:Lyon", "p:cityIn", "e:France");
+        b.add_iri("e:Marseille", "p:cityIn", "e:France");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn kb_fingerprint_distinguishes_content_not_backend() {
+        let kb = tiny_kb();
+        let fp = kb_fingerprint(&kb);
+        assert_eq!(
+            fp,
+            kb_fingerprint(&kb.clone().with_backend(Backend::Succinct))
+        );
+        let mut b = remi_kb::KbBuilder::new();
+        b.add_iri("e:Paris", "p:capitalOf", "e:Germany");
+        assert_ne!(fp, kb_fingerprint(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn describe_body_renders_the_library_answer() {
+        let kb = tiny_kb();
+        let body = describe_body(&kb, "e:Paris", 1, 1).unwrap();
+        let remi = Remi::new(&kb, RemiConfig::default());
+        let paris = kb.node_id_by_iri("e:Paris").unwrap();
+        let (expr, cost) = remi.describe(&[paris]).best.unwrap();
+        assert!(
+            body.contains(&json::escape(&expr.display(&kb).to_string())),
+            "{body}"
+        );
+        assert!(body.contains(&cost.to_string()), "{body}");
+        assert!(body.contains("\"status\":\"completed\""), "{body}");
+
+        let err = describe_body(&kb, "e:Nowhere", 1, 1).unwrap_err();
+        assert_eq!(err.status, 404);
+    }
+
+    #[test]
+    fn summarize_body_renders_each_method() {
+        let kb = tiny_kb();
+        for method in ["remi", "faces", "linksum"] {
+            let body = summarize_body(&kb, "e:Paris", 2, method, None).unwrap();
+            assert!(
+                body.contains(&format!("\"method\":{}", json::escape(method))),
+                "{body}"
+            );
+            assert!(body.contains("\"facts\":["), "{body}");
+        }
+        assert_eq!(
+            summarize_body(&kb, "e:Paris", 2, "magic", None)
+                .unwrap_err()
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn server_boots_answers_and_shuts_down() {
+        let mut server = serve(tiny_kb(), ServeConfig::default()).unwrap();
+        let mut c = client::Client::connect(server.addr()).unwrap();
+        let health = c.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body, "{\"status\":\"ok\"}");
+
+        // Same describe twice: second answer is a cache hit with
+        // byte-identical body.
+        let cold = c.get("/describe/e:Paris").unwrap();
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert_eq!(cold.header("x-remi-cache"), Some("miss"));
+        let warm = c.get("/describe/e:Paris").unwrap();
+        assert_eq!(warm.header("x-remi-cache"), Some("hit"));
+        assert_eq!(cold.body, warm.body);
+        assert_eq!(
+            cold.body,
+            describe_body(&tiny_kb(), "e:Paris", 1, server_threads()).unwrap()
+        );
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(
+            client::Client::connect(server.addr()).is_err() || {
+                // The OS may accept briefly after close; a request must fail.
+                let mut c = client::Client::connect(server.addr()).unwrap();
+                c.get("/healthz").is_err()
+            }
+        );
+    }
+
+    fn server_threads() -> usize {
+        ServeConfig::default().threads
+    }
+}

@@ -10,14 +10,49 @@ Usage:
     check_bench_trend.py BASELINE.json CURRENT.json [--threshold 0.25]
 
 Exit status is 1 when any benchmark present in both files regressed by
-more than the threshold (current median > baseline median * (1 + t)).
+more than its threshold (current median > baseline median * (1 + t)).
 Benchmarks appearing in only one file are reported but never fail the
 check, so adding or retiring benchmarks stays cheap.
+
+Noisy benchmarks carry their own regression budget via THRESHOLD_OVERRIDES
+below; everything else uses the --threshold default (0.25).
 """
 
 import argparse
 import json
 import sys
+
+# Per-benchmark regression budgets for benchmarks whose medians are too
+# small or too scheduler-dependent for the default +25% gate. Keys match a
+# bench id exactly, or act as a prefix when they end with "/". The most
+# specific (longest) match wins.
+THRESHOLD_OVERRIDES = {
+    # Sub-µs binding lookups: a few ns of cache/ASLR jitter is >25%.
+    "backend_bindings/csr_contains": 0.60,
+    "backend_bindings/csr_objects_lookup": 0.60,
+    "backend_bindings/csr_subjects_lookup": 0.60,
+    "backend_bindings/succinct_contains": 0.60,
+    "backend_bindings/succinct_objects_lookup": 0.60,
+    "backend_bindings/succinct_subjects_lookup": 0.60,
+    # Sub-µs substrate microbenchmarks.
+    "kb_micro/": 0.50,
+    # Raw pool fan-out latency is dominated by wakeup jitter on shared CI
+    # runners.
+    "pool_overhead/": 0.50,
+    # TCP round-trips on loopback inherit kernel-scheduler noise.
+    "serve_http/healthz": 0.60,
+    "serve_http/warm_describe": 0.60,
+}
+
+
+def threshold_for(bench_id, default):
+    """The regression budget for one benchmark id (see THRESHOLD_OVERRIDES)."""
+    best = None
+    for key, value in THRESHOLD_OVERRIDES.items():
+        matches = bench_id == key or (key.endswith("/") and bench_id.startswith(key))
+        if matches and (best is None or len(key) > len(best[0])):
+            best = (key, value)
+    return best[1] if best else default
 
 
 def load(path):
@@ -66,25 +101,29 @@ def main():
             continue
         b, c = base[bench_id], cur[bench_id]
         ratio = c / b if b > 0 else float("inf")
+        budget = threshold_for(bench_id, args.threshold)
         marker = "ok"
-        if ratio > 1.0 + args.threshold:
+        if ratio > 1.0 + budget:
             marker = "REGRESSED"
-            regressions.append((bench_id, b, c, ratio))
-        elif ratio < 1.0 - args.threshold:
+            regressions.append((bench_id, b, c, ratio, budget))
+        elif ratio < 1.0 - budget:
             marker = "improved"
         print(
             f"  {marker:<9}{bench_id:<{width}}  "
-            f"{b:>12.1f} -> {c:>12.1f} ns  ({ratio:.2f}x)"
+            f"{b:>12.1f} -> {c:>12.1f} ns  ({ratio:.2f}x, budget +{budget:.0%})"
         )
 
     if regressions:
         print(
-            f"\n{len(regressions)} benchmark(s) regressed beyond "
-            f"+{args.threshold:.0%}:",
+            f"\n{len(regressions)} benchmark(s) regressed beyond budget:",
             file=sys.stderr,
         )
-        for bench_id, b, c, ratio in regressions:
-            print(f"  {bench_id}: {b:.1f} -> {c:.1f} ns ({ratio:.2f}x)", file=sys.stderr)
+        for bench_id, b, c, ratio, budget in regressions:
+            print(
+                f"  {bench_id}: {b:.1f} -> {c:.1f} ns "
+                f"({ratio:.2f}x, budget +{budget:.0%})",
+                file=sys.stderr,
+            )
         return 1
     print("\nno median regressions beyond the threshold")
     return 0

@@ -1,0 +1,330 @@
+//! End-to-end tests for the embedded HTTP service: a real server on an
+//! ephemeral port, real TCP requests, and responses asserted
+//! byte-identical to direct `remi_core`/`remi_essum` library output on
+//! both storage backends — including the cache-hit path.
+
+use remi_kb::{Backend, KnowledgeBase};
+use remi_serve::client::Client;
+use remi_serve::http::percent_encode;
+use remi_serve::{describe_body, serve, summarize_body, ServeConfig, ServerHandle};
+
+/// The shared test world: a small synthetic DBpedia-like KB.
+fn world() -> std::sync::Arc<remi_synth::SynthKb> {
+    remi_synth::fixtures::dbpedia(0.3, 11)
+}
+
+/// A few describable target IRIs from distinct classes.
+fn target_iris(synth: &remi_synth::SynthKb) -> Vec<String> {
+    ["Person", "Settlement", "Film"]
+        .iter()
+        .flat_map(|class| synth.members(class).iter().take(2))
+        .map(|&e| synth.kb.node_key(e).to_string())
+        .collect()
+}
+
+fn boot(kb: KnowledgeBase, config: ServeConfig) -> ServerHandle {
+    serve(kb, config).expect("server must bind an ephemeral port")
+}
+
+/// Describe and summarize over HTTP answer exactly the bytes the library
+/// renders, on both backends, cold and cached.
+#[test]
+fn responses_are_byte_identical_to_library_output_on_both_backends() {
+    let synth = world();
+    let iris = target_iris(&synth);
+    assert!(!iris.is_empty(), "fixture lost its classes");
+    let threads = ServeConfig::default().threads;
+
+    let mut bodies_by_backend: Vec<Vec<String>> = Vec::new();
+    for backend in [Backend::Csr, Backend::Succinct] {
+        let kb = synth.kb.clone().with_backend(backend);
+        let mut server = boot(
+            kb.clone(),
+            ServeConfig {
+                backend: Some(backend),
+                ..ServeConfig::default()
+            },
+        );
+        let mut client = Client::connect(server.addr()).unwrap();
+        let mut bodies = Vec::new();
+
+        for iri in &iris {
+            // Cold: mined on demand.
+            let cold = client
+                .get(&format!("/describe/{}", percent_encode(iri)))
+                .unwrap();
+            assert_eq!(cold.status, 200, "{iri}: {}", cold.body);
+            assert_eq!(cold.header("x-remi-cache"), Some("miss"), "{iri}");
+            // The HTTP body is exactly the library rendering.
+            let direct = describe_body(&kb, iri, 1, threads).unwrap();
+            assert_eq!(cold.body, direct, "describe({iri}) on {backend}");
+
+            // Warm: served from the cache, byte-identical.
+            let warm = client
+                .get(&format!("/describe/{}", percent_encode(iri)))
+                .unwrap();
+            assert_eq!(warm.header("x-remi-cache"), Some("hit"), "{iri}");
+            assert_eq!(warm.body, cold.body, "cache changed bytes for {iri}");
+
+            // Summarize: same contract.
+            let summary = client
+                .get(&format!("/summarize/{}?k=4", percent_encode(iri)))
+                .unwrap();
+            assert_eq!(summary.status, 200, "{iri}: {}", summary.body);
+            let direct = summarize_body(&kb, iri, 4, "remi", None).unwrap();
+            assert_eq!(summary.body, direct, "summarize({iri}) on {backend}");
+
+            bodies.push(cold.body);
+            bodies.push(summary.body);
+        }
+        bodies_by_backend.push(bodies);
+        server.shutdown();
+    }
+
+    // The two backends answered byte-identically.
+    assert_eq!(
+        bodies_by_backend[0], bodies_by_backend[1],
+        "CSR and succinct servers disagree"
+    );
+}
+
+/// The `?backend=` query parameter serves from a lazily-materialised
+/// second backend without changing a single response byte.
+#[test]
+fn backend_query_param_is_transparent() {
+    let synth = world();
+    let iri = &target_iris(&synth)[0];
+    let mut server = boot(synth.kb.clone(), ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let native = client
+        .get(&format!("/describe/{}", percent_encode(iri)))
+        .unwrap();
+    assert_eq!(native.status, 200);
+    // Succinct answers from the cache (same request fingerprint) — force a
+    // different k to bypass it and actually exercise the other layout.
+    let succinct = client
+        .get(&format!(
+            "/describe/{}?backend=succinct&k=2",
+            percent_encode(iri)
+        ))
+        .unwrap();
+    assert_eq!(succinct.status, 200, "{}", succinct.body);
+    let csr = client
+        .get(&format!(
+            "/describe/{}?backend=csr&k=2",
+            percent_encode(iri)
+        ))
+        .unwrap();
+    // k=2 was cached by the succinct request; bodies must match anyway.
+    assert_eq!(succinct.body, csr.body);
+
+    let stats = client.get("/stats").unwrap();
+    assert!(stats.body.contains("\"succinct\""), "{}", stats.body);
+    server.shutdown();
+}
+
+/// Batched describe shares one miner and embeds exactly the per-entity
+/// GET bodies.
+#[test]
+fn batched_describe_matches_individual_gets() {
+    let synth = world();
+    let iris = target_iris(&synth);
+    let mut server = boot(synth.kb.clone(), ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let payload = format!(
+        "{{\"entities\":[{}]}}",
+        iris.iter()
+            .map(|i| remi_serve::json::escape(i))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let batch = client.post("/describe", &payload).unwrap();
+    assert_eq!(batch.status, 200, "{}", batch.body);
+
+    for iri in &iris {
+        let single = client
+            .get(&format!("/describe/{}", percent_encode(iri)))
+            .unwrap();
+        assert_eq!(
+            single.header("x-remi-cache"),
+            Some("hit"),
+            "batch must prime {iri}"
+        );
+        assert!(
+            batch.body.contains(&single.body),
+            "batch body lacks the GET body for {iri}"
+        );
+    }
+
+    // Unknown entities inside a batch degrade to an embedded error, not a
+    // failed batch.
+    let partial = client
+        .post("/describe", "{\"entities\":[\"e:NoSuchEntity\"]}")
+        .unwrap();
+    assert_eq!(partial.status, 200);
+    assert!(
+        partial.body.contains("entity not found"),
+        "{}",
+        partial.body
+    );
+    server.shutdown();
+}
+
+/// Protocol and routing errors map to the documented statuses.
+#[test]
+fn error_statuses_are_mapped() {
+    let synth = world();
+    let mut server = boot(synth.kb.clone(), ServeConfig::default());
+    let addr = server.addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.get("/no/such/route").unwrap().status, 404);
+    assert_eq!(c.get("/describe/e:NoSuchEntity").unwrap().status, 404);
+    assert_eq!(c.get("/describe/e:x?k=zero").unwrap().status, 400);
+    assert_eq!(c.get("/describe/e:x?backend=flat").unwrap().status, 400);
+    assert_eq!(c.post("/healthz", "{}").unwrap().status, 405);
+    assert_eq!(c.get("/describe").unwrap().status, 405);
+    assert_eq!(c.post("/describe", "not json").unwrap().status, 400);
+    assert_eq!(
+        c.post("/describe", "{\"entities\":[]}").unwrap().status,
+        400
+    );
+
+    // Malformed request line: 400 and the connection closes.
+    let mut raw = Client::connect(addr).unwrap();
+    raw.send_raw(b"BANANAS\r\n\r\n").unwrap();
+    let resp = raw.read_response().unwrap();
+    assert_eq!(resp.status, 400);
+
+    // Oversized body: 413.
+    let mut big = Client::connect(addr).unwrap();
+    big.send_raw(
+        format!(
+            "POST /describe HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            remi_serve::http::MAX_BODY_BYTES + 1
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(big.read_response().unwrap().status, 413);
+
+    // Keep-alive: one connection, several requests, then explicit close.
+    let mut ka = Client::connect(addr).unwrap();
+    for _ in 0..3 {
+        assert_eq!(ka.get("/healthz").unwrap().status, 200);
+    }
+    server.shutdown();
+}
+
+/// Admission control: connections beyond the cap (4 × `max_inflight`,
+/// min 8) get `503` while live keep-alive connections hold every slot.
+#[test]
+fn load_shedding_answers_503_beyond_the_watermark() {
+    let synth = world();
+    let mut server = boot(
+        synth.kb.clone(),
+        ServeConfig {
+            max_inflight: 1, // connection cap floors at 8
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Fill all eight connection slots with live keep-alive connections
+    // (each response proves its connection was accepted, not queued —
+    // idle ones park, so they coexist even on a 1-worker pool).
+    let mut holders: Vec<Client> = Vec::new();
+    for i in 0..8 {
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(c.get("/healthz").unwrap().status, 200, "holder {i}");
+        holders.push(c);
+    }
+
+    // The ninth connection is shed at accept time.
+    let mut shed = Client::connect(addr).unwrap();
+    let resp = shed.get("/healthz").unwrap();
+    assert_eq!(resp.status, 503, "{}", resp.body);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    // Releasing the slots restores service (the sweep notices the closed
+    // connections within a poll tick; retry on fresh connections).
+    drop(shed);
+    drop(holders);
+    let ok = (0..50).any(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        matches!(
+            Client::connect(addr).and_then(|mut c| c.get("/healthz")),
+            Ok(r) if r.status == 200
+        )
+    });
+    assert!(ok, "service did not recover after shedding");
+    server.shutdown();
+}
+
+/// Graceful shutdown: in-flight keep-alive connections finish their
+/// current request, new connections stop being served, and `shutdown`
+/// returns once everything drained.
+#[test]
+fn graceful_shutdown_drains_inflight_connections() {
+    let synth = world();
+    let mut server = boot(synth.kb.clone(), ServeConfig::default());
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    server.shutdown();
+
+    // The listener is gone: either the connect fails or the first request
+    // on the fresh connection does.
+    let still_up = match Client::connect(addr) {
+        Ok(mut c) => c.get("/healthz").is_ok(),
+        Err(_) => false,
+    };
+    assert!(!still_up, "server still answering after shutdown");
+}
+
+/// `remi serve` (the CLI layer) wires flags through to a live server.
+#[test]
+fn cli_serve_round_trip() {
+    let dir = std::env::temp_dir().join(format!(
+        "remi_serve_cli_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let kb_path = dir.join("kb.rkb2");
+    remi_cli::cmd_gen("dbpedia", 0.2, 5, &kb_path).unwrap();
+
+    let opts = remi_cli::ServeOpts {
+        addr: "127.0.0.1:0".to_string(),
+        cache_entries: 64,
+        ..Default::default()
+    };
+    let (mut handle, banner) = remi_cli::cmd_serve(&kb_path, &opts).unwrap();
+    assert!(banner.contains("serving"), "{banner}");
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = client.get("/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    // An .rkb2 file loads into the succinct backend natively.
+    assert!(
+        stats.body.contains("\"primary\":\"succinct\""),
+        "{}",
+        stats.body
+    );
+    let kb = remi_cli::load_kb(&kb_path, 0.01).unwrap();
+    let iri = kb
+        .entity_ids()
+        .find(|&e| !kb.preds_of_subject(e).is_empty())
+        .map(|e| kb.node_key(e).to_string())
+        .expect("a describable entity");
+    let resp = client
+        .get(&format!("/describe/{}", percent_encode(&iri)))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,12 +8,13 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "search_tree",
     "summarization",
     "journalism",
     "query_generation",
+    "serving",
 ];
 
 #[test]
