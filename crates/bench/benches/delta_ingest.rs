@@ -1,0 +1,193 @@
+//! Live-ingestion benchmarks: the delta-overlay subsystem end to end.
+//!
+//! Four costs bound the live-serving story:
+//!
+//! * `snapshot_pin` — pinning an epoch (what every request pays).
+//! * `layered_objects_lookup` — a merged base+delta point lookup, the
+//!   read-path tax of the overlay (compare `backend_bindings/
+//!   csr_objects_lookup` for the frozen-store floor).
+//! * `append_publish_100` — one 100-triple batch through dedup, delta
+//!   index rebuild, and epoch publish (periodic folds keep the overlay
+//!   bounded, so occasional samples absorb a compaction).
+//! * `http_ingest` — `POST /ingest` round-trips against a live server
+//!   with background compaction enabled: the full production write path.
+//!
+//! The one-shot smoke print shows an ingested fact becoming describable
+//! in the very next request, plus the epoch/purge accounting.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remi_kb::delta::CompactionPolicy;
+use remi_kb::term::Term;
+use remi_kb::LiveKb;
+use remi_serve::client::Client;
+use remi_serve::{serve, ServeConfig};
+
+/// A unique batch of `n` synthetic triples (seeded by `tag`).
+fn batch(tag: u64, n: usize) -> Vec<(Term, String, Term)> {
+    (0..n)
+        .map(|i| {
+            (
+                Term::iri(format!("e:ingest_{tag}_{i}")),
+                "p:ingested".to_string(),
+                Term::iri(format!("e:batch_{tag}")),
+            )
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // A small fixed-seed world so per-publish dictionary clones stay
+    // proportionate to what an ingest batch costs.
+    let synth = remi_synth::generate(&remi_synth::dbpedia_like(), 0.2, 42);
+
+    // --- one-shot smoke: ingest → describe visibility + accounting -----
+    let live = LiveKb::new(synth.kb.clone());
+    let before = live.snapshot();
+    let out = live.append(batch(0, 100));
+    let after = live.snapshot();
+    let p = after.kb.pred_id("p:ingested").expect("ingested predicate");
+    println!(
+        "\ndelta smoke: +{} triples → epoch {} (fingerprint {:016x} → {:016x}), \
+         delta {} facts, merged lookup sees {}",
+        out.appended,
+        out.epoch,
+        before.fingerprint,
+        after.fingerprint,
+        out.delta_triples,
+        after.kb.index(p).num_facts(),
+    );
+    assert_eq!(after.kb.index(p).num_facts(), 100);
+    assert_eq!(before.kb.pred_id("p:ingested"), None);
+
+    let compacted = live.compact();
+    println!(
+        "delta smoke: compaction folded {} triples in {:.1?}; fingerprint stable: {}",
+        compacted.folded,
+        compacted.duration,
+        live.snapshot().fingerprint == after.fingerprint,
+    );
+
+    let mut group = c.benchmark_group("delta_ingest");
+
+    // --- snapshot_pin ---------------------------------------------------
+    group.bench_function("snapshot_pin", |b| {
+        b.iter(|| live.snapshot().epoch);
+    });
+
+    // --- layered_objects_lookup ------------------------------------------
+    // A layered view with a real overlay: appended facts attach fresh
+    // objects to *existing* subjects so lookups genuinely merge.
+    let overlay = LiveKb::new(synth.kb.clone());
+    let subjects: Vec<String> = synth
+        .kb
+        .entity_ids()
+        .filter(|&e| !synth.kb.preds_of_subject(e).is_empty())
+        .take(64)
+        .map(|e| synth.kb.node_key(e).to_string())
+        .collect();
+    overlay.append(
+        subjects
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    Term::iri(s.clone()),
+                    "p:ingested".to_string(),
+                    Term::iri(format!("e:tag_{i}")),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+    let snap = overlay.snapshot();
+    let probes: Vec<(remi_kb::PredId, remi_kb::NodeId)> = subjects
+        .iter()
+        .map(|s| {
+            let n = snap.kb.node_id_by_iri(s).expect("subject interned");
+            let p = remi_kb::PredId(snap.kb.preds_of_subject(n).first().expect("has preds"));
+            (p, n)
+        })
+        .collect();
+    group.bench_function("layered_objects_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (p, s) = probes[i % probes.len()];
+            i += 1;
+            snap.kb.objects(p, s).len()
+        });
+    });
+
+    // --- append_publish_100 ----------------------------------------------
+    // Publish cost scales with the dictionaries (each epoch clones them),
+    // and unique batches grow the KB for the whole run — keep samples
+    // short so the drift stays bounded.
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    let writer = LiveKb::with_policy(
+        synth.kb.clone(),
+        CompactionPolicy {
+            min_delta: usize::MAX, // folds are explicit below
+            ..CompactionPolicy::default()
+        },
+    );
+    group.bench_function("append_publish_100", |b| {
+        let mut tag = 1_000_000u64;
+        b.iter(|| {
+            tag += 1;
+            let out = writer.append(batch(tag, 100));
+            // Bound the overlay so publish cost stays representative;
+            // the occasional sample absorbs the fold, which is exactly
+            // what a steady-state ingester pays.
+            if out.delta_triples >= 8_000 {
+                writer.compact();
+            }
+            out.appended
+        });
+    });
+
+    // --- http_ingest ------------------------------------------------------
+    let mut server = serve(
+        synth.kb.clone(),
+        ServeConfig {
+            compact_min_delta: 2_000, // let background compaction run
+            ..ServeConfig::default()
+        },
+    )
+    .expect("ingest server boots");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    group.bench_function("http_ingest", |b| {
+        let mut tag = 0u64;
+        b.iter(|| {
+            tag += 1;
+            let body = format!(
+                "<e:http_{tag}> <p:loadIngested> <e:httpBatch_{}> .\n\
+                 <e:http_{tag}> <p:loadSeq> <e:seq_{}> .\n",
+                tag % 97,
+                tag % 31,
+            );
+            let r = client.post("/ingest", &body).expect("ingest");
+            assert_eq!(r.status, 200, "{}", r.body);
+            r.body.len()
+        });
+    });
+    group.finish();
+
+    // Throughput smoke for the job log.
+    let t0 = Instant::now();
+    let n = 200usize;
+    for tag in 0..n as u64 {
+        let body = format!("<e:smoke_{tag}> <p:loadIngested> <e:smokeBatch> .\n");
+        let r = client.post("/ingest", &body).expect("ingest");
+        assert_eq!(r.status, 200);
+    }
+    println!(
+        "ingest smoke: {n} single-triple POSTs in {:.1?} ({:.0} ingests/s)",
+        t0.elapsed(),
+        n as f64 / t0.elapsed().as_secs_f64()
+    );
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

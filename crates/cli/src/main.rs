@@ -11,8 +11,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use remi_cli::{
-    cmd_convert, cmd_describe, cmd_gen, cmd_serve, cmd_stats, cmd_summarize, DescribeOpts,
-    ServeOpts, USAGE,
+    cmd_convert, cmd_describe, cmd_gen, cmd_ingest, cmd_serve, cmd_stats, cmd_summarize,
+    DescribeOpts, ServeOpts, USAGE,
 };
 use remi_core::LanguageBias;
 
@@ -250,6 +250,29 @@ fn run(args: &[String]) -> Result<Action, Failure> {
                 backend,
             ))
         }
+        "ingest" => {
+            let Some(path) = args.get(1) else {
+                return Err(err("ingest takes a KB path and delta .nt files"));
+            };
+            let mut out: Option<PathBuf> = None;
+            let mut backend = None;
+            let mut deltas = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
+                match a.as_str() {
+                    "-o" | "--out" => out = Some(PathBuf::from(value()?)),
+                    "--backend" => backend = Some(parse_backend_usage(&value()?)?),
+                    p if !p.starts_with("--") => deltas.push(p.to_string()),
+                    other => return Err(err(&format!("unknown flag {other}"))),
+                }
+            }
+            if deltas.is_empty() {
+                return Err(err("ingest needs at least one delta .nt file"));
+            }
+            let out = out.ok_or_else(|| err("ingest requires -o <path>"))?;
+            print(cmd_ingest(&PathBuf::from(path), &deltas, &out, backend))
+        }
         "serve" => {
             let Some(path) = args.get(1) else {
                 return Err(err("serve takes a KB path"));
@@ -279,6 +302,13 @@ fn run(args: &[String]) -> Result<Action, Failure> {
                             .ok()
                             .filter(|&n| n >= 1)
                             .ok_or_else(|| err("--threads takes a positive int"))?
+                    }
+                    "--compact-threshold" => {
+                        opts.compact_min_delta = value()?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| err("--compact-threshold takes a positive int"))?
                     }
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }

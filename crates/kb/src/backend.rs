@@ -56,11 +56,10 @@ impl std::fmt::Display for Backend {
     }
 }
 
-/// A sorted list of bound ids: either a borrowed `u32` slice (CSR) or a
-/// run inside a packed sequence (succinct). O(1) length and random
-/// access in both representations.
+/// One side of a merged binding list: the physical shape of a non-merged
+/// [`Bindings`] (plain slice or packed run), with O(1) random access.
 #[derive(Debug, Clone, Copy)]
-pub enum Bindings<'a> {
+pub enum Run<'a> {
     /// A plain sorted slice.
     Slice(&'a [u32]),
     /// `len` values of a [`PackedSeq`] starting at `start`.
@@ -74,9 +73,127 @@ pub enum Bindings<'a> {
     },
 }
 
+impl<'a> Run<'a> {
+    /// Number of values in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match *self {
+            Run::Slice(s) => s.len(),
+            Run::Packed { len, .. } => len,
+        }
+    }
+
+    /// True when the run is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th value.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        match *self {
+            Run::Slice(s) => s[i],
+            Run::Packed { seq, start, len } => {
+                debug_assert!(i < len);
+                seq.get(start + i)
+            }
+        }
+    }
+
+    /// Binary search within the (sorted) run.
+    #[inline]
+    pub fn binary_search(&self, value: u32) -> Result<usize, usize> {
+        match *self {
+            Run::Slice(s) => s.binary_search(&value),
+            Run::Packed { seq, start, len } => seq
+                .binary_search_range(start, start + len, value)
+                .map(|abs| abs - start)
+                .map_err(|abs| abs - start),
+        }
+    }
+}
+
+/// The `k`-th (0-indexed) element of the sorted merge of two *disjoint*
+/// sorted lists: binary search over how many elements the first `k + 1`
+/// take from `b` — O(log min(|a|, |b|)), no materialisation.
+fn merged_kth(a: Run<'_>, b: &[u32], k: usize) -> u32 {
+    let (na, nb) = (a.len(), b.len());
+    debug_assert!(k < na + nb, "merged index {k} out of {na}+{nb}");
+    let mut lo = (k + 1).saturating_sub(na);
+    let mut hi = nb.min(k + 1);
+    while lo < hi {
+        let j = lo + (hi - lo) / 2;
+        // Range bounds guarantee j < nb and k - j < na here. Taking only
+        // j elements from b is too few exactly when b[j] still precedes
+        // the last element taken from a.
+        if b[j] < a.get(k - j) {
+            lo = j + 1;
+        } else {
+            hi = j;
+        }
+    }
+    let j = lo;
+    let from_b = if j > 0 { Some(b[j - 1]) } else { None };
+    if j <= k {
+        let av = a.get(k - j);
+        from_b.map_or(av, |bv| bv.max(av))
+    } else {
+        from_b.expect("k+1 elements all from b")
+    }
+}
+
+/// A sorted list of bound ids: a borrowed `u32` slice (CSR), a run inside
+/// a packed sequence (succinct), or the disjoint sorted merge of a base
+/// run and a delta slice (the live delta-overlay view). O(1) length and
+/// O(log) worst-case random access in every representation.
+#[derive(Debug, Clone, Copy)]
+pub enum Bindings<'a> {
+    /// A plain sorted slice.
+    Slice(&'a [u32]),
+    /// `len` values of a [`PackedSeq`] starting at `start`.
+    Packed {
+        /// The packed value stream.
+        seq: &'a PackedSeq,
+        /// First value of the run.
+        start: usize,
+        /// Run length.
+        len: usize,
+    },
+    /// The sorted merge of a base-store run and a disjoint delta slice
+    /// (see [`LayeredStore`](crate::delta::LayeredStore)). Neither side
+    /// is empty and no id appears on both sides.
+    Merged {
+        /// The base-store side.
+        base: Run<'a>,
+        /// The delta side: a sorted slice disjoint from `base`.
+        delta: &'a [u32],
+    },
+}
+
 impl<'a> Bindings<'a> {
     /// The empty binding list.
     pub const EMPTY: Bindings<'static> = Bindings::Slice(&[]);
+
+    /// Merges a base binding list with a disjoint sorted delta slice,
+    /// collapsing to the plain representation when either side is empty.
+    #[inline]
+    pub fn merged(base: Bindings<'a>, delta: &'a [u32]) -> Bindings<'a> {
+        if delta.is_empty() {
+            return base;
+        }
+        if base.is_empty() {
+            return Bindings::Slice(delta);
+        }
+        let base = match base {
+            Bindings::Slice(s) => Run::Slice(s),
+            Bindings::Packed { seq, start, len } => Run::Packed { seq, start, len },
+            Bindings::Merged { .. } => {
+                unreachable!("layered stores never stack on a layered base")
+            }
+        };
+        Bindings::Merged { base, delta }
+    }
 
     /// Number of bindings.
     #[inline]
@@ -84,6 +201,7 @@ impl<'a> Bindings<'a> {
         match *self {
             Bindings::Slice(s) => s.len(),
             Bindings::Packed { len, .. } => len,
+            Bindings::Merged { base, delta } => base.len() + delta.len(),
         }
     }
 
@@ -102,6 +220,7 @@ impl<'a> Bindings<'a> {
                 debug_assert!(i < len);
                 seq.get(start + i)
             }
+            Bindings::Merged { base, delta } => merged_kth(base, delta, i),
         }
     }
 
@@ -124,6 +243,20 @@ impl<'a> Bindings<'a> {
                 .binary_search_range(start, start + len, value)
                 .map(|abs| abs - start)
                 .map_err(|abs| abs - start),
+            Bindings::Merged { base, delta } => {
+                // The merged index of a value is its rank in one side plus
+                // its insertion rank in the other (the sides are disjoint).
+                match delta.binary_search(&value) {
+                    Ok(d) => {
+                        let b = base.binary_search(value).unwrap_err();
+                        Ok(d + b)
+                    }
+                    Err(d) => match base.binary_search(value) {
+                        Ok(b) => Ok(d + b),
+                        Err(b) => Err(d + b),
+                    },
+                }
+            }
         }
     }
 
@@ -137,7 +270,7 @@ impl<'a> Bindings<'a> {
     pub fn to_vec(&self) -> Vec<u32> {
         match *self {
             Bindings::Slice(s) => s.to_vec(),
-            Bindings::Packed { .. } => self.iter().collect(),
+            Bindings::Packed { .. } | Bindings::Merged { .. } => self.iter().collect(),
         }
     }
 
@@ -150,6 +283,12 @@ impl<'a> Bindings<'a> {
                 seq,
                 pos: start,
                 end: start + len,
+            },
+            Bindings::Merged { base, delta } => BindingsIter::Merged {
+                base,
+                bpos: 0,
+                delta,
+                dpos: 0,
             },
         }
     }
@@ -211,6 +350,17 @@ pub enum BindingsIter<'a> {
         /// One past the last position.
         end: usize,
     },
+    /// Two-cursor merge over a base run and a disjoint delta slice.
+    Merged {
+        /// The base-store side.
+        base: Run<'a>,
+        /// Next base position.
+        bpos: usize,
+        /// The delta side.
+        delta: &'a [u32],
+        /// Next delta position.
+        dpos: usize,
+    },
 }
 
 impl Iterator for BindingsIter<'_> {
@@ -229,6 +379,30 @@ impl Iterator for BindingsIter<'_> {
                     None
                 }
             }
+            BindingsIter::Merged {
+                base,
+                bpos,
+                delta,
+                dpos,
+            } => {
+                let b = (*bpos < base.len()).then(|| base.get(*bpos));
+                let d = delta.get(*dpos).copied();
+                match (b, d) {
+                    (Some(bv), Some(dv)) if bv < dv => {
+                        *bpos += 1;
+                        Some(bv)
+                    }
+                    (_, Some(dv)) => {
+                        *dpos += 1;
+                        Some(dv)
+                    }
+                    (Some(bv), None) => {
+                        *bpos += 1;
+                        Some(bv)
+                    }
+                    (None, None) => None,
+                }
+            }
         }
     }
 
@@ -236,6 +410,12 @@ impl Iterator for BindingsIter<'_> {
         let n = match self {
             BindingsIter::Slice(it) => it.len(),
             BindingsIter::Packed { pos, end, .. } => end - pos,
+            BindingsIter::Merged {
+                base,
+                bpos,
+                delta,
+                dpos,
+            } => (base.len() - bpos) + (delta.len() - dpos),
         };
         (n, Some(n))
     }
@@ -303,7 +483,7 @@ pub trait TripleStore {
     fn memory(&self) -> StoreMemory;
 }
 
-/// The enum facade over the concrete backends. A two-variant match at
+/// The enum facade over the concrete backends. A small-variant match at
 /// every call keeps dispatch branch-predictable on hot paths (unlike a
 /// `dyn TripleStore` vtable).
 // One StoreBackend exists per KnowledgeBase — never in collections — so
@@ -316,6 +496,9 @@ pub enum StoreBackend {
     Csr(CsrStore),
     /// Succinct bitmap triples.
     Succinct(BitmapTriples),
+    /// A delta overlay merged over an immutable base store (the live
+    /// ingestion view; see [`delta`](crate::delta)).
+    Layered(crate::delta::LayeredStore),
 }
 
 macro_rules! dispatch {
@@ -323,6 +506,7 @@ macro_rules! dispatch {
         match $self {
             StoreBackend::Csr($store) => $body,
             StoreBackend::Succinct($store) => $body,
+            StoreBackend::Layered($store) => $body,
         }
     };
 }
@@ -405,8 +589,10 @@ impl TripleStore for StoreBackend {
 
 impl StoreBackend {
     /// Rebuilds this store in another layout. `num_nodes` bounds the id
-    /// space (needed to size the packed widths). Converting to the
-    /// current layout is a clone.
+    /// space (needed to size the packed widths). Converting a plain store
+    /// to its current layout is a clone; converting a layered store
+    /// always materialises the merged view — folding the delta into a
+    /// fresh base is exactly what compaction does.
     pub fn to_backend(&self, kind: Backend, num_nodes: usize) -> StoreBackend {
         match (self, kind) {
             (StoreBackend::Csr(_), Backend::Csr)
@@ -663,14 +849,36 @@ enum GroupDirection {
 /// For the CSR backend each step is two slice reads; for the succinct
 /// backend the run-delimiter bitmap is swept word-at-a-time, making a full
 /// predicate scan O(facts/64 + groups) instead of O(groups · log facts).
+/// For the layered backend the base scan and the delta's sorted groups
+/// advance in lockstep — a streaming merge, never a rebuild.
 pub struct GroupIter<'a> {
-    store: &'a StoreBackend,
-    p: PredId,
-    dir: GroupDirection,
     i: usize,
     n: usize,
-    /// Value-stream cursor (succinct backend only).
-    next_start: usize,
+    inner: GroupInner<'a>,
+}
+
+enum GroupInner<'a> {
+    Csr {
+        store: &'a CsrStore,
+        p: PredId,
+        dir: GroupDirection,
+    },
+    Succinct {
+        wave: &'a crate::succinct::WaveIndex,
+        g: usize,
+        next_start: usize,
+    },
+    Layered {
+        /// Group scan over the base store (`None` for predicates the base
+        /// has never seen).
+        base: Option<Box<GroupIter<'a>>>,
+        /// The base side's next group, peeked for the merge.
+        base_next: Option<(NodeId, Bindings<'a>)>,
+        /// The delta side: sorted per-key groups of this predicate.
+        delta: &'a crate::store::Csr,
+        /// Next delta group index.
+        di: usize,
+    },
 }
 
 impl<'a> GroupIter<'a> {
@@ -679,21 +887,32 @@ impl<'a> GroupIter<'a> {
             GroupDirection::BySubject => store.num_subjects(p),
             GroupDirection::ByObject => store.num_objects(p),
         };
-        let next_start = match store {
-            StoreBackend::Csr(_) => 0,
-            StoreBackend::Succinct(bt) => match dir {
-                GroupDirection::BySubject => bt.spo().val_start(p.idx()),
-                GroupDirection::ByObject => bt.ops().val_start(p.idx()),
-            },
+        let inner = match store {
+            StoreBackend::Csr(s) => GroupInner::Csr { store: s, p, dir },
+            StoreBackend::Succinct(bt) => {
+                let wave = match dir {
+                    GroupDirection::BySubject => bt.spo(),
+                    GroupDirection::ByObject => bt.ops(),
+                };
+                GroupInner::Succinct {
+                    wave,
+                    g: p.idx(),
+                    next_start: wave.val_start(p.idx()),
+                }
+            }
+            StoreBackend::Layered(l) => {
+                let mut base = (p.idx() < l.base_pred_count())
+                    .then(|| Box::new(GroupIter::new(l.base_store(), p, dir)));
+                let base_next = base.as_mut().and_then(|it| it.next());
+                GroupInner::Layered {
+                    base,
+                    base_next,
+                    delta: l.delta_groups(p, dir == GroupDirection::ByObject),
+                    di: 0,
+                }
+            }
         };
-        GroupIter {
-            store,
-            p,
-            dir,
-            i: 0,
-            n,
-            next_start,
-        }
+        GroupIter { i: 0, n, inner }
     }
 }
 
@@ -706,21 +925,19 @@ impl<'a> Iterator for GroupIter<'a> {
         }
         let i = self.i;
         self.i += 1;
-        match (self.store, self.dir) {
-            (StoreBackend::Csr(s), GroupDirection::BySubject) => {
-                Some((s.subject_at(self.p, i), s.objects_at(self.p, i)))
-            }
-            (StoreBackend::Csr(s), GroupDirection::ByObject) => {
-                Some((s.object_at(self.p, i), s.subjects_at(self.p, i)))
-            }
-            (StoreBackend::Succinct(bt), dir) => {
-                let wave = match dir {
-                    GroupDirection::BySubject => bt.spo(),
-                    GroupDirection::ByObject => bt.ops(),
-                };
-                let key = wave.key_at(self.p.idx(), i);
-                let (start, len) = wave.run_from(self.next_start);
-                self.next_start = start + len;
+        match &mut self.inner {
+            GroupInner::Csr { store, p, dir } => Some(match dir {
+                GroupDirection::BySubject => (store.subject_at(*p, i), store.objects_at(*p, i)),
+                GroupDirection::ByObject => (store.object_at(*p, i), store.subjects_at(*p, i)),
+            }),
+            GroupInner::Succinct {
+                wave,
+                g,
+                next_start,
+            } => {
+                let key = wave.key_at(*g, i);
+                let (start, len) = wave.run_from(*next_start);
+                *next_start = start + len;
                 Some((
                     NodeId(key),
                     Bindings::Packed {
@@ -729,6 +946,34 @@ impl<'a> Iterator for GroupIter<'a> {
                         len,
                     },
                 ))
+            }
+            GroupInner::Layered {
+                base,
+                base_next,
+                delta,
+                di,
+            } => {
+                let d = (*di < delta.num_keys()).then(|| (delta.keys()[*di], delta.group(*di)));
+                match (*base_next, d) {
+                    (Some((bk, bv)), Some((dk, _))) if bk.0 < dk => {
+                        *base_next = base.as_mut().and_then(|it| it.next());
+                        Some((bk, bv))
+                    }
+                    (Some((bk, bv)), Some((dk, dv))) if bk.0 == dk => {
+                        *base_next = base.as_mut().and_then(|it| it.next());
+                        *di += 1;
+                        Some((bk, Bindings::merged(bv, dv)))
+                    }
+                    (_, Some((dk, dv))) => {
+                        *di += 1;
+                        Some((NodeId(dk), Bindings::Slice(dv)))
+                    }
+                    (Some((bk, bv)), None) => {
+                        *base_next = base.as_mut().and_then(|it| it.next());
+                        Some((bk, bv))
+                    }
+                    (None, None) => None,
+                }
             }
         }
     }
@@ -794,5 +1039,96 @@ mod tests {
         assert!(Bindings::EMPTY.is_empty());
         assert_eq!(Bindings::EMPTY.first(), None);
         assert_eq!(Bindings::EMPTY.iter().next(), None);
+    }
+
+    #[test]
+    fn merged_bindings_collapse_when_one_side_is_empty() {
+        let base = [1u32, 5, 9];
+        let b = Bindings::merged(Bindings::Slice(&base), &[]);
+        assert!(matches!(b, Bindings::Slice(_)));
+        let d = Bindings::merged(Bindings::EMPTY, &base);
+        assert_eq!(d.to_vec(), base);
+    }
+
+    #[test]
+    fn merged_bindings_behave_like_the_merged_vector() {
+        let base = [2u32, 6, 9, 40];
+        let delta = [1u32, 7, 8, 41, 50];
+        let m = Bindings::merged(Bindings::Slice(&base), &delta);
+        let expect = vec![1u32, 2, 6, 7, 8, 9, 40, 41, 50];
+        assert_eq!(m.len(), expect.len());
+        assert_eq!(m.to_vec(), expect);
+        assert_eq!(m.first(), Some(1));
+        for (i, &v) in expect.iter().enumerate() {
+            assert_eq!(m.get(i), v, "get({i})");
+            assert_eq!(m.binary_search(v), Ok(i), "binary_search({v})");
+        }
+        assert_eq!(m.binary_search(0), Err(0));
+        assert_eq!(m.binary_search(5), Err(2));
+        assert_eq!(m.binary_search(100), Err(9));
+        assert!(m.contains_sorted(40));
+        assert!(!m.contains_sorted(39));
+        let (lo, hi) = m.iter().size_hint();
+        assert_eq!((lo, hi), (9, Some(9)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Two disjoint sorted id lists (each value lands on one side only).
+    fn arb_disjoint() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+        proptest::collection::vec((0u32..500, any::<bool>()), 0..60).prop_map(|mut items| {
+            items.sort_unstable();
+            items.dedup_by_key(|&mut (v, _)| v);
+            let (mut base, mut delta) = (Vec::new(), Vec::new());
+            for (v, into_base) in items {
+                if into_base {
+                    base.push(v);
+                } else {
+                    delta.push(v);
+                }
+            }
+            (base, delta)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Merged bindings over slice *and* packed bases agree with the
+        /// plainly merged vector on every accessor.
+        #[test]
+        fn prop_merged_bindings_match_naive_merge(
+            sides in arb_disjoint(),
+            probe in any::<u32>(),
+        ) {
+            let (base, delta) = sides;
+            let mut expect: Vec<u32> =
+                base.iter().chain(delta.iter()).copied().collect();
+            expect.sort_unstable();
+            let packed = PackedSeq::from_values(
+                9,
+                base.iter().copied(),
+            );
+            let variants = [
+                Bindings::merged(Bindings::Slice(&base), &delta),
+                Bindings::merged(
+                    Bindings::Packed { seq: &packed, start: 0, len: base.len() },
+                    &delta,
+                ),
+            ];
+            for m in variants {
+                prop_assert_eq!(m.len(), expect.len());
+                prop_assert_eq!(m.to_vec(), expect.clone());
+                for (i, &v) in expect.iter().enumerate() {
+                    prop_assert_eq!(m.get(i), v);
+                }
+                prop_assert_eq!(m.binary_search(probe), expect.binary_search(&probe));
+                prop_assert_eq!(m.first(), expect.first().copied());
+            }
+        }
     }
 }

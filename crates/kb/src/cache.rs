@@ -146,6 +146,38 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.tail = NIL;
     }
 
+    /// Keeps only the entries `f` approves of, preserving recency order.
+    /// Returns how many entries were dropped. O(n); used for targeted
+    /// invalidation (e.g. purging stale-generation response entries).
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &V) -> bool) -> usize {
+        // Record the recency order LRU → MRU, then rebuild by re-putting
+        // survivors in that order (put attaches to the front, so the MRU
+        // entry ends up at the head again).
+        let mut order = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            order.push(idx);
+            idx = self.slots[idx].prev;
+        }
+        let slots = std::mem::take(&mut self.slots);
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        let mut payload: Vec<Option<Slot<K, V>>> = slots.into_iter().map(Some).collect();
+        let mut dropped = 0usize;
+        for i in order {
+            let slot = payload[i]
+                .take()
+                .expect("recency list visits each slot once");
+            if f(&slot.key, &slot.value) {
+                self.put(slot.key, slot.value);
+            } else {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     fn detach(&mut self, idx: usize) {
         let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
         if prev != NIL {
@@ -260,6 +292,38 @@ mod tests {
         }
         assert_eq!(calls, 1);
         assert_eq!(c.peek(&7), Some(&70));
+    }
+
+    #[test]
+    fn retain_preserves_recency_of_survivors() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for k in 0..4 {
+            c.put(k, k * 10);
+        }
+        c.get(&0); // order (LRU→MRU): 1, 2, 3, 0
+        let dropped = c.retain(|&k, _| k != 2);
+        assert_eq!(dropped, 1);
+        assert_eq!(c.len(), 3);
+        assert!(c.peek(&2).is_none());
+        // Inserting one new entry evicts the LRU survivor (1), not 3 or 0.
+        c.put(9, 90);
+        c.put(8, 80);
+        assert!(c.peek(&1).is_none());
+        assert_eq!(c.peek(&3), Some(&30));
+        assert_eq!(c.peek(&0), Some(&0));
+    }
+
+    #[test]
+    fn retain_everything_or_nothing() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for k in 0..3 {
+            c.put(k, k);
+        }
+        assert_eq!(c.retain(|_, _| true), 0);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.retain(|_, _| false), 3);
+        assert!(c.is_empty());
+        assert_eq!(c.retain(|_, _| true), 0); // empty cache is fine
     }
 
     #[test]

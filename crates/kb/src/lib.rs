@@ -12,6 +12,8 @@
 //!   as the universal sorted-id-list view.
 //! * [`succinct`] — HDT-style bitmap triples: rank/select bitvectors and
 //!   packed sequences, zero-copy loadable.
+//! * [`delta`] — live ingestion: a mutable delta overlay (`LiveKb`) with
+//!   epoch snapshots and compaction, layered over any backend.
 //! * [`ntriples`] — N-Triples parsing and serialisation.
 //! * [`binfmt`] — the `RKB1` (row-oriented) and `RKB2` (succinct,
 //!   section-table) binary file formats.
@@ -39,6 +41,7 @@
 pub mod backend;
 pub mod binfmt;
 pub mod cache;
+pub mod delta;
 pub mod dict;
 pub mod error;
 pub mod fx;
@@ -51,6 +54,7 @@ pub mod term;
 pub mod varint;
 
 pub use backend::{Backend, Bindings, PredView, StoreMemory, TripleStore};
+pub use delta::{content_fingerprint, CompactionPolicy, LiveKb, Snapshot};
 pub use error::{KbError, Result};
 pub use ids::{NodeId, PredId, Triple};
 pub use store::{KbBuilder, KnowledgeBase};

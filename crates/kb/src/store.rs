@@ -26,8 +26,9 @@ pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
 pub const INVERSE_SUFFIX: &str = "⁻¹";
 
 /// A one-directional CSR adjacency: sorted unique keys, offsets, values.
+/// Crate-visible because the delta overlay reuses it for its sorted runs.
 #[derive(Debug, Clone, Default)]
-struct Csr {
+pub(crate) struct Csr {
     keys: Vec<u32>,
     offsets: Vec<u32>,
     values: Vec<u32>,
@@ -36,7 +37,7 @@ struct Csr {
 impl Csr {
     /// Builds from `(key, value)` pairs sorted by `(key, value)` with no
     /// duplicates.
-    fn from_sorted_pairs(pairs: &[(u32, u32)]) -> Csr {
+    pub(crate) fn from_sorted_pairs(pairs: &[(u32, u32)]) -> Csr {
         let mut keys = Vec::new();
         let mut offsets = vec![0u32];
         let mut values = Vec::with_capacity(pairs.len());
@@ -60,7 +61,7 @@ impl Csr {
     }
 
     #[inline]
-    fn get(&self, key: u32) -> &[u32] {
+    pub(crate) fn get(&self, key: u32) -> &[u32] {
         match self.keys.binary_search(&key) {
             Ok(i) => self.group(i),
             Err(_) => &[],
@@ -68,19 +69,31 @@ impl Csr {
     }
 
     #[inline]
-    fn group(&self, i: usize) -> &[u32] {
+    pub(crate) fn group(&self, i: usize) -> &[u32] {
         let lo = self.offsets[i] as usize;
         let hi = self.offsets[i + 1] as usize;
         &self.values[lo..hi]
     }
 
     #[inline]
-    fn group_len(&self, i: usize) -> usize {
+    pub(crate) fn group_len(&self, i: usize) -> usize {
         (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
+    /// The sorted distinct keys.
+    #[inline]
+    pub(crate) fn keys(&self) -> &[u32] {
+        &self.keys
+    }
+
+    /// Number of distinct keys.
+    #[inline]
+    pub(crate) fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
     /// Resident bytes of the three arrays.
-    fn size_in_bytes(&self) -> usize {
+    pub(crate) fn size_in_bytes(&self) -> usize {
         (self.keys.len() + self.offsets.len() + self.values.len()) * 4
     }
 }
@@ -306,6 +319,18 @@ impl KnowledgeBase {
             n_base_triples,
             n_total_triples: n_total,
         }
+    }
+
+    /// Decomposes the KB into the parts the live delta wrapper needs to
+    /// take ownership of (the inverse of [`KnowledgeBase::from_parts`]).
+    pub(crate) fn into_parts(self) -> (Dictionary, Dictionary, StoreBackend, Vec<u32>, usize) {
+        (
+            self.nodes,
+            self.preds,
+            self.store,
+            self.node_freq,
+            self.n_base_triples,
+        )
     }
 
     /// Number of node terms in the dictionary.

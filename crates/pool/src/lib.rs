@@ -196,6 +196,9 @@ struct PoolState {
     next_shard: AtomicUsize,
     /// Parking lot for idle workers.
     idle: Mutex<()>,
+    /// Workers currently asleep in the parking lot (see
+    /// [`ThreadPool::idle_workers`]).
+    idlers: AtomicUsize,
     wake: Condvar,
     shutdown: AtomicBool,
 }
@@ -235,8 +238,9 @@ impl PoolState {
 }
 
 thread_local! {
-    /// Set on pool worker threads, so a nested `scope` degrades to inline
-    /// execution instead of deadlocking the pool on itself.
+    /// Set on pool worker threads, so a nested `scope` publishes claimable
+    /// jobs and help-drains them instead of deadlocking the pool on
+    /// itself.
     static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -256,12 +260,13 @@ fn worker_loop(state: Arc<PoolState>, home: usize) {
         if state.queued.load(Ordering::Acquire) > 0 {
             continue; // a push is in flight — rescan instead of sleeping
         }
-        drop(
-            state
-                .wake
-                .wait(guard)
-                .unwrap_or_else(PoisonError::into_inner),
-        );
+        state.idlers.fetch_add(1, Ordering::AcqRel);
+        let guard = state
+            .wake
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        state.idlers.fetch_sub(1, Ordering::AcqRel);
+        drop(guard);
     }
 }
 
@@ -281,6 +286,7 @@ impl ThreadPool {
             queued: AtomicUsize::new(0),
             next_shard: AtomicUsize::new(0),
             idle: Mutex::new(()),
+            idlers: AtomicUsize::new(0),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
@@ -305,12 +311,32 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Jobs queued but not yet picked up by a worker. Long-running tasks
+    /// can poll this to yield their worker when other work is waiting
+    /// (the serve layer parks busy connections on this signal so e.g. a
+    /// queued compaction is never starved by one chatty socket). The
+    /// count may briefly include already-claimed stubs of nested scopes;
+    /// combine with [`ThreadPool::idle_workers`] to decide whether
+    /// yielding actually helps.
+    pub fn queued(&self) -> usize {
+        self.state.queued.load(Ordering::Acquire)
+    }
+
+    /// Workers currently parked with nothing to do. When this is
+    /// non-zero, queued work will be picked up without anyone yielding.
+    pub fn idle_workers(&self) -> usize {
+        self.state.idlers.load(Ordering::Acquire)
+    }
+
     /// Structured concurrency: `f` receives a [`Scope`] whose tasks may
     /// borrow anything that outlives the `scope` call. Returns after every
     /// spawned task has completed; the first task panic is propagated.
     ///
-    /// Calling `scope` *from a pool worker* runs tasks inline (the worker
-    /// cannot wait on siblings without risking deadlock).
+    /// Calling `scope` *from a pool worker* is allowed: tasks are
+    /// published as claimable jobs that idle workers steal, while the
+    /// waiting worker help-drains its own scope's tasks — real nested
+    /// parallelism on a busy pool, inline execution on a saturated one,
+    /// never a deadlock.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&Scope<'_, 'env>) -> R,
@@ -348,12 +374,24 @@ impl Drop for ThreadPool {
     }
 }
 
+/// A job spawned from a pool worker, runnable by whoever takes it first:
+/// an idle worker popping the queued stub, or the spawning worker's own
+/// scope wait help-draining it. The `Mutex<Option<..>>` makes the claim
+/// exactly-once.
+type Claim = Arc<Mutex<Option<Job>>>;
+
 /// Tracks one scope's outstanding tasks.
 #[derive(Default)]
 struct ScopeState {
     pending: Mutex<usize>,
     done: Condvar,
     panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Jobs spawned *from pool workers*: published to the queue as claim
+    /// stubs (so idle workers still steal them) and help-drained by the
+    /// scope's own wait, so a worker waiting on its nested scope runs its
+    /// own tasks instead of deadlocking a saturated pool — and never picks
+    /// up unrelated (possibly long-lived) jobs while it waits.
+    claims: Mutex<VecDeque<Claim>>,
 }
 
 impl ScopeState {
@@ -369,7 +407,39 @@ impl ScopeState {
         }
     }
 
+    /// Takes the next not-yet-claimed job of this scope, if any.
+    fn claim_own_job(&self) -> Option<Job> {
+        let mut claims = lock(&self.claims);
+        while let Some(claim) = claims.pop_front() {
+            if let Some(job) = lock(&claim).take() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
     fn wait(&self) {
+        if IS_POOL_WORKER.with(|w| w.get()) {
+            // Help-drain: run our own unclaimed tasks while other workers
+            // chew on the rest. The timed wait covers the race where a
+            // still-running sibling spawns more tasks onto this scope.
+            loop {
+                if *lock(&self.pending) == 0 {
+                    return;
+                }
+                if let Some(job) = self.claim_own_job() {
+                    job();
+                    continue;
+                }
+                let pending = lock(&self.pending);
+                if *pending == 0 {
+                    return;
+                }
+                let _ = self
+                    .done
+                    .wait_timeout(pending, std::time::Duration::from_millis(1));
+            }
+        }
         let mut pending = lock(&self.pending);
         while *pending > 0 {
             pending = self
@@ -415,21 +485,34 @@ impl<'env> Scope<'_, 'env> {
             }
             state.finish_task();
         });
-        if IS_POOL_WORKER.with(|w| w.get()) {
-            // Nested scope on a worker: run inline; parking this worker to
-            // wait for a sibling could deadlock a fully-loaded pool.
-            job();
-            return;
-        }
         // SAFETY: `WaitGuard` guarantees the enclosing `scope` call cannot
         // return — by value or by unwind — until this job has finished
         // executing, so every `'env` borrow it carries is live for as long
         // as the job can observe it. The transmute only erases the
-        // lifetime; the vtable and layout are unchanged.
+        // lifetime; the vtable and layout are unchanged. For the claim
+        // path below the same argument holds: the wait drains `pending` to
+        // zero, so every claimed job has *run* (and been consumed) before
+        // the scope returns; stubs left in the queue hold only an empty
+        // claim.
         #[allow(unsafe_code)]
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
+        if IS_POOL_WORKER.with(|w| w.get()) {
+            // Nested scope on a worker: publish the job as a claimable
+            // stub. Idle workers steal it off the queue like any other
+            // job; if none gets there first, the spawning worker runs it
+            // itself while waiting on the scope (`ScopeState::wait`), so a
+            // saturated pool can never deadlock on its own nesting.
+            let claim: Claim = Arc::new(Mutex::new(Some(job)));
+            lock(&self.state.claims).push_back(Arc::clone(&claim));
+            self.pool.state.inject(Box::new(move || {
+                if let Some(job) = lock(&claim).take() {
+                    job();
+                }
+            }));
+            return;
+        }
         self.pool.state.inject(job);
     }
 }
@@ -527,23 +610,80 @@ mod tests {
     }
 
     #[test]
-    fn nested_scope_on_a_worker_runs_inline() {
-        let pool = ThreadPool::new(1); // one worker: a blocking wait inside
-                                       // a task would deadlock without the
-                                       // inline fallback
+    fn nested_scope_on_a_saturated_pool_help_drains() {
+        let pool = ThreadPool::new(1); // one worker: the nested tasks can
+                                       // only run via the waiting worker's
+                                       // own help-drain
         let count = AtomicUsize::new(0);
         pool.scope(|outer| {
             let count = &count;
             let pool = &pool;
             outer.spawn(move || {
-                // Runs on the only worker; a parked nested scope could
-                // never be drained.
                 pool.broadcast(4, &|_| {
                     count.fetch_add(1, Ordering::Relaxed);
                 });
             });
         });
         assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_scope_tasks_run_concurrently_on_idle_workers() {
+        // A worker waiting on its nested scope must not serialise the
+        // world: idle workers steal the claim stubs, so three nested tasks
+        // can rendezvous at a barrier (impossible if they ran inline one
+        // after another on the spawning worker).
+        let pool = ThreadPool::new(4);
+        let barrier = std::sync::Barrier::new(3);
+        pool.scope(|outer| {
+            let barrier = &barrier;
+            let pool = &pool;
+            outer.spawn(move || {
+                pool.broadcast(3, &|_| {
+                    barrier.wait();
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn deeply_nested_scopes_terminate() {
+        let pool = ThreadPool::new(2);
+        let count = AtomicUsize::new(0);
+        fn recurse(pool: &ThreadPool, depth: usize, count: &AtomicUsize) {
+            count.fetch_add(1, Ordering::Relaxed);
+            if depth == 0 {
+                return;
+            }
+            pool.broadcast(2, &|_| recurse(pool, depth - 1, count));
+        }
+        pool.scope(|s| {
+            let pool = &pool;
+            let count = &count;
+            s.spawn(move || recurse(pool, 4, count));
+        });
+        // 1 + 2 + 4 + 8 + 16 nodes of the binary spawn tree.
+        assert_eq!(count.load(Ordering::Relaxed), 31);
+    }
+
+    #[test]
+    fn nested_task_panics_reach_the_inner_scope() {
+        let pool = ThreadPool::new(2);
+        let outer_ok = AtomicBool::new(false);
+        pool.scope(|s| {
+            let pool = &pool;
+            let outer_ok = &outer_ok;
+            s.spawn(move || {
+                let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                    pool.scope(|inner| {
+                        inner.spawn(|| panic!("nested boom"));
+                    });
+                }));
+                assert!(caught.is_err(), "inner scope must propagate the panic");
+                outer_ok.store(true, Ordering::Relaxed);
+            });
+        });
+        assert!(outer_ok.load(Ordering::Relaxed));
     }
 
     /// Deterministic cancellation ordering: on a single-worker pool, tasks

@@ -6,10 +6,17 @@
 //! disables the response cache, so a warm/cold pair of runs measures how
 //! much of the serving path caching removes.
 //!
+//! `--ingest-ratio F` turns the run into a mixed read/write workload:
+//! that fraction of each client's requests become `POST /ingest` batches
+//! of fresh synthetic triples (every batch unique, so the delta overlay
+//! genuinely grows while miners read), and the report splits latency
+//! quantiles per class.
+//!
 //! Usage:
 //!   remi-serve-load <kb.{rkb,rkb2,nt}> [--requests N] [--clients C]
 //!                   [--backend csr|succinct] [--entities e:A,e:B,...]
 //!                   [--mode describe|summarize|healthz] [--cold]
+//!                   [--ingest-ratio F]
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -26,6 +33,7 @@ struct Args {
     entities: Vec<String>,
     mode: String,
     cold: bool,
+    ingest_ratio: f64,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -37,6 +45,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         entities: Vec::new(),
         mode: "describe".to_string(),
         cold: false,
+        ingest_ratio: 0.0,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -76,6 +85,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.mode = v;
             }
             "--cold" => args.cold = true,
+            "--ingest-ratio" => {
+                args.ingest_ratio = value()?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| "--ingest-ratio takes a float in 0..=1".to_string())?
+            }
             p if !p.starts_with("--") && args.kb_path.is_empty() => args.kb_path = p.to_string(),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -83,10 +99,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.kb_path.is_empty() {
         return Err("usage: remi-serve-load <kb> [--requests N] [--clients C] \
                     [--backend csr|succinct] [--entities a,b] \
-                    [--mode describe|summarize|healthz] [--cold]"
+                    [--mode describe|summarize|healthz] [--cold] \
+                    [--ingest-ratio F]"
             .to_string());
     }
     Ok(args)
+}
+
+/// A small unique N-Triples batch for one ingest request: grows the KB on
+/// every call (deterministically — client and sequence number key it).
+fn ingest_payload(client: usize, seq: usize) -> String {
+    format!(
+        "<e:load_c{client}_i{seq}> <p:loadIngested> <e:loadBatch_c{client}> .\n\
+         <e:load_c{client}_i{seq}> <p:loadSeq> <e:seq_{seq}> .\n"
+    )
+}
+
+/// Latency quantile helper over a sorted slice.
+fn quantiles(sorted_us: &[u64]) -> String {
+    if sorted_us.is_empty() {
+        return "n/a".to_string();
+    }
+    let q = |p: f64| sorted_us[((sorted_us.len() - 1) as f64 * p) as usize];
+    format!(
+        "p50 {}µs  p90 {}µs  p99 {}µs  max {}µs",
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        sorted_us.last().copied().unwrap_or(0),
+    )
 }
 
 fn load_kb(path: &str) -> Result<remi_kb::KnowledgeBase, String> {
@@ -167,25 +208,45 @@ fn run(argv: &[String]) -> Result<String, String> {
 
     let per_client = args.requests.div_ceil(args.clients);
     let total = per_client * args.clients;
+    let ratio = args.ingest_ratio;
     let t0 = Instant::now();
-    let mut latencies_us: Vec<u64> = Vec::with_capacity(total);
-    let results: Vec<Result<Vec<u64>, String>> = std::thread::scope(|scope| {
+    // Per-class latencies: (reads, ingests).
+    type ClassLat = (Vec<u64>, Vec<u64>);
+    let results: Vec<Result<ClassLat, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|c| {
                 let targets = &targets;
-                scope.spawn(move || -> Result<Vec<u64>, String> {
+                scope.spawn(move || -> Result<ClassLat, String> {
                     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
-                    let mut lat = Vec::with_capacity(per_client);
+                    let mut reads = Vec::with_capacity(per_client);
+                    let mut writes = Vec::new();
+                    // Deterministic interleave: accumulate ratio credit,
+                    // fire one ingest per whole unit.
+                    let mut credit = 0.0f64;
                     for i in 0..per_client {
+                        credit += ratio;
+                        if credit >= 1.0 {
+                            credit -= 1.0;
+                            let body = ingest_payload(c, i);
+                            let q0 = Instant::now();
+                            let r = client
+                                .post("/ingest", &body)
+                                .map_err(|e| format!("/ingest: {e}"))?;
+                            writes.push(q0.elapsed().as_micros() as u64);
+                            if r.status != 200 {
+                                return Err(format!("/ingest answered {}: {}", r.status, r.body));
+                            }
+                            continue;
+                        }
                         let t = &targets[(c + i) % targets.len()];
                         let q0 = Instant::now();
                         let r = client.get(t).map_err(|e| format!("{t}: {e}"))?;
-                        lat.push(q0.elapsed().as_micros() as u64);
+                        reads.push(q0.elapsed().as_micros() as u64);
                         if r.status != 200 {
                             return Err(format!("{t} answered {}: {}", r.status, r.body));
                         }
                     }
-                    Ok(lat)
+                    Ok((reads, writes))
                 })
             })
             .collect();
@@ -195,35 +256,37 @@ fn run(argv: &[String]) -> Result<String, String> {
             .collect()
     });
     let elapsed = t0.elapsed();
+    let mut reads_us: Vec<u64> = Vec::with_capacity(total);
+    let mut ingests_us: Vec<u64> = Vec::new();
     for r in results {
-        latencies_us.extend(r?);
+        let (reads, writes) = r?;
+        reads_us.extend(reads);
+        ingests_us.extend(writes);
     }
-    latencies_us.sort_unstable();
+    reads_us.sort_unstable();
+    ingests_us.sort_unstable();
 
     let mut stats_client = Client::connect(addr).map_err(|e| e.to_string())?;
     let stats = stats_client.get("/stats").map_err(|e| e.to_string())?;
     server.shutdown();
 
-    let q = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
     let throughput = total as f64 / elapsed.as_secs_f64();
     let mut out = String::new();
     use std::fmt::Write as _;
     let _ = writeln!(
         out,
-        "serve-load: {total} requests, {} clients, mode {} ({})",
+        "serve-load: {total} requests ({} reads, {} ingests), {} clients, mode {} ({})",
+        reads_us.len(),
+        ingests_us.len(),
         args.clients,
         args.mode,
         if args.cold { "cold, cache off" } else { "warm" }
     );
     let _ = writeln!(out, "  throughput:  {throughput:.0} req/s");
-    let _ = writeln!(
-        out,
-        "  latency:     p50 {}µs  p90 {}µs  p99 {}µs  max {}µs",
-        q(0.50),
-        q(0.90),
-        q(0.99),
-        latencies_us.last().copied().unwrap_or(0),
-    );
+    let _ = writeln!(out, "  read:        {}", quantiles(&reads_us));
+    if !ingests_us.is_empty() {
+        let _ = writeln!(out, "  ingest:      {}", quantiles(&ingests_us));
+    }
     let _ = writeln!(out, "  server:      {}", stats.body);
     Ok(out)
 }

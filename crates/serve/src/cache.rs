@@ -1,10 +1,13 @@
 //! The sharded response cache: rendered JSON bodies keyed by
 //! `(entity, request fingerprint, KB fingerprint)`.
 //!
-//! Serving is read-only over an immutable KB, so a mined description never
-//! goes stale — the cache only bounds memory (LRU per shard) and contention
+//! Responses are rendered against one KB *generation* (the fingerprint in
+//! the key), so entries never go stale in place — ingestion rotates the
+//! fingerprint and [`ResponseCache::purge_stale`] drops the entries of
+//! dead generations eagerly instead of waiting for LRU pressure to push
+//! them out. The cache bounds memory (LRU per shard) and contention
 //! (shard-per-key-hash, one mutex each, in the style of sharded web-cache
-//! tiers). Hit/miss/eviction counts are surfaced through `/stats`.
+//! tiers). Hit/miss/eviction/purge counts are surfaced through `/stats`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -33,6 +36,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by the LRU bound.
     pub evictions: u64,
+    /// Stale-generation entries dropped by fingerprint rotation.
+    pub purged: u64,
     /// Entries currently resident.
     pub entries: u64,
     /// Total capacity across shards (0 = caching disabled).
@@ -48,6 +53,7 @@ const SHARDS: usize = 16;
 pub struct ResponseCache {
     shards: Vec<Mutex<LruCache<CacheKey, Arc<str>>>>,
     evictions: AtomicU64,
+    purged: AtomicU64,
     /// Misses on a disabled cache (shards empty) still need accounting.
     disabled_misses: AtomicU64,
     capacity: usize,
@@ -71,9 +77,24 @@ impl ResponseCache {
         ResponseCache {
             shards,
             evictions: AtomicU64::new(0),
+            purged: AtomicU64::new(0),
             disabled_misses: AtomicU64::new(0),
             capacity,
         }
+    }
+
+    /// Drops every entry whose KB fingerprint differs from `live_fp` —
+    /// those generations can never be requested again, so waiting for LRU
+    /// pressure would only hold their memory hostage. Returns the number
+    /// of entries purged.
+    pub fn purge_stale(&self, live_fp: u64) -> u64 {
+        let mut purged = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            purged += shard.retain(|key, _| key.kb == live_fp) as u64;
+        }
+        self.purged.fetch_add(purged, Ordering::Relaxed);
+        purged
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<LruCache<CacheKey, Arc<str>>> {
@@ -115,6 +136,7 @@ impl ResponseCache {
     pub fn stats(&self) -> CacheStats {
         let mut stats = CacheStats {
             evictions: self.evictions.load(Ordering::Relaxed),
+            purged: self.purged.load(Ordering::Relaxed),
             misses: self.disabled_misses.load(Ordering::Relaxed),
             capacity: self.capacity as u64,
             ..CacheStats::default()
@@ -211,6 +233,43 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.capacity, 0);
         assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn purge_stale_drops_only_dead_generations() {
+        let cache = ResponseCache::new(64);
+        for fp in [1u64, 2, 3] {
+            for i in 0..5 {
+                cache.put(
+                    CacheKey {
+                        request: format!("r{i}"),
+                        kb: fp,
+                    },
+                    format!("body-{fp}-{i}").into(),
+                );
+            }
+        }
+        let purged = cache.purge_stale(3);
+        assert_eq!(purged, 10, "two dead generations of five entries");
+        let stats = cache.stats();
+        assert_eq!(stats.purged, 10);
+        assert_eq!(stats.entries, 5);
+        // The live generation survives byte-for-byte.
+        for i in 0..5 {
+            assert_eq!(
+                cache
+                    .get(&CacheKey {
+                        request: format!("r{i}"),
+                        kb: 3
+                    })
+                    .as_deref(),
+                Some(format!("body-3-{i}").as_str())
+            );
+        }
+        // Purging again is a no-op.
+        assert_eq!(cache.purge_stale(3), 0);
+        // A disabled cache purges nothing and never panics.
+        assert_eq!(ResponseCache::new(0).purge_stale(3), 0);
     }
 
     #[test]

@@ -45,20 +45,25 @@ pub mod json;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use remi_core::topk::describe_top_k;
 use remi_core::{Remi, RemiConfig};
+use remi_kb::delta::Snapshot;
 use remi_kb::pagerank::{pagerank, PageRank, PageRankConfig};
-use remi_kb::{Backend, KnowledgeBase, NodeId};
+use remi_kb::{Backend, CompactionPolicy, KnowledgeBase, LiveKb, NodeId};
 use remi_pool::CancelToken;
 
 use cache::{CacheKey, ResponseCache};
 use http::{Parsed, Request, RequestParser};
 use json::JsonObject;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How long an idle keep-alive connection is held before the server closes
 /// it (also the shutdown-drain latency bound for idle connections).
@@ -98,6 +103,10 @@ pub struct ServeConfig {
     /// Default P-REMI task count per describe request (`?threads=`
     /// overrides per request).
     pub threads: usize,
+    /// Background-compaction trigger: once `POST /ingest` has grown the
+    /// delta overlay past this many triples, a compaction task is
+    /// scheduled on the shared pool to fold it into a fresh base.
+    pub compact_min_delta: usize,
 }
 
 impl Default for ServeConfig {
@@ -108,26 +117,18 @@ impl Default for ServeConfig {
             cache_entries: 4096,
             max_inflight: 64,
             threads: remi_pool::configured_threads(),
+            compact_min_delta: CompactionPolicy::default().min_delta,
         }
     }
 }
 
-/// Fingerprint of a KB's logical content: every triple id plus the
-/// dictionary sizes, mixed through the workspace Fx hash. Two KBs holding
-/// the same triples fingerprint identically regardless of storage backend,
-/// so cached responses are shared across backends (the backends are
-/// observationally equivalent by the differential test suite).
+/// Fingerprint of a KB's logical content (re-exported from
+/// [`remi_kb::content_fingerprint`]). Two KBs holding the same triples
+/// fingerprint identically regardless of storage backend, so cached
+/// responses are shared across backends and survive compaction; every
+/// ingested batch rotates the value.
 pub fn kb_fingerprint(kb: &KnowledgeBase) -> u64 {
-    use std::hash::Hasher;
-    let mut h = remi_kb::fx::FxHasher::default();
-    h.write_u64(kb.num_nodes() as u64);
-    h.write_u64(kb.num_preds() as u64);
-    h.write_u64(kb.num_triples() as u64);
-    for t in kb.iter_triples() {
-        h.write_u64(u64::from(t.s.0) << 32 | u64::from(t.o.0));
-        h.write_u32(t.p.0);
-    }
-    h.finish()
+    remi_kb::content_fingerprint(kb)
 }
 
 // ---------------------------------------------------------------------------
@@ -312,11 +313,17 @@ struct Metrics {
 }
 
 struct AppState {
-    /// Resident KBs by backend (`[csr, succinct]`); the primary is filled
-    /// at startup, the other materialises lazily on first `?backend=` use.
-    kbs: [OnceLock<Arc<KnowledgeBase>>; 2],
+    /// The resident KB, now appendable: `POST /ingest` publishes new
+    /// epochs, every request pins one [`Snapshot`].
+    live: LiveKb,
     primary: Backend,
-    kb_fp: u64,
+    /// The other layout, converted lazily on `?backend=` use. Keyed by
+    /// `(epoch, fingerprint)`: validity is by *fingerprint* (equal
+    /// fingerprint ⟹ equal content, so the conversion survives
+    /// compactions, which bump the epoch but not the fingerprint), while
+    /// the epoch orders entries so an old-epoch straggler never evicts
+    /// the current conversion.
+    converted: Mutex<Option<(u64, u64, Arc<KnowledgeBase>)>>,
     cache: ResponseCache,
     metrics: Metrics,
     max_inflight: u64,
@@ -325,42 +332,74 @@ struct AppState {
     /// file descriptors and parser buffers.
     max_conns: u64,
     default_threads: usize,
-    /// PageRank over the KB, computed once on first `linksum` use.
-    ranks: OnceLock<PageRank>,
+    /// PageRank for `linksum`, computed on demand; same keying as
+    /// `converted`.
+    ranks: Mutex<Option<(u64, u64, Arc<PageRank>)>>,
     /// Quiet keep-alive connections waiting for bytes (see the
     /// connection-handling section): their tasks have returned and the
     /// accept thread's poll loop revives them.
     parked: std::sync::Mutex<Vec<Conn>>,
+    /// Ingestion asked for a compaction; the accept thread's poll loop
+    /// spawns it as a pool task (it owns the scope connections run on).
+    compaction_wanted: AtomicBool,
+    /// A compaction task is currently folding the delta.
+    compaction_running: AtomicBool,
     shutdown: CancelToken,
     started: Instant,
 }
 
-fn backend_slot(backend: Backend) -> usize {
-    match backend {
-        Backend::Csr => 0,
-        Backend::Succinct => 1,
-    }
-}
-
 impl AppState {
-    fn kb_for(&self, backend: Option<Backend>) -> Arc<KnowledgeBase> {
+    /// The KB answering this request: the pinned snapshot for the primary
+    /// layout, or the per-epoch lazily-converted twin for `?backend=`.
+    /// A request pinned on an *older* epoch converts for itself without
+    /// touching the slot — stragglers must not evict the conversion the
+    /// current epoch's requests share.
+    fn kb_for(&self, snap: &Snapshot, backend: Option<Backend>) -> Arc<KnowledgeBase> {
         let backend = backend.unwrap_or(self.primary);
-        let slot = &self.kbs[backend_slot(backend)];
-        Arc::clone(slot.get_or_init(|| {
-            // Requested the non-resident layout: convert a clone of the
-            // primary once; later requests share it.
-            let primary = self.kbs[backend_slot(self.primary)]
-                .get()
-                .expect("primary KB is set at startup");
-            Arc::new(primary.as_ref().clone().with_backend(backend))
-        }))
+        if backend == self.primary {
+            return Arc::clone(&snap.kb);
+        }
+        let mut slot = lock(&self.converted);
+        if let Some((epoch, fp, kb)) = &*slot {
+            if *fp == snap.fingerprint {
+                return Arc::clone(kb);
+            }
+            if *epoch > snap.epoch {
+                drop(slot);
+                return Arc::new(snap.kb.as_ref().clone().with_backend(backend));
+            }
+        }
+        let kb = Arc::new(snap.kb.as_ref().clone().with_backend(backend));
+        *slot = Some((snap.epoch, snap.fingerprint, Arc::clone(&kb)));
+        kb
     }
 
-    fn resident_backends(&self) -> Vec<Backend> {
-        [Backend::Csr, Backend::Succinct]
-            .into_iter()
-            .filter(|&b| self.kbs[backend_slot(b)].get().is_some())
-            .collect()
+    /// PageRank over the pinned snapshot (cached by content fingerprint,
+    /// same straggler rule as [`AppState::kb_for`]).
+    fn ranks_for(&self, snap: &Snapshot) -> Arc<PageRank> {
+        let mut slot = lock(&self.ranks);
+        if let Some((epoch, fp, pr)) = &*slot {
+            if *fp == snap.fingerprint {
+                return Arc::clone(pr);
+            }
+            if *epoch > snap.epoch {
+                drop(slot);
+                return Arc::new(pagerank(snap.kb.as_ref(), PageRankConfig::default()));
+            }
+        }
+        let pr = Arc::new(pagerank(snap.kb.as_ref(), PageRankConfig::default()));
+        *slot = Some((snap.epoch, snap.fingerprint, Arc::clone(&pr)));
+        pr
+    }
+
+    /// The converted twin, but only if one is already resident for this
+    /// snapshot's content — `/stats` must never pay for a conversion.
+    fn resident_converted(&self, snap: &Snapshot) -> Option<Arc<KnowledgeBase>> {
+        let slot = lock(&self.converted);
+        match &*slot {
+            Some((_, fp, kb)) if *fp == snap.fingerprint => Some(Arc::clone(kb)),
+            _ => None,
+        }
     }
 }
 
@@ -429,17 +468,19 @@ fn backend_param(req: &Request) -> Result<Option<Backend>, ApiError> {
     }
 }
 
-/// Consults the cache for `request_key`, rendering and inserting on a
-/// miss. The `X-Remi-Cache` header reports which path answered; the body
-/// bytes are identical either way.
+/// Consults the cache for `request_key` under the pinned snapshot's
+/// fingerprint, rendering and inserting on a miss. The `X-Remi-Cache`
+/// header reports which path answered; the body bytes are identical
+/// either way.
 fn cached(
     state: &AppState,
+    snap: &Snapshot,
     request_key: String,
     render: impl FnOnce() -> Result<String, ApiError>,
 ) -> Response {
     let key = CacheKey {
         request: request_key,
-        kb: state.kb_fp,
+        kb: snap.fingerprint,
     };
     if let Some(body) = state.cache.get(&key) {
         let mut r = Response::ok(body.to_string());
@@ -448,7 +489,14 @@ fn cached(
     }
     match render() {
         Ok(body) => {
-            state.cache.put(key, Arc::from(body.as_str()));
+            // Don't re-seed a generation that rotated away while we were
+            // mining: the eager purge already dropped its entries. (The
+            // check races rotation by design — an entry that slips
+            // through is unreachable but bounded: the next rotation's
+            // purge drops every non-live generation.)
+            if state.live.snapshot().fingerprint == snap.fingerprint {
+                state.cache.put(key, Arc::from(body.as_str()));
+            }
             let mut r = Response::ok(body);
             r.headers.push(("X-Remi-Cache", "miss".to_string()));
             r
@@ -464,18 +512,26 @@ fn handle_healthz(req: &Request) -> Response {
     Response::ok(JsonObject::new().field_str("status", "ok").finish())
 }
 
-fn handle_stats(state: &AppState, req: &Request) -> Response {
+fn handle_stats(state: &AppState, snap: &Snapshot, req: &Request) -> Response {
     if req.method != "GET" {
         return Response::method_not_allowed("GET");
     }
-    let kb = state.kb_for(None);
+    let kb = &snap.kb;
     let cache = state.cache.stats();
+    let live = state.live.stats();
     let m = &state.metrics;
-    let store_bytes = state
-        .resident_backends()
+    let mut residents: Vec<(Backend, Arc<KnowledgeBase>)> =
+        vec![(state.primary, Arc::clone(&snap.kb))];
+    if let Some(converted) = state.resident_converted(snap) {
+        let other = match state.primary {
+            Backend::Csr => Backend::Succinct,
+            Backend::Succinct => Backend::Csr,
+        };
+        residents.push((other, converted));
+    }
+    let store_bytes = residents
         .into_iter()
-        .map(|b| {
-            let kb = state.kb_for(Some(b));
+        .map(|(b, kb)| {
             JsonObject::new()
                 .field_str("backend", b.name())
                 .field_u64("bytes", kb.store_memory().total() as u64)
@@ -493,7 +549,24 @@ fn handle_stats(state: &AppState, req: &Request) -> Response {
                 )
                 .field_u64("nodes", kb.num_nodes() as u64)
                 .field_u64("predicates", kb.num_preds() as u64)
-                .field_str("fingerprint", &format!("{:016x}", state.kb_fp))
+                .field_str("fingerprint", &format!("{:016x}", snap.fingerprint))
+                .finish(),
+        )
+        .field_raw(
+            "live",
+            &JsonObject::new()
+                .field_u64("epoch", snap.epoch)
+                .field_u64("delta_triples", live.delta_triples)
+                .field_u64("base_facts", live.base_facts)
+                .field_u64("ingests", live.appends)
+                .field_u64("ingested_triples", live.appended_triples)
+                .field_u64("duplicate_triples", live.duplicate_triples)
+                .field_u64("compactions", live.compactions)
+                .field_u64("last_compaction_us", live.last_compaction_us)
+                .field_bool(
+                    "compaction_running",
+                    state.compaction_running.load(Ordering::Acquire),
+                )
                 .finish(),
         )
         .field_raw(
@@ -509,6 +582,7 @@ fn handle_stats(state: &AppState, req: &Request) -> Response {
                 .field_u64("hits", cache.hits)
                 .field_u64("misses", cache.misses)
                 .field_u64("evictions", cache.evictions)
+                .field_u64("purged", cache.purged)
                 .field_u64("entries", cache.entries)
                 .field_u64("capacity", cache.capacity)
                 .finish(),
@@ -539,7 +613,7 @@ fn handle_stats(state: &AppState, req: &Request) -> Response {
     Response::ok(body)
 }
 
-fn handle_describe_one(state: &AppState, req: &Request, iri: &str) -> Response {
+fn handle_describe_one(state: &AppState, snap: &Snapshot, req: &Request, iri: &str) -> Response {
     if req.method != "GET" {
         return Response::method_not_allowed("GET");
     }
@@ -555,14 +629,15 @@ fn handle_describe_one(state: &AppState, req: &Request, iri: &str) -> Response {
     };
     cached(
         state,
+        snap,
         format!("describe?entity={iri}&k={k}&threads={threads}"),
         // kb_for runs only on a miss: a cache hit must not materialise
         // the lazily-built secondary backend.
-        || describe_body(&state.kb_for(backend), iri, k, threads),
+        || describe_body(&state.kb_for(snap, backend), iri, k, threads),
     )
 }
 
-fn handle_describe_batch(state: &AppState, req: &Request) -> Response {
+fn handle_describe_batch(state: &AppState, snap: &Snapshot, req: &Request) -> Response {
     if req.method != "POST" {
         return Response::method_not_allowed("POST");
     }
@@ -602,29 +677,65 @@ fn handle_describe_batch(state: &AppState, req: &Request) -> Response {
         Some(None) => return Response::error(400, "backend must be a string"),
     };
 
-    let kb = state.kb_for(backend);
-    // One miner (prominence ranking + enumeration context) shared across
-    // the whole batch; only cache misses pay for mining.
-    let mut remi: Option<Remi<'_>> = None;
-    let mut results = Vec::with_capacity(iris.len());
-    for iri in &iris {
-        let key = CacheKey {
-            request: format!("describe?entity={iri}&k={k}&threads={threads}"),
-            kb: state.kb_fp,
-        };
-        if let Some(body) = state.cache.get(&key) {
-            results.push(body.to_string());
+    let request_key =
+        |iri: &str| -> String { format!("describe?entity={iri}&k={k}&threads={threads}") };
+    let cache_key = |iri: &str| CacheKey {
+        request: request_key(iri),
+        kb: snap.fingerprint,
+    };
+
+    // Resolve what the cache already holds; mine the rest in parallel —
+    // one scoped pool task per distinct entity (duplicate IRIs in the
+    // batch de-duplicate onto one task).
+    let mut results: Vec<Option<String>> = vec![None; iris.len()];
+    let mut misses: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (i, iri) in iris.iter().enumerate() {
+        if let Some(body) = state.cache.get(&cache_key(iri)) {
+            results[i] = Some(body.to_string());
             continue;
         }
-        let remi = remi.get_or_insert_with(|| Remi::new(&kb, mining_config(threads)));
-        match describe_body_with(remi, iri, k) {
-            Ok(body) => {
-                state.cache.put(key, Arc::from(body.as_str()));
-                results.push(body);
-            }
-            Err(e) => results.push(error_body(&e.message)),
+        match misses.iter_mut().find(|(m, _)| m == iri) {
+            Some((_, slots)) => slots.push(i),
+            None => misses.push((iri, vec![i])),
         }
     }
+    if !misses.is_empty() {
+        let kb = state.kb_for(snap, backend);
+        // One miner (prominence ranking + enumeration context) shared
+        // across the whole batch; each entity mines as its own task.
+        let remi = Remi::new(&kb, mining_config(threads));
+        let mined: Vec<Mutex<Option<Result<String, ApiError>>>> =
+            misses.iter().map(|_| Mutex::new(None)).collect();
+        remi_pool::global().scope(|scope| {
+            for ((iri, _), cell) in misses.iter().zip(&mined) {
+                let remi = &remi;
+                scope.spawn(move || {
+                    *lock(cell) = Some(describe_body_with(remi, iri, k));
+                });
+            }
+        });
+        // As in `cached`: a generation that rotated mid-batch is not
+        // re-seeded into the cache.
+        let still_live = state.live.snapshot().fingerprint == snap.fingerprint;
+        for ((iri, slots), cell) in misses.iter().zip(mined) {
+            let body = match lock(&cell).take().expect("scope joined every miner") {
+                Ok(body) => {
+                    if still_live {
+                        state.cache.put(cache_key(iri), Arc::from(body.as_str()));
+                    }
+                    body
+                }
+                Err(e) => error_body(&e.message),
+            };
+            for &i in slots {
+                results[i] = Some(body.clone());
+            }
+        }
+    }
+    let results: Vec<String> = results
+        .into_iter()
+        .map(|r| r.expect("every batch slot answered"))
+        .collect();
     Response::ok(
         JsonObject::new()
             .field_u64("count", results.len() as u64)
@@ -633,7 +744,65 @@ fn handle_describe_batch(state: &AppState, req: &Request) -> Response {
     )
 }
 
-fn handle_summarize(state: &AppState, req: &Request, iri: &str) -> Response {
+/// `POST /ingest`: appends an N-Triples body to the live KB. One batch is
+/// one atomic publish — a parse error applies nothing. A successful
+/// append rotates the fingerprint, purges stale response-cache
+/// generations, and (past the compaction threshold) schedules a
+/// background fold on the shared pool.
+fn handle_ingest(state: &AppState, req: &Request) -> Response {
+    if req.method != "POST" {
+        return Response::method_not_allowed("POST");
+    }
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body must be UTF-8 N-Triples");
+    };
+    if body.trim().is_empty() {
+        return Response::error(400, "empty body (expected N-Triples)");
+    }
+    let outcome = match state.live.append_ntriples(body) {
+        Ok(outcome) => outcome,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    // Purge against the fingerprint that is current *now*, not this
+    // batch's: if another ingest already rotated past us, purging with
+    // our own (dead) fingerprint would evict the live generation and
+    // keep the dead one.
+    let purged = if outcome.appended > 0 {
+        state.cache.purge_stale(state.live.snapshot().fingerprint)
+    } else {
+        0
+    };
+    // Always record the wish, even while a fold is running: batches that
+    // land mid-fold stay out of that fold's pinned generation, so the
+    // poll loop must schedule another pass once the current one ends.
+    let compaction = if state.live.needs_compaction() {
+        state.compaction_wanted.store(true, Ordering::Release);
+        if state.compaction_running.load(Ordering::Acquire) {
+            "running"
+        } else {
+            "scheduled"
+        }
+    } else if state.compaction_running.load(Ordering::Acquire) {
+        "running"
+    } else {
+        "none"
+    };
+    Response::ok(
+        JsonObject::new()
+            .field_u64("appended", outcome.appended as u64)
+            .field_u64("duplicates", outcome.duplicates as u64)
+            .field_u64("new_nodes", outcome.new_nodes as u64)
+            .field_u64("new_predicates", outcome.new_preds as u64)
+            .field_u64("epoch", outcome.epoch)
+            .field_str("fingerprint", &format!("{:016x}", outcome.fingerprint))
+            .field_u64("delta_triples", outcome.delta_triples as u64)
+            .field_u64("cache_purged", purged)
+            .field_str("compaction", compaction)
+            .finish(),
+    )
+}
+
+fn handle_summarize(state: &AppState, snap: &Snapshot, req: &Request, iri: &str) -> Response {
     if req.method != "GET" {
         return Response::method_not_allowed("GET");
     }
@@ -648,37 +817,48 @@ fn handle_summarize(state: &AppState, req: &Request, iri: &str) -> Response {
     let method = req.query_param("method").unwrap_or("remi").to_string();
     cached(
         state,
+        snap,
         format!("summarize?entity={iri}&k={k}&method={method}"),
         || {
             let ranks = if method == "linksum" {
-                Some(state.ranks.get_or_init(|| {
-                    pagerank(state.kb_for(None).as_ref(), PageRankConfig::default())
-                }))
+                Some(state.ranks_for(snap))
             } else {
                 None
             };
-            summarize_body(&state.kb_for(backend), iri, k, &method, ranks)
+            summarize_body(
+                &state.kb_for(snap, backend),
+                iri,
+                k,
+                &method,
+                ranks.as_deref(),
+            )
         },
     )
 }
 
-/// Routes one parsed request. Mining endpoints pass through admission
-/// control; `/healthz` and `/stats` stay answerable under full load.
+/// Routes one parsed request against a pinned snapshot (one epoch per
+/// request — mid-request ingests never tear a response). Mining and
+/// ingest endpoints pass through admission control; `/healthz` and
+/// `/stats` stay answerable under full load.
 fn route(state: &AppState, req: &Request) -> Response {
+    let snap = state.live.snapshot();
     match req.path.as_str() {
         "/healthz" => handle_healthz(req),
-        "/stats" => handle_stats(state, req),
-        "/describe" => with_admission(state, req, handle_describe_batch),
+        "/stats" => handle_stats(state, &snap, req),
+        "/describe" => with_admission(state, req, |state, req| {
+            handle_describe_batch(state, &snap, req)
+        }),
+        "/ingest" => with_admission(state, req, handle_ingest),
         path => {
             if let Some(iri) = path.strip_prefix("/describe/") {
                 let iri = iri.to_string();
                 with_admission(state, req, move |state, req| {
-                    handle_describe_one(state, req, &iri)
+                    handle_describe_one(state, &snap, req, &iri)
                 })
             } else if let Some(iri) = path.strip_prefix("/summarize/") {
                 let iri = iri.to_string();
                 with_admission(state, req, move |state, req| {
-                    handle_summarize(state, req, &iri)
+                    handle_summarize(state, &snap, req, &iri)
                 })
             } else {
                 Response::error(404, &format!("no such route: {path}"))
@@ -828,6 +1008,21 @@ fn drive_connection(mut conn: Conn, state: &Arc<AppState>) {
                     conn.resume = conn.parser.buffered() > 0;
                     return state.park(conn);
                 }
+                let pool = remi_pool::global();
+                if pool.queued() > 0 && pool.idle_workers() == 0 {
+                    // Work is waiting (another connection, a background
+                    // compaction) and no idle worker will pick it up:
+                    // yield between requests. Without this, one chatty
+                    // keep-alive socket that never goes quiet for a full
+                    // read timeout pins its worker indefinitely — on a
+                    // 1-worker pool that starves every queued job. The
+                    // idle-worker guard keeps already-claimed nested-
+                    // scope stubs (which inflate `queued` until popped)
+                    // from parking connections the pool could never
+                    // benefit from freeing.
+                    conn.resume = conn.parser.buffered() > 0;
+                    return state.park(conn);
+                }
                 continue;
             }
             Ok(Parsed::NeedMore) => {}
@@ -870,8 +1065,47 @@ fn drive_connection(mut conn: Conn, state: &Arc<AppState>) {
     }
 }
 
-/// Nap length for the accept thread's poll loop when nothing happened.
-const POLL_NAP: Duration = Duration::from_millis(1);
+/// Shortest poll-loop nap: the sweep granularity while traffic flows.
+const POLL_NAP_MIN: Duration = Duration::from_millis(1);
+
+/// Longest poll-loop nap: where the idle backoff settles, so an idle
+/// server burns ~50 wakeups/s instead of ~1000 while still noticing new
+/// connections, revived parked sockets, and shutdown within one tick.
+const POLL_NAP_MAX: Duration = Duration::from_millis(20);
+
+/// The adaptive nap schedule: any progress snaps back to the 1 ms floor;
+/// quiet ticks double the nap toward the 20 ms ceiling.
+fn next_nap(current: Duration, progressed: bool) -> Duration {
+    if progressed {
+        POLL_NAP_MIN
+    } else {
+        (current * 2).min(POLL_NAP_MAX)
+    }
+}
+
+/// Spawns the background compaction task when ingestion asked for one and
+/// none is already running. Runs on the accept loop (it owns the scope);
+/// the fold itself runs as a pool task so connections keep being served.
+fn maybe_spawn_compaction(state: &Arc<AppState>, scope: &remi_pool::Scope<'_, '_>) -> bool {
+    if !state.compaction_wanted.load(Ordering::Acquire)
+        || state.compaction_running.swap(true, Ordering::AcqRel)
+    {
+        return false;
+    }
+    state.compaction_wanted.store(false, Ordering::Release);
+    let state = Arc::clone(state);
+    scope.spawn(move || {
+        // Re-check under the running flag: a compaction that raced this
+        // request may already have folded the delta.
+        if state.live.needs_compaction() {
+            // Content is unchanged by a fold, so the fingerprint — and
+            // with it every cached response — stays valid.
+            let _ = state.live.compact();
+        }
+        state.compaction_running.store(false, Ordering::Release);
+    });
+    true
+}
 
 /// Scans parked connections: revives those with readable bytes, closes
 /// peers that disconnected or idled out. Returns true when any
@@ -928,6 +1162,7 @@ fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
     // scope only closes once all of them have drained, which is exactly
     // the graceful-shutdown barrier.
     remi_pool::global().scope(|scope| {
+        let mut nap = POLL_NAP_MIN;
         loop {
             let mut progressed = false;
             // Drain the accept backlog.
@@ -1001,8 +1236,10 @@ fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
                 break;
             }
             progressed |= sweep_parked(&state, scope);
+            progressed |= maybe_spawn_compaction(&state, scope);
+            nap = next_nap(nap, progressed);
             if !progressed {
-                std::thread::sleep(POLL_NAP);
+                std::thread::sleep(nap);
             }
         }
     });
@@ -1069,8 +1306,9 @@ impl Drop for ServerHandle {
 }
 
 /// Boots a server over `kb`: binds `config.addr`, converts the KB to the
-/// configured backend if needed, fingerprints it, and starts the accept
-/// loop on a dedicated thread (connections run on the shared pool).
+/// configured backend if needed, wraps it for live ingestion,
+/// fingerprints it, and starts the accept loop on a dedicated thread
+/// (connections run on the shared pool).
 pub fn serve(kb: KnowledgeBase, config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -1080,22 +1318,29 @@ pub fn serve(kb: KnowledgeBase, config: ServeConfig) -> std::io::Result<ServerHa
     } else {
         kb.with_backend(backend)
     };
-    let kb_fp = kb_fingerprint(&kb);
-    let kbs = [OnceLock::new(), OnceLock::new()];
-    kbs[backend_slot(backend)]
-        .set(Arc::new(kb))
-        .expect("fresh slot");
+    // The server treats `compact_min_delta` as an absolute trigger (no
+    // relative fraction): operators size it to their KB, and the fold
+    // runs off the request path anyway.
+    let live = LiveKb::with_policy(
+        kb,
+        CompactionPolicy {
+            min_delta: config.compact_min_delta.max(1),
+            delta_fraction: 0.0,
+        },
+    );
     let state = Arc::new(AppState {
-        kbs,
+        live,
         primary: backend,
-        kb_fp,
+        converted: Mutex::new(None),
         cache: ResponseCache::new(config.cache_entries),
         metrics: Metrics::default(),
         max_inflight: config.max_inflight.max(1) as u64,
         max_conns: (config.max_inflight.max(1) as u64).saturating_mul(4).max(8),
         default_threads: config.threads.max(1),
-        ranks: OnceLock::new(),
+        ranks: Mutex::new(None),
         parked: std::sync::Mutex::new(Vec::new()),
+        compaction_wanted: AtomicBool::new(false),
+        compaction_running: AtomicBool::new(false),
         shutdown: CancelToken::new(),
         started: Instant::now(),
     });
@@ -1207,5 +1452,57 @@ mod tests {
 
     fn server_threads() -> usize {
         ServeConfig::default().threads
+    }
+
+    #[test]
+    fn nap_schedule_grows_when_idle_and_resets_on_traffic() {
+        // Quiet ticks: 1 → 2 → 4 → 8 → 16 → 20 → 20 (capped).
+        let mut nap = POLL_NAP_MIN;
+        let mut seen = Vec::new();
+        for _ in 0..7 {
+            nap = next_nap(nap, false);
+            seen.push(nap.as_millis() as u64);
+        }
+        assert_eq!(seen, [2, 4, 8, 16, 20, 20, 20]);
+        // Any progress snaps straight back to the floor.
+        assert_eq!(next_nap(POLL_NAP_MAX, true), POLL_NAP_MIN);
+        assert_eq!(next_nap(POLL_NAP_MIN, true), POLL_NAP_MIN);
+    }
+
+    #[test]
+    fn ingest_appends_and_rotates_the_fingerprint() {
+        let mut server = serve(tiny_kb(), ServeConfig::default()).unwrap();
+        let mut c = client::Client::connect(server.addr()).unwrap();
+
+        let stats = c.get("/stats").unwrap();
+        assert!(stats.body.contains("\"epoch\":0"), "{}", stats.body);
+
+        let resp = c
+            .post("/ingest", "<e:Nantes> <p:cityIn> <e:France> .\n")
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"appended\":1"), "{}", resp.body);
+        assert!(resp.body.contains("\"epoch\":1"), "{}", resp.body);
+
+        // The new entity is servable immediately.
+        let desc = c.get("/describe/e:Nantes").unwrap();
+        assert_eq!(desc.status, 200, "{}", desc.body);
+
+        // Parse errors reject the whole batch, atomically.
+        let bad = c.post("/ingest", "<e:a> <p:b> .\n").unwrap();
+        assert_eq!(bad.status, 400, "{}", bad.body);
+        let stats = c.get("/stats").unwrap();
+        assert!(stats.body.contains("\"epoch\":1"), "{}", stats.body);
+
+        // Pure duplicates keep the epoch (idempotent ingest).
+        let dup = c
+            .post("/ingest", "<e:Nantes> <p:cityIn> <e:France> .\n")
+            .unwrap();
+        assert!(dup.body.contains("\"appended\":0"), "{}", dup.body);
+        assert!(dup.body.contains("\"epoch\":1"), "{}", dup.body);
+
+        // GET /ingest is not a thing.
+        assert_eq!(c.get("/ingest").unwrap().status, 405);
+        server.shutdown();
     }
 }

@@ -133,15 +133,27 @@ fn batched_describe_matches_individual_gets() {
     let mut server = boot(synth.kb.clone(), ServeConfig::default());
     let mut client = Client::connect(server.addr()).unwrap();
 
+    // Duplicate IRIs in the batch must de-duplicate onto one mining task
+    // (the batch now fans out across pool workers) and still answer one
+    // result per requested slot, in order.
+    let padded: Vec<&String> = iris.iter().chain(iris.first()).collect();
     let payload = format!(
         "{{\"entities\":[{}]}}",
-        iris.iter()
+        padded
+            .iter()
             .map(|i| remi_serve::json::escape(i))
             .collect::<Vec<_>>()
             .join(",")
     );
     let batch = client.post("/describe", &payload).unwrap();
     assert_eq!(batch.status, 200, "{}", batch.body);
+    assert!(
+        batch
+            .body
+            .starts_with(&format!("{{\"count\":{}", padded.len())),
+        "{}",
+        batch.body
+    );
 
     for iri in &iris {
         let single = client

@@ -8,13 +8,14 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "search_tree",
     "summarization",
     "journalism",
     "query_generation",
     "serving",
+    "live_ingest",
 ];
 
 #[test]
