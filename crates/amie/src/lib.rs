@@ -11,6 +11,7 @@
 //! RE-specific pruning — which is what makes it orders of magnitude
 //! slower than REMI on this task.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod miner;

@@ -117,6 +117,7 @@ impl SearchCtx<'_> {
             return true;
         }
         if let Some(d) = self.deadline {
+            // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects rule scores
             if Instant::now() >= d {
                 self.over_budget.store(true, Ordering::Relaxed);
                 return true;
@@ -301,6 +302,7 @@ pub fn mine_re(
     targets_sorted.sort_unstable();
     targets_sorted.dedup();
 
+    // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects rule scores
     let deadline = config.timeout.map(|t| Instant::now() + t);
     let threads = config.threads.max(1);
     let ctx = SearchCtx {

@@ -18,6 +18,8 @@
 //! Every bench prints the regenerated table once before timing, so
 //! `cargo bench` output doubles as the experimental record.
 
+#![forbid(unsafe_code)]
+
 use std::sync::OnceLock;
 
 use remi_synth::SynthKb;

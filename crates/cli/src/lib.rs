@@ -4,6 +4,7 @@
 //! testable: every subcommand is a function from parsed arguments to a
 //! `Result<String>` of human-readable output.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;

@@ -7,6 +7,8 @@
 //! exit 2; runtime errors (unreadable KB, unknown entity, bind failure)
 //! exit 1 without the usage noise.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

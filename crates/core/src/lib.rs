@@ -42,6 +42,7 @@
 //! println!("{} ({})", expr.display(&kb), cost);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bits;

@@ -110,13 +110,16 @@ impl<'kb> Remi<'kb> {
     /// `config.threads > 1`).
     pub fn describe(&self, targets: &[NodeId]) -> MiningOutcome {
         assert!(!targets.is_empty(), "need at least one target entity");
+        // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects scoring
         let deadline = self.config.timeout.map(|t| Instant::now() + t);
 
+        // lint:allow(wallclock-in-mining): phase-duration instrumentation reported in MiningOutcome, not used in scoring
         let t0 = Instant::now();
         let (queue, truncated) = self.ranked_common_expressions(targets);
         let queue_time = t0.elapsed();
 
         let eval = Evaluator::new(self.kb, self.config.cache_capacity);
+        // lint:allow(wallclock-in-mining): phase-duration instrumentation reported in MiningOutcome, not used in scoring
         let t1 = Instant::now();
         let result = parallel_or_sequential(
             &eval,

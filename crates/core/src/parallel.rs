@@ -123,6 +123,7 @@ fn p_dfs_remi(
     let mut i = root;
     while i < queue.len() {
         if let Some(d) = deadline {
+            // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects scoring
             if Instant::now() >= d {
                 shared.timed_out.cancel();
                 return SubtreeOutcome {
@@ -249,6 +250,7 @@ pub fn parallel_remi_search_on(
                     break 'claims;
                 }
                 if let Some(d) = deadline {
+                    // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects scoring
                     if Instant::now() >= d {
                         shared.timed_out.cancel();
                         break 'claims;

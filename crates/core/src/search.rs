@@ -90,6 +90,7 @@ pub fn dfs_remi(
     let mut i = root;
     while i < queue.len() {
         if let Some(d) = deadline {
+            // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects scoring
             if Instant::now() >= d {
                 return best;
             }
@@ -147,6 +148,7 @@ pub fn remi_search(
 
     for root in 0..queue.len() {
         if let Some(d) = deadline {
+            // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects scoring
             if Instant::now() >= d {
                 return SearchResult {
                     best,

@@ -36,6 +36,7 @@ pub fn describe_top_k(remi: &Remi<'_>, targets: &[NodeId], k: usize) -> Vec<Rank
     assert!(k >= 1, "k must be at least 1");
     let (queue, _) = remi.ranked_common_expressions(targets);
     let eval = Evaluator::new(remi.kb(), remi.config().cache_capacity);
+    // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects scoring
     let deadline = remi.config().timeout.map(|t| Instant::now() + t);
 
     let mut sorted_targets: Vec<u32> = targets.iter().map(|t| t.0).collect();
@@ -48,6 +49,7 @@ pub fn describe_top_k(remi: &Remi<'_>, targets: &[NodeId], k: usize) -> Vec<Rank
 
     for root in 0..queue.len() {
         if let Some(d) = deadline {
+            // lint:allow(wallclock-in-mining): deadline enforcement for the opt-in timeout config — never affects scoring
             if Instant::now() >= d {
                 break;
             }

@@ -20,6 +20,7 @@
 //! evaluation: average overlap with the expert summaries at the
 //! predicate–object (PO) and object (O) levels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use remi_core::complexity::CostModel;

@@ -7,6 +7,8 @@
 //!             [--backend csr|succinct]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use remi_core::LanguageBias;

@@ -14,6 +14,7 @@
 //! Human raters are simulated by [`user_model`] (see DESIGN.md §2 for the
 //! substitution argument); all drivers are seed-deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -158,6 +158,7 @@ fn read_front_coded(buf: &mut impl Buf, prev: &str) -> Result<String> {
         return Err(KbError::Format("front-coding prefix overruns".into()));
     }
     let suffix = varint::read_str(buf)?;
+    // lint:allow(unchecked-binfmt-alloc): `shared` is bounded by `prev.len()` above and `suffix` was length-checked by read_str — both components are already validated
     let mut key = String::with_capacity(shared + suffix.len());
     key.push_str(&prev[..shared]);
     key.push_str(&suffix);
@@ -419,6 +420,7 @@ fn read_v2(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
     if header.remaining() < n_sections * 17 {
         return Err(KbError::Format("truncated section table".into()));
     }
+    // lint:allow(unchecked-binfmt-alloc): `n_sections` comes from a single u8, so the allocation is at most 255 entries
     let mut table = Vec::with_capacity(n_sections);
     for _ in 0..n_sections {
         let tag = header.get_u8();
@@ -468,7 +470,7 @@ fn read_v2(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
     if n_freq != n_nodes {
         return Err(KbError::Format("frequency table length mismatch".into()));
     }
-    let mut node_freq = Vec::with_capacity(n_freq);
+    let mut node_freq = Vec::with_capacity(n_nodes);
     for _ in 0..n_freq {
         node_freq.push(varint::read_u32(&mut meta_sec)?);
     }

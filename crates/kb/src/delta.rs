@@ -33,7 +33,9 @@
 //! ordinary appends never promote new objects into it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::backend::{Backend, Bindings, StoreBackend, StoreMemory, TripleStore};
@@ -593,11 +595,75 @@ pub struct LiveKb {
     last_compaction_us: AtomicU64,
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// Debug-build mirror of the `delta-lock-order` lint rule: the compaction
+/// gate must never be acquired by a thread that already holds the writer
+/// lock (gate → writer is the blessed order; the inversion would let two
+/// folds interleave and silently drop triples).
+mod lock_order {
+    use std::cell::Cell;
+
+    thread_local! {
+        static WRITER_HELD: Cell<bool> = const { Cell::new(false) };
+    }
+
+    pub(super) fn note_writer_acquired() {
+        WRITER_HELD.with(|held| held.set(true));
+    }
+
+    pub(super) fn note_writer_released() {
+        WRITER_HELD.with(|held| held.set(false));
+    }
+
+    pub(super) fn assert_gate_allowed() {
+        WRITER_HELD.with(|held| {
+            debug_assert!(
+                !held.get(),
+                "lock-order inversion: compact_gate acquired while this thread holds the \
+                 writer lock (lint rule delta-lock-order)"
+            );
+        });
+    }
+}
+
+/// The writer-lock guard, wrapped so debug builds can track which threads
+/// hold it (see [`lock_order`]).
+struct WriterGuard<'a>(MutexGuard<'a, Writer>);
+
+impl std::ops::Deref for WriterGuard<'_> {
+    type Target = Writer;
+    fn deref(&self) -> &Writer {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for WriterGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Writer {
+        &mut self.0
+    }
+}
+
+impl Drop for WriterGuard<'_> {
+    fn drop(&mut self) {
+        lock_order::note_writer_released();
+    }
 }
 
 impl LiveKb {
+    /// Acquires the writer lock, noting the holder for debug-build
+    /// lock-order checks.
+    fn lock_writer(&self) -> WriterGuard<'_> {
+        let guard = self.writer.lock();
+        lock_order::note_writer_acquired();
+        WriterGuard(guard)
+    }
+
+    /// Acquires the compaction gate, asserting in debug builds that this
+    /// thread does not already hold the writer lock.
+    fn lock_gate(&self) -> MutexGuard<'_, ()> {
+        lock_order::assert_gate_allowed();
+        self.compact_gate.lock()
+    }
+
     /// Wraps a KB for live ingestion with the default compaction policy.
     pub fn new(kb: KnowledgeBase) -> LiveKb {
         LiveKb::with_policy(kb, CompactionPolicy::default())
@@ -661,10 +727,7 @@ impl LiveKb {
     /// Pins the current epoch. O(1); the snapshot stays valid (and
     /// byte-stable) however many appends or compactions follow.
     pub fn snapshot(&self) -> Snapshot {
-        self.current
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        self.current.read().clone()
     }
 
     /// Appends a batch of triples, publishing one new epoch when at least
@@ -675,7 +738,7 @@ impl LiveKb {
     where
         I: IntoIterator<Item = (Term, String, Term)>,
     {
-        let mut w = lock(&self.writer);
+        let mut w = self.lock_writer();
         let nodes_before = w.nodes.len();
         let preds_before = w.preds.len();
 
@@ -876,7 +939,7 @@ impl LiveKb {
         );
         self.delta_gauge
             .store(w.delta.len() as u64, Ordering::Relaxed);
-        let mut current = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        let mut current = self.current.write();
         current.kb = Arc::new(kb);
         current.epoch += 1;
         if let Some(batch) = rotated {
@@ -907,7 +970,7 @@ impl LiveKb {
         let t0 = Instant::now();
         // One fold at a time, end to end: the snapshot must still be the
         // newest generation when the swap happens (see `compact_gate`).
-        let _gate = lock(&self.compact_gate);
+        let _gate = self.lock_gate();
         let snap = self.snapshot();
         let (folded_triples, new_base) = match snap.kb.store() {
             StoreBackend::Layered(l) if !l.delta().is_empty() => {
@@ -923,7 +986,7 @@ impl LiveKb {
             }
         };
 
-        let mut w = lock(&self.writer);
+        let mut w = self.lock_writer();
         // Appends that raced the rebuild stay in the delta; everything the
         // pinned generation held is now part of the new base.
         let folded: &[Triple] = folded_triples.triples();
@@ -981,6 +1044,30 @@ mod tests {
 
     fn iri3(s: &str, p: &str, o: &str) -> (Term, String, Term) {
         (Term::iri(s), p.to_string(), Term::iri(o))
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock-order inversion")]
+    fn debug_assert_catches_gate_taken_while_holding_writer() {
+        let live = LiveKb::new(base_kb());
+        let _w = live.lock_writer();
+        // lint:allow(delta-lock-order): this test exists to prove the runtime assert catches the inversion
+        let _g = live.lock_gate();
+    }
+
+    #[test]
+    fn gate_then_writer_is_the_blessed_order() {
+        let live = LiveKb::new(base_kb());
+        {
+            let _g = live.lock_gate();
+            let _w = live.lock_writer();
+        }
+        // The tracking resets on release: a fresh writer acquisition on
+        // this thread is fine.
+        drop(live.lock_writer());
+        // lint:allow(delta-lock-order): the guards above are dropped, not held — the rule's per-function scan cannot see drops
+        drop(live.lock_gate());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! assert_eq!(kb.subjects(capital_of, france).len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

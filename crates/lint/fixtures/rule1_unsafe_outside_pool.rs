@@ -1,0 +1,20 @@
+// lint:fixture-path crates/kb/src/fixture.rs
+//
+// Seeds: `unsafe` outside crates/pool. Also proves the lexer is not
+// fooled by code-looking text inside raw strings or comments, and that a
+// justified allow suppresses the rule.
+
+pub fn grow(v: &mut Vec<u32>, n: usize) {
+    v.reserve(n);
+    unsafe { v.set_len(n) } // lint:expect(unsafe-outside-pool)
+}
+
+pub fn not_code() -> &'static str {
+    // unsafe { this is a comment, not code }
+    r#"unsafe { this is a string, not code }"#
+}
+
+pub fn suppressed(v: &mut Vec<u32>, n: usize) {
+    // lint:allow(unsafe-outside-pool): fixture demonstrating that a justified allow suppresses
+    unsafe { v.set_len(n) }
+}

@@ -1,0 +1,31 @@
+// lint:fixture-path crates/kb/src/fixture.rs
+//
+// Seeds: raw thread / synchronisation primitives outside crates/pool.
+// Parallel paths must run on remi_pool::global(); state locks use the
+// vendored parking_lot shim.
+
+pub fn spawn_worker() {
+    std::thread::spawn(|| {}); // lint:expect(raw-thread-primitive)
+}
+
+pub fn scoped_work(items: &[u32]) {
+    std::thread::scope(|s| { // lint:expect(raw-thread-primitive)
+        for _ in items {
+            s.spawn(|| {});
+        }
+    });
+}
+
+pub struct Shared {
+    state: std::sync::Mutex<u32>, // lint:expect(raw-thread-primitive)
+}
+
+use std::sync::{Arc, Condvar}; // lint:expect(raw-thread-primitive)
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_hammer_threads() {
+        std::thread::scope(|_| {}); // exempt: #[cfg(test)] region
+    }
+}

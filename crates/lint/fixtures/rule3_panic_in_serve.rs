@@ -1,0 +1,32 @@
+// lint:fixture-path crates/serve/src/http.rs
+//
+// Seeds: panics in a request-handling module. A panic inside a handler
+// kills the pool worker serving live traffic; everything here must map
+// failures to HTTP error responses instead.
+
+pub fn handle(line: &str, buf: &[u8]) -> u8 {
+    let method = line.split(' ').next().unwrap(); // lint:expect(panic-in-serve)
+    let version = line.split(' ').nth(2).expect("version"); // lint:expect(panic-in-serve)
+    if method.is_empty() || version.is_empty() {
+        panic!("empty request line"); // lint:expect(panic-in-serve)
+    }
+    let first = buf[0]; // lint:expect(panic-in-serve)
+    match first {
+        b'G' => 1,
+        _ => unreachable!(), // lint:expect(panic-in-serve)
+    }
+}
+
+pub fn safe_handle(buf: &[u8]) -> Option<u8> {
+    // The sanctioned shape: .get() and let the caller map the miss.
+    buf.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1); // exempt: #[cfg(test)] region
+    }
+}

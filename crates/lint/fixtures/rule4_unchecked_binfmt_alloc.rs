@@ -1,0 +1,30 @@
+// lint:fixture-path crates/kb/src/binfmt.rs
+//
+// Seeds: a reader sizing an allocation from a raw file-derived count.
+// Hostile counts must flow through checked_count (which bounds them by
+// the bytes actually remaining) before reaching with_capacity.
+
+pub fn read_block(buf: &mut Cursor) -> Result<Vec<u64>> {
+    let n = read_u64(buf)? as usize;
+    let mut words = Vec::with_capacity(n); // lint:expect(unchecked-binfmt-alloc)
+    for _ in 0..n {
+        words.push(read_u64(buf)?);
+    }
+    Ok(words)
+}
+
+pub fn read_block_checked(buf: &mut Cursor) -> Result<Vec<u64>> {
+    let n_words = checked_count(read_u64(buf)?, buf.remaining(), 8)?;
+    let mut words = Vec::with_capacity(n_words); // ok: validated count
+    for _ in 0..n_words {
+        words.push(read_u64(buf)?);
+    }
+    Ok(words)
+}
+
+pub fn write_block(out: &mut Vec<u8>, n_estimate: usize) {
+    // Writers size buffers from in-memory data; the rule only governs
+    // read_* / load* functions.
+    out.reserve(n_estimate);
+    let _scratch: Vec<u8> = Vec::with_capacity(n_estimate);
+}

@@ -1,0 +1,21 @@
+// lint:fixture-path crates/core/src/fixture.rs
+//
+// Seeds: wall-clock reads inside mining logic. Mining results must be a
+// pure function of (KB, config, seed); time-dependent branches make runs
+// unreproducible.
+
+use std::time::{Instant, SystemTime}; // lint:expect(wallclock-in-mining)
+
+pub fn score_with_clock(x: u64) -> u64 {
+    let t = Instant::now(); // lint:expect(wallclock-in-mining)
+    x.wrapping_add(t.elapsed().as_nanos() as u64)
+}
+
+pub fn stamp() -> SystemTime { // lint:expect(wallclock-in-mining)
+    SystemTime::UNIX_EPOCH // lint:expect(wallclock-in-mining)
+}
+
+pub fn deadline_ok(deadline: Instant) -> bool {
+    // lint:allow(wallclock-in-mining): deadline enforcement is an explicit opt-in timeout, not scoring logic
+    Instant::now() >= deadline
+}

@@ -1,0 +1,18 @@
+// lint:fixture-path crates/essum/src/fixture.rs
+//
+// Seeds: printing from a library crate. Libraries return data; the CLI,
+// examples and load generators own the terminal.
+
+pub fn summarize(n: usize) -> String {
+    println!("summarizing {n} entities"); // lint:expect(print-in-library)
+    eprintln!("progress: 0/{n}"); // lint:expect(print-in-library)
+    format!("{n} entities")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print() {
+        println!("debug output in tests is fine"); // exempt: #[cfg(test)]
+    }
+}

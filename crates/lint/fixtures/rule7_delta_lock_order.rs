@@ -1,0 +1,26 @@
+// lint:fixture-path crates/kb/src/delta.rs
+//
+// Seeds: lock-order inversion between the writer lock and the compaction
+// gate. The gate serialises whole compactions and must be acquired
+// BEFORE the writer lock; taking it while already holding the writer
+// would let two folds interleave and silently drop triples (the PR 5
+// review finding this rule encodes).
+
+impl LiveKb {
+    pub fn inverted_fold(&self) {
+        let mut w = self.writer.lock();
+        let _gate = self.compact_gate.lock(); // lint:expect(delta-lock-order)
+        w.delta.clear();
+    }
+
+    pub fn correct_fold(&self) {
+        let _gate = self.compact_gate.lock(); // gate first: correct order
+        let mut w = self.writer.lock();
+        w.delta.clear();
+    }
+
+    pub fn append_only_touches_writer(&self) {
+        let mut w = self.writer.lock();
+        w.delta.push(0);
+    }
+}

@@ -1,0 +1,17 @@
+// lint:fixture-path tests/fixture_serve.rs
+//
+// Seeds: a test binding a fixed port. Parallel test runs (and CI
+// machines running anything else) collide on fixed ports; tests must
+// bind `:0` and read the assigned address back.
+
+#[test]
+fn spawns_a_server() {
+    let listener = TcpListener::bind("127.0.0.1:8080").unwrap(); // lint:expect(hardcoded-test-port)
+    drop(listener);
+}
+
+#[test]
+fn ephemeral_port_is_fine() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    drop(listener);
+}

@@ -1,0 +1,13 @@
+// lint:fixture-path crates/kb/src/fixture.rs
+//
+// Seeds: suppression comments that do not hold up. An allow must name
+// known rules and carry a non-empty justification, or it is itself a
+// violation — suppressions stay auditable.
+
+// lint:expect(malformed-allow)
+// lint:allow(unsafe-outside-pool)
+pub fn allow_without_justification() {}
+
+// lint:expect(malformed-allow)
+// lint:allow(no-such-rule): the rule id does not exist
+pub fn allow_with_unknown_rule() {}

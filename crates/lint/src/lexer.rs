@@ -1,0 +1,503 @@
+//! A hand-rolled Rust lexer — just enough fidelity for static-analysis
+//! rules that must never be fooled by strings or comments.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never panic, on any input.** The proptest suite feeds arbitrary
+//!    valid UTF-8 through [`lex`]; every slice is bounds-checked and the
+//!    cursor only ever lands on char boundaries.
+//! 2. **Classify exactly the constructs a text scan gets wrong**: raw
+//!    strings (`r#"…"#`), byte/C strings, nested `/* /* */ */` block
+//!    comments, and the `'a` lifetime vs `'a'` char-literal ambiguity.
+//! 3. **Keep spans exact.** Every token carries its byte span; spans are
+//!    non-overlapping and monotonically increasing, so rule diagnostics
+//!    can map any token back to a line.
+//!
+//! Anything the lexer does not recognise becomes a single-character
+//! [`TokenKind::Punct`] — unknown input degrades to noise, not to a crash
+//! or a misclassified string.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifiers and keywords, including raw identifiers (`r#fn`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`) — no closing quote.
+    Lifetime,
+    /// A char literal (`'a'`, `'\n'`) or byte char (`b'x'`).
+    Char,
+    /// A string literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A numeric literal, including suffixes (`1_000u64`, `0xff`, `1.5e3`).
+    Num,
+    /// A `// …` line comment (doc comments included).
+    LineComment,
+    /// A `/* … */` block comment, nesting tracked (doc comments included).
+    BlockComment,
+    /// A single punctuation or otherwise-unrecognised character.
+    Punct,
+}
+
+/// One lexed token: classification plus its byte span in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// The `n`-th character at or after the cursor, if any.
+    fn peek(&self, n: usize) -> Option<char> {
+        self.src.get(self.pos..)?.chars().nth(n)
+    }
+
+    /// Advances past one character, returning it.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    /// Advances while `pred` holds.
+    fn eat_while(&mut self, mut pred: impl FnMut(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+
+    /// True when the remaining input starts with `s`.
+    fn starts_with(&self, s: &str) -> bool {
+        self.src
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(s))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into a complete token stream (comments included).
+///
+/// Total: concatenating the spans covers every non-whitespace byte, and
+/// spans never overlap. Unterminated strings and comments extend to the
+/// end of input rather than erroring — a linter must keep going.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor { src, pos: 0 };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.eat_while(char::is_whitespace);
+            continue;
+        }
+        let start = cur.pos;
+        let kind = scan_token(&mut cur, c);
+        // Defensive: a scanner that consumed nothing would loop forever;
+        // swallow one character as punctuation instead.
+        if cur.pos == start {
+            cur.bump();
+        }
+        out.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+        });
+    }
+    out
+}
+
+fn scan_token(cur: &mut Cursor<'_>, first: char) -> TokenKind {
+    match first {
+        '/' if cur.peek(1) == Some('/') => {
+            cur.eat_while(|c| c != '\n');
+            TokenKind::LineComment
+        }
+        '/' if cur.peek(1) == Some('*') => scan_block_comment(cur),
+        '\'' => scan_quote(cur),
+        '"' => scan_str(cur),
+        c if c.is_ascii_digit() => scan_number(cur),
+        c if is_ident_start(c) => scan_ident_or_prefixed(cur),
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// `/* … */` with nesting; unterminated comments run to end of input.
+fn scan_block_comment(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        if cur.starts_with("/*") {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+        } else if cur.starts_with("*/") {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+        } else if cur.bump().is_none() {
+            break;
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` (char literal) from a lone
+/// quote. Rustc's rule: a quote followed by an identifier is a lifetime
+/// unless a closing quote immediately follows the first character.
+fn scan_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    match cur.peek(1) {
+        // '\n', '\'' — an escape is always a char literal.
+        Some('\\') => {
+            cur.bump(); // opening '
+            scan_char_body(cur)
+        }
+        // 'x' — any single character directly followed by a closing quote.
+        Some(c) if c != '\'' && cur.peek(2) == Some('\'') => {
+            cur.bump(); // opening '
+            cur.bump(); // the character
+            cur.bump(); // closing '
+            TokenKind::Char
+        }
+        // 'ident — a lifetime or loop label.
+        Some(c) if is_ident_start(c) => {
+            cur.bump(); // '
+            cur.eat_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+/// The body of a char literal after its opening quote: consume one
+/// (possibly escaped) character, then the closing quote if present.
+fn scan_char_body(cur: &mut Cursor<'_>) -> TokenKind {
+    if cur.peek(0) == Some('\\') {
+        cur.bump();
+        cur.bump(); // the escaped character ('\\', 'n', 'u', …)
+                    // \u{…} escapes: consume through the closing brace.
+        if cur.peek(0) == Some('{') {
+            cur.eat_while(|c| c != '}' && c != '\'' && c != '\n');
+            if cur.peek(0) == Some('}') {
+                cur.bump();
+            }
+        }
+    } else {
+        cur.bump();
+    }
+    if cur.peek(0) == Some('\'') {
+        cur.bump();
+    }
+    TokenKind::Char
+}
+
+/// A non-raw string body after its opening `"`, with escape handling.
+fn scan_str(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // opening "
+    loop {
+        match cur.bump() {
+            None | Some('"') => break,
+            Some('\\') => {
+                cur.bump(); // whatever is escaped, including '"' and '\\'
+            }
+            Some(_) => {}
+        }
+    }
+    TokenKind::Str
+}
+
+/// A raw string at `r` / `br`: `#` fence counted, body scanned for the
+/// matching `"###` terminator. Returns `None` (consuming nothing) when
+/// the input is not actually a raw string (e.g. a raw identifier).
+fn scan_raw_str(cur: &mut Cursor<'_>, prefix_len: usize) -> Option<TokenKind> {
+    let mut fence = 0usize;
+    while cur.peek(prefix_len + fence) == Some('#') {
+        fence += 1;
+    }
+    if cur.peek(prefix_len + fence) != Some('"') {
+        return None;
+    }
+    for _ in 0..prefix_len + fence + 1 {
+        cur.bump();
+    }
+    // Scan for '"' followed by `fence` hashes.
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('"') => {
+                let mut got = 0usize;
+                while got < fence && cur.peek(0) == Some('#') {
+                    cur.bump();
+                    got += 1;
+                }
+                if got == fence {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    Some(TokenKind::Str)
+}
+
+/// An identifier, or one of the literal prefixes that *look* like
+/// identifiers: `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`,
+/// `c"…"`.
+fn scan_ident_or_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    match (cur.peek(0), cur.peek(1)) {
+        (Some('r'), Some('"' | '#')) => {
+            if let Some(kind) = scan_raw_str(cur, 1) {
+                return kind;
+            }
+            // `r#ident` — a raw identifier.
+            if cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                cur.bump();
+                cur.bump();
+                cur.eat_while(is_ident_continue);
+                return TokenKind::Ident;
+            }
+        }
+        (Some('b'), Some('r')) if matches!(cur.peek(2), Some('"' | '#')) => {
+            if let Some(kind) = scan_raw_str(cur, 2) {
+                return kind;
+            }
+        }
+        (Some('b' | 'c'), Some('"')) => {
+            cur.bump(); // prefix
+            return scan_str(cur);
+        }
+        (Some('b'), Some('\'')) => {
+            cur.bump(); // b
+            cur.bump(); // opening '
+            return scan_char_body(cur);
+        }
+        _ => {}
+    }
+    cur.eat_while(is_ident_continue);
+    TokenKind::Ident
+}
+
+/// A numeric literal. Precision target: never split a literal in a way
+/// that misparses the following tokens (`1..=3` must leave `..=` intact,
+/// `1.max(2)` must leave `.max` intact).
+fn scan_number(cur: &mut Cursor<'_>) -> TokenKind {
+    if cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b") {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return TokenKind::Num;
+    }
+    cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    // A fraction only when '.' is followed by a digit (excludes ranges
+    // and method calls on literals).
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    // Exponent: e / E, optional sign, digits.
+    if matches!(cur.peek(0), Some('e' | 'E')) {
+        let (sign, digit) = (cur.peek(1), cur.peek(2));
+        let has_exp = match sign {
+            Some('+' | '-') => digit.is_some_and(|c| c.is_ascii_digit()),
+            Some(c) => c.is_ascii_digit(),
+            None => false,
+        };
+        if has_exp {
+            cur.bump(); // e
+            if matches!(cur.peek(0), Some('+' | '-')) {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Type suffix (u8, i64, f32, usize, …).
+    cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    TokenKind::Num
+}
+
+/// Byte offsets of the first byte of each line, for span → line mapping.
+pub fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line number of a byte offset, given [`line_starts`].
+pub fn line_of(starts: &[usize], offset: usize) -> u32 {
+    match starts.binary_search(&offset) {
+        Ok(i) => i as u32 + 1,
+        Err(i) => i as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r#"quote " inside"#; let t = r"plain";"####;
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Str, r###"r#"quote " inside"#"###)));
+        assert!(toks.contains(&(TokenKind::Str, r#"r"plain""#)));
+    }
+
+    #[test]
+    fn raw_string_hides_code() {
+        // The classic grep trap: code-looking text inside a raw string.
+        let src = r###"let s = r#"unsafe { thread::spawn }"#;"###;
+        let toks = kinds(src);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert!(!toks.contains(&(TokenKind::Ident, "unsafe")));
+        assert!(!toks.contains(&(TokenKind::Ident, "spawn")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a"),
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still comment */"
+                ),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(
+            chars,
+            vec![&(TokenKind::Char, "'a'"), &(TokenKind::Char, "'\\n'")]
+        );
+    }
+
+    #[test]
+    fn labels_are_lifetimes() {
+        let toks = kinds("'outer: loop { break 'outer; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Lifetime && *t == "'outer")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let toks = kinds(r##"let a = b"GET"; let b = b'\r'; let c = br#"raw"#;"##);
+        assert!(toks.contains(&(TokenKind::Str, r#"b"GET""#)));
+        assert!(toks.contains(&(TokenKind::Char, r"b'\r'")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("br#")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#fn")));
+    }
+
+    #[test]
+    fn numbers_leave_ranges_and_methods_intact() {
+        let toks = kinds("for i in 0..=10 { let x = 1.max(2); let f = 1.5e-3f64; }");
+        assert!(toks.contains(&(TokenKind::Num, "0")));
+        assert!(toks.contains(&(TokenKind::Num, "10")));
+        assert!(toks.contains(&(TokenKind::Num, "1")));
+        assert!(toks.contains(&(TokenKind::Ident, "max")));
+        assert!(toks.contains(&(TokenKind::Num, "1.5e-3f64")));
+    }
+
+    #[test]
+    fn comments_hide_code() {
+        let toks = kinds("// unsafe { panic!() }\nlet x = 1; /* thread::spawn */");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unsafe"));
+        assert!(toks.contains(&(TokenKind::Ident, "let")));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "'\\",
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn spans_cover_non_whitespace() {
+        let src = "fn main() { let s = \"x\"; }";
+        let toks = lex(src);
+        let covered: usize = toks.iter().map(|t| t.end - t.start).sum();
+        let non_ws = src.chars().filter(|c| !c.is_whitespace()).count();
+        assert_eq!(covered, non_ws);
+    }
+
+    #[test]
+    fn line_mapping() {
+        let src = "a\nbb\nccc\n";
+        let starts = line_starts(src);
+        assert_eq!(line_of(&starts, 0), 1);
+        assert_eq!(line_of(&starts, 2), 2);
+        assert_eq!(line_of(&starts, 5), 3);
+    }
+}

@@ -1,0 +1,318 @@
+//! `remi-lint` — the workspace's own static-analysis pass.
+//!
+//! PRs 2–5 grew a hand-rolled concurrency stack whose correctness rests
+//! on structural invariants that used to live only as prose in
+//! ROADMAP.md. This crate turns each of them into a machine-checked
+//! rule: a zero-dependency Rust lexer ([`lexer`]) feeds a rule catalog
+//! ([`rules`]) that walks every workspace source file and reports
+//! violations with `file:line` spans, stable rule ids, and justified
+//! `lint:allow` suppressions.
+//!
+//! The [`runner`] module holds the pieces shared by the `remi-lint`
+//! binary and the test suites: workspace file discovery, report
+//! rendering (text and JSON for `scripts/lint_report.py`), and the
+//! fixture self-test that proves every rule still fires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+/// Workspace walking, report rendering, and the fixture self-test.
+pub mod runner {
+    use std::fs;
+    use std::io;
+    use std::path::{Path, PathBuf};
+
+    use crate::rules::{check_file, known_rule, Violation, RULES};
+
+    /// Aggregated result of linting a set of files.
+    #[derive(Debug, Default)]
+    pub struct RunReport {
+        /// Number of files analysed.
+        pub files: usize,
+        /// All violations, ordered by path then line.
+        pub violations: Vec<Violation>,
+        /// Violations silenced by justified allows.
+        pub suppressed: usize,
+    }
+
+    impl RunReport {
+        /// True when no violations remain.
+        pub fn ok(&self) -> bool {
+            self.violations.is_empty()
+        }
+    }
+
+    /// Ascends from `start` to the first directory whose `Cargo.toml`
+    /// declares `[workspace]` — the root all rule paths are relative to.
+    pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+        let start = start.canonicalize().ok()?;
+        let mut dir: &Path = if start.is_file() {
+            start.parent()?
+        } else {
+            &start
+        };
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir.to_path_buf());
+                }
+            }
+            dir = dir.parent()?;
+        }
+    }
+
+    /// Directories never walked: build output, vendored shims (third-party
+    /// API mirrors follow their upstreams' conventions, not ours), VCS
+    /// metadata, and the lint fixtures (they *seed* violations).
+    fn skip_dir(path: &Path) -> bool {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if matches!(name, "target" | "vendor" | ".git" | ".github") {
+            return true;
+        }
+        name == "fixtures" && path.parent().is_some_and(|p| p.ends_with("lint"))
+    }
+
+    /// Recursively collects `.rs` files under each of `paths`. A path
+    /// given explicitly is always entered, even when the walk would skip
+    /// it (so `remi-lint crates/lint/fixtures` still works on demand).
+    pub fn collect_rs_files(paths: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for p in paths {
+            walk(p, &mut out, true)?;
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    fn walk(path: &Path, out: &mut Vec<PathBuf>, explicit: bool) -> io::Result<()> {
+        // A typo'd explicit path must fail loudly, not lint zero files
+        // and report the tree clean.
+        if explicit && !path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such path: {}", path.display()),
+            ));
+        }
+        if path.is_file() {
+            if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path.to_path_buf());
+            }
+            return Ok(());
+        }
+        if path.is_dir() {
+            if !explicit && skip_dir(path) {
+                return Ok(());
+            }
+            let mut entries: Vec<PathBuf> = fs::read_dir(path)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .collect();
+            entries.sort();
+            for entry in entries {
+                walk(&entry, out, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Lints every `.rs` file reachable from `paths`. Rule path scoping
+    /// uses workspace-relative paths, resolved against the enclosing
+    /// workspace root (falling back to the path as given).
+    pub fn run(paths: &[PathBuf]) -> io::Result<RunReport> {
+        let root = workspace_root(paths.first().map_or(Path::new("."), |p| p.as_path()))
+            .or_else(|| workspace_root(Path::new(".")));
+        let files = collect_rs_files(paths)?;
+        let mut report = RunReport::default();
+        for file in &files {
+            let Ok(src) = fs::read_to_string(file) else {
+                continue; // non-UTF-8 file: nothing our lexer can check
+            };
+            let rel = relative_to_root(file, root.as_deref());
+            let file_report = check_file(&rel, &src);
+            report.files += 1;
+            report.suppressed += file_report.suppressed;
+            report.violations.extend(file_report.violations);
+        }
+        report
+            .violations
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        Ok(report)
+    }
+
+    fn relative_to_root(file: &Path, root: Option<&Path>) -> String {
+        let canonical = file.canonicalize().unwrap_or_else(|_| file.to_path_buf());
+        let rel = root
+            .and_then(|r| canonical.strip_prefix(r).ok())
+            .unwrap_or(&canonical);
+        rel.to_string_lossy().replace('\\', "/")
+    }
+
+    // JSON rendering --------------------------------------------------------
+
+    fn json_escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Renders the machine-readable report consumed by
+    /// `scripts/lint_report.py` (single JSON document on stdout).
+    pub fn to_json(report: &RunReport) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"tool\":\"remi-lint\",");
+        out.push_str(&format!("\"rules\":{},", RULES.len()));
+        out.push_str(&format!("\"files\":{},", report.files));
+        out.push_str(&format!("\"suppressed\":{},", report.suppressed));
+        out.push_str(&format!("\"ok\":{},", report.ok()));
+        out.push_str("\"violations\":[");
+        for (i, v) in report.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                json_escape(v.rule),
+                json_escape(&v.path),
+                v.line,
+                json_escape(&v.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the human-readable report (one `path:line: [rule] message`
+    /// per violation plus a summary line).
+    pub fn to_text(report: &RunReport) -> String {
+        let mut out = String::new();
+        for v in &report.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                v.path, v.line, v.rule, v.message
+            ));
+        }
+        out.push_str(&format!(
+            "remi-lint: {} file(s), {} violation(s), {} suppressed by justified allows\n",
+            report.files,
+            report.violations.len(),
+            report.suppressed,
+        ));
+        out
+    }
+
+    // Fixture self-test ------------------------------------------------------
+
+    /// Outcome of a clean fixture self-test.
+    #[derive(Debug)]
+    pub struct SelfTestSummary {
+        /// Fixture files exercised.
+        pub fixtures: usize,
+        /// Seeded violations that fired as expected.
+        pub seeded: usize,
+    }
+
+    /// Verifies the rule catalog against the committed fixtures: every
+    /// `lint:expect(rule)` marker must produce exactly one violation of
+    /// that rule on the marked line (or the line below), nothing else may
+    /// fire, and every catalog rule must be seeded by at least one
+    /// fixture. This is the guard against rules silently rotting.
+    pub fn self_test(fixtures_dir: &Path) -> Result<SelfTestSummary, Vec<String>> {
+        let mut errors = Vec::new();
+        let files = match collect_rs_files(&[fixtures_dir.to_path_buf()]) {
+            Ok(f) if !f.is_empty() => f,
+            Ok(_) => return Err(vec![format!("no fixtures found in {fixtures_dir:?}")]),
+            Err(e) => return Err(vec![format!("cannot read {fixtures_dir:?}: {e}")]),
+        };
+        let mut seeded_rules: Vec<String> = Vec::new();
+        let mut seeded = 0usize;
+        for file in &files {
+            let display = file
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let Ok(src) = fs::read_to_string(file) else {
+                errors.push(format!("{display}: unreadable fixture"));
+                continue;
+            };
+            // Pass 1 extracts the declared pretend path; pass 2 lints
+            // under it, so path-scoped rules see the right file.
+            let probe = check_file(&display, &src);
+            let Some(pretend) = probe.fixture_path else {
+                errors.push(format!(
+                    "{display}: missing `lint:fixture-path <path>` directive"
+                ));
+                continue;
+            };
+            let report = check_file(&pretend, &src);
+            let mut expects: Vec<(String, u32, bool)> = report
+                .expects
+                .iter()
+                .map(|e| (e.rule.clone(), e.line, false))
+                .collect();
+            for e in &report.expects {
+                if !known_rule(&e.rule) {
+                    errors.push(format!(
+                        "{display}:{}: lint:expect names unknown rule `{}`",
+                        e.line, e.rule
+                    ));
+                }
+            }
+            for v in &report.violations {
+                let slot = expects.iter_mut().find(|(rule, line, used)| {
+                    !used && rule == v.rule && (v.line == *line || v.line == *line + 1)
+                });
+                match slot {
+                    Some(slot) => {
+                        slot.2 = true;
+                        seeded += 1;
+                        seeded_rules.push(v.rule.to_string());
+                    }
+                    None => errors.push(format!(
+                        "{display}:{}: unexpected [{}] {}",
+                        v.line, v.rule, v.message
+                    )),
+                }
+            }
+            for (rule, line, used) in &expects {
+                if !used {
+                    errors.push(format!(
+                        "{display}:{line}: seeded [{rule}] violation was NOT flagged — \
+                         the rule has rotted"
+                    ));
+                }
+            }
+        }
+        for rule in RULES {
+            if !seeded_rules.iter().any(|r| r == rule.id) {
+                errors.push(format!(
+                    "rule [{}] has no seeded fixture violation — add one to fixtures/",
+                    rule.id
+                ));
+            }
+        }
+        if errors.is_empty() {
+            Ok(SelfTestSummary {
+                fixtures: files.len(),
+                seeded,
+            })
+        } else {
+            Err(errors)
+        }
+    }
+}

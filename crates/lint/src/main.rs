@@ -1,0 +1,101 @@
+//! `remi-lint` — CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! remi-lint [--json] [paths…]   lint (default: the whole workspace from .)
+//! remi-lint --self-test         verify every rule fires on its fixtures
+//! remi-lint --list-rules        print the rule catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (or self-test failure), 2 usage or
+//! I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use remi_lint::rules::RULES;
+use remi_lint::runner;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut self_test = false;
+    let mut list_rules = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--self-test" => self_test = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("usage: remi-lint [--json] [--self-test] [--list-rules] [paths…]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("remi-lint: unknown flag `{flag}` (see --help)");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    if list_rules {
+        for rule in RULES {
+            println!("{:<24} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if self_test {
+        return run_self_test();
+    }
+
+    if paths.is_empty() {
+        paths.push(PathBuf::from("."));
+    }
+    match runner::run(&paths) {
+        Ok(report) => {
+            if json {
+                println!("{}", runner::to_json(&report));
+            } else {
+                print!("{}", runner::to_text(&report));
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("remi-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_self_test() -> ExitCode {
+    // Fixtures live next to this crate; resolve through the enclosing
+    // workspace so the binary works from any directory inside it.
+    let root = runner::workspace_root(Path::new("."));
+    let fixtures = root
+        .map(|r| r.join("crates/lint/fixtures"))
+        .unwrap_or_else(|| PathBuf::from("crates/lint/fixtures"));
+    match runner::self_test(&fixtures) {
+        Ok(summary) => {
+            println!(
+                "remi-lint self-test: {} fixture(s), {} seeded violation(s), all {} rules fire",
+                summary.fixtures,
+                summary.seeded,
+                RULES.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("remi-lint self-test: {e}");
+            }
+            eprintln!("remi-lint self-test: FAILED ({} error(s))", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}

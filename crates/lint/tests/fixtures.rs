@@ -1,0 +1,30 @@
+//! The fixture self-test as a regular integration test: every seeded
+//! violation in `fixtures/` must flag, nothing else may, and every rule
+//! in the catalog must be exercised by at least one fixture. CI also runs
+//! this through `remi-lint --self-test`; the duplication is deliberate —
+//! `cargo test` alone catches rule rot without the CI wiring.
+
+use std::path::Path;
+
+#[test]
+fn every_seeded_fixture_violation_flags() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    match remi_lint::runner::self_test(&fixtures) {
+        Ok(summary) => {
+            assert!(summary.fixtures >= 9, "fixture files went missing");
+            assert!(summary.seeded >= 20, "seeded violations went missing");
+        }
+        Err(failures) => panic!("fixture self-test failed:\n{}", failures.join("\n")),
+    }
+}
+
+#[test]
+fn workspace_sources_lint_clean() {
+    // The same invariant CI enforces: the tree itself carries no
+    // unsuppressed violations.
+    let root = remi_lint::runner::workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let report = remi_lint::runner::run(&[root]).expect("workspace readable");
+    let rendered = remi_lint::runner::to_text(&report);
+    assert!(report.ok(), "workspace has lint violations:\n{rendered}");
+}

@@ -1,0 +1,78 @@
+//! Property tests for the hand-rolled lexer: scanning arbitrary input —
+//! valid UTF-8, code-shaped or garbage — must never panic, and the token
+//! stream must be well-formed (spans monotonic, in bounds, on char
+//! boundaries).
+
+use proptest::prelude::*;
+
+use remi_lint::lexer::lex;
+
+/// Asserts the well-formedness invariants every token stream must hold.
+fn assert_well_formed(src: &str) {
+    let tokens = lex(src);
+    let mut prev_end = 0usize;
+    for t in &tokens {
+        assert!(t.start <= t.end, "inverted span {}..{}", t.start, t.end);
+        assert!(t.end <= src.len(), "span {}..{} past EOF", t.start, t.end);
+        assert!(
+            t.start >= prev_end,
+            "overlapping tokens at {}..{}",
+            t.start,
+            t.end
+        );
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span {}..{} splits a char",
+            t.start,
+            t.end
+        );
+        prev_end = t.end;
+    }
+}
+
+proptest! {
+    #[test]
+    fn lexing_arbitrary_utf8_never_panics(src in "\\PC*") {
+        assert_well_formed(&src);
+    }
+
+    #[test]
+    fn lexing_code_shaped_soup_never_panics(
+        src in proptest::collection::vec(
+            prop_oneof![
+                Just("r#\"".to_string()),
+                Just("\"#".to_string()),
+                Just("/*".to_string()),
+                Just("*/".to_string()),
+                Just("//".to_string()),
+                Just("'a".to_string()),
+                Just("'a'".to_string()),
+                Just("b'x'".to_string()),
+                Just("\"".to_string()),
+                Just("\\".to_string()),
+                Just("\n".to_string()),
+                Just("0x1f".to_string()),
+                Just("1.5e3".to_string()),
+                Just("1..=3".to_string()),
+                Just("ident".to_string()),
+                Just("r#raw_ident".to_string()),
+                Just("é".to_string()),
+            ],
+            0..48,
+        )
+    ) {
+        assert_well_formed(&src.concat());
+    }
+
+    #[test]
+    fn every_nonspace_byte_is_covered_or_skipped_consistently(src in "[ a-z0-9+./\"'#*]{0,64}") {
+        // Lexing twice is deterministic.
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.start, y.start);
+            prop_assert_eq!(x.end, y.end);
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //!                   [--mode describe|summarize|healthz] [--cold]
 //!                   [--ingest-ratio F]
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -212,6 +214,7 @@ fn run(argv: &[String]) -> Result<String, String> {
     let t0 = Instant::now();
     // Per-class latencies: (reads, ingests).
     type ClassLat = (Vec<u64>, Vec<u64>);
+    // lint:allow(raw-thread-primitive): loadgen clients block on sockets for the whole run — parking them on the shared compute pool would starve the server it is measuring
     let results: Vec<Result<ClassLat, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|c| {

@@ -10,7 +10,9 @@
 //! tiers). Hit/miss/eviction/purge counts are surfaced through `/stats`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use remi_kb::cache::LruCache;
 
@@ -90,7 +92,7 @@ impl ResponseCache {
     pub fn purge_stale(&self, live_fp: u64) -> u64 {
         let mut purged = 0u64;
         for shard in &self.shards {
-            let mut shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut shard = shard.lock();
             purged += shard.retain(|key, _| key.kb == live_fp) as u64;
         }
         self.purged.fetch_add(purged, Ordering::Relaxed);
@@ -101,6 +103,7 @@ impl ResponseCache {
         let mut hasher = remi_kb::fx::FxHasher::default();
         std::hash::Hash::hash(key, &mut hasher);
         let hash = std::hash::Hasher::finish(&hasher);
+        // lint:allow(panic-in-serve): index is `hash % len` on a non-empty shard vec — in bounds by construction
         &self.shards[(hash as usize) % self.shards.len()]
     }
 
@@ -110,10 +113,7 @@ impl ResponseCache {
             self.disabled_misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut shard = self
-            .shard(key)
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut shard = self.shard(key).lock();
         shard.get(key).cloned()
     }
 
@@ -122,10 +122,7 @@ impl ResponseCache {
         if self.shards.is_empty() {
             return;
         }
-        let mut shard = self
-            .shard(&key)
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut shard = self.shard(&key).lock();
         if shard.len() == shard.capacity() && shard.peek(&key).is_none() {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -142,7 +139,7 @@ impl ResponseCache {
             ..CacheStats::default()
         };
         for shard in &self.shards {
-            let shard = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            let shard = shard.lock();
             stats.hits += shard.hits();
             stats.misses += shard.misses();
             stats.entries += shard.len() as u64;

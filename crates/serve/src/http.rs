@@ -130,11 +130,15 @@ impl RequestParser {
         if head_end + 4 > MAX_HEAD_BYTES {
             return Err(ParseError::too_large("request head exceeds 8 KiB"));
         }
-        let head = &self.buf[..head_end];
+        let head = self
+            .buf
+            .get(..head_end)
+            .ok_or_else(|| ParseError::bad("malformed request head"))?;
         if !head.is_ascii() {
             return Err(ParseError::bad("non-ASCII bytes in request head"));
         }
-        let head = std::str::from_utf8(head).expect("ASCII head is UTF-8");
+        let head = std::str::from_utf8(head)
+            .map_err(|_| ParseError::bad("non-ASCII bytes in request head"))?;
         let mut lines = head.split("\r\n");
         let request_line = lines.next().unwrap_or("");
         let mut parts = request_line.split(' ');
@@ -189,7 +193,11 @@ impl RequestParser {
         if self.buf.len() < body_start + content_length {
             return Ok(Parsed::NeedMore);
         }
-        let body = self.buf[body_start..body_start + content_length].to_vec();
+        let body = self
+            .buf
+            .get(body_start..body_start + content_length)
+            .ok_or_else(|| ParseError::bad("truncated request body"))?
+            .to_vec();
 
         let connection = header_value(&headers, "connection").map(str::to_ascii_lowercase);
         let keep_alive = match connection.as_deref() {
@@ -256,6 +264,7 @@ pub fn percent_decode(s: &str, plus_is_space: bool) -> Option<String> {
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
+        // lint:allow(panic-in-serve): `i < bytes.len()` is the loop guard, so the index is in bounds
         match bytes[i] {
             b'%' => {
                 let hi = hex_digit(*bytes.get(i + 1)?)?;

@@ -207,7 +207,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, c: char) -> Result<(), String> {
+    fn expect_char(&mut self, c: char) -> Result<(), String> {
         match self.chars.next() {
             Some((_, got)) if got == c => Ok(()),
             other => Err(format!("expected {c:?}, found {other:?}")),
@@ -233,7 +233,7 @@ impl Parser<'_> {
 
     fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
         for expected in word.chars() {
-            self.expect(expected)?;
+            self.expect_char(expected)?;
         }
         Ok(value)
     }
@@ -249,14 +249,14 @@ impl Parser<'_> {
                 break;
             }
         }
-        self.text[start..end]
-            .parse::<f64>()
+        let raw = self.text.get(start..end).unwrap_or("");
+        raw.parse::<f64>()
             .map(Value::Number)
-            .map_err(|_| format!("malformed number {:?}", &self.text[start..end]))
+            .map_err(|_| format!("malformed number {raw:?}"))
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut out = String::new();
         loop {
             match self.chars.next() {
@@ -290,7 +290,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Value, String> {
-        self.expect('[')?;
+        self.expect_char('[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if matches!(self.chars.peek(), Some((_, ']'))) {
@@ -309,7 +309,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Value, String> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if matches!(self.chars.peek(), Some((_, '}'))) {
@@ -320,7 +320,7 @@ impl Parser<'_> {
             self.skip_ws();
             let name = self.string()?;
             self.skip_ws();
-            self.expect(':')?;
+            self.expect_char(':')?;
             let value = self.value(depth + 1)?;
             fields.push((name, value));
             self.skip_ws();

@@ -35,6 +35,7 @@
 //! `X-Remi-Cache` header says which), or answered by the CSR or the
 //! succinct backend.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -46,9 +47,11 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use remi_core::topk::describe_top_k;
 use remi_core::{Remi, RemiConfig};
@@ -60,10 +63,6 @@ use remi_pool::CancelToken;
 use cache::{CacheKey, ResponseCache};
 use http::{Parsed, Request, RequestParser};
 use json::JsonObject;
-
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// How long an idle keep-alive connection is held before the server closes
 /// it (also the shutdown-drain latency bound for idle connections).
@@ -338,7 +337,7 @@ struct AppState {
     /// Quiet keep-alive connections waiting for bytes (see the
     /// connection-handling section): their tasks have returned and the
     /// accept thread's poll loop revives them.
-    parked: std::sync::Mutex<Vec<Conn>>,
+    parked: Mutex<Vec<Conn>>,
     /// Ingestion asked for a compaction; the accept thread's poll loop
     /// spawns it as a pool task (it owns the scope connections run on).
     compaction_wanted: AtomicBool,
@@ -359,7 +358,7 @@ impl AppState {
         if backend == self.primary {
             return Arc::clone(&snap.kb);
         }
-        let mut slot = lock(&self.converted);
+        let mut slot = self.converted.lock();
         if let Some((epoch, fp, kb)) = &*slot {
             if *fp == snap.fingerprint {
                 return Arc::clone(kb);
@@ -377,7 +376,7 @@ impl AppState {
     /// PageRank over the pinned snapshot (cached by content fingerprint,
     /// same straggler rule as [`AppState::kb_for`]).
     fn ranks_for(&self, snap: &Snapshot) -> Arc<PageRank> {
-        let mut slot = lock(&self.ranks);
+        let mut slot = self.ranks.lock();
         if let Some((epoch, fp, pr)) = &*slot {
             if *fp == snap.fingerprint {
                 return Arc::clone(pr);
@@ -395,7 +394,7 @@ impl AppState {
     /// The converted twin, but only if one is already resident for this
     /// snapshot's content — `/stats` must never pay for a conversion.
     fn resident_converted(&self, snap: &Snapshot) -> Option<Arc<KnowledgeBase>> {
-        let slot = lock(&self.converted);
+        let slot = self.converted.lock();
         match &*slot {
             Some((_, fp, kb)) if *fp == snap.fingerprint => Some(Arc::clone(kb)),
             _ => None,
@@ -691,7 +690,9 @@ fn handle_describe_batch(state: &AppState, snap: &Snapshot, req: &Request) -> Re
     let mut misses: Vec<(&str, Vec<usize>)> = Vec::new();
     for (i, iri) in iris.iter().enumerate() {
         if let Some(body) = state.cache.get(&cache_key(iri)) {
-            results[i] = Some(body.to_string());
+            if let Some(slot) = results.get_mut(i) {
+                *slot = Some(body.to_string());
+            }
             continue;
         }
         match misses.iter_mut().find(|(m, _)| m == iri) {
@@ -710,7 +711,7 @@ fn handle_describe_batch(state: &AppState, snap: &Snapshot, req: &Request) -> Re
             for ((iri, _), cell) in misses.iter().zip(&mined) {
                 let remi = &remi;
                 scope.spawn(move || {
-                    *lock(cell) = Some(describe_body_with(remi, iri, k));
+                    *cell.lock() = Some(describe_body_with(remi, iri, k));
                 });
             }
         });
@@ -718,23 +719,29 @@ fn handle_describe_batch(state: &AppState, snap: &Snapshot, req: &Request) -> Re
         // re-seeded into the cache.
         let still_live = state.live.snapshot().fingerprint == snap.fingerprint;
         for ((iri, slots), cell) in misses.iter().zip(mined) {
-            let body = match lock(&cell).take().expect("scope joined every miner") {
-                Ok(body) => {
+            // The scope join guarantees every miner wrote its cell; an
+            // empty cell would mean a dropped task, which degrades to an
+            // error body for that entity rather than killing the worker.
+            let body = match cell.lock().take() {
+                Some(Ok(body)) => {
                     if still_live {
                         state.cache.put(cache_key(iri), Arc::from(body.as_str()));
                     }
                     body
                 }
-                Err(e) => error_body(&e.message),
+                Some(Err(e)) => error_body(&e.message),
+                None => error_body("internal: miner task produced no result"),
             };
             for &i in slots {
-                results[i] = Some(body.clone());
+                if let Some(slot) = results.get_mut(i) {
+                    *slot = Some(body.clone());
+                }
             }
         }
     }
     let results: Vec<String> = results
         .into_iter()
-        .map(|r| r.expect("every batch slot answered"))
+        .map(|r| r.unwrap_or_else(|| error_body("internal: batch slot unanswered")))
         .collect();
     Response::ok(
         JsonObject::new()
@@ -950,10 +957,7 @@ impl AppState {
         if conn.stream.set_nonblocking(true).is_err() {
             return; // dropping the conn closes it and fixes the gauge
         }
-        self.parked
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(conn);
+        self.parked.lock().push(conn);
     }
 
     /// More open connections than pool workers: hot connections must
@@ -1047,6 +1051,7 @@ fn drive_connection(mut conn: Conn, state: &Arc<AppState>) {
         }
         match conn.stream.read(&mut buf) {
             Ok(0) => return, // peer closed
+            // lint:allow(panic-in-serve): `read` contract guarantees n <= buf.len()
             Ok(n) => conn.parser.push(&buf[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -1113,21 +1118,20 @@ fn maybe_spawn_compaction(state: &Arc<AppState>, scope: &remi_pool::Scope<'_, '_
 fn sweep_parked(state: &Arc<AppState>, scope: &remi_pool::Scope<'_, '_>) -> bool {
     let mut progressed = false;
     let now = Instant::now();
-    let mut parked = state
-        .parked
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut parked = state.parked.lock();
     let mut i = 0;
     while i < parked.len() {
         let mut probe = [0u8; 1];
-        let verdict = if parked[i].resume {
+        // lint:allow(panic-in-serve): `i < parked.len()` is the loop guard, so the index is in bounds
+        let entry = &parked[i];
+        let verdict = if entry.resume {
             Some(true) // fairness-parked with input already buffered
         } else {
-            match parked[i].stream.peek(&mut probe) {
+            match entry.stream.peek(&mut probe) {
                 Ok(0) => Some(false), // peer closed
                 Ok(_) => Some(true),  // bytes waiting
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if now >= parked[i].expires {
+                    if now >= entry.expires {
                         Some(false) // idled out
                     } else {
                         None // still parked
@@ -1221,12 +1225,7 @@ fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
                 // final task to answer them; idle ones are between
                 // requests, so closing them *is* the drain. In-flight
                 // tasks finish via the scope join.
-                let drained: Vec<Conn> = std::mem::take(
-                    &mut *state
-                        .parked
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner),
-                );
+                let drained: Vec<Conn> = std::mem::take(&mut *state.parked.lock());
                 for conn in drained {
                     if conn.resume {
                         let state = Arc::clone(&state);
@@ -1247,11 +1246,7 @@ fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
     // that raced the pre-break clear and parked afterwards has finished
     // its push by now: one final clear closes those connections instead
     // of leaving them silently open until the state itself drops.
-    state
-        .parked
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .clear();
+    state.parked.lock().clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -1338,13 +1333,14 @@ pub fn serve(kb: KnowledgeBase, config: ServeConfig) -> std::io::Result<ServerHa
         max_conns: (config.max_inflight.max(1) as u64).saturating_mul(4).max(8),
         default_threads: config.threads.max(1),
         ranks: Mutex::new(None),
-        parked: std::sync::Mutex::new(Vec::new()),
+        parked: Mutex::new(Vec::new()),
         compaction_wanted: AtomicBool::new(false),
         compaction_running: AtomicBool::new(false),
         shutdown: CancelToken::new(),
         started: Instant::now(),
     });
     let accept_state = Arc::clone(&state);
+    // lint:allow(raw-thread-primitive): the accept loop must outlive any pool scope and owns the listener — a dedicated OS thread is the design, not a parallelism shortcut
     let thread = std::thread::Builder::new()
         .name("remi-serve-accept".to_string())
         .spawn(move || accept_loop(listener, accept_state))?;

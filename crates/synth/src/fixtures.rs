@@ -11,7 +11,9 @@
 //! is built, never *what* is built.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
 
 use crate::generator::SynthKb;
 use crate::profiles::{dbpedia_like, wikidata_like};
@@ -30,13 +32,7 @@ fn memoised(profile: &'static str, scale: f64, seed: u64) -> Arc<SynthKb> {
     // generation happens inside the cell, so concurrent tests asking for
     // the *same* fixture build it once (the rest block on the cell) while
     // *different* fixtures still build in parallel.
-    let cell: Cell = Arc::clone(
-        cache()
-            .lock()
-            .expect("fixture cache")
-            .entry(key)
-            .or_default(),
-    );
+    let cell: Cell = Arc::clone(cache().lock().entry(key).or_default());
     Arc::clone(cell.get_or_init(|| {
         Arc::new(crate::generate(
             &match profile {

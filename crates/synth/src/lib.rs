@@ -17,6 +17,7 @@
 //! * [`scenes`] — NLG-style scene micro-KBs.
 //! * [`fixtures`] — process-wide memoised KBs for the slow test suites.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fixtures;

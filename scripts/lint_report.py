@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Validate and summarise `remi-lint --json` output.
+
+Reads the JSON report from stdin (or a file argument), checks the schema
+round-trips, and prints a per-rule violation count. With --expect-clean,
+exits 1 when the report carries any violation — the CI gate.
+
+Usage:
+    remi-lint --json . | scripts/lint_report.py --expect-clean
+    scripts/lint_report.py report.json
+"""
+
+import json
+import sys
+
+REQUIRED_TOP = {"tool", "rules", "files", "suppressed", "ok", "violations"}
+REQUIRED_VIOLATION = {"rule", "path", "line", "message"}
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.8-friendly annotation
+    print(f"lint_report: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if a != "--expect-clean"]
+    expect_clean = "--expect-clean" in sys.argv[1:]
+    if len(args) > 1:
+        fail("at most one input file")
+    try:
+        raw = open(args[0]).read() if args else sys.stdin.read()
+    except OSError as e:
+        fail(f"cannot read input: {e}")
+    try:
+        report = json.loads(raw)
+    except json.JSONDecodeError as e:
+        fail(f"malformed JSON: {e}")
+
+    missing = REQUIRED_TOP - set(report)
+    if missing:
+        fail(f"missing top-level fields: {sorted(missing)}")
+    if report["tool"] != "remi-lint":
+        fail(f"unexpected tool {report['tool']!r}")
+    violations = report["violations"]
+    if not isinstance(violations, list):
+        fail("violations is not a list")
+    for v in violations:
+        missing = REQUIRED_VIOLATION - set(v)
+        if missing:
+            fail(f"violation missing fields {sorted(missing)}: {v}")
+    if report["ok"] != (len(violations) == 0):
+        fail("`ok` flag contradicts the violation list")
+
+    per_rule = {}
+    for v in violations:
+        per_rule[v["rule"]] = per_rule.get(v["rule"], 0) + 1
+    print(
+        f"remi-lint: {report['files']} file(s), {len(violations)} violation(s), "
+        f"{report['suppressed']} suppressed"
+    )
+    for rule in sorted(per_rule):
+        print(f"  {rule}: {per_rule[rule]}")
+    for v in violations:
+        print(f"  {v['path']}:{v['line']}: [{v['rule']}] {v['message']}")
+
+    if expect_clean and violations:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

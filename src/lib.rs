@@ -5,6 +5,8 @@
 //! [`remi_kb`], [`remi_synth`], [`remi_core`], [`remi_amie`],
 //! [`remi_essum`], and [`remi_eval`].
 
+#![forbid(unsafe_code)]
+
 pub use remi_amie as amie;
 pub use remi_core as core;
 pub use remi_essum as essum;
