@@ -1,0 +1,57 @@
+//! Query-engine benchmarks: the triple-pattern resolver and the BGP
+//! executor on the shared DBpedia-like KB, no HTTP in the loop.
+//!
+//! Three shapes bound the engine's cost model:
+//!
+//! * `pattern_bound_pred` — one predicate's full extent through
+//!   `SolutionIter` (the streaming fast path over `Bindings`).
+//! * `pattern_full_scan` — the worst case: every group of every
+//!   predicate, still zero-materialisation.
+//! * `bgp_join2` — a 2-pattern chain join with the default row limit,
+//!   the same plan `POST /query` executes per cache miss.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remi_bench::dbpedia;
+use remi_kb::{parse_patterns, solve_bgp, Slot, SolutionIter, TriplePattern};
+
+fn bench(c: &mut Criterion) {
+    let synth = dbpedia();
+    let kb = &synth.kb;
+    let pred = kb
+        .pred_ids()
+        .filter(|&p| !kb.is_inverse(p))
+        .max_by_key(|&p| kb.index(p).num_facts())
+        .expect("fixture has predicates");
+    let pred_iri = kb.pred_iri(pred).to_string();
+
+    let chain = parse_patterns(
+        kb,
+        &[
+            ["?a".to_string(), pred_iri.clone(), "?b".to_string()],
+            ["?b".to_string(), pred_iri.clone(), "?c".to_string()],
+        ],
+    )
+    .expect("chain patterns parse");
+
+    let mut group = c.benchmark_group("query_engine");
+    group.bench_function("pattern_bound_pred", |b| {
+        let pat = TriplePattern::new(Slot::Var(0), Slot::Bound(pred.0), Slot::Var(1));
+        b.iter(|| SolutionIter::new(kb.store(), pat).count())
+    });
+    group.bench_function("pattern_full_scan", |b| {
+        let pat = TriplePattern::new(Slot::Var(0), Slot::Var(1), Slot::Var(2));
+        b.iter(|| SolutionIter::new(kb.store(), pat).count())
+    });
+    group.bench_function("bgp_join2", |b| {
+        b.iter(|| {
+            solve_bgp(kb.store(), &chain.patterns, 100, None)
+                .expect("join runs")
+                .rows
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

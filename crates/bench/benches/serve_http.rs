@@ -6,6 +6,8 @@
 //!
 //! * `healthz` — the floor: parse + route + respond, no KB work.
 //! * `warm_describe` — a cache hit: the full production fast path.
+//! * `warm_query` — a `POST /query` cache hit (2-pattern join): must
+//!   stay within an order of magnitude of `warm_describe`.
 //! * `cold_describe` — cache disabled: every request pays queue
 //!   construction + mining.
 //!
@@ -41,6 +43,25 @@ fn bench(c: &mut Criterion) {
     let primed = warm_client.get(&target).expect("prime request");
     assert_eq!(primed.status, 200, "{}", primed.body);
 
+    // A 2-pattern chain join over the fattest predicate, primed into the
+    // same cache.
+    let pred = synth
+        .kb
+        .pred_ids()
+        .filter(|&p| !synth.kb.is_inverse(p))
+        .max_by_key(|&p| synth.kb.index(p).num_facts())
+        .map(|p| synth.kb.pred_iri(p).to_string())
+        .expect("fixture has predicates");
+    let query_payload = format!(
+        "{{\"patterns\":[{{\"s\":\"?a\",\"p\":{p},\"o\":\"?b\"}},\
+         {{\"s\":\"?b\",\"p\":{p},\"o\":\"?c\"}}]}}",
+        p = remi_serve::json::escape(&pred)
+    );
+    let primed = warm_client
+        .post("/query", &query_payload)
+        .expect("prime query");
+    assert_eq!(primed.status, 200, "{}", primed.body);
+
     let mut cold_server = serve(
         synth.kb.clone(),
         ServeConfig {
@@ -52,13 +73,28 @@ fn bench(c: &mut Criterion) {
     let mut cold_client = Client::connect(cold_server.addr()).expect("connect");
     assert_eq!(cold_client.get(&target).expect("cold request").status, 200);
 
-    // One-shot smoke: same workload, warm vs cold throughput.
+    // One-shot smoke: same workload, warm vs cold throughput, plus warm
+    // query vs warm describe (both cache hits — same order of magnitude).
     let warm_rps = throughput(&mut warm_client, &target, 200);
     let cold_rps = throughput(&mut cold_client, &target, 20);
     println!(
         "\nserve smoke ({entity}): warm {warm_rps:.0} req/s, cold {cold_rps:.0} req/s \
          ({:.1}x speedup from the response cache)",
         warm_rps / cold_rps
+    );
+    let t0 = Instant::now();
+    let query_requests = 200;
+    for _ in 0..query_requests {
+        let r = warm_client
+            .post("/query", &query_payload)
+            .expect("warm query");
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+    let query_rps = query_requests as f64 / t0.elapsed().as_secs_f64();
+    println!(
+        "query smoke: warm query {query_rps:.0} req/s vs warm describe {warm_rps:.0} req/s \
+         ({:.2}x)",
+        query_rps / warm_rps
     );
 
     let mut group = c.benchmark_group("serve_http");
@@ -67,6 +103,15 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("warm_describe", |b| {
         b.iter(|| warm_client.get(&target).expect("warm describe").body.len())
+    });
+    group.bench_function("warm_query", |b| {
+        b.iter(|| {
+            warm_client
+                .post("/query", &query_payload)
+                .expect("warm query")
+                .body
+                .len()
+        })
     });
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));

@@ -346,6 +346,57 @@ pub fn cmd_summarize(
     Ok(out)
 }
 
+/// `remi query`: resolves a basic graph pattern (1–3 triple patterns,
+/// slots starting with `?` are variables) against the KB and prints the
+/// joined rows — the offline twin of the server's `POST /query`, sharing
+/// the same `kb::query` engine, pattern syntax, and row order.
+pub fn cmd_query(
+    path: &Path,
+    patterns: &[[String; 3]],
+    limit: usize,
+    backend: Option<Backend>,
+) -> Result<String> {
+    let kb = load_kb_as(path, 0.01, backend)?;
+    let q = remi_kb::parse_patterns(&kb, patterns).map_err(|e| CliError(e.to_string()))?;
+    let out = remi_kb::solve_bgp(kb.store(), &q.patterns, limit.max(1), None)
+        .map_err(|e| CliError(e.to_string()))?;
+    let mut msg = String::new();
+    let names: Vec<String> = out
+        .vars
+        .iter()
+        .filter_map(|&v| q.var_names.get(v as usize).map(|n| format!("?{n}")))
+        .collect();
+    if !names.is_empty() {
+        let _ = writeln!(msg, "{}", names.join("\t"));
+    }
+    for row in &out.rows {
+        let terms: Vec<&str> = out
+            .vars
+            .iter()
+            .zip(row)
+            .map(|(&v, &val)| {
+                if q.pred_var.get(v as usize) == Some(&true) {
+                    kb.pred_iri(PredId(val))
+                } else {
+                    kb.node_key(NodeId(val))
+                }
+            })
+            .collect();
+        let _ = writeln!(msg, "{}", terms.join("\t"));
+    }
+    let _ = writeln!(
+        msg,
+        "{} row(s){}",
+        out.rows.len(),
+        if out.truncated {
+            " (truncated at --limit)"
+        } else {
+            ""
+        }
+    );
+    Ok(msg)
+}
+
 /// Options for `remi serve`.
 #[derive(Debug, Clone)]
 pub struct ServeOpts {
@@ -395,8 +446,9 @@ pub fn cmd_serve(path: &Path, opts: &ServeOpts) -> Result<(remi_serve::ServerHan
         .map_err(|e| CliError(format!("cannot serve on {}: {e}", opts.addr)))?;
     let banner = format!(
         "serving {} on http://{} ({} backend, cache {} entries, max-inflight {})\n\
-         routes: GET /healthz | GET /stats | GET /describe/{{entity}} | \
-         POST /describe | GET /summarize/{{entity}} | POST /ingest",
+         routes (also under /v1): GET /healthz | GET /stats | \
+         GET /describe/{{entity}} | POST /describe | \
+         GET /summarize/{{entity}} | POST /ingest | POST /query",
         path.display(),
         handle.addr(),
         opts.backend.map(|b| b.name()).unwrap_or("format-native"),
@@ -473,15 +525,27 @@ USAGE:
                             [--backend csr|succinct]
   remi ingest <kb> <delta.nt>... -o <out.{rkb,rkb2,nt}>
                   [--backend csr|succinct]
+  remi query <kb> <s> <p> <o> [<s> <p> <o> ...] [--limit N]
+                  [--backend csr|succinct]
   remi serve <kb> [--addr HOST:PORT] [--backend csr|succinct]
                   [--cache-entries N] [--max-inflight N] [--threads N]
                   [--compact-threshold N]
 
+QUERYING:
+  remi query evaluates 1-3 triple patterns joined on shared variables.
+  A slot starting with '?' is a variable (e.g. remi query kb.rkb
+  '?city' p:cityIn e:France '?city' p:capitalOf '?country'); everything
+  else is an IRI. Rows print tab-separated under a ?var header, in a
+  deterministic order that is identical across backends.
+
 SERVING:
-  remi serve keeps the KB resident and answers JSON over HTTP/1.1:
-  GET /healthz, GET /stats, GET /describe/{entity}?k=&threads=&backend=,
+  remi serve keeps the KB resident and answers JSON over HTTP/1.1
+  (canonical paths live under /v1/...; the unprefixed spellings remain
+  as aliases): GET /healthz, GET /stats,
+  GET /describe/{entity}?k=&threads=&backend=,
   POST /describe {\"entities\": [...]}, GET /summarize/{entity}?k=&method=,
-  POST /ingest (N-Triples body). Responses are cached (LRU,
+  POST /ingest (N-Triples body), POST /query {\"patterns\": [{\"s\": ...,
+  \"p\": ..., \"o\": ...}], \"limit\": N}. Responses are cached (LRU,
   --cache-entries; 0 disables) and work beyond --max-inflight is shed
   with 503. Ingested batches publish a new epoch atomically; once the
   delta overlay exceeds --compact-threshold triples it is folded into a
@@ -632,6 +696,51 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("bad.nt"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_joins_patterns_and_honors_limit() {
+        let dir = tmpdir();
+        let kb_path = dir.join("kb.nt");
+        std::fs::write(
+            &kb_path,
+            "<e:Paris> <p:cityIn> <e:France> .\n\
+             <e:Lyon> <p:cityIn> <e:France> .\n\
+             <e:Paris> <p:capitalOf> <e:France> .\n",
+        )
+        .unwrap();
+        let pat = |s: &str, p: &str, o: &str| [s.to_string(), p.to_string(), o.to_string()];
+
+        let out = cmd_query(&kb_path, &[pat("?city", "p:cityIn", "e:France")], 100, None).unwrap();
+        assert!(out.starts_with("?city\n"), "{out}");
+        assert!(out.contains("e:Paris") && out.contains("e:Lyon"), "{out}");
+        assert!(out.ends_with("2 row(s)\n"), "{out}");
+
+        // Two patterns joined on ?city: only the capital survives.
+        let joined = cmd_query(
+            &kb_path,
+            &[
+                pat("?city", "p:cityIn", "e:France"),
+                pat("?city", "p:capitalOf", "?country"),
+            ],
+            100,
+            None,
+        )
+        .unwrap();
+        assert!(joined.contains("e:Paris\te:France"), "{joined}");
+        assert!(joined.ends_with("1 row(s)\n"), "{joined}");
+
+        let truncated =
+            cmd_query(&kb_path, &[pat("?city", "p:cityIn", "e:France")], 1, None).unwrap();
+        assert!(
+            truncated.ends_with("1 row(s) (truncated at --limit)\n"),
+            "{truncated}"
+        );
+
+        // Pattern errors surface as runtime CliErrors, not panics.
+        let err = cmd_query(&kb_path, &[pat("?", "p:cityIn", "e:France")], 10, None).unwrap_err();
+        assert!(err.to_string().contains("must not be empty"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

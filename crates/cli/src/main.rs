@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use remi_cli::{
-    cmd_convert, cmd_describe, cmd_gen, cmd_ingest, cmd_serve, cmd_stats, cmd_summarize,
+    cmd_convert, cmd_describe, cmd_gen, cmd_ingest, cmd_query, cmd_serve, cmd_stats, cmd_summarize,
     DescribeOpts, ServeOpts, USAGE,
 };
 use remi_core::LanguageBias;
@@ -318,6 +318,38 @@ fn run(args: &[String]) -> Result<Action, Failure> {
             let (handle, banner) = cmd_serve(&PathBuf::from(path), &opts)?;
             Ok(Action::Serve(Box::new(handle), banner))
         }
+        "query" => {
+            let Some(path) = args.get(1) else {
+                return Err(err("query takes a KB path and s p o pattern triples"));
+            };
+            let mut limit = 100usize;
+            let mut backend = None;
+            let mut slots = Vec::new();
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                let mut value = || it.next().cloned().ok_or_else(|| err("missing flag value"));
+                match a.as_str() {
+                    "--limit" => {
+                        limit = value()?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| err("--limit takes a positive int"))?
+                    }
+                    "--backend" => backend = Some(parse_backend_usage(&value()?)?),
+                    p if !p.starts_with("--") => slots.push(p.to_string()),
+                    other => return Err(err(&format!("unknown flag {other}"))),
+                }
+            }
+            if slots.is_empty() || slots.len() % 3 != 0 {
+                return Err(err("query takes patterns as s p o triples (1-3 of them)"));
+            }
+            let patterns: Vec<[String; 3]> = slots
+                .chunks_exact(3)
+                .map(|c| [c[0].clone(), c[1].clone(), c[2].clone()])
+                .collect();
+            print(cmd_query(&PathBuf::from(path), &patterns, limit, backend))
+        }
         "help" => Ok(Action::Print(USAGE.to_string())),
         other => Err(err(&format!("unknown subcommand {other}"))),
     }
@@ -395,6 +427,12 @@ mod tests {
             (
                 vec!["summarize", "kb.rkb", "e:x", "--method", "magic"],
                 "unknown method",
+            ),
+            (vec!["query"], "query takes a KB path"),
+            (vec!["query", "kb.rkb", "?s", "p:x"], "s p o triples"),
+            (
+                vec!["query", "kb.rkb", "?s", "p:x", "?o", "--limit", "0"],
+                "--limit takes a positive int",
             ),
         ] {
             let e = run(&args(&line)).unwrap_err();

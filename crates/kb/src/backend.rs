@@ -479,6 +479,17 @@ pub trait TripleStore {
     fn contains(&self, s: NodeId, p: PredId, o: NodeId) -> bool {
         self.objects(p, s).contains_sorted(o.0)
     }
+    /// The unified pattern entry point: streams every triple matching
+    /// `pat` (any of the 8 bound/unbound shapes) in the deterministic
+    /// cross-backend order, with zero materialisation on the common
+    /// paths. Unsized (`dyn`) callers use
+    /// [`SolutionIter::new`](crate::query::SolutionIter::new) directly.
+    fn solve(&self, pat: crate::query::TriplePattern) -> crate::query::SolutionIter<'_>
+    where
+        Self: Sized,
+    {
+        crate::query::SolutionIter::new(self, pat)
+    }
     /// Per-component resident memory.
     fn memory(&self) -> StoreMemory;
 }

@@ -18,6 +18,8 @@
 //! * [`binfmt`] — the `RKB1` (row-oriented) and `RKB2` (succinct,
 //!   section-table) binary file formats.
 //! * [`pagerank`] — endogenous PageRank, the `pr` prominence metric.
+//! * [`query`] — triple-pattern resolution ([`TripleStore::solve`]) and
+//!   the small BGP executor behind `POST /query` / `remi query`.
 //! * [`cache`] — the LRU query cache of §3.5.2.
 //! * [`fx`] — a fast non-cryptographic hasher used throughout.
 //!
@@ -49,6 +51,7 @@ pub mod fx;
 pub mod ids;
 pub mod ntriples;
 pub mod pagerank;
+pub mod query;
 pub mod store;
 pub mod succinct;
 pub mod term;
@@ -58,8 +61,16 @@ pub use backend::{Backend, Bindings, PredView, StoreMemory, TripleStore};
 pub use delta::{content_fingerprint, CompactionPolicy, LiveKb, Snapshot};
 pub use error::{KbError, Result};
 pub use ids::{NodeId, PredId, Triple};
+pub use query::{
+    estimated_cardinality, parse_patterns, solve_bgp, BgpOutcome, PatternError, QueryError,
+    ResolvedQuery, Slot, SolutionIter, TriplePattern,
+};
 pub use store::{KbBuilder, KnowledgeBase};
 pub use term::{Term, TermKind};
+
+// Re-exported so downstream crates (and the umbrella test suite) can pass
+// cancellation tokens to `solve_bgp` without depending on `remi-pool`.
+pub use remi_pool::CancelToken;
 
 /// Loads a KB from a path, dispatching on the extension: `.nt` /
 /// `.ntriples` → N-Triples, anything else → a binary format (the magic

@@ -613,6 +613,9 @@ fn rule_panic_in_serve(ctx: &FileCtx<'_>, _info: &PathInfo, raw: &mut Vec<Violat
         "crates/serve/src/http.rs",
         "crates/serve/src/json.rs",
         "crates/serve/src/cache.rs",
+        "crates/serve/src/router.rs",
+        "crates/serve/src/params.rs",
+        "crates/serve/src/query.rs",
     ];
     if !REQUEST_MODULES.contains(&ctx.path.as_str()) {
         return;

@@ -10,13 +10,15 @@
 //! that fraction of each client's requests become `POST /ingest` batches
 //! of fresh synthetic triples (every batch unique, so the delta overlay
 //! genuinely grows while miners read), and the report splits latency
-//! quantiles per class.
+//! quantiles per class. `--query-ratio F` does the same with
+//! `POST /query` triple-pattern joins built from the KB's own
+//! predicates, adding a third latency class to the report.
 //!
 //! Usage:
 //!   remi-serve-load <kb.{rkb,rkb2,nt}> [--requests N] [--clients C]
 //!                   [--backend csr|succinct] [--entities e:A,e:B,...]
 //!                   [--mode describe|summarize|healthz] [--cold]
-//!                   [--ingest-ratio F]
+//!                   [--ingest-ratio F] [--query-ratio F]
 
 #![forbid(unsafe_code)]
 
@@ -36,6 +38,7 @@ struct Args {
     mode: String,
     cold: bool,
     ingest_ratio: f64,
+    query_ratio: f64,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -48,6 +51,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         mode: "describe".to_string(),
         cold: false,
         ingest_ratio: 0.0,
+        query_ratio: 0.0,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -94,6 +98,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .filter(|r| (0.0..=1.0).contains(r))
                     .ok_or_else(|| "--ingest-ratio takes a float in 0..=1".to_string())?
             }
+            "--query-ratio" => {
+                args.query_ratio = value()?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| "--query-ratio takes a float in 0..=1".to_string())?
+            }
             p if !p.starts_with("--") && args.kb_path.is_empty() => args.kb_path = p.to_string(),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -102,8 +113,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return Err("usage: remi-serve-load <kb> [--requests N] [--clients C] \
                     [--backend csr|succinct] [--entities a,b] \
                     [--mode describe|summarize|healthz] [--cold] \
-                    [--ingest-ratio F]"
+                    [--ingest-ratio F] [--query-ratio F]"
             .to_string());
+    }
+    if args.ingest_ratio + args.query_ratio > 1.0 {
+        return Err("--ingest-ratio and --query-ratio must sum to at most 1".to_string());
     }
     Ok(args)
 }
@@ -153,9 +167,47 @@ fn main() -> ExitCode {
     }
 }
 
+/// `POST /query` payloads built from the KB's own predicates: single
+/// full-extent patterns over the fattest predicates plus one 2-pattern
+/// chain join, so the mix exercises both engine paths.
+fn query_payloads(kb: &remi_kb::KnowledgeBase) -> Vec<String> {
+    let mut preds: Vec<remi_kb::PredId> = kb
+        .pred_ids()
+        .filter(|&p| !kb.is_inverse(p) && kb.index(p).num_facts() > 0)
+        .collect();
+    preds.sort_by_key(|&p| std::cmp::Reverse(kb.index(p).num_facts()));
+    preds.truncate(4);
+    let mut payloads: Vec<String> = preds
+        .iter()
+        .map(|&p| {
+            format!(
+                "{{\"patterns\":[{{\"s\":\"?s\",\"p\":{},\"o\":\"?o\"}}],\"limit\":100}}",
+                remi_serve::json::escape(kb.pred_iri(p))
+            )
+        })
+        .collect();
+    if let Some(&p) = preds.first() {
+        let p = remi_serve::json::escape(kb.pred_iri(p));
+        payloads.push(format!(
+            "{{\"patterns\":[{{\"s\":\"?a\",\"p\":{p},\"o\":\"?b\"}},\
+             {{\"s\":\"?b\",\"p\":{p},\"o\":\"?c\"}}],\"limit\":100}}"
+        ));
+    }
+    payloads
+}
+
 fn run(argv: &[String]) -> Result<String, String> {
     let args = parse_args(argv)?;
     let kb = load_kb(&args.kb_path)?;
+    let queries = if args.query_ratio > 0.0 {
+        let q = query_payloads(&kb);
+        if q.is_empty() {
+            return Err("KB holds no predicates to query".to_string());
+        }
+        q
+    } else {
+        Vec::new()
+    };
 
     let mut entities = args.entities.clone();
     if entities.is_empty() && args.mode != "healthz" {
@@ -211,21 +263,25 @@ fn run(argv: &[String]) -> Result<String, String> {
     let per_client = args.requests.div_ceil(args.clients);
     let total = per_client * args.clients;
     let ratio = args.ingest_ratio;
+    let qratio = args.query_ratio;
     let t0 = Instant::now();
-    // Per-class latencies: (reads, ingests).
-    type ClassLat = (Vec<u64>, Vec<u64>);
+    // Per-class latencies: (reads, ingests, queries).
+    type ClassLat = (Vec<u64>, Vec<u64>, Vec<u64>);
     // lint:allow(raw-thread-primitive): loadgen clients block on sockets for the whole run — parking them on the shared compute pool would starve the server it is measuring
     let results: Vec<Result<ClassLat, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|c| {
                 let targets = &targets;
+                let queries = &queries;
                 scope.spawn(move || -> Result<ClassLat, String> {
                     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
                     let mut reads = Vec::with_capacity(per_client);
                     let mut writes = Vec::new();
-                    // Deterministic interleave: accumulate ratio credit,
-                    // fire one ingest per whole unit.
+                    let mut query_lat = Vec::new();
+                    // Deterministic interleave: accumulate ratio credit
+                    // per class, fire one request per whole unit.
                     let mut credit = 0.0f64;
+                    let mut qcredit = 0.0f64;
                     for i in 0..per_client {
                         credit += ratio;
                         if credit >= 1.0 {
@@ -241,6 +297,20 @@ fn run(argv: &[String]) -> Result<String, String> {
                             }
                             continue;
                         }
+                        qcredit += qratio;
+                        if qcredit >= 1.0 && !queries.is_empty() {
+                            qcredit -= 1.0;
+                            let body = &queries[(c + i) % queries.len()];
+                            let q0 = Instant::now();
+                            let r = client
+                                .post("/query", body)
+                                .map_err(|e| format!("/query: {e}"))?;
+                            query_lat.push(q0.elapsed().as_micros() as u64);
+                            if r.status != 200 {
+                                return Err(format!("/query answered {}: {}", r.status, r.body));
+                            }
+                            continue;
+                        }
                         let t = &targets[(c + i) % targets.len()];
                         let q0 = Instant::now();
                         let r = client.get(t).map_err(|e| format!("{t}: {e}"))?;
@@ -249,7 +319,7 @@ fn run(argv: &[String]) -> Result<String, String> {
                             return Err(format!("{t} answered {}: {}", r.status, r.body));
                         }
                     }
-                    Ok((reads, writes))
+                    Ok((reads, writes, query_lat))
                 })
             })
             .collect();
@@ -261,13 +331,16 @@ fn run(argv: &[String]) -> Result<String, String> {
     let elapsed = t0.elapsed();
     let mut reads_us: Vec<u64> = Vec::with_capacity(total);
     let mut ingests_us: Vec<u64> = Vec::new();
+    let mut queries_us: Vec<u64> = Vec::new();
     for r in results {
-        let (reads, writes) = r?;
+        let (reads, writes, query_lat) = r?;
         reads_us.extend(reads);
         ingests_us.extend(writes);
+        queries_us.extend(query_lat);
     }
     reads_us.sort_unstable();
     ingests_us.sort_unstable();
+    queries_us.sort_unstable();
 
     let mut stats_client = Client::connect(addr).map_err(|e| e.to_string())?;
     let stats = stats_client.get("/stats").map_err(|e| e.to_string())?;
@@ -278,9 +351,10 @@ fn run(argv: &[String]) -> Result<String, String> {
     use std::fmt::Write as _;
     let _ = writeln!(
         out,
-        "serve-load: {total} requests ({} reads, {} ingests), {} clients, mode {} ({})",
+        "serve-load: {total} requests ({} reads, {} ingests, {} queries), {} clients, mode {} ({})",
         reads_us.len(),
         ingests_us.len(),
+        queries_us.len(),
         args.clients,
         args.mode,
         if args.cold { "cold, cache off" } else { "warm" }
@@ -289,6 +363,9 @@ fn run(argv: &[String]) -> Result<String, String> {
     let _ = writeln!(out, "  read:        {}", quantiles(&reads_us));
     if !ingests_us.is_empty() {
         let _ = writeln!(out, "  ingest:      {}", quantiles(&ingests_us));
+    }
+    if !queries_us.is_empty() {
+        let _ = writeln!(out, "  query:       {}", quantiles(&queries_us));
     }
     let _ = writeln!(out, "  server:      {}", stats.body);
     Ok(out)

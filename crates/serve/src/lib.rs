@@ -22,18 +22,28 @@
 //!
 //! # The API
 //!
-//! | route                     | answer                                   |
-//! |---------------------------|------------------------------------------|
-//! | `GET /healthz`            | liveness (exempt from request shedding)  |
-//! | `GET /stats`              | KB + backend + cache + server metrics    |
-//! | `GET /describe/{entity}`  | best RE(s); `?k=&threads=&backend=`      |
-//! | `POST /describe`          | batched entity list, one shared miner    |
-//! | `GET /summarize/{entity}` | top-k facts; `?k=&method=&backend=`      |
+//! Routing is table-driven (`router.rs`): every endpoint is exactly one
+//! `(method, path, admission) → handler` row, mounted at its canonical
+//! versioned path `/v1/…` with the legacy unprefixed path kept as an
+//! alias, and `405` responses derive their `Allow` header from the
+//! table. Parameter parsing and clamping go through one typed extractor
+//! (`params.rs`), so every endpoint shares the same limits and the same
+//! `{"error": …, "param": …}` failure envelope.
 //!
-//! Mining responses are deterministic byte-for-byte: the same request on
-//! the same KB renders the same body whether it was mined, cached (the
-//! `X-Remi-Cache` header says which), or answered by the CSR or the
-//! succinct backend.
+//! | route                        | answer                                   |
+//! |------------------------------|------------------------------------------|
+//! | `GET /v1/healthz`            | liveness (exempt from request shedding)  |
+//! | `GET /v1/stats`              | KB + backend + cache + server metrics    |
+//! | `GET /v1/describe/{entity}`  | best RE(s); `?k=&threads=&backend=`      |
+//! | `POST /v1/describe`          | batched entity list, one shared miner    |
+//! | `GET /v1/summarize/{entity}` | top-k facts; `?k=&method=&backend=`      |
+//! | `POST /v1/ingest`            | append N-Triples (atomic epoch publish)  |
+//! | `POST /v1/query`             | triple patterns + limit → variable rows  |
+//!
+//! Mining and query responses are deterministic byte-for-byte: the same
+//! request on the same KB renders the same body whether it was computed,
+//! cached (the `X-Remi-Cache` header says which), or answered by the CSR
+//! or the succinct backend.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +52,12 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod json;
+
+mod params;
+mod query;
+mod router;
+
+pub use query::query_body;
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -75,9 +91,6 @@ const READ_TIMEOUT: Duration = Duration::from_millis(50);
 /// Socket write timeout: bounds how long a non-reading client can pin a
 /// worker mid-response before the connection is dropped.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// Hard cap on `k` for describe/summarize.
-const MAX_K: usize = 64;
 
 /// Hard cap on one batched describe.
 const MAX_BATCH: usize = 64;
@@ -138,10 +151,13 @@ pub fn kb_fingerprint(kb: &KnowledgeBase) -> u64 {
 /// A rendering failure: the HTTP status and error message to answer with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
-    /// HTTP status (400 or 404).
+    /// HTTP status (400, 404, or 503 for cancelled work).
     pub status: u16,
     /// Human-readable message (becomes the `error` field).
     pub message: String,
+    /// The offending request parameter, when the failure is attributable
+    /// to one (becomes the `param` field of the error envelope).
+    pub param: Option<&'static str>,
 }
 
 impl ApiError {
@@ -149,6 +165,7 @@ impl ApiError {
         ApiError {
             status: 404,
             message: format!("entity not found in KB: {what}"),
+            param: None,
         }
     }
 
@@ -156,6 +173,16 @@ impl ApiError {
         ApiError {
             status: 400,
             message: message.into(),
+            param: None,
+        }
+    }
+
+    /// A `400` attributable to one named request parameter.
+    pub(crate) fn bad_param(param: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: message.into(),
+            param: Some(param),
         }
     }
 }
@@ -311,10 +338,10 @@ struct Metrics {
     inflight: AtomicU64,
 }
 
-struct AppState {
+pub(crate) struct AppState {
     /// The resident KB, now appendable: `POST /ingest` publishes new
     /// epochs, every request pins one [`Snapshot`].
-    live: LiveKb,
+    pub(crate) live: LiveKb,
     primary: Backend,
     /// The other layout, converted lazily on `?backend=` use. Keyed by
     /// `(epoch, fingerprint)`: validity is by *fingerprint* (equal
@@ -330,7 +357,7 @@ struct AppState {
     /// min 8): idle parked connections are cheap, so this only bounds
     /// file descriptors and parser buffers.
     max_conns: u64,
-    default_threads: usize,
+    pub(crate) default_threads: usize,
     /// PageRank for `linksum`, computed on demand; same keying as
     /// `converted`.
     ranks: Mutex<Option<(u64, u64, Arc<PageRank>)>>,
@@ -343,7 +370,7 @@ struct AppState {
     compaction_wanted: AtomicBool,
     /// A compaction task is currently folding the delta.
     compaction_running: AtomicBool,
-    shutdown: CancelToken,
+    pub(crate) shutdown: CancelToken,
     started: Instant,
 }
 
@@ -353,7 +380,7 @@ impl AppState {
     /// A request pinned on an *older* epoch converts for itself without
     /// touching the slot — stragglers must not evict the conversion the
     /// current epoch's requests share.
-    fn kb_for(&self, snap: &Snapshot, backend: Option<Backend>) -> Arc<KnowledgeBase> {
+    pub(crate) fn kb_for(&self, snap: &Snapshot, backend: Option<Backend>) -> Arc<KnowledgeBase> {
         let backend = backend.unwrap_or(self.primary);
         if backend == self.primary {
             return Arc::clone(&snap.kb);
@@ -414,14 +441,14 @@ impl Drop for GaugeGuard<'_> {
 // ---------------------------------------------------------------------------
 // Request handling
 
-struct Response {
+pub(crate) struct Response {
     status: u16,
     headers: Vec<(&'static str, String)>,
     body: String,
 }
 
 impl Response {
-    fn ok(body: String) -> Response {
+    pub(crate) fn ok(body: String) -> Response {
         Response {
             status: 200,
             headers: Vec::new(),
@@ -429,7 +456,7 @@ impl Response {
         }
     }
 
-    fn error(status: u16, message: &str) -> Response {
+    pub(crate) fn error(status: u16, message: &str) -> Response {
         Response {
             status,
             headers: Vec::new(),
@@ -437,33 +464,24 @@ impl Response {
         }
     }
 
-    fn method_not_allowed(allow: &str) -> Response {
+    /// Renders an [`ApiError`] as the shared error envelope
+    /// (`{"error": …}` plus `"param"` when the failure names one).
+    pub(crate) fn api(e: &ApiError) -> Response {
+        let mut obj = JsonObject::new().field_str("error", &e.message);
+        if let Some(param) = e.param {
+            obj = obj.field_str("param", param);
+        }
+        Response {
+            status: e.status,
+            headers: Vec::new(),
+            body: obj.finish(),
+        }
+    }
+
+    pub(crate) fn method_not_allowed(allow: &str) -> Response {
         let mut r = Response::error(405, "method not allowed");
         r.headers.push(("Allow", allow.to_string()));
         r
-    }
-}
-
-/// Parses a bounded positive integer query parameter.
-fn int_param(req: &Request, name: &str, default: usize, max: usize) -> Result<usize, ApiError> {
-    match req.query_param(name) {
-        None => Ok(default),
-        Some(raw) => raw
-            .parse::<usize>()
-            .ok()
-            .filter(|&v| (1..=max).contains(&v))
-            .ok_or_else(|| ApiError::bad(format!("{name} must be an integer in 1..={max}"))),
-    }
-}
-
-fn backend_param(req: &Request) -> Result<Option<Backend>, ApiError> {
-    match req.query_param("backend") {
-        None => Ok(None),
-        Some(raw) => Backend::parse(raw).map(Some).ok_or_else(|| {
-            ApiError::bad(format!(
-                "unknown backend {raw:?} (expected csr or succinct)"
-            ))
-        }),
     }
 }
 
@@ -471,7 +489,7 @@ fn backend_param(req: &Request) -> Result<Option<Backend>, ApiError> {
 /// fingerprint, rendering and inserting on a miss. The `X-Remi-Cache`
 /// header reports which path answered; the body bytes are identical
 /// either way.
-fn cached(
+pub(crate) fn cached(
     state: &AppState,
     snap: &Snapshot,
     request_key: String,
@@ -500,21 +518,25 @@ fn cached(
             r.headers.push(("X-Remi-Cache", "miss".to_string()));
             r
         }
-        Err(e) => Response::error(e.status, &e.message),
+        Err(e) => Response::api(&e),
     }
 }
 
-fn handle_healthz(req: &Request) -> Response {
-    if req.method != "GET" {
-        return Response::method_not_allowed("GET");
-    }
+pub(crate) fn handle_healthz(
+    _state: &AppState,
+    _snap: &Snapshot,
+    _req: &Request,
+    _tail: &str,
+) -> Response {
     Response::ok(JsonObject::new().field_str("status", "ok").finish())
 }
 
-fn handle_stats(state: &AppState, snap: &Snapshot, req: &Request) -> Response {
-    if req.method != "GET" {
-        return Response::method_not_allowed("GET");
-    }
+pub(crate) fn handle_stats(
+    state: &AppState,
+    snap: &Snapshot,
+    _req: &Request,
+    _tail: &str,
+) -> Response {
     let kb = &snap.kb;
     let cache = state.cache.stats();
     let live = state.live.stats();
@@ -612,34 +634,33 @@ fn handle_stats(state: &AppState, snap: &Snapshot, req: &Request) -> Response {
     Response::ok(body)
 }
 
-fn handle_describe_one(state: &AppState, snap: &Snapshot, req: &Request, iri: &str) -> Response {
-    if req.method != "GET" {
-        return Response::method_not_allowed("GET");
-    }
-    let (k, threads, backend) = match (|| {
-        Ok::<_, ApiError>((
-            int_param(req, "k", 1, MAX_K)?,
-            int_param(req, "threads", state.default_threads, 256)?,
-            backend_param(req)?,
-        ))
-    })() {
-        Ok(params) => params,
-        Err(e) => return Response::error(e.status, &e.message),
+pub(crate) fn handle_describe_one(
+    state: &AppState,
+    snap: &Snapshot,
+    req: &Request,
+    iri: &str,
+) -> Response {
+    let params = match params::QueryParams::defaults(state.default_threads).merge_query(req) {
+        Ok(p) => p,
+        Err(e) => return Response::api(&e),
     };
+    let (k, threads) = (params.k, params.threads);
     cached(
         state,
         snap,
         format!("describe?entity={iri}&k={k}&threads={threads}"),
         // kb_for runs only on a miss: a cache hit must not materialise
         // the lazily-built secondary backend.
-        || describe_body(&state.kb_for(snap, backend), iri, k, threads),
+        || describe_body(&state.kb_for(snap, params.backend), iri, k, threads),
     )
 }
 
-fn handle_describe_batch(state: &AppState, snap: &Snapshot, req: &Request) -> Response {
-    if req.method != "POST" {
-        return Response::method_not_allowed("POST");
-    }
+pub(crate) fn handle_describe_batch(
+    state: &AppState,
+    snap: &Snapshot,
+    req: &Request,
+    _tail: &str,
+) -> Response {
     let doc = match json::parse(&req.body) {
         Ok(doc) => doc,
         Err(e) => return Response::error(400, &format!("malformed JSON body: {e}")),
@@ -657,24 +678,11 @@ fn handle_describe_batch(state: &AppState, snap: &Snapshot, req: &Request) -> Re
             None => return Response::error(400, "entities must be strings"),
         }
     }
-    let k = match doc.get("k").map(|v| v.as_usize()) {
-        None => 1,
-        Some(Some(k)) if (1..=MAX_K).contains(&k) => k,
-        _ => return Response::error(400, &format!("k must be an integer in 1..={MAX_K}")),
+    let params = match params::QueryParams::defaults(state.default_threads).merge_json(&doc) {
+        Ok(p) => p,
+        Err(e) => return Response::api(&e),
     };
-    let threads = match doc.get("threads").map(|v| v.as_usize()) {
-        None => state.default_threads,
-        Some(Some(t)) if (1..=256).contains(&t) => t,
-        _ => return Response::error(400, "threads must be an integer in 1..=256"),
-    };
-    let backend = match doc.get("backend").map(|v| v.as_str()) {
-        None => None,
-        Some(Some(name)) => match Backend::parse(name) {
-            Some(b) => Some(b),
-            None => return Response::error(400, "unknown backend (expected csr or succinct)"),
-        },
-        Some(None) => return Response::error(400, "backend must be a string"),
-    };
+    let (k, threads, backend) = (params.k, params.threads, params.backend);
 
     let request_key =
         |iri: &str| -> String { format!("describe?entity={iri}&k={k}&threads={threads}") };
@@ -756,10 +764,12 @@ fn handle_describe_batch(state: &AppState, snap: &Snapshot, req: &Request) -> Re
 /// append rotates the fingerprint, purges stale response-cache
 /// generations, and (past the compaction threshold) schedules a
 /// background fold on the shared pool.
-fn handle_ingest(state: &AppState, req: &Request) -> Response {
-    if req.method != "POST" {
-        return Response::method_not_allowed("POST");
-    }
+pub(crate) fn handle_ingest(
+    state: &AppState,
+    _snap: &Snapshot,
+    req: &Request,
+    _tail: &str,
+) -> Response {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "body must be UTF-8 N-Triples");
     };
@@ -809,19 +819,20 @@ fn handle_ingest(state: &AppState, req: &Request) -> Response {
     )
 }
 
-fn handle_summarize(state: &AppState, snap: &Snapshot, req: &Request, iri: &str) -> Response {
-    if req.method != "GET" {
-        return Response::method_not_allowed("GET");
-    }
-    let k = match int_param(req, "k", 5, MAX_K) {
-        Ok(k) => k,
-        Err(e) => return Response::error(e.status, &e.message),
+pub(crate) fn handle_summarize(
+    state: &AppState,
+    snap: &Snapshot,
+    req: &Request,
+    iri: &str,
+) -> Response {
+    let params = match params::QueryParams::defaults(state.default_threads)
+        .with_k(5)
+        .merge_query(req)
+    {
+        Ok(p) => p,
+        Err(e) => return Response::api(&e),
     };
-    let backend = match backend_param(req) {
-        Ok(b) => b,
-        Err(e) => return Response::error(e.status, &e.message),
-    };
-    let method = req.query_param("method").unwrap_or("remi").to_string();
+    let (k, method) = (params.k, params.method);
     cached(
         state,
         snap,
@@ -833,7 +844,7 @@ fn handle_summarize(state: &AppState, snap: &Snapshot, req: &Request, iri: &str)
                 None
             };
             summarize_body(
-                &state.kb_for(snap, backend),
+                &state.kb_for(snap, params.backend),
                 iri,
                 k,
                 &method,
@@ -843,40 +854,9 @@ fn handle_summarize(state: &AppState, snap: &Snapshot, req: &Request, iri: &str)
     )
 }
 
-/// Routes one parsed request against a pinned snapshot (one epoch per
-/// request — mid-request ingests never tear a response). Mining and
-/// ingest endpoints pass through admission control; `/healthz` and
-/// `/stats` stay answerable under full load.
-fn route(state: &AppState, req: &Request) -> Response {
-    let snap = state.live.snapshot();
-    match req.path.as_str() {
-        "/healthz" => handle_healthz(req),
-        "/stats" => handle_stats(state, &snap, req),
-        "/describe" => with_admission(state, req, |state, req| {
-            handle_describe_batch(state, &snap, req)
-        }),
-        "/ingest" => with_admission(state, req, handle_ingest),
-        path => {
-            if let Some(iri) = path.strip_prefix("/describe/") {
-                let iri = iri.to_string();
-                with_admission(state, req, move |state, req| {
-                    handle_describe_one(state, &snap, req, &iri)
-                })
-            } else if let Some(iri) = path.strip_prefix("/summarize/") {
-                let iri = iri.to_string();
-                with_admission(state, req, move |state, req| {
-                    handle_summarize(state, &snap, req, &iri)
-                })
-            } else {
-                Response::error(404, &format!("no such route: {path}"))
-            }
-        }
-    }
-}
-
 /// Request-level admission control: mining work beyond the watermark is
 /// shed with `503` + `Retry-After` instead of queueing unboundedly.
-fn with_admission(
+pub(crate) fn with_admission(
     state: &AppState,
     req: &Request,
     handler: impl FnOnce(&AppState, &Request) -> Response,
@@ -895,7 +875,7 @@ fn with_admission(
 /// Routes a request, turning panics into `500` and updating counters.
 fn respond(state: &AppState, req: &Request) -> Response {
     state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    let response = std::panic::catch_unwind(AssertUnwindSafe(|| route(state, req)))
+    let response = std::panic::catch_unwind(AssertUnwindSafe(|| router::dispatch(state, req)))
         .unwrap_or_else(|_| Response::error(500, "internal server error"));
     let class = match response.status {
         200..=299 => &state.metrics.ok,

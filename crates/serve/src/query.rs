@@ -1,0 +1,228 @@
+//! `POST /query` — the triple-pattern / BGP endpoint.
+//!
+//! The body names up to [`MAX_PATTERNS`] patterns (`{"s": …, "p": …,
+//! "o": …}`, slots starting with `?` are variables) plus an optional
+//! `limit` and `backend`; the response is a variable header and the
+//! joined rows, rendered as canonical JSON and cached under the epoch
+//! fingerprint exactly like describe — a cache hit is byte-identical to
+//! the miss that seeded it. Evaluation runs behind admission control and
+//! carries the server's shutdown token, so long scans abort with `503`
+//! instead of pinning workers through a drain.
+
+use remi_kb::delta::Snapshot;
+use remi_kb::query::{parse_patterns, solve_bgp, QueryError, MAX_PATTERNS};
+use remi_kb::{KnowledgeBase, NodeId, PredId};
+use remi_pool::CancelToken;
+
+use crate::http::Request;
+use crate::json::{self, JsonObject};
+use crate::params::QueryParams;
+use crate::{cached, ApiError, AppState, Response};
+
+/// Extracts the `patterns` field: a non-empty array of objects whose
+/// `s`/`p`/`o` fields are strings.
+fn pattern_strings(doc: &json::Value) -> Result<Vec<[String; 3]>, ApiError> {
+    let Some(items) = doc.get("patterns").and_then(|v| v.as_array()) else {
+        return Err(ApiError::bad_param(
+            "patterns",
+            "body must be {\"patterns\": [{\"s\": …, \"p\": …, \"o\": …}, …], …}",
+        ));
+    };
+    if items.is_empty() || items.len() > MAX_PATTERNS {
+        return Err(ApiError::bad_param(
+            "patterns",
+            format!("patterns must hold 1..={MAX_PATTERNS} triple patterns"),
+        ));
+    }
+    let mut patterns = Vec::with_capacity(items.len());
+    for item in items {
+        let slot = |name: &str| -> Result<String, ApiError> {
+            item.get(name)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    ApiError::bad_param(
+                        "patterns",
+                        format!("each pattern must be an object with string fields \"s\", \"p\", \"o\" (bad {name:?})"),
+                    )
+                })
+        };
+        patterns.push([slot("s")?, slot("p")?, slot("o")?]);
+    }
+    Ok(patterns)
+}
+
+/// The canonical cache key of a query: limit + the patterns as given.
+/// (Like describe, the backend is deliberately absent — both backends
+/// render byte-identical bodies, so they share cache entries.)
+fn request_key(patterns: &[[String; 3]], limit: usize) -> String {
+    let spec: Vec<String> = patterns
+        .iter()
+        .map(|[s, p, o]| format!("{s} {p} {o}"))
+        .collect();
+    format!("query?limit={limit}&patterns={}", spec.join(";"))
+}
+
+/// Renders the `/query` response body — exactly what `POST /query`
+/// answers on a cache miss: the variable header (first-appearance
+/// order), the row count, the truncation flag, and one row of bound
+/// IRIs per solution.
+pub fn query_body(
+    kb: &KnowledgeBase,
+    patterns: &[[String; 3]],
+    limit: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<String, ApiError> {
+    let q =
+        parse_patterns(kb, patterns).map_err(|e| ApiError::bad_param("patterns", e.to_string()))?;
+    let out = solve_bgp(kb.store(), &q.patterns, limit, cancel).map_err(|e| match e {
+        QueryError::Cancelled => ApiError {
+            status: 503,
+            message: "query cancelled".to_string(),
+            param: None,
+        },
+        other => ApiError::bad_param("patterns", other.to_string()),
+    })?;
+    let names: Vec<&str> = out
+        .vars
+        .iter()
+        .filter_map(|&v| q.var_names.get(v as usize).map(String::as_str))
+        .collect();
+    let rows: Vec<String> = out
+        .rows
+        .iter()
+        .map(|row| {
+            let terms = out.vars.iter().zip(row).map(|(&v, &val)| {
+                if q.pred_var.get(v as usize) == Some(&true) {
+                    kb.pred_iri(PredId(val))
+                } else {
+                    kb.node_key(NodeId(val))
+                }
+            });
+            json::array_str(terms)
+        })
+        .collect();
+    Ok(JsonObject::new()
+        .field_raw("vars", &json::array_str(names))
+        .field_u64("count", rows.len() as u64)
+        .field_bool("truncated", out.truncated)
+        .field_raw("rows", &json::array_raw(rows))
+        .finish())
+}
+
+/// The `POST /query` handler (a row of the route table).
+pub(crate) fn handle_query(
+    state: &AppState,
+    snap: &Snapshot,
+    req: &Request,
+    _tail: &str,
+) -> Response {
+    let doc = match json::parse(&req.body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("malformed JSON body: {e}")),
+    };
+    let patterns = match pattern_strings(&doc) {
+        Ok(p) => p,
+        Err(e) => return Response::api(&e),
+    };
+    let params = match QueryParams::defaults(state.default_threads).merge_json(&doc) {
+        Ok(p) => p,
+        Err(e) => return Response::api(&e),
+    };
+    cached(state, snap, request_key(&patterns, params.limit), || {
+        // kb_for runs only on a miss: a cache hit must not materialise
+        // the lazily-built secondary backend.
+        query_body(
+            &state.kb_for(snap, params.backend),
+            &patterns,
+            params.limit,
+            Some(&state.shutdown),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remi_kb::Backend;
+
+    fn kb() -> KnowledgeBase {
+        let mut b = remi_kb::KbBuilder::new();
+        b.add_iri("e:Paris", "p:capitalOf", "e:France");
+        b.add_iri("e:Paris", "p:cityIn", "e:France");
+        b.add_iri("e:Lyon", "p:cityIn", "e:France");
+        b.build().unwrap()
+    }
+
+    fn pat(s: &str, p: &str, o: &str) -> [String; 3] {
+        [s.to_string(), p.to_string(), o.to_string()]
+    }
+
+    #[test]
+    fn body_lists_vars_and_rows() {
+        let kb = kb();
+        let body = query_body(&kb, &[pat("?city", "p:cityIn", "e:France")], 100, None).unwrap();
+        assert_eq!(
+            body,
+            "{\"vars\":[\"city\"],\"count\":2,\"truncated\":false,\
+             \"rows\":[[\"e:Paris\"],[\"e:Lyon\"]]}"
+        );
+    }
+
+    #[test]
+    fn bodies_are_byte_identical_across_backends() {
+        let kb = kb();
+        let succ = kb.clone().with_backend(Backend::Succinct);
+        for patterns in [
+            vec![pat("?s", "?p", "?o")],
+            vec![
+                pat("?city", "p:cityIn", "e:France"),
+                pat("?city", "p:capitalOf", "?country"),
+            ],
+        ] {
+            assert_eq!(
+                query_body(&kb, &patterns, 50, None).unwrap(),
+                query_body(&succ, &patterns, 50, None).unwrap(),
+                "{patterns:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_iris_answer_zero_rows_not_errors() {
+        let body = query_body(&kb(), &[pat("?x", "p:nope", "e:Missing")], 10, None).unwrap();
+        assert!(body.contains("\"count\":0"), "{body}");
+        assert!(body.contains("\"rows\":[]"), "{body}");
+    }
+
+    #[test]
+    fn parse_failures_are_param_tagged() {
+        let err = query_body(&kb(), &[pat("?", "p:cityIn", "e:France")], 10, None).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.param, Some("patterns"));
+
+        let doc = json::parse(br#"{"patterns": [{"s": "?x", "p": 3, "o": "?y"}]}"#).unwrap();
+        let err = pattern_strings(&doc).unwrap_err();
+        assert_eq!(err.param, Some("patterns"));
+    }
+
+    #[test]
+    fn cancelled_queries_surface_as_503() {
+        let token = CancelToken::default();
+        token.cancel();
+        let err = query_body(&kb(), &[pat("?s", "?p", "?o")], 10, Some(&token)).unwrap_err();
+        assert_eq!(err.status, 503);
+    }
+
+    #[test]
+    fn request_keys_are_canonical() {
+        assert_eq!(
+            request_key(&[pat("?s", "p:cityIn", "e:France")], 7),
+            "query?limit=7&patterns=?s p:cityIn e:France"
+        );
+        assert_eq!(
+            request_key(&[pat("?a", "?b", "?c"), pat("?c", "p:x", "e:Y")], 100),
+            "query?limit=100&patterns=?a ?b ?c;?c p:x e:Y"
+        );
+    }
+}

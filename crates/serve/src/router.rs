@@ -1,0 +1,191 @@
+//! The declarative route table.
+//!
+//! Every endpoint is exactly one row of [`TABLE`]: `(method, path spec,
+//! admission flag) → handler`. Dispatch walks the table once per
+//! request, so the API surface, the admission-control policy, and the
+//! `405 Allow` header all derive from the same declaration — there is no
+//! hand-rolled if-chain to drift out of sync.
+//!
+//! Paths are versioned: `/v1/{route}` is the canonical spelling and the
+//! legacy unprefixed `/{route}` remains as an alias (the `/v1` prefix is
+//! stripped before table lookup, so every row serves both).
+
+use remi_kb::delta::Snapshot;
+
+use crate::http::Request;
+use crate::{with_admission, AppState, Response};
+
+/// How a route matches a request path.
+pub(crate) enum PathSpec {
+    /// The whole path, exactly.
+    Exact(&'static str),
+    /// A leading prefix; the remainder (possibly empty) is the capture
+    /// handed to the handler — e.g. the entity IRI of `/describe/{iri}`.
+    Prefix(&'static str),
+}
+
+impl PathSpec {
+    /// The capture when `path` matches this spec (`""` for exact routes).
+    fn capture<'p>(&self, path: &'p str) -> Option<&'p str> {
+        match *self {
+            PathSpec::Exact(spec) => (path == spec).then_some(""),
+            PathSpec::Prefix(spec) => path.strip_prefix(spec),
+        }
+    }
+}
+
+/// A request handler: the pinned snapshot, the parsed request, and the
+/// path capture (empty for exact routes).
+pub(crate) type Handler = fn(&AppState, &Snapshot, &Request, &str) -> Response;
+
+/// One row of the route table.
+pub(crate) struct Route {
+    /// HTTP method this row answers.
+    pub method: &'static str,
+    /// Path shape this row matches.
+    pub path: PathSpec,
+    /// Whether the handler runs behind the admission watermark (mining,
+    /// query, and ingest work is shed with 503 beyond it; `/healthz` and
+    /// `/stats` stay answerable under full load).
+    pub admission: bool,
+    /// The handler function.
+    pub handler: Handler,
+}
+
+/// The whole API surface, one declaration per endpoint.
+pub(crate) const TABLE: &[Route] = &[
+    Route {
+        method: "GET",
+        path: PathSpec::Exact("/healthz"),
+        admission: false,
+        handler: crate::handle_healthz,
+    },
+    Route {
+        method: "GET",
+        path: PathSpec::Exact("/stats"),
+        admission: false,
+        handler: crate::handle_stats,
+    },
+    Route {
+        method: "GET",
+        path: PathSpec::Prefix("/describe/"),
+        admission: true,
+        handler: crate::handle_describe_one,
+    },
+    Route {
+        method: "POST",
+        path: PathSpec::Exact("/describe"),
+        admission: true,
+        handler: crate::handle_describe_batch,
+    },
+    Route {
+        method: "GET",
+        path: PathSpec::Prefix("/summarize/"),
+        admission: true,
+        handler: crate::handle_summarize,
+    },
+    Route {
+        method: "POST",
+        path: PathSpec::Exact("/ingest"),
+        admission: true,
+        handler: crate::handle_ingest,
+    },
+    Route {
+        method: "POST",
+        path: PathSpec::Exact("/query"),
+        admission: true,
+        handler: crate::query::handle_query,
+    },
+];
+
+/// Strips the `/v1` version prefix: `/v1/stats` routes like `/stats`.
+/// Only a real segment boundary counts — `/v1x` is not versioned, and a
+/// bare `/v1` matches no route.
+fn strip_version(path: &str) -> &str {
+    match path.strip_prefix("/v1") {
+        Some(rest) if rest.starts_with('/') => rest,
+        _ => path,
+    }
+}
+
+/// Routes one parsed request against a pinned snapshot (one epoch per
+/// request — mid-request ingests never tear a response). A path that
+/// matches rows only under other methods answers `405` with an `Allow`
+/// header listing exactly the methods the table declares for it.
+pub(crate) fn dispatch(state: &AppState, req: &Request) -> Response {
+    let snap = state.live.snapshot();
+    let path = strip_version(&req.path);
+    let mut allow: Vec<&'static str> = Vec::new();
+    for route in TABLE {
+        let Some(tail) = route.path.capture(path) else {
+            continue;
+        };
+        if route.method == req.method {
+            return if route.admission {
+                with_admission(state, req, |state, req| {
+                    (route.handler)(state, &snap, req, tail)
+                })
+            } else {
+                (route.handler)(state, &snap, req, tail)
+            };
+        }
+        if !allow.contains(&route.method) {
+            allow.push(route.method);
+        }
+    }
+    if allow.is_empty() {
+        Response::error(404, &format!("no such route: {}", req.path))
+    } else {
+        Response::method_not_allowed(&allow.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_prefix_strips_only_on_segment_boundaries() {
+        assert_eq!(strip_version("/v1/stats"), "/stats");
+        assert_eq!(strip_version("/v1/describe/e:X"), "/describe/e:X");
+        assert_eq!(strip_version("/stats"), "/stats");
+        assert_eq!(strip_version("/v1"), "/v1");
+        assert_eq!(strip_version("/v1x"), "/v1x");
+    }
+
+    #[test]
+    fn captures_follow_the_spec() {
+        assert_eq!(PathSpec::Exact("/stats").capture("/stats"), Some(""));
+        assert_eq!(PathSpec::Exact("/stats").capture("/stats2"), None);
+        assert_eq!(
+            PathSpec::Prefix("/describe/").capture("/describe/e:X"),
+            Some("e:X")
+        );
+        assert_eq!(PathSpec::Prefix("/describe/").capture("/describe"), None);
+        assert_eq!(
+            PathSpec::Prefix("/describe/").capture("/describe/"),
+            Some("")
+        );
+    }
+
+    #[test]
+    fn table_declares_each_route_once_per_method() {
+        for (i, a) in TABLE.iter().enumerate() {
+            for b in TABLE.iter().skip(i + 1) {
+                let same = match (&a.path, &b.path) {
+                    (PathSpec::Exact(x), PathSpec::Exact(y)) => x == y,
+                    (PathSpec::Prefix(x), PathSpec::Prefix(y)) => x == y,
+                    _ => false,
+                };
+                assert!(
+                    !(same && a.method == b.method),
+                    "duplicate route {} {:?}",
+                    a.method,
+                    match a.path {
+                        PathSpec::Exact(p) | PathSpec::Prefix(p) => p,
+                    }
+                );
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@
 use remi_kb::{Backend, KnowledgeBase};
 use remi_serve::client::Client;
 use remi_serve::http::percent_encode;
-use remi_serve::{describe_body, serve, summarize_body, ServeConfig, ServerHandle};
+use remi_serve::{describe_body, query_body, serve, summarize_body, ServeConfig, ServerHandle};
 
 /// The shared test world: a small synthetic DBpedia-like KB.
 fn world() -> std::sync::Arc<remi_synth::SynthKb> {
@@ -184,6 +184,86 @@ fn batched_describe_matches_individual_gets() {
     server.shutdown();
 }
 
+/// `POST /query` answers exactly the library rendering, cold and cached,
+/// on both backends — and the `/v1` spelling shares the cache entry.
+#[test]
+fn query_endpoint_is_cached_and_byte_identical_to_library_output() {
+    let synth = world();
+    let kb = synth.kb.clone();
+    // A predicate that actually holds facts, so the join has rows.
+    let pred = kb
+        .pred_ids()
+        .filter(|&p| !kb.is_inverse(p))
+        .max_by_key(|&p| kb.index(p).num_facts())
+        .map(|p| kb.pred_iri(p).to_string())
+        .expect("fixture has predicates");
+    let patterns = [["?s".to_string(), pred.clone(), "?o".to_string()]];
+    let payload = format!(
+        "{{\"patterns\":[{{\"s\":\"?s\",\"p\":{},\"o\":\"?o\"}}],\"limit\":5}}",
+        remi_serve::json::escape(&pred)
+    );
+
+    let mut bodies = Vec::new();
+    for backend in [Backend::Csr, Backend::Succinct] {
+        let kb = kb.clone().with_backend(backend);
+        let mut server = boot(
+            kb.clone(),
+            ServeConfig {
+                backend: Some(backend),
+                ..ServeConfig::default()
+            },
+        );
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let cold = client.post("/query", &payload).unwrap();
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert_eq!(cold.header("x-remi-cache"), Some("miss"));
+        let direct = query_body(&kb, &patterns, 5, None).unwrap();
+        assert_eq!(cold.body, direct, "query on {backend}");
+        assert!(cold.body.contains("\"truncated\":true"), "{}", cold.body);
+
+        let warm = client.post("/query", &payload).unwrap();
+        assert_eq!(warm.header("x-remi-cache"), Some("hit"));
+        assert_eq!(warm.body, cold.body, "cache changed bytes");
+
+        // The canonical /v1 path routes to the same handler and the same
+        // cache entry (the key is path-independent).
+        let v1 = client.post("/v1/query", &payload).unwrap();
+        assert_eq!(v1.header("x-remi-cache"), Some("hit"));
+        assert_eq!(v1.body, cold.body, "/v1/query diverged");
+
+        bodies.push(cold.body);
+        server.shutdown();
+    }
+    assert_eq!(bodies[0], bodies[1], "backends disagree on /query");
+}
+
+/// Every route answers under its `/v1/...` spelling with the same bytes
+/// as the legacy unprefixed alias.
+#[test]
+fn v1_prefix_aliases_every_route() {
+    let synth = world();
+    let iri = &target_iris(&synth)[0];
+    let mut server = boot(synth.kb.clone(), ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for path in [
+        "/healthz".to_string(),
+        format!("/describe/{}", percent_encode(iri)),
+        format!("/summarize/{}?k=3", percent_encode(iri)),
+    ] {
+        let legacy = client.get(&path).unwrap();
+        let versioned = client.get(&format!("/v1{path}")).unwrap();
+        assert_eq!(legacy.status, 200, "{path}: {}", legacy.body);
+        assert_eq!(versioned.status, 200, "/v1{path}: {}", versioned.body);
+        assert_eq!(legacy.body, versioned.body, "alias diverged for {path}");
+    }
+    // /v1 alone is not a route, and a fake version prefix is not stripped.
+    assert_eq!(client.get("/v1").unwrap().status, 404);
+    assert_eq!(client.get("/v2/healthz").unwrap().status, 404);
+    server.shutdown();
+}
+
 /// Protocol and routing errors map to the documented statuses.
 #[test]
 fn error_statuses_are_mapped() {
@@ -203,6 +283,33 @@ fn error_statuses_are_mapped() {
         c.post("/describe", "{\"entities\":[]}").unwrap().status,
         400
     );
+
+    // 405s carry an Allow header derived from the route table.
+    let wrong = c.post("/healthz", "{}").unwrap();
+    assert_eq!(wrong.header("allow"), Some("GET"), "{}", wrong.body);
+    let wrong = c.get("/describe").unwrap();
+    assert_eq!(wrong.header("allow"), Some("POST"), "{}", wrong.body);
+
+    // Parameter failures use the {"error": …, "param": …} envelope.
+    let bad = c.get("/describe/e:x?k=zero").unwrap();
+    assert!(bad.body.contains("\"param\":\"k\""), "{}", bad.body);
+    let bad = c.get("/describe/e:x?backend=flat").unwrap();
+    assert!(bad.body.contains("\"param\":\"backend\""), "{}", bad.body);
+
+    // /query error mapping: malformed JSON, bad patterns, bad limit.
+    assert_eq!(c.get("/query").unwrap().status, 405);
+    assert_eq!(c.post("/query", "not json").unwrap().status, 400);
+    let bad = c.post("/query", "{\"patterns\":[]}").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("\"param\":\"patterns\""), "{}", bad.body);
+    let bad = c
+        .post(
+            "/query",
+            "{\"patterns\":[{\"s\":\"?s\",\"p\":\"p:x\",\"o\":\"?o\"}],\"limit\":0}",
+        )
+        .unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("\"param\":\"limit\""), "{}", bad.body);
 
     // Malformed request line: 400 and the connection closes.
     let mut raw = Client::connect(addr).unwrap();
