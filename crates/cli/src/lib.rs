@@ -555,6 +555,10 @@ INGESTION:
   remi ingest appends N-Triples delta files to a KB through the same
   delta-overlay path the server uses (duplicates dropped, inverse
   predicates mirrored), compacts, and writes the folded KB to -o.
+  Publishing an epoch costs O(batch), not O(KB): the dictionaries are
+  segmented and snapshots share the sealed segments, so per-batch
+  ingest latency stays flat as the KB grows (only the periodic
+  background compaction scales with total size).
 
 STORAGE:
   .rkb files are row-oriented RKB1 (loads into the CSR backend); .rkb2

@@ -32,9 +32,14 @@ use crate::expr::{Expression, SubgraphExpr};
 use crate::search::{ScoredExpr, SearchCounters, SearchResult, SearchStatus};
 
 struct Shared {
-    /// Incumbent expression, guarded by a mutex (written rarely — only on
-    /// genuine improvements).
-    best: Mutex<Option<(Expression, Bits)>>,
+    /// Incumbent expressions, striped per worker task: each worker
+    /// installs improvements into its own stripe, so offers from
+    /// different workers never contend on one mutex. The true incumbent
+    /// is the stripe minimum, merged once at join by [`Shared::take_best`];
+    /// pruning during the search uses the global
+    /// [`Shared::best_cost_bits`] mirror, which remains a single
+    /// `fetch_min` shared across all stripes.
+    best: Vec<Mutex<Option<(Expression, Bits)>>>,
     /// The incumbent's cost as `f64` bit pattern — the lock-free fast
     /// path for the read-heavy Alg. 3 line 6 check. Non-negative floats
     /// order like their bit patterns, so `fetch_min` keeps it monotone;
@@ -53,9 +58,9 @@ struct Shared {
 }
 
 impl Shared {
-    fn new() -> Shared {
+    fn new(stripes: usize) -> Shared {
         Shared {
-            best: Mutex::new(None),
+            best: (0..stripes.max(1)).map(|_| Mutex::new(None)).collect(),
             best_cost_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             no_solution_floor: FloorToken::new(),
             next_root: AtomicUsize::new(0),
@@ -70,12 +75,15 @@ impl Shared {
         Bits::new(f64::from_bits(self.best_cost_bits.load(Ordering::Acquire)))
     }
 
-    fn offer(&self, expr: Expression, cost: Bits) {
+    fn offer(&self, stripe: usize, expr: Expression, cost: Bits) {
         // Advertise the cost first so concurrent readers prune as early
         // as possible; fetch_min makes concurrent offers commute.
         self.best_cost_bits
             .fetch_min(cost.value().to_bits(), Ordering::AcqRel);
-        let mut guard = self.best.lock();
+        // Install into this worker's own stripe: uncontended in the
+        // steady state (each worker task owns one stripe), so the
+        // install cost is a cache-local lock with no cross-worker wait.
+        let mut guard = self.best[stripe % self.best.len()].lock();
         let better = match guard.as_ref() {
             Some((_, incumbent)) => cost < *incumbent,
             None => true,
@@ -83,6 +91,24 @@ impl Shared {
         if better {
             *guard = Some((expr, cost));
         }
+    }
+
+    /// Merge the per-worker stripes into the global incumbent — called
+    /// once after all workers join, so plain sequential locking is fine.
+    fn take_best(&self) -> Option<(Expression, Bits)> {
+        let mut best: Option<(Expression, Bits)> = None;
+        for stripe in &self.best {
+            if let Some((expr, cost)) = stripe.lock().take() {
+                let better = match best.as_ref() {
+                    Some((_, incumbent)) => cost < *incumbent,
+                    None => true,
+                };
+                if better {
+                    best = Some((expr, cost));
+                }
+            }
+        }
+        best
     }
 }
 
@@ -106,12 +132,14 @@ struct SubtreeOutcome {
 }
 
 /// Algorithm 3 — P-DFS-REMI for the subtree rooted at `queue[root]`.
+#[allow(clippy::too_many_arguments)]
 fn p_dfs_remi(
     eval: &Evaluator<'_>,
     queue: &[ScoredExpr],
     root: usize,
     sorted_targets: &[u32],
     shared: &Shared,
+    stripe: usize,
     deadline: Option<Instant>,
     counters: &mut SearchCounters,
 ) -> SubtreeOutcome {
@@ -174,7 +202,7 @@ fn p_dfs_remi(
             if eval.is_referring_expression(&parts, sorted_targets) {
                 found_any = true;
                 // Line 11: update the shared best.
-                shared.offer(Expression { parts }, stack_cost);
+                shared.offer(stripe, Expression { parts }, stack_cost);
                 // Lines 12–13: pruning by depth + side pruning.
                 stack.pop();
                 stack.pop();
@@ -228,12 +256,12 @@ pub fn parallel_remi_search_on(
     sorted_targets.sort_unstable();
     sorted_targets.dedup();
 
-    let shared = Shared::new();
+    let tasks = threads.max(1).min(queue.len().max(1));
+    let shared = Shared::new(tasks);
     let counters_total = Mutex::new(SearchCounters::default());
 
-    let tasks = threads.max(1).min(queue.len().max(1));
     let shard = root_shard_size(queue.len(), tasks);
-    executor.broadcast(tasks, &|_worker| {
+    executor.broadcast(tasks, &|worker| {
         let mut counters = SearchCounters::default();
         'claims: loop {
             // Claim a shard of contiguous roots; batching amortises the
@@ -268,6 +296,7 @@ pub fn parallel_remi_search_on(
                     root,
                     &sorted_targets,
                     &shared,
+                    worker,
                     deadline,
                     &mut counters,
                 );
@@ -287,7 +316,7 @@ pub fn parallel_remi_search_on(
         total.roots_explored += counters.roots_explored;
     });
 
-    let best = shared.best.lock().take();
+    let best = shared.take_best();
     let status = if shared.timed_out.is_cancelled() && best.is_none() {
         SearchStatus::TimedOut
     } else if best.is_some() {
@@ -460,8 +489,9 @@ mod tests {
         assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
     }
 
-    /// The lock-free cost mirror agrees with the mutex-guarded incumbent
-    /// and is monotone under out-of-order offers.
+    /// The lock-free cost mirror agrees with the striped incumbents and
+    /// is monotone under out-of-order offers from different workers; the
+    /// join-time merge picks the stripe minimum.
     #[test]
     fn atomic_best_cost_tracks_offers_monotonically() {
         let kb = rennes_kb();
@@ -474,20 +504,38 @@ mod tests {
             })
             .collect();
         assert!(exprs.len() >= 2, "need expressions to offer");
-        let shared = Shared::new();
+        let shared = Shared::new(3);
         assert!(shared.best_cost().is_infinite());
-        // Offer in a worsening-then-improving order.
-        shared.offer(exprs[0].clone(), Bits::new(5.0));
+        // Offer in a worsening-then-improving order, from distinct
+        // worker stripes: the cost mirror is global across stripes.
+        shared.offer(0, exprs[0].clone(), Bits::new(5.0));
         assert_eq!(shared.best_cost(), Bits::new(5.0));
-        shared.offer(exprs[1].clone(), Bits::new(9.0)); // worse: ignored
+        shared.offer(1, exprs[1].clone(), Bits::new(9.0)); // worse globally
         assert_eq!(shared.best_cost(), Bits::new(5.0));
-        shared.offer(exprs[1].clone(), Bits::new(2.0));
+        shared.offer(2, exprs[1].clone(), Bits::new(2.0));
         assert_eq!(shared.best_cost(), Bits::new(2.0));
-        let guard = shared.best.lock();
-        let (_, cost) = guard.as_ref().expect("incumbent installed");
-        assert_eq!(*cost, Bits::new(2.0));
-        drop(guard);
+        // Stripe 1 holds its local 9.0 incumbent, but the merge must
+        // return the global minimum across stripes.
+        let (_, cost) = shared.take_best().expect("incumbent installed");
+        assert_eq!(cost, Bits::new(2.0));
+        // take_best drains the stripes.
+        assert!(shared.take_best().is_none());
         let _ = model;
+    }
+
+    /// A stripe index beyond the stripe count wraps instead of panicking
+    /// (executors may report worker indices ≥ the broadcast task count).
+    #[test]
+    fn offer_wraps_out_of_range_stripe() {
+        let kb = rennes_kb();
+        let (queue, _, _) = setup(&kb, &["e:Rennes"]);
+        let expr = Expression {
+            parts: vec![queue[0].expr],
+        };
+        let shared = Shared::new(2);
+        shared.offer(7, expr, Bits::new(3.0));
+        assert_eq!(shared.best_cost(), Bits::new(3.0));
+        assert_eq!(shared.take_best().map(|(_, c)| c), Some(Bits::new(3.0)));
     }
 
     #[test]

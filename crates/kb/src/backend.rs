@@ -19,7 +19,7 @@
 
 use crate::ids::{NodeId, PredId};
 use crate::store::CsrStore;
-use crate::succinct::{bits_for, BitmapTriples, PackedSeq, WaveBuilder};
+use crate::succinct::{bits_for, BitmapTriples, PackedCursor, PackedSeq, WaveBuilder};
 
 /// Which physical layout a [`StoreBackend`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -270,7 +270,13 @@ impl<'a> Bindings<'a> {
     pub fn to_vec(&self) -> Vec<u32> {
         match *self {
             Bindings::Slice(s) => s.to_vec(),
-            Bindings::Packed { .. } | Bindings::Merged { .. } => self.iter().collect(),
+            Bindings::Packed { seq, start, len } => {
+                // Unrolled multi-word extraction, not a per-value cursor.
+                let mut out = Vec::new();
+                seq.decode_run(start, len, &mut out);
+                out
+            }
+            Bindings::Merged { .. } => self.iter().collect(),
         }
     }
 
@@ -279,11 +285,7 @@ impl<'a> Bindings<'a> {
     pub fn iter(&self) -> BindingsIter<'a> {
         match *self {
             Bindings::Slice(s) => BindingsIter::Slice(s.iter()),
-            Bindings::Packed { seq, start, len } => BindingsIter::Packed {
-                seq,
-                pos: start,
-                end: start + len,
-            },
+            Bindings::Packed { seq, start, len } => BindingsIter::Packed(seq.cursor(start, len)),
             Bindings::Merged { base, delta } => BindingsIter::Merged {
                 base,
                 bpos: 0,
@@ -341,15 +343,9 @@ impl PartialEq for Bindings<'_> {
 pub enum BindingsIter<'a> {
     /// Slice cursor.
     Slice(std::slice::Iter<'a, u32>),
-    /// Packed-run cursor.
-    Packed {
-        /// The packed value stream.
-        seq: &'a PackedSeq,
-        /// Next position.
-        pos: usize,
-        /// One past the last position.
-        end: usize,
-    },
+    /// Streaming packed-run cursor (one word fetch per `64 / width`
+    /// values; see [`PackedSeq::cursor`]).
+    Packed(PackedCursor<'a>),
     /// Two-cursor merge over a base run and a disjoint delta slice.
     Merged {
         /// The base-store side.
@@ -370,15 +366,7 @@ impl Iterator for BindingsIter<'_> {
     fn next(&mut self) -> Option<u32> {
         match self {
             BindingsIter::Slice(it) => it.next().copied(),
-            BindingsIter::Packed { seq, pos, end } => {
-                if pos < end {
-                    let v = seq.get(*pos);
-                    *pos += 1;
-                    Some(v)
-                } else {
-                    None
-                }
-            }
+            BindingsIter::Packed(cur) => cur.next(),
             BindingsIter::Merged {
                 base,
                 bpos,
@@ -409,7 +397,7 @@ impl Iterator for BindingsIter<'_> {
     fn size_hint(&self) -> (usize, Option<usize>) {
         let n = match self {
             BindingsIter::Slice(it) => it.len(),
-            BindingsIter::Packed { pos, end, .. } => end - pos,
+            BindingsIter::Packed(cur) => cur.len(),
             BindingsIter::Merged {
                 base,
                 bpos,
@@ -418,6 +406,13 @@ impl Iterator for BindingsIter<'_> {
             } => (base.len() - bpos) + (delta.len() - dpos),
         };
         (n, Some(n))
+    }
+
+    /// O(1): every variant knows its exact remaining length (the merged
+    /// base and delta runs are disjoint), so counting never has to
+    /// decode values.
+    fn count(self) -> usize {
+        self.len()
     }
 }
 
@@ -877,7 +872,9 @@ enum GroupInner<'a> {
     Succinct {
         wave: &'a crate::succinct::WaveIndex,
         g: usize,
-        next_start: usize,
+        /// Streaming delimiter scan: each bitmap word is fetched once
+        /// across the whole group sweep.
+        runs: crate::succinct::RunScanner<'a>,
     },
     Layered {
         /// Group scan over the base store (`None` for predicates the base
@@ -908,7 +905,7 @@ impl<'a> GroupIter<'a> {
                 GroupInner::Succinct {
                     wave,
                     g: p.idx(),
-                    next_start: wave.val_start(p.idx()),
+                    runs: wave.run_scanner(wave.val_start(p.idx())),
                 }
             }
             StoreBackend::Layered(l) => {
@@ -941,14 +938,9 @@ impl<'a> Iterator for GroupIter<'a> {
                 GroupDirection::BySubject => (store.subject_at(*p, i), store.objects_at(*p, i)),
                 GroupDirection::ByObject => (store.object_at(*p, i), store.subjects_at(*p, i)),
             }),
-            GroupInner::Succinct {
-                wave,
-                g,
-                next_start,
-            } => {
+            GroupInner::Succinct { wave, g, runs } => {
                 let key = wave.key_at(*g, i);
-                let (start, len) = wave.run_from(*next_start);
-                *next_start = start + len;
+                let (start, len) = runs.next_run();
                 Some((
                     NodeId(key),
                     Bindings::Packed {

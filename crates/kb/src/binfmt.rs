@@ -49,6 +49,7 @@ use std::path::Path;
 use crate::backend::{build_bitmap_triples, StoreBackend};
 use crate::dict::Dictionary;
 use crate::error::{KbError, Result};
+use crate::freq::FreqVec;
 use crate::ids::{NodeId, PredId};
 use crate::store::{KbBuilder, KnowledgeBase};
 use crate::succinct::{BitmapTriples, PackedSeq, RsBitVec, WaveIndex, WordSeq};
@@ -487,7 +488,7 @@ fn read_v2(body: &Bytes, inverse_fraction: f64) -> Result<KnowledgeBase> {
     }
     let store = StoreBackend::Succinct(BitmapTriples::from_waves(spo, ops, sp));
 
-    let kb = KnowledgeBase::from_parts(nodes, preds, store, node_freq, n_base);
+    let kb = KnowledgeBase::from_parts(nodes, preds, store, FreqVec::from_vec(node_freq), n_base);
 
     // The file bakes its inverse predicates. Only when the caller asks for
     // inverses and the file has none do we fall back to a rebuilding load.

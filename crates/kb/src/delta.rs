@@ -41,6 +41,7 @@ use std::time::{Duration, Instant};
 use crate::backend::{Backend, Bindings, StoreBackend, StoreMemory, TripleStore};
 use crate::dict::Dictionary;
 use crate::error::{KbError, Result};
+use crate::freq::FreqVec;
 use crate::fx::FxHashSet;
 use crate::ids::{NodeId, PredId, Triple};
 use crate::store::{derive_inverse_links, Csr, KnowledgeBase};
@@ -567,7 +568,7 @@ struct Writer {
     base: Arc<StoreBackend>,
     nodes: Dictionary,
     preds: Dictionary,
-    node_freq: Vec<u32>,
+    node_freq: FreqVec,
     n_base_triples: usize,
     /// All live delta triples, sorted and deduplicated.
     delta: Vec<Triple>,
@@ -730,6 +731,44 @@ impl LiveKb {
         self.current.read().clone()
     }
 
+    /// Forks an independent `LiveKb` starting from this one's current
+    /// state: same epoch, fingerprint, policy, and content; appends to
+    /// either side are invisible to the other.
+    ///
+    /// O(segments + delta), not O(KB): the base store is shared by `Arc`,
+    /// the dictionaries share their sealed segments, and the frequency
+    /// table shares its counter segments — only the dictionary tails and
+    /// the (usually small) live delta are copied, and the stored
+    /// fingerprint is reused instead of being recomputed from scratch the
+    /// way [`LiveKb::with_policy`] must. This is what makes speculative
+    /// what-if ingestion (and fixed-size ingest benchmarking) cheap.
+    pub fn fork(&self) -> LiveKb {
+        let w = self.lock_writer();
+        // Writer lock held ⇒ no publish can race; `current` is consistent
+        // with the writer state (publishes happen under the writer lock).
+        let snap = self.snapshot();
+        LiveKb {
+            writer: Mutex::new(Writer {
+                base: Arc::clone(&w.base),
+                nodes: w.nodes.clone(),
+                preds: w.preds.clone(),
+                node_freq: w.node_freq.clone(),
+                n_base_triples: w.n_base_triples,
+                delta: w.delta.clone(),
+            }),
+            current: RwLock::new(snap),
+            compact_gate: Mutex::new(()),
+            policy: self.policy,
+            delta_gauge: AtomicU64::new(self.delta_gauge.load(Ordering::Relaxed)),
+            base_facts_gauge: AtomicU64::new(self.base_facts_gauge.load(Ordering::Relaxed)),
+            appends: AtomicU64::new(self.appends.load(Ordering::Relaxed)),
+            appended: AtomicU64::new(self.appended.load(Ordering::Relaxed)),
+            duplicates: AtomicU64::new(self.duplicates.load(Ordering::Relaxed)),
+            compactions: AtomicU64::new(self.compactions.load(Ordering::Relaxed)),
+            last_compaction_us: AtomicU64::new(self.last_compaction_us.load(Ordering::Relaxed)),
+        }
+    }
+
     /// Appends a batch of triples, publishing one new epoch when at least
     /// one triple was accepted. Duplicates (against base, delta, or
     /// within the batch) are dropped; facts of predicates with a
@@ -789,12 +828,9 @@ impl LiveKb {
             }
             accepted.push(t);
             if base_of[t.p.idx()].is_none() {
-                let need = w.nodes.len();
-                if w.node_freq.len() < need {
-                    w.node_freq.resize(need, 0);
-                }
-                w.node_freq[t.s.idx()] += 1;
-                w.node_freq[t.o.idx()] += 1;
+                w.node_freq.grow_to(w.nodes.len());
+                w.node_freq.add(t.s.idx(), 1);
+                w.node_freq.add(t.o.idx(), 1);
                 w.n_base_triples += 1;
             }
             true

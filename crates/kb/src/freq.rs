@@ -1,0 +1,176 @@
+//! A persistent, segmented `u32` counter vector.
+//!
+//! [`FreqVec`] backs the per-node fact frequencies of a
+//! [`KnowledgeBase`](crate::store::KnowledgeBase). Live ingestion clones
+//! the frequency table on every epoch publish, and appends increment
+//! counters at *arbitrary* old indexes — so unlike the dictionary (which
+//! only grows at the end) it needs copy-on-write at the segment level:
+//! the vector is a list of fixed-size `Arc` segments, `clone` is an
+//! `Arc`-bump per segment, and an increment that lands on a shared
+//! segment copies just that segment (`SEGMENT_LEN * 4` bytes) via
+//! [`Arc::make_mut`]. A batch of `k` facts therefore dirties at most
+//! `2k` segments per epoch, keeping publish O(batch) instead of O(nodes).
+
+use std::sync::Arc;
+
+/// A growable `u32` vector with O(len / SEGMENT_LEN) clone and
+/// copy-on-write increments. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct FreqVec {
+    /// Fixed-size segments; each holds exactly `SEGMENT_LEN` slots, with
+    /// slots at index ≥ `len` zero (so growth never rewrites a segment).
+    segs: Vec<Arc<Vec<u32>>>,
+    len: usize,
+}
+
+impl FreqVec {
+    /// Slots per segment: 4 KB of counters, small enough that a
+    /// copy-on-write of one segment is cheap, large enough that the
+    /// per-clone `Arc`-bump count stays negligible.
+    pub const SEGMENT_LEN: usize = 1024;
+
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a flat vector.
+    pub fn from_vec(v: Vec<u32>) -> Self {
+        let len = v.len();
+        let mut segs = Vec::with_capacity(len.div_ceil(Self::SEGMENT_LEN));
+        for chunk in v.chunks(Self::SEGMENT_LEN) {
+            let mut seg = chunk.to_vec();
+            seg.resize(Self::SEGMENT_LEN, 0);
+            segs.push(Arc::new(seg));
+        }
+        FreqVec { segs, len }
+    }
+
+    /// Flattens back into a `Vec<u32>`.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Number of logical slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no slots exist.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The counter at `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len, "FreqVec index {i} out of range {}", self.len);
+        self.segs[i / Self::SEGMENT_LEN][i % Self::SEGMENT_LEN]
+    }
+
+    /// Adds `delta` to the counter at `i`, copying the segment first if a
+    /// snapshot still shares it. Panics if out of range.
+    #[inline]
+    pub fn add(&mut self, i: usize, delta: u32) {
+        assert!(i < self.len, "FreqVec index {i} out of range {}", self.len);
+        let seg = Arc::make_mut(&mut self.segs[i / Self::SEGMENT_LEN]);
+        seg[i % Self::SEGMENT_LEN] += delta;
+    }
+
+    /// Grows to `new_len` slots, zero-filling; no-op if already that long.
+    /// Existing segments are never touched (slots past `len` are already
+    /// zero by invariant), so growth does not un-share anything.
+    pub fn grow_to(&mut self, new_len: usize) {
+        if new_len <= self.len {
+            return;
+        }
+        while self.segs.len() * Self::SEGMENT_LEN < new_len {
+            self.segs.push(Arc::new(vec![0u32; Self::SEGMENT_LEN]));
+        }
+        self.len = new_len;
+    }
+
+    /// Iterates the counters in index order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.segs
+            .iter()
+            .flat_map(|seg| seg.iter().copied())
+            .take(self.len)
+    }
+
+    /// Addresses of the segments, in index order (sharing diagnostics).
+    pub fn segment_ptrs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.segs.iter().map(|seg| Arc::as_ptr(seg) as usize)
+    }
+
+    /// Heap bytes kept alive by this vector (each segment counted once,
+    /// shared or not — same accounting rule as `Dictionary::heap_bytes`).
+    pub fn heap_bytes(&self) -> usize {
+        // Arc header (strong + weak) per segment.
+        const ARC_HEADER: usize = 16;
+        self.segs.len() * (Self::SEGMENT_LEN * std::mem::size_of::<u32>() + ARC_HEADER)
+            + self.segs.capacity() * std::mem::size_of::<Arc<Vec<u32>>>()
+    }
+}
+
+impl FromIterator<u32> for FreqVec {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_indexing() {
+        let v: Vec<u32> = (0..2500).map(|i| i * 3).collect();
+        let f = FreqVec::from_vec(v.clone());
+        assert_eq!(f.len(), v.len());
+        assert_eq!(f.to_vec(), v);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(f.get(i), x);
+        }
+    }
+
+    #[test]
+    fn grow_and_add() {
+        let mut f = FreqVec::new();
+        f.grow_to(10);
+        assert_eq!(f.len(), 10);
+        assert_eq!(f.get(9), 0);
+        f.add(9, 7);
+        f.add(9, 1);
+        assert_eq!(f.get(9), 8);
+        f.grow_to(FreqVec::SEGMENT_LEN * 2 + 1);
+        assert_eq!(f.get(9), 8);
+        assert_eq!(f.get(FreqVec::SEGMENT_LEN * 2), 0);
+    }
+
+    #[test]
+    fn add_copies_only_the_touched_shared_segment() {
+        let mut f = FreqVec::from_vec(vec![1; FreqVec::SEGMENT_LEN * 3]);
+        let snap = f.clone();
+        let before: Vec<usize> = f.segment_ptrs().collect();
+        f.add(FreqVec::SEGMENT_LEN + 5, 1);
+        let after: Vec<usize> = f.segment_ptrs().collect();
+        // Only the middle segment was copied; the others are still the
+        // snapshot's segments.
+        assert_eq!(after[0], before[0]);
+        assert_ne!(after[1], before[1]);
+        assert_eq!(after[2], before[2]);
+        assert_eq!(snap.get(FreqVec::SEGMENT_LEN + 5), 1);
+        assert_eq!(f.get(FreqVec::SEGMENT_LEN + 5), 2);
+        // Unshared now: a second add to the same segment copies nothing.
+        f.add(FreqVec::SEGMENT_LEN + 6, 1);
+        let again: Vec<usize> = f.segment_ptrs().collect();
+        assert_eq!(again, after);
+    }
+
+    #[test]
+    fn clone_is_exact_in_heap_bytes() {
+        let f = FreqVec::from_vec(vec![2; 5000]);
+        assert_eq!(f.clone().heap_bytes(), f.heap_bytes());
+    }
+}

@@ -47,6 +47,7 @@ pub mod cache;
 pub mod delta;
 pub mod dict;
 pub mod error;
+pub mod freq;
 pub mod fx;
 pub mod ids;
 pub mod ntriples;

@@ -14,6 +14,7 @@
 use crate::backend::{Backend, Bindings, PredView, StoreBackend, StoreMemory, TripleStore};
 use crate::dict::Dictionary;
 use crate::error::{KbError, Result};
+use crate::freq::FreqVec;
 use crate::fx::FxHashMap;
 use crate::ids::{NodeId, PredId, Triple};
 use crate::term::{Term, TermKind};
@@ -258,7 +259,8 @@ pub struct KnowledgeBase {
     preds: Dictionary,
     store: StoreBackend,
     /// Facts mentioning the node (as s or o) in *base* (non-inverse) facts.
-    node_freq: Vec<u32>,
+    /// Segmented ([`FreqVec`]) so epoch snapshots share counter segments.
+    node_freq: FreqVec,
     /// Facts per predicate.
     pred_freq: Vec<u32>,
     /// base predicate → its materialised inverse, if any.
@@ -296,7 +298,7 @@ impl KnowledgeBase {
         nodes: Dictionary,
         preds: Dictionary,
         store: StoreBackend,
-        node_freq: Vec<u32>,
+        node_freq: FreqVec,
         n_base_triples: usize,
     ) -> KnowledgeBase {
         let (inverse_of, base_of) = derive_inverse_links(&preds);
@@ -323,7 +325,7 @@ impl KnowledgeBase {
 
     /// Decomposes the KB into the parts the live delta wrapper needs to
     /// take ownership of (the inverse of [`KnowledgeBase::from_parts`]).
-    pub(crate) fn into_parts(self) -> (Dictionary, Dictionary, StoreBackend, Vec<u32>, usize) {
+    pub(crate) fn into_parts(self) -> (Dictionary, Dictionary, StoreBackend, FreqVec, usize) {
         (
             self.nodes,
             self.preds,
@@ -494,7 +496,7 @@ impl KnowledgeBase {
     /// Frequency of a node (mentions in base facts) — the `fr` prominence.
     #[inline]
     pub fn node_frequency(&self, n: NodeId) -> u32 {
-        self.node_freq[n.idx()]
+        self.node_freq.get(n.idx())
     }
 
     /// Frequency of a predicate (its number of facts).
@@ -738,7 +740,7 @@ impl KbBuilder {
             nodes: self.nodes,
             preds: self.preds,
             store,
-            node_freq,
+            node_freq: FreqVec::from_vec(node_freq),
             pred_freq,
             inverse_of,
             base_of,

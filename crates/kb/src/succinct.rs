@@ -24,6 +24,41 @@ pub fn bits_for(max: u64) -> u32 {
     (64 - max.leading_zeros()).max(1)
 }
 
+/// Broadword (SWAR) select of the `k`-th set bit (0-based) within one
+/// word — Vigna's byte-counting construction, safe-Rust only: byte-wise
+/// popcount prefix sums via a `0x0101…` multiply, a borrow-free parallel
+/// byte comparison to find the byte holding the target bit, then an
+/// ≤7-step clear loop inside that byte. Replaces the per-bit clear loop
+/// that made `select1` O(ones-in-word).
+///
+/// `k` must be less than `word.count_ones()`.
+#[inline]
+fn select_in_word(word: u64, k: u64) -> u32 {
+    debug_assert!(k < u64::from(word.count_ones()));
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const MSBS: u64 = 0x8080_8080_8080_8080;
+    // Byte-wise popcounts, then inclusive per-byte prefix sums.
+    let mut s = word - ((word >> 1) & 0x5555_5555_5555_5555);
+    s = (s & 0x3333_3333_3333_3333) + ((s >> 2) & 0x3333_3333_3333_3333);
+    s = (s + (s >> 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    let sums = s.wrapping_mul(ONES);
+    // One flag bit per byte whose prefix sum is <= k. Every operand byte
+    // is < 128 (sums <= 64, k <= 63), so `(k | 0x80) - sum` keeps its
+    // byte's MSB exactly when sum <= k and borrows never cross bytes.
+    let flags = ((k.wrapping_mul(ONES) | MSBS) - sums) & MSBS;
+    // The target byte's index is the number of flagged bytes; its bit
+    // offset is that times 8. k < count_ones keeps place <= 56.
+    let place = (flags >> 7).wrapping_mul(ONES) >> 56 << 3;
+    // Ones of the target byte already accounted for by earlier bytes
+    // (`sums << 8` aligns the *exclusive* prefix sum under `place`).
+    let rank_in_byte = k - (((sums << 8) >> place) & 0xff);
+    let mut byte = (word >> place) & 0xff;
+    for _ in 0..rank_in_byte {
+        byte &= byte - 1; // clear lowest set bit; at most 7 iterations
+    }
+    place as u32 + byte.trailing_zeros()
+}
+
 /// A `u64` word array: owned, or a zero-copy little-endian view into a
 /// shared byte buffer.
 #[derive(Debug, Clone)]
@@ -151,6 +186,58 @@ impl PackedSeq {
         (v & ((1u64 << self.width) - 1)) as u32
     }
 
+    /// A streaming decoder over the `len` values starting at `start`.
+    /// Amortises the per-value word indexing of [`PackedSeq::get`] down
+    /// to roughly one word fetch per `64 / width` values — the iterator
+    /// form of [`PackedSeq::decode_run`].
+    pub fn cursor(&self, start: usize, len: usize) -> PackedCursor<'_> {
+        debug_assert!(start + len <= self.len, "cursor range out of bounds");
+        let bit = start * self.width as usize;
+        let word_i = bit / 64;
+        let word = if len > 0 { self.words.word(word_i) } else { 0 };
+        PackedCursor {
+            seq: self,
+            bit,
+            word_i,
+            word,
+            remaining: len,
+        }
+    }
+
+    /// Appends the `len` values starting at `start` to `out` — the bulk
+    /// extraction path for directly-indexed bindings. Values wholly inside
+    /// the current word are unpacked in a tight shift/mask loop (one word
+    /// fetch per batch of `~64 / width`); only straddling values pay a
+    /// second fetch.
+    pub fn decode_run(&self, start: usize, len: usize, out: &mut Vec<u32>) {
+        debug_assert!(start + len <= self.len, "decode range out of bounds");
+        out.reserve(len);
+        let width = self.width as usize;
+        let mask = (1u64 << self.width) - 1;
+        let mut bit = start * width;
+        let mut remaining = len;
+        while remaining > 0 {
+            let (wi, off) = (bit / 64, bit % 64);
+            let word = self.words.word(wi);
+            if off + width <= 64 {
+                // All of `fit` >= 1 values live wholly in this word.
+                let fit = ((64 - off) / width).min(remaining);
+                let mut cur = word >> off;
+                for _ in 0..fit {
+                    out.push((cur & mask) as u32);
+                    cur >>= width;
+                }
+                bit += fit * width;
+                remaining -= fit;
+            } else {
+                let v = (word >> off) | (self.words.word(wi + 1) << (64 - off));
+                out.push((v & mask) as u32);
+                bit += width;
+                remaining -= 1;
+            }
+        }
+    }
+
     /// Binary search for `value` in the sorted range `lo..hi`.
     pub fn binary_search_range(&self, lo: usize, hi: usize, value: u32) -> Result<usize, usize> {
         let (mut lo, mut hi) = (lo, hi);
@@ -170,6 +257,56 @@ impl PackedSeq {
         self.words.size_in_bytes() + std::mem::size_of::<Self>()
     }
 }
+
+/// A streaming decoder over a contiguous [`PackedSeq`] range; see
+/// [`PackedSeq::cursor`]. Holds the current word so consecutive values
+/// usually decode with a shift and a mask, no re-indexing.
+#[derive(Debug, Clone)]
+pub struct PackedCursor<'a> {
+    seq: &'a PackedSeq,
+    /// Absolute bit position of the next value.
+    bit: usize,
+    /// Index of the cached `word` (always `bit / 64` while values remain).
+    word_i: usize,
+    word: u64,
+    remaining: usize,
+}
+
+impl Iterator for PackedCursor<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let width = self.seq.width;
+        let off = (self.bit % 64) as u32;
+        let mut v = self.word >> off;
+        self.bit += width as usize;
+        let wi = self.bit / 64;
+        if wi != self.word_i {
+            self.word_i = wi;
+            self.word = if wi < self.seq.words.len_words() {
+                self.seq.words.word(wi)
+            } else {
+                0
+            };
+            if off + width > 64 {
+                // The value straddled into the freshly fetched word.
+                v |= self.word << (64 - off);
+            }
+        }
+        Some((v & ((1u64 << width) - 1)) as u32)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PackedCursor<'_> {}
 
 /// How many words one rank superblock covers (512 bits, rank9-style).
 const SUPERBLOCK_WORDS: usize = 8;
@@ -365,11 +502,25 @@ impl RsBitVec {
             count += ones;
             w += 1;
         }
-        let mut word = self.words.word(w);
-        for _ in 0..(k - count) {
-            word &= word - 1; // clear lowest set bit
+        w * 64 + select_in_word(self.words.word(w), k - count) as usize
+    }
+
+    /// A streaming cursor over the set bits at or after `from`, in order.
+    /// Sequential sweeps fetch each word once across the whole scan,
+    /// where repeated [`RsBitVec::next_one`] calls re-fetch and re-mask
+    /// their starting word every time.
+    pub fn one_scanner(&self, from: usize) -> OneScanner<'_> {
+        let word_i = from / 64;
+        let word = if word_i < self.words.len_words() {
+            self.words.word(word_i) & (u64::MAX << (from % 64))
+        } else {
+            0
+        };
+        OneScanner {
+            bv: self,
+            word_i,
+            word,
         }
-        w * 64 + word.trailing_zeros() as usize
     }
 
     /// Resident bytes (words + rank and select directories).
@@ -378,6 +529,31 @@ impl RsBitVec {
             + self.blocks.len() * 8
             + self.select_samples.len() * 4
             + std::mem::size_of::<Self>()
+    }
+}
+
+/// A streaming cursor over the set bits of an [`RsBitVec`]; see
+/// [`RsBitVec::one_scanner`].
+#[derive(Debug, Clone)]
+pub struct OneScanner<'a> {
+    bv: &'a RsBitVec,
+    word_i: usize,
+    /// The current word with already-consumed bits cleared.
+    word: u64,
+}
+
+impl OneScanner<'_> {
+    /// Position of the next set bit, consuming it. Panics if no set bit
+    /// remains — callers iterate runs whose final bit is always set.
+    #[inline]
+    pub fn next_one(&mut self) -> usize {
+        while self.word == 0 {
+            self.word_i += 1;
+            self.word = self.bv.words.word(self.word_i);
+        }
+        let pos = self.word_i * 64 + self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        pos
     }
 }
 
@@ -477,17 +653,19 @@ impl WaveIndex {
     }
 
     /// The global value range `(start, len)` of the `i`-th key of group
-    /// `g`: two `select1` probes into the run-delimiter bitmap.
+    /// `g`: one `select1` probe for the run's start, then a short forward
+    /// word scan (run length / 64 words, usually zero extra fetches) for
+    /// its end — cheaper than a second full select walk.
     #[inline]
     pub fn run_at(&self, g: usize, i: usize) -> (usize, usize) {
         let k = self.key_bounds[g] as usize + i;
-        let start = if k == 0 {
-            0
+        if k == 0 {
+            (0, self.last.select1(0) + 1)
         } else {
-            self.last.select1(k - 1) + 1
-        };
-        let end = self.last.select1(k) + 1;
-        (start, end - start)
+            let prev = self.last.select1(k - 1);
+            let end = self.last.next_one(prev + 1) + 1;
+            (prev + 1, end - prev - 1)
+        }
     }
 
     /// The run length of the `i`-th key of group `g`.
@@ -509,6 +687,17 @@ impl WaveIndex {
     pub fn run_from(&self, start: usize) -> (usize, usize) {
         let end = self.last.next_one(start) + 1;
         (start, end - start)
+    }
+
+    /// A streaming scanner yielding consecutive runs from value position
+    /// `start` — the group-sweep fast path: the delimiter bitmap is
+    /// walked word-at-a-time with each word fetched once, where repeated
+    /// [`WaveIndex::run_from`] calls re-fetch their starting word per run.
+    pub fn run_scanner(&self, start: usize) -> RunScanner<'_> {
+        RunScanner {
+            ones: self.last.one_scanner(start),
+            next_start: start,
+        }
     }
 
     /// Per-component sizes `(keys, bitmap, values, bounds)` in bytes.
@@ -536,6 +725,26 @@ impl WaveIndex {
             &self.last,
             &self.vals,
         )
+    }
+}
+
+/// A streaming run scanner over a [`WaveIndex`] group; see
+/// [`WaveIndex::run_scanner`].
+#[derive(Debug, Clone)]
+pub struct RunScanner<'a> {
+    ones: OneScanner<'a>,
+    next_start: usize,
+}
+
+impl RunScanner<'_> {
+    /// The next run `(start, len)`, consuming it. Panics past the final
+    /// run of the value stream.
+    #[inline]
+    pub fn next_run(&mut self) -> (usize, usize) {
+        let end = self.ones.next_one() + 1;
+        let run = (self.next_start, end - self.next_start);
+        self.next_start = end;
+        run
     }
 }
 
@@ -895,5 +1104,91 @@ mod tests {
         let mut w = WaveBuilder::new(3, 3);
         w.begin_group();
         w.push_run(1, []);
+    }
+
+    #[test]
+    fn select_in_word_matches_bit_clear_loop() {
+        let words = [
+            1u64,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            0xAAAA_AAAA_AAAA_AAAA,
+            0x0123_4567_89AB_CDEF,
+            1u64 << 63,
+            0x00FF_00FF_00FF_00FF,
+            0xdead_beef_cafe_f00d,
+        ];
+        for &w in &words {
+            for k in 0..w.count_ones() as u64 {
+                let mut naive = w;
+                for _ in 0..k {
+                    naive &= naive - 1;
+                }
+                assert_eq!(
+                    select_in_word(w, k),
+                    naive.trailing_zeros(),
+                    "word {w:#x}, k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_and_decode_run_match_get_all_widths() {
+        for width in 1..=32u32 {
+            let max = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let values: Vec<u32> = (0..300u32)
+                .map(|i| (i.wrapping_mul(2_654_435_761)) % max.saturating_add(1).max(1))
+                .collect();
+            let seq = PackedSeq::from_values(width, values.iter().copied());
+            // Every (start, len) alignment matters: straddles differ.
+            for start in [0usize, 1, 7, 63, 64, 65, 130] {
+                let len = (values.len() - start).min(71);
+                let want = &values[start..start + len];
+                let cursed: Vec<u32> = seq.cursor(start, len).collect();
+                assert_eq!(cursed, want, "cursor width {width} start {start}");
+                let mut bulk = Vec::new();
+                seq.decode_run(start, len, &mut bulk);
+                assert_eq!(bulk, want, "decode_run width {width} start {start}");
+            }
+            assert_eq!(seq.cursor(0, 0).next(), None);
+        }
+    }
+
+    #[test]
+    fn one_scanner_and_run_scanner_match_random_access() {
+        let mut b = BitVecBuilder::new();
+        let pattern: Vec<bool> = (0..3000usize)
+            .map(|i| (i * 31 + i / 5) % 11 < 2 || i == 2999)
+            .collect();
+        for &bit in &pattern {
+            b.push(bit);
+        }
+        let bv = b.finish();
+        let mut sc = bv.one_scanner(0);
+        for k in 0..bv.count_ones() {
+            assert_eq!(sc.next_one(), bv.select1(k), "one #{k}");
+        }
+        // Starting mid-way, including exactly on a set bit.
+        let third = bv.select1(bv.count_ones() / 3);
+        let mut sc = bv.one_scanner(third);
+        assert_eq!(sc.next_one(), third);
+
+        // Run scanner over a wave replays run_at exactly.
+        let mut w = WaveBuilder::new(8, 8);
+        w.begin_group();
+        for key in 0..40u32 {
+            let run: Vec<u32> = (0..(key % 7 + 1)).collect();
+            w.push_run(key, run);
+        }
+        let wave = w.finish();
+        let mut runs = wave.run_scanner(wave.val_start(0));
+        for i in 0..wave.num_keys(0) {
+            assert_eq!(runs.next_run(), wave.run_at(0, i), "run #{i}");
+        }
     }
 }

@@ -1,0 +1,189 @@
+//! Differential and structure-sharing tests for the segmented dictionary.
+//!
+//! The segmented [`Dictionary`] must be observationally identical to the
+//! obvious flat model (a `Vec` of entries plus a map), while its clones —
+//! the epoch snapshots [`LiveKb`] publishes — share every sealed segment
+//! by pointer. The proptest drives arbitrary intern/lookup traces across
+//! several segment boundaries; the snapshot tests pin the O(batch)
+//! publish claim down to pointer equality.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use remi_kb::dict::Dictionary;
+use remi_kb::term::{Term, TermKind};
+use remi_kb::{CompactionPolicy, KbBuilder, LiveKb};
+
+/// The flat reference model: what a dictionary is, minus the segments.
+#[derive(Default)]
+struct FlatDict {
+    entries: Vec<(String, TermKind)>,
+    ids: HashMap<String, u32>,
+}
+
+impl FlatDict {
+    fn intern_key(&mut self, key: &str, kind: TermKind) -> u32 {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = self.entries.len() as u32;
+        self.entries.push((key.to_string(), kind));
+        self.ids.insert(key.to_string(), id);
+        id
+    }
+}
+
+/// One step of an intern/lookup trace. Key space is kept small relative
+/// to the trace length so re-interning existing keys is common.
+fn key_for(step: u32) -> String {
+    format!("e:key_{}", step % 2_800)
+}
+
+fn kind_for(step: u32) -> TermKind {
+    match step % 3 {
+        0 => TermKind::Iri,
+        1 => TermKind::Literal,
+        _ => TermKind::Blank,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Segmented ≡ flat on arbitrary traces that cross several segment
+    /// boundaries: same ids, same key/kind per id, same iteration order,
+    /// same misses.
+    #[test]
+    fn segmented_matches_flat_model(steps in proptest::collection::vec(0u32..10_000, 1..4_000)) {
+        let mut seg = Dictionary::new();
+        let mut flat = FlatDict::default();
+        for &step in &steps {
+            let key = key_for(step);
+            let kind = kind_for(step);
+            let a = seg.intern_key(&key, kind);
+            let b = flat.intern_key(&key, kind);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(seg.len(), flat.entries.len());
+        for (id, (key, kind)) in flat.entries.iter().enumerate() {
+            prop_assert_eq!(seg.key(id as u32), key.as_str());
+            prop_assert_eq!(seg.kind(id as u32), *kind);
+            prop_assert_eq!(seg.get_key(key), Some(id as u32));
+        }
+        let iterated: Vec<(u32, String, TermKind)> =
+            seg.iter().map(|(i, k, t)| (i, k.to_string(), t)).collect();
+        let expected: Vec<(u32, String, TermKind)> = flat
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, (k, t))| (i as u32, k.clone(), *t))
+            .collect();
+        prop_assert_eq!(iterated, expected);
+        prop_assert_eq!(seg.get_key("e:never_interned"), None);
+    }
+
+    /// Ids handed out before a seal stay valid afterwards: a prefix
+    /// re-intern of every key returns its original id.
+    #[test]
+    fn ids_are_stable_across_seals(extra in 0usize..1_500) {
+        let mut d = Dictionary::new();
+        let first: Vec<u32> = (0..Dictionary::SEGMENT_LEN)
+            .map(|i| d.intern_key(&format!("e:stable_{i}"), TermKind::Iri))
+            .collect();
+        for i in 0..extra {
+            d.intern_key(&format!("e:extra_{i}"), TermKind::Iri);
+        }
+        for (i, &id) in first.iter().enumerate() {
+            let key = format!("e:stable_{i}");
+            prop_assert_eq!(d.intern_key(&key, TermKind::Iri), id);
+            prop_assert_eq!(d.key(id), key.as_str());
+        }
+    }
+}
+
+/// A live KB whose node dictionary spans several sealed segments.
+fn live_kb_with_sealed_segments() -> LiveKb {
+    let mut b = KbBuilder::new();
+    for i in 0..3_000 {
+        b.add_iri(
+            &format!("e:n{i}"),
+            "p:linked",
+            &format!("e:n{}", (i + 1) % 3_000),
+        );
+    }
+    LiveKb::with_policy(
+        b.build().unwrap(),
+        CompactionPolicy {
+            min_delta: usize::MAX, // keep publishes pure overlay updates
+            ..CompactionPolicy::default()
+        },
+    )
+}
+
+fn sealed_ptrs(kb: &remi_kb::KnowledgeBase) -> Vec<usize> {
+    kb.node_dict().sealed_segment_ptrs().collect()
+}
+
+/// Consecutive epoch snapshots share *all* sealed node-dictionary
+/// segments by pointer — publish copies the tail, never the archive.
+#[test]
+fn consecutive_snapshots_share_sealed_segments() {
+    let live = live_kb_with_sealed_segments();
+    let before = live.snapshot();
+    assert!(
+        sealed_ptrs(&before.kb).len() >= 2,
+        "need a multi-segment dictionary for the sharing claim"
+    );
+    live.append(vec![(
+        Term::iri("e:fresh_subject".to_string()),
+        "p:linked".to_string(),
+        Term::iri("e:n0".to_string()),
+    )]);
+    let after = live.snapshot();
+    assert!(
+        after.epoch > before.epoch,
+        "append must publish a new epoch"
+    );
+    assert_eq!(
+        sealed_ptrs(&before.kb),
+        sealed_ptrs(&after.kb),
+        "sealed segments must be pointer-shared across epochs"
+    );
+}
+
+/// The publish cost of a one-new-key batch: the sealed archive is
+/// untouched (no segment is copied or resealed), only the tail moves.
+#[test]
+fn single_key_publish_leaves_sealed_archive_untouched() {
+    let live = live_kb_with_sealed_segments();
+    let before = live.snapshot();
+    let ptrs_before = sealed_ptrs(&before.kb);
+    for round in 0..5 {
+        live.append(vec![(
+            Term::iri(format!("e:tail_only_{round}")),
+            "p:linked".to_string(),
+            Term::iri("e:n1".to_string()),
+        )]);
+        let snap = live.snapshot();
+        assert_eq!(
+            sealed_ptrs(&snap.kb),
+            ptrs_before,
+            "round {round}: a tail-sized batch must not touch sealed segments"
+        );
+    }
+}
+
+/// Dictionary clones (how snapshots are made) share sealed segments and
+/// report identical heap footprints.
+#[test]
+fn clone_shares_segments_and_heap_accounting() {
+    let mut d = Dictionary::new();
+    for i in 0..(Dictionary::SEGMENT_LEN * 2 + 7) {
+        d.intern_key(&format!("e:c{i}"), TermKind::Iri);
+    }
+    let c = d.clone();
+    let a: Vec<usize> = d.sealed_segment_ptrs().collect();
+    let b: Vec<usize> = c.sealed_segment_ptrs().collect();
+    assert_eq!(a, b, "clone must Arc-share every sealed segment");
+    assert_eq!(d.heap_bytes(), c.heap_bytes());
+}
