@@ -1,0 +1,53 @@
+//! Overhead of the observability substrate itself.
+//!
+//! Counter bumps, histogram records, and span lifecycles sit directly
+//! on the serve hot path (every request records one latency sample and
+//! up to six phase boundaries), so their cost budget is tens of
+//! nanoseconds, not microseconds. `histogram_record` is the headline
+//! number: the issue gate is a ≤ ~50ns median for one record.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use remi_obs::{Counter, Histogram, MonoClock, Span};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+
+    let counter = Counter::new();
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    // A cheap LCG varies the recorded value so every bucket index path
+    // is exercised, not just one hot cache line.
+    let hist = Histogram::new();
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            hist.record(black_box(state >> 24));
+        })
+    });
+
+    let clock = MonoClock::new();
+    group.bench_function("span_start_finish", |b| {
+        b.iter(|| Span::start(black_box(&clock)).finish())
+    });
+
+    // The shape of a full served request: span, three phase marks, and
+    // the final record into a latency histogram.
+    let latency = Histogram::new();
+    group.bench_function("span_request_shape", |b| {
+        b.iter(|| {
+            let mut span = Span::start(black_box(&clock));
+            span.phase("parse");
+            span.phase("mine");
+            span.phase("write");
+            span.finish_into(&latency)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -412,6 +412,9 @@ pub struct ServeOpts {
     pub threads: usize,
     /// Delta-overlay size that triggers background compaction.
     pub compact_min_delta: usize,
+    /// Log requests slower than this many milliseconds to stderr
+    /// (`None` disables the slow-request log).
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServeOpts {
@@ -424,6 +427,7 @@ impl Default for ServeOpts {
             max_inflight: defaults.max_inflight,
             threads: defaults.threads,
             compact_min_delta: defaults.compact_min_delta,
+            slow_request_ms: defaults.slow_request_ms,
         }
     }
 }
@@ -441,12 +445,13 @@ pub fn cmd_serve(path: &Path, opts: &ServeOpts) -> Result<(remi_serve::ServerHan
         max_inflight: opts.max_inflight,
         threads: opts.threads,
         compact_min_delta: opts.compact_min_delta,
+        slow_request_ms: opts.slow_request_ms,
     };
     let handle = remi_serve::serve(kb, config)
         .map_err(|e| CliError(format!("cannot serve on {}: {e}", opts.addr)))?;
     let banner = format!(
         "serving {} on http://{} ({} backend, cache {} entries, max-inflight {})\n\
-         routes (also under /v1): GET /healthz | GET /stats | \
+         routes (also under /v1): GET /healthz | GET /stats | GET /metrics | \
          GET /describe/{{entity}} | POST /describe | \
          GET /summarize/{{entity}} | POST /ingest | POST /query",
         path.display(),
@@ -529,7 +534,7 @@ USAGE:
                   [--backend csr|succinct]
   remi serve <kb> [--addr HOST:PORT] [--backend csr|succinct]
                   [--cache-entries N] [--max-inflight N] [--threads N]
-                  [--compact-threshold N]
+                  [--compact-threshold N] [--slow-request-ms N]
 
 QUERYING:
   remi query evaluates 1-3 triple patterns joined on shared variables.
@@ -542,6 +547,7 @@ SERVING:
   remi serve keeps the KB resident and answers JSON over HTTP/1.1
   (canonical paths live under /v1/...; the unprefixed spellings remain
   as aliases): GET /healthz, GET /stats,
+  GET /metrics (Prometheus text exposition),
   GET /describe/{entity}?k=&threads=&backend=,
   POST /describe {\"entities\": [...]}, GET /summarize/{entity}?k=&method=,
   POST /ingest (N-Triples body), POST /query {\"patterns\": [{\"s\": ...,
@@ -550,6 +556,15 @@ SERVING:
   with 503. Ingested batches publish a new epoch atomically; once the
   delta overlay exceeds --compact-threshold triples it is folded into a
   fresh base in the background.
+
+OBSERVABILITY:
+  GET /metrics exposes counters, gauges, and log2-bucketed latency
+  histograms for every route, pool scheduling, and kb publish/compaction
+  (per-route quantiles also appear in /stats under \"latency\" and
+  \"phases\"). Appending ?trace=1 to any JSON endpoint embeds that
+  request's per-phase timings in the response body. --slow-request-ms N
+  logs any request slower than N ms to stderr with its phase breakdown
+  (0 logs every request).
 
 INGESTION:
   remi ingest appends N-Triples delta files to a KB through the same

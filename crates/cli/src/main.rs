@@ -312,6 +312,13 @@ fn run(args: &[String]) -> Result<Action, Failure> {
                             .filter(|&n| n >= 1)
                             .ok_or_else(|| err("--compact-threshold takes a positive int"))?
                     }
+                    "--slow-request-ms" => {
+                        opts.slow_request_ms = Some(
+                            value()?
+                                .parse::<u64>()
+                                .map_err(|_| err("--slow-request-ms takes a millisecond count"))?,
+                        )
+                    }
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }
             }

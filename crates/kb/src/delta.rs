@@ -36,7 +36,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use remi_obs::Clock as _;
 
 use crate::backend::{Backend, Bindings, StoreBackend, StoreMemory, TripleStore};
 use crate::dict::Dictionary;
@@ -564,6 +566,29 @@ pub struct LiveStats {
     pub last_compaction_us: u64,
 }
 
+/// Ingestion observability: histograms over the costs the compaction
+/// policy exists to bound. Instruments are `Arc`s so an embedding layer
+/// (the HTTP server) can register the very same cells in a
+/// `remi_obs::Registry`; [`LiveKb::fork`] shares its parent's instruments,
+/// so what-if forks report into the same series.
+#[derive(Debug, Clone, Default)]
+pub struct KbInstruments {
+    /// Wall time of each epoch publish (delta rebuild + snapshot swap).
+    pub publish_ns: Arc<remi_obs::Histogram>,
+    /// Accepted triples per publishing append batch.
+    pub batch_triples: Arc<remi_obs::Histogram>,
+    /// Live delta size observed at each publish.
+    pub delta_triples: Arc<remi_obs::Histogram>,
+    /// Wall time of each performed compaction.
+    pub compact_ns: Arc<remi_obs::Histogram>,
+    /// Compactions that folded the delta into a new base.
+    pub compactions_performed: Arc<remi_obs::Counter>,
+    /// Compaction calls that found an empty delta and did nothing.
+    pub compactions_skipped: Arc<remi_obs::Counter>,
+    /// The clock every duration above is measured against.
+    pub clock: remi_obs::MonoClock,
+}
+
 struct Writer {
     base: Arc<StoreBackend>,
     nodes: Dictionary,
@@ -594,6 +619,7 @@ pub struct LiveKb {
     duplicates: AtomicU64,
     compactions: AtomicU64,
     last_compaction_us: AtomicU64,
+    instruments: KbInstruments,
 }
 
 /// Debug-build mirror of the `delta-lock-order` lint rule: the compaction
@@ -722,6 +748,7 @@ impl LiveKb {
             duplicates: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             last_compaction_us: AtomicU64::new(0),
+            instruments: KbInstruments::default(),
         }
     }
 
@@ -766,7 +793,13 @@ impl LiveKb {
             duplicates: AtomicU64::new(self.duplicates.load(Ordering::Relaxed)),
             compactions: AtomicU64::new(self.compactions.load(Ordering::Relaxed)),
             last_compaction_us: AtomicU64::new(self.last_compaction_us.load(Ordering::Relaxed)),
+            instruments: self.instruments.clone(),
         }
+    }
+
+    /// This KB's ingestion instruments (see [`KbInstruments`]).
+    pub fn instruments(&self) -> &KbInstruments {
+        &self.instruments
     }
 
     /// Appends a batch of triples, publishing one new epoch when at least
@@ -934,6 +967,7 @@ impl LiveKb {
         w.delta.extend_from_slice(&accepted);
         w.delta.sort_unstable();
         debug_assert!(w.delta.windows(2).all(|x| x[0] < x[1]));
+        self.instruments.batch_triples.record(accepted.len() as u64);
         let (epoch, fingerprint) = self.publish(&w, Some(&accepted));
         out.epoch = epoch;
         out.fingerprint = fingerprint;
@@ -964,6 +998,7 @@ impl LiveKb {
     /// `rotated` carries the accepted batch (appends) or `None`
     /// (compaction: content unchanged, fingerprint kept).
     fn publish(&self, w: &Writer, rotated: Option<&[Triple]>) -> (u64, u64) {
+        let t0 = self.instruments.clock.now_ns();
         let delta = DeltaStore::build(&w.base, w.preds.len(), w.delta.clone());
         let store = StoreBackend::Layered(LayeredStore::new(Arc::clone(&w.base), Arc::new(delta)));
         let kb = KnowledgeBase::from_parts(
@@ -981,7 +1016,13 @@ impl LiveKb {
         if let Some(batch) = rotated {
             current.fingerprint = rotate_fingerprint(current.fingerprint, batch);
         }
-        (current.epoch, current.fingerprint)
+        let published = (current.epoch, current.fingerprint);
+        drop(current);
+        self.instruments
+            .publish_ns
+            .record(self.instruments.clock.now_ns().saturating_sub(t0));
+        self.instruments.delta_triples.record(w.delta.len() as u64);
+        published
     }
 
     /// True when the configured policy says the delta has outgrown the
@@ -1003,7 +1044,7 @@ impl LiveKb {
     /// never blocked at all. Content — and therefore the fingerprint — is
     /// unchanged.
     pub fn compact(&self) -> CompactOutcome {
-        let t0 = Instant::now();
+        let t0 = self.instruments.clock.now_ns();
         // One fold at a time, end to end: the snapshot must still be the
         // newest generation when the swap happens (see `compact_gate`).
         let _gate = self.lock_gate();
@@ -1015,10 +1056,11 @@ impl LiveKb {
                 (Arc::clone(l.delta()), new_base)
             }
             _ => {
+                self.instruments.compactions_skipped.inc();
                 return CompactOutcome {
                     epoch: snap.epoch,
                     ..CompactOutcome::default()
-                }
+                };
             }
         };
 
@@ -1036,7 +1078,10 @@ impl LiveKb {
         let (epoch, _) = self.publish(&w, None);
         drop(w);
 
-        let duration = t0.elapsed();
+        let elapsed_ns = self.instruments.clock.now_ns().saturating_sub(t0);
+        self.instruments.compact_ns.record(elapsed_ns);
+        self.instruments.compactions_performed.inc();
+        let duration = Duration::from_nanos(elapsed_ns);
         self.compactions.fetch_add(1, Ordering::Relaxed);
         self.last_compaction_us
             .store(duration.as_micros() as u64, Ordering::Relaxed);

@@ -59,7 +59,7 @@ pub mod term;
 pub mod varint;
 
 pub use backend::{Backend, Bindings, PredView, StoreMemory, TripleStore};
-pub use delta::{content_fingerprint, CompactionPolicy, LiveKb, Snapshot};
+pub use delta::{content_fingerprint, CompactionPolicy, KbInstruments, LiveKb, Snapshot};
 pub use error::{KbError, Result};
 pub use ids::{NodeId, PredId, Triple};
 pub use query::{

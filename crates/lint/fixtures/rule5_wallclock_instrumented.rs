@@ -1,0 +1,23 @@
+// lint:fixture-path crates/serve/src/fixture.rs
+//
+// Seeds: raw wall-clock reads in a library file that imports remi-obs.
+// Importing the obs crate opts the file into injected time — reading
+// `Instant::now` beside the injected `Clock` creates timing paths that
+// `FakeClock` tests can never reach.
+
+use remi_obs::{Clock, MonoClock}; // the import that puts this file in scope
+use std::time::Instant;
+
+pub fn blessed_elapsed(clock: &MonoClock, start_ns: u64) -> u64 {
+    clock.now_ns().saturating_sub(start_ns)
+}
+
+pub fn raw_elapsed() -> u64 {
+    let t = Instant::now(); // lint:expect(wallclock-in-mining)
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn spawn_stamp() -> u64 {
+    // lint:allow(wallclock-in-mining): one-shot boot banner timestamp, never read again after startup
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -85,7 +85,8 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "wallclock-in-mining",
         summary: "no Instant::now/SystemTime in core/amie mining logic (results must be \
-                  deterministic); justified deadline checks carry allows",
+                  deterministic) or in library files importing remi_obs (time flows through \
+                  the injected Clock); justified deadline checks carry allows",
     },
     RuleInfo {
         id: "print-in-library",
@@ -725,11 +726,35 @@ fn rule_unchecked_binfmt_alloc(ctx: &FileCtx<'_>, _info: &PathInfo, raw: &mut Ve
     }
 }
 
-/// Rule 5: mining logic is wall-clock free (deterministic results).
+/// Rule 5: mining logic is wall-clock free (deterministic results), and
+/// instrumented library crates route time through the injected
+/// `remi_obs::Clock` so `FakeClock` tests exercise every timing path.
 fn rule_wallclock_in_mining(ctx: &FileCtx<'_>, info: &PathInfo, raw: &mut Vec<Violation>) {
-    if !(info.is_crate("core") || info.is_crate("amie")) || info.in_test_tree() {
+    if info.in_test_tree() {
         return;
     }
+    let mining = info.is_crate("core") || info.is_crate("amie");
+    // A non-mining library file that imports remi-obs has opted into
+    // injected time: reading the raw clock beside the injected one
+    // creates timing paths FakeClock tests can never reach. The obs
+    // crate itself (MonoClock wraps Instant) and bins/examples own
+    // their clocks.
+    let instrumented = !mining
+        && !info.is_crate("obs")
+        && !info.is_bin_or_example()
+        && (0..ctx.code.len())
+            .any(|i| ctx.kind(i) == Some(TokenKind::Ident) && ctx.text(i) == "remi_obs");
+    if !mining && !instrumented {
+        return;
+    }
+    let (context, hint) = if mining {
+        ("mining logic", "results must not depend on wall-clock time")
+    } else {
+        (
+            "an instrumented crate",
+            "time must flow through the injected `remi_obs::Clock`",
+        )
+    };
     for i in 0..ctx.code.len() {
         if ctx.in_test_code(i) {
             continue;
@@ -740,8 +765,7 @@ fn rule_wallclock_in_mining(ctx: &FileCtx<'_>, info: &PathInfo, raw: &mut Vec<Vi
                 raw,
                 "wallclock-in-mining",
                 i,
-                "`Instant::now` in mining logic — results must not depend on wall-clock time"
-                    .to_string(),
+                format!("`Instant::now` in {context} — {hint}"),
             );
         }
         if ctx.kind(i) == Some(TokenKind::Ident) && ctx.text(i) == "SystemTime" {
@@ -750,8 +774,7 @@ fn rule_wallclock_in_mining(ctx: &FileCtx<'_>, info: &PathInfo, raw: &mut Vec<Vi
                 raw,
                 "wallclock-in-mining",
                 i,
-                "`SystemTime` in mining logic — results must not depend on wall-clock time"
-                    .to_string(),
+                format!("`SystemTime` in {context} — {hint}"),
             );
         }
     }

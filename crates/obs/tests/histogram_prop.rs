@@ -1,0 +1,88 @@
+//! Properties the histogram substrate promises the rest of the workspace:
+//!
+//! 1. Recording is order-independent, and splitting a stream of
+//!    observations across shards then merging reaches the same state as
+//!    recording serially — the precondition for per-thread or per-class
+//!    histograms being folded into one report.
+//! 2. Quantile estimates are bounded by the bucket edges of the bucket
+//!    that truly contains the quantile: never below its lower edge, never
+//!    above its upper edge (and never above the true max).
+
+use proptest::prelude::*;
+use remi_obs::{bucket_index, bucket_lower_edge, bucket_upper_edge, Histogram};
+
+fn snapshot_of(values: &[u64]) -> remi_obs::HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any permutation of the same observations yields the same snapshot.
+    #[test]
+    fn record_is_order_independent(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        rot in 0usize..200,
+    ) {
+        let mut rotated = values.clone();
+        rotated.rotate_left(rot % values.len());
+        prop_assert_eq!(snapshot_of(&values), snapshot_of(&rotated));
+    }
+
+    /// Sharding a stream across histograms and merging (in either order)
+    /// equals recording everything into one histogram.
+    #[test]
+    fn merge_is_order_independent(
+        values in proptest::collection::vec(0u64..1_000_000_000, 2..200),
+        split in 1usize..199,
+    ) {
+        let cut = split.min(values.len() - 1);
+        let (left, right) = values.split_at(cut);
+        let serial = snapshot_of(&values);
+
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &v in left { a.record(v); }
+        for &v in right { b.record(v); }
+
+        let ab = Histogram::new();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        prop_assert_eq!(ab.snapshot(), serial.clone());
+
+        let ba = Histogram::new();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        prop_assert_eq!(ba.snapshot(), serial);
+    }
+
+    /// The quantile estimate lands inside the bucket holding the true
+    /// quantile, and never exceeds the true maximum.
+    #[test]
+    fn quantile_estimates_are_bounded_by_bucket_edges(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1];
+        let bucket = bucket_index(truth);
+
+        let estimate = snap.quantile(q);
+        prop_assert!(
+            estimate >= bucket_lower_edge(bucket),
+            "estimate {estimate} below bucket {bucket} lower edge for true quantile {truth}"
+        );
+        prop_assert!(
+            estimate <= bucket_upper_edge(bucket),
+            "estimate {estimate} above bucket {bucket} upper edge for true quantile {truth}"
+        );
+        prop_assert!(estimate <= *values.last().unwrap());
+    }
+}

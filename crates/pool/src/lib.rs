@@ -39,6 +39,31 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
+use remi_obs::{Counter, Gauge};
+
+/// Scheduling observability: relaxed counters bumped at job boundaries,
+/// cheap enough to stay on permanently. Each field is an `Arc` so an
+/// embedding layer (the HTTP server) can register the very same
+/// instruments in its `remi_obs::Registry` and render them at
+/// `/v1/metrics` without the pool knowing a registry exists.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    /// Jobs a worker popped from a *foreign* shard.
+    pub steals: Arc<Counter>,
+    /// Nested-scope claim stubs executed by a worker other than the
+    /// spawner (the stub was stolen off the queue before the spawner's
+    /// help-drain reached it).
+    pub claims: Arc<Counter>,
+    /// Times a worker went to sleep on the idle parking lot.
+    pub parks: Arc<Counter>,
+    /// Times a sleeping worker was woken back up.
+    pub revives: Arc<Counter>,
+    /// Jobs a worker ran from its *own* nested scope while waiting on it.
+    pub help_drains: Arc<Counter>,
+    /// Queue depth sampled after each inject/take transition.
+    pub queue_depth: Arc<Gauge>,
+}
+
 /// Acquires a std mutex, recovering from poisoning (a panicked task must
 /// not wedge the pool — parking_lot semantics).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -201,6 +226,7 @@ struct PoolState {
     idlers: AtomicUsize,
     wake: Condvar,
     shutdown: AtomicBool,
+    metrics: PoolMetrics,
 }
 
 impl PoolState {
@@ -216,7 +242,13 @@ impl PoolState {
                 lock(&self.shards[idx].jobs).pop_back()
             };
             if let Some(job) = job {
-                self.queued.fetch_sub(1, Ordering::AcqRel);
+                let before = self.queued.fetch_sub(1, Ordering::AcqRel);
+                self.metrics
+                    .queue_depth
+                    .set(before.saturating_sub(1) as u64);
+                if k != 0 {
+                    self.metrics.steals.inc();
+                }
                 return Some(job);
             }
         }
@@ -224,7 +256,8 @@ impl PoolState {
     }
 
     fn inject(&self, job: Job) {
-        self.queued.fetch_add(1, Ordering::AcqRel);
+        let before = self.queued.fetch_add(1, Ordering::AcqRel);
+        self.metrics.queue_depth.set(before as u64 + 1);
         let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         lock(&self.shards[shard].jobs).push_back(job);
         // One job, one wakeup: waking the whole pool per injected job is a
@@ -261,11 +294,13 @@ fn worker_loop(state: Arc<PoolState>, home: usize) {
             continue; // a push is in flight — rescan instead of sleeping
         }
         state.idlers.fetch_add(1, Ordering::AcqRel);
+        state.metrics.parks.inc();
         let guard = state
             .wake
             .wait(guard)
             .unwrap_or_else(PoisonError::into_inner);
         state.idlers.fetch_sub(1, Ordering::AcqRel);
+        state.metrics.revives.inc();
         drop(guard);
     }
 }
@@ -289,6 +324,7 @@ impl ThreadPool {
             idlers: AtomicUsize::new(0),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            metrics: PoolMetrics::default(),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -328,6 +364,11 @@ impl ThreadPool {
         self.state.idlers.load(Ordering::Acquire)
     }
 
+    /// This pool's scheduling instruments (see [`PoolMetrics`]).
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.state.metrics
+    }
+
     /// Structured concurrency: `f` receives a [`Scope`] whose tasks may
     /// borrow anything that outlives the `scope` call. Returns after every
     /// spawned task has completed; the first task panic is propagated.
@@ -349,7 +390,7 @@ impl ThreadPool {
         let result = {
             // Even if `f` panics, unwinding must not release the borrows
             // before the spawned tasks are done with them.
-            let wait_guard = WaitGuard(&scope.state);
+            let wait_guard = WaitGuard(&scope.state, &self.state.metrics);
             let result = f(&scope);
             drop(wait_guard);
             result
@@ -418,7 +459,7 @@ impl ScopeState {
         None
     }
 
-    fn wait(&self) {
+    fn wait(&self, metrics: &PoolMetrics) {
         if IS_POOL_WORKER.with(|w| w.get()) {
             // Help-drain: run our own unclaimed tasks while other workers
             // chew on the rest. The timed wait covers the race where a
@@ -428,6 +469,7 @@ impl ScopeState {
                     return;
                 }
                 if let Some(job) = self.claim_own_job() {
+                    metrics.help_drains.inc();
                     job();
                     continue;
                 }
@@ -452,11 +494,11 @@ impl ScopeState {
 
 /// Blocks on drop until the scope's tasks are done — the linchpin of the
 /// lifetime-erasure safety argument (runs on both normal exit and unwind).
-struct WaitGuard<'a>(&'a ScopeState);
+struct WaitGuard<'a>(&'a ScopeState, &'a PoolMetrics);
 
 impl Drop for WaitGuard<'_> {
     fn drop(&mut self) {
-        self.0.wait();
+        self.0.wait(self.1);
     }
 }
 
@@ -506,8 +548,10 @@ impl<'env> Scope<'_, 'env> {
             // saturated pool can never deadlock on its own nesting.
             let claim: Claim = Arc::new(Mutex::new(Some(job)));
             lock(&self.state.claims).push_back(Arc::clone(&claim));
+            let claims_taken = Arc::clone(&self.pool.state.metrics.claims);
             self.pool.state.inject(Box::new(move || {
                 if let Some(job) = lock(&claim).take() {
+                    claims_taken.inc();
                     job();
                 }
             }));
@@ -784,6 +828,28 @@ mod tests {
         assert_eq!(parse_threads("-3"), None);
         assert_eq!(parse_threads("many"), None);
         assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn scheduling_metrics_move_with_the_pool() {
+        let pool = ThreadPool::new(2);
+        pool.broadcast(64, &|_| {
+            std::thread::yield_now();
+        });
+        // All queued work was taken, so the sampled depth ends at zero and
+        // help-drains ran on the nested (worker-spawned) scope path.
+        assert_eq!(pool.metrics().queue_depth.get(), 0);
+        let single = ThreadPool::new(1);
+        single.scope(|outer| {
+            let single = &single;
+            outer.spawn(move || {
+                single.broadcast(4, &|_| {});
+            });
+        });
+        assert!(
+            single.metrics().help_drains.get() + single.metrics().claims.get() >= 4,
+            "nested-scope jobs must be accounted as help-drains or claims"
+        );
     }
 
     #[test]

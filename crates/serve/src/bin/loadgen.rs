@@ -14,17 +14,26 @@
 //! `POST /query` triple-pattern joins built from the KB's own
 //! predicates, adding a third latency class to the report.
 //!
+//! Latencies are folded into [`remi_obs::Histogram`]s — the same
+//! instrument the server records into — and `--metrics-url` scrapes
+//! `/v1/metrics` at the end of the run, printing server-observed and
+//! client-observed latency side by side (`auto` scrapes the server this
+//! run booted).
+//!
 //! Usage:
 //!   remi-serve-load <kb.{rkb,rkb2,nt}> [--requests N] [--clients C]
 //!                   [--backend csr|succinct] [--entities e:A,e:B,...]
 //!                   [--mode describe|summarize|healthz] [--cold]
 //!                   [--ingest-ratio F] [--query-ratio F]
+//!                   [--metrics-url auto|host:port]
 
 #![forbid(unsafe_code)]
 
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use remi_obs::{bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 use remi_serve::client::Client;
 use remi_serve::http::percent_encode;
 use remi_serve::{serve, ServeConfig};
@@ -39,6 +48,8 @@ struct Args {
     cold: bool,
     ingest_ratio: f64,
     query_ratio: f64,
+    metrics_url: Option<String>,
+    dump_metrics: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -52,6 +63,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cold: false,
         ingest_ratio: 0.0,
         query_ratio: 0.0,
+        metrics_url: None,
+        dump_metrics: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -105,6 +118,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .filter(|r| (0.0..=1.0).contains(r))
                     .ok_or_else(|| "--query-ratio takes a float in 0..=1".to_string())?
             }
+            "--metrics-url" => args.metrics_url = Some(value()?),
+            "--dump-metrics" => args.dump_metrics = Some(value()?),
             p if !p.starts_with("--") && args.kb_path.is_empty() => args.kb_path = p.to_string(),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -113,8 +128,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         return Err("usage: remi-serve-load <kb> [--requests N] [--clients C] \
                     [--backend csr|succinct] [--entities a,b] \
                     [--mode describe|summarize|healthz] [--cold] \
-                    [--ingest-ratio F] [--query-ratio F]"
+                    [--ingest-ratio F] [--query-ratio F] \
+                    [--metrics-url auto|host:port] [--dump-metrics PATH]"
             .to_string());
+    }
+    // A dump without an explicit scrape target means "this run's server".
+    if args.dump_metrics.is_some() && args.metrics_url.is_none() {
+        args.metrics_url = Some("auto".to_string());
     }
     if args.ingest_ratio + args.query_ratio > 1.0 {
         return Err("--ingest-ratio and --query-ratio must sum to at most 1".to_string());
@@ -131,19 +151,109 @@ fn ingest_payload(client: usize, seq: usize) -> String {
     )
 }
 
-/// Latency quantile helper over a sorted slice.
-fn quantiles(sorted_us: &[u64]) -> String {
-    if sorted_us.is_empty() {
+/// Latency quantile line from a histogram snapshot (nanosecond
+/// observations rendered in µs — the same `remi-obs` estimation the
+/// server's `/stats` latency section uses).
+fn quantile_line(s: &HistogramSnapshot) -> String {
+    if s.count() == 0 {
         return "n/a".to_string();
     }
-    let q = |p: f64| sorted_us[((sorted_us.len() - 1) as f64 * p) as usize];
+    // A scraped snapshot carries no true max (`from_parts` with
+    // `u64::MAX`) — the bucket quantiles are still valid, so just elide
+    // the max column.
+    let max = if s.max() == u64::MAX {
+        String::new()
+    } else {
+        format!("max {}µs  ", s.max() / 1_000)
+    };
     format!(
-        "p50 {}µs  p90 {}µs  p99 {}µs  max {}µs",
-        q(0.50),
-        q(0.90),
-        q(0.99),
-        sorted_us.last().copied().unwrap_or(0),
+        "p50 {}µs  p90 {}µs  p99 {}µs  {max}(n={})",
+        s.p50() / 1_000,
+        s.p90() / 1_000,
+        s.p99() / 1_000,
+        s.count(),
     )
+}
+
+/// Rebuilds the histogram registered as `family{labels}` from a
+/// `/v1/metrics` scrape: the cumulative `_bucket{…,le=…}` lines are
+/// de-cumulated back into per-bucket counts via [`bucket_index`], and the
+/// true max is unknown (`u64::MAX`), so quantiles report bucket upper
+/// edges — exactly what the server itself would estimate.
+fn parse_prom_histogram(text: &str, family: &str, labels: &str) -> Option<HistogramSnapshot> {
+    let mut buckets = [0u64; BUCKETS];
+    let mut count = 0u64;
+    let mut sum = 0u64;
+    let mut prev = 0u64;
+    let mut seen = false;
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(family) else {
+            continue;
+        };
+        if let Some(rest) = rest.strip_prefix("_bucket{") {
+            let Some((labelpart, value)) = rest.split_once("} ") else {
+                continue;
+            };
+            if !labels.is_empty() && !labelpart.starts_with(labels) {
+                continue;
+            }
+            let Some(le) = labelpart
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+            else {
+                continue;
+            };
+            let cumulative: u64 = value.trim().parse().ok()?;
+            if le != "+Inf" {
+                let edge: u64 = le.parse().ok()?;
+                let i = bucket_index(edge);
+                buckets[i] = cumulative.saturating_sub(prev);
+                prev = cumulative;
+                seen = true;
+            }
+        } else if let Some(rest) = suffix_value(rest, "_sum", labels) {
+            sum = rest;
+            seen = true;
+        } else if let Some(rest) = suffix_value(rest, "_count", labels) {
+            count = rest;
+            seen = true;
+        }
+    }
+    seen.then(|| HistogramSnapshot::from_parts(buckets, count, sum, u64::MAX))
+}
+
+/// Parses `"<suffix>{labels} value"` / `"<suffix> value"` off a line
+/// remainder, returning the value when the labels match.
+fn suffix_value(rest: &str, suffix: &str, labels: &str) -> Option<u64> {
+    let rest = rest.strip_prefix(suffix)?;
+    let value = if labels.is_empty() {
+        rest.strip_prefix(' ')?
+    } else {
+        rest.strip_prefix('{')?
+            .strip_prefix(labels)?
+            .strip_prefix("} ")?
+    };
+    value.trim().parse().ok()
+}
+
+/// `auto` → the in-process server; otherwise `host:port` (with an
+/// optional `http://` prefix and path, both ignored after the authority).
+fn resolve_metrics_addr(spec: &str, own: SocketAddr) -> Result<SocketAddr, String> {
+    if spec == "auto" {
+        return Ok(own);
+    }
+    let authority = spec
+        .strip_prefix("http://")
+        .unwrap_or(spec)
+        .split('/')
+        .next()
+        .unwrap_or(spec);
+    authority
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve --metrics-url {spec:?}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--metrics-url {spec:?} resolves to no address"))
 }
 
 fn load_kb(path: &str) -> Result<remi_kb::KnowledgeBase, String> {
@@ -264,20 +374,22 @@ fn run(argv: &[String]) -> Result<String, String> {
     let total = per_client * args.clients;
     let ratio = args.ingest_ratio;
     let qratio = args.query_ratio;
+    // Per-class latency histograms, shared across clients — `Histogram`
+    // records are relaxed atomics, so every client folds straight in.
+    let reads_hist = Histogram::new();
+    let ingests_hist = Histogram::new();
+    let queries_hist = Histogram::new();
     let t0 = Instant::now();
-    // Per-class latencies: (reads, ingests, queries).
-    type ClassLat = (Vec<u64>, Vec<u64>, Vec<u64>);
     // lint:allow(raw-thread-primitive): loadgen clients block on sockets for the whole run — parking them on the shared compute pool would starve the server it is measuring
-    let results: Vec<Result<ClassLat, String>> = std::thread::scope(|scope| {
+    let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|c| {
                 let targets = &targets;
                 let queries = &queries;
-                scope.spawn(move || -> Result<ClassLat, String> {
+                let (reads_hist, ingests_hist, queries_hist) =
+                    (&reads_hist, &ingests_hist, &queries_hist);
+                scope.spawn(move || -> Result<(), String> {
                     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
-                    let mut reads = Vec::with_capacity(per_client);
-                    let mut writes = Vec::new();
-                    let mut query_lat = Vec::new();
                     // Deterministic interleave: accumulate ratio credit
                     // per class, fire one request per whole unit.
                     let mut credit = 0.0f64;
@@ -291,7 +403,7 @@ fn run(argv: &[String]) -> Result<String, String> {
                             let r = client
                                 .post("/ingest", &body)
                                 .map_err(|e| format!("/ingest: {e}"))?;
-                            writes.push(q0.elapsed().as_micros() as u64);
+                            ingests_hist.record(q0.elapsed().as_nanos() as u64);
                             if r.status != 200 {
                                 return Err(format!("/ingest answered {}: {}", r.status, r.body));
                             }
@@ -305,7 +417,7 @@ fn run(argv: &[String]) -> Result<String, String> {
                             let r = client
                                 .post("/query", body)
                                 .map_err(|e| format!("/query: {e}"))?;
-                            query_lat.push(q0.elapsed().as_micros() as u64);
+                            queries_hist.record(q0.elapsed().as_nanos() as u64);
                             if r.status != 200 {
                                 return Err(format!("/query answered {}: {}", r.status, r.body));
                             }
@@ -314,12 +426,12 @@ fn run(argv: &[String]) -> Result<String, String> {
                         let t = &targets[(c + i) % targets.len()];
                         let q0 = Instant::now();
                         let r = client.get(t).map_err(|e| format!("{t}: {e}"))?;
-                        reads.push(q0.elapsed().as_micros() as u64);
+                        reads_hist.record(q0.elapsed().as_nanos() as u64);
                         if r.status != 200 {
                             return Err(format!("{t} answered {}: {}", r.status, r.body));
                         }
                     }
-                    Ok((reads, writes, query_lat))
+                    Ok(())
                 })
             })
             .collect();
@@ -329,21 +441,28 @@ fn run(argv: &[String]) -> Result<String, String> {
             .collect()
     });
     let elapsed = t0.elapsed();
-    let mut reads_us: Vec<u64> = Vec::with_capacity(total);
-    let mut ingests_us: Vec<u64> = Vec::new();
-    let mut queries_us: Vec<u64> = Vec::new();
     for r in results {
-        let (reads, writes, query_lat) = r?;
-        reads_us.extend(reads);
-        ingests_us.extend(writes);
-        queries_us.extend(query_lat);
+        r?;
     }
-    reads_us.sort_unstable();
-    ingests_us.sort_unstable();
-    queries_us.sort_unstable();
+    let reads = reads_hist.snapshot();
+    let ingests = ingests_hist.snapshot();
+    let queries_snap = queries_hist.snapshot();
 
     let mut stats_client = Client::connect(addr).map_err(|e| e.to_string())?;
     let stats = stats_client.get("/stats").map_err(|e| e.to_string())?;
+    // Scrape before shutdown: `auto` points at the server this run booted.
+    let scraped: Option<String> = match &args.metrics_url {
+        Some(spec) => {
+            let maddr = resolve_metrics_addr(spec, addr)?;
+            let mut mc = Client::connect(maddr).map_err(|e| e.to_string())?;
+            let r = mc.get("/v1/metrics").map_err(|e| e.to_string())?;
+            if r.status != 200 {
+                return Err(format!("/v1/metrics answered {}: {}", r.status, r.body));
+            }
+            Some(r.body)
+        }
+        None => None,
+    };
     server.shutdown();
 
     let throughput = total as f64 / elapsed.as_secs_f64();
@@ -352,20 +471,56 @@ fn run(argv: &[String]) -> Result<String, String> {
     let _ = writeln!(
         out,
         "serve-load: {total} requests ({} reads, {} ingests, {} queries), {} clients, mode {} ({})",
-        reads_us.len(),
-        ingests_us.len(),
-        queries_us.len(),
+        reads.count(),
+        ingests.count(),
+        queries_snap.count(),
         args.clients,
         args.mode,
         if args.cold { "cold, cache off" } else { "warm" }
     );
     let _ = writeln!(out, "  throughput:  {throughput:.0} req/s");
-    let _ = writeln!(out, "  read:        {}", quantiles(&reads_us));
-    if !ingests_us.is_empty() {
-        let _ = writeln!(out, "  ingest:      {}", quantiles(&ingests_us));
+    let _ = writeln!(out, "  read:        {}", quantile_line(&reads));
+    if ingests.count() > 0 {
+        let _ = writeln!(out, "  ingest:      {}", quantile_line(&ingests));
     }
-    if !queries_us.is_empty() {
-        let _ = writeln!(out, "  query:       {}", quantiles(&queries_us));
+    if queries_snap.count() > 0 {
+        let _ = writeln!(out, "  query:       {}", quantile_line(&queries_snap));
+    }
+    if let Some(text) = scraped {
+        if let Some(path) = &args.dump_metrics {
+            std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        // Server-observed latency next to the client-observed lines above:
+        // the gap between the pairs is connection + parser + queueing time
+        // outside the handler.
+        let _ = writeln!(out, "  server-side (scraped from /v1/metrics):");
+        let read_route = match args.mode.as_str() {
+            "summarize" => "summarize",
+            "healthz" => "healthz",
+            _ => "describe",
+        };
+        let mut classes = vec![("read", read_route, reads.count())];
+        classes.push(("ingest", "ingest", ingests.count()));
+        classes.push(("query", "query", queries_snap.count()));
+        for (class, route, client_n) in classes {
+            if client_n == 0 {
+                continue;
+            }
+            let labels = format!("route=\"{route}\",status=\"200\"");
+            match parse_prom_histogram(&text, "remi_http_request_duration_ns", &labels) {
+                Some(s) => {
+                    let _ = writeln!(out, "    {class:<10} {}", quantile_line(&s));
+                }
+                None => {
+                    let _ = writeln!(out, "    {class:<10} no server series for {labels}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  metrics:     {} exposition lines",
+            text.lines().count()
+        );
     }
     let _ = writeln!(out, "  server:      {}", stats.body);
     Ok(out)

@@ -326,17 +326,29 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Serialises a complete response: status line, standard headers, any
-/// extra headers, `Content-Length`, and the body.
+/// Serialises a complete JSON response: status line, standard headers,
+/// any extra headers, `Content-Length`, and the body.
 pub fn write_response(
     status: u16,
     extra_headers: &[(&str, &str)],
     body: &str,
     keep_alive: bool,
 ) -> Vec<u8> {
+    write_response_typed(status, "application/json", extra_headers, body, keep_alive)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — the `/v1/metrics`
+/// endpoint answers Prometheus text exposition, not JSON.
+pub fn write_response_typed(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+    keep_alive: bool,
+) -> Vec<u8> {
     let mut head = String::with_capacity(128 + body.len());
     let _ = write!(head, "HTTP/1.1 {status} {}\r\n", reason_phrase(status));
-    head.push_str("Content-Type: application/json\r\n");
+    let _ = write!(head, "Content-Type: {content_type}\r\n");
     let _ = write!(head, "Content-Length: {}\r\n", body.len());
     let _ = write!(
         head,

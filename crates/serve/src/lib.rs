@@ -34,6 +34,7 @@
 //! |------------------------------|------------------------------------------|
 //! | `GET /v1/healthz`            | liveness (exempt from request shedding)  |
 //! | `GET /v1/stats`              | KB + backend + cache + server metrics    |
+//! | `GET /v1/metrics`            | Prometheus text exposition (`remi-obs`)  |
 //! | `GET /v1/describe/{entity}`  | best RE(s); `?k=&threads=&backend=`      |
 //! | `POST /v1/describe`          | batched entity list, one shared miner    |
 //! | `GET /v1/summarize/{entity}` | top-k facts; `?k=&method=&backend=`      |
@@ -62,12 +63,16 @@ pub use query::query_body;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
+
+use remi_obs::{
+    series, Clock as _, Counter, Gauge, Histogram, MonoClock, PromText, Registry, Span,
+};
 
 use remi_core::topk::describe_top_k;
 use remi_core::{Remi, RemiConfig};
@@ -119,6 +124,11 @@ pub struct ServeConfig {
     /// delta overlay past this many triples, a compaction task is
     /// scheduled on the shared pool to fold it into a fresh base.
     pub compact_min_delta: usize,
+    /// Requests slower than this many milliseconds bump
+    /// `remi_http_slow_requests_total` and log a structured one-line
+    /// phase breakdown on stderr. `None` disables the log; `Some(0)`
+    /// logs every request (the test hook).
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +140,7 @@ impl Default for ServeConfig {
             max_inflight: 64,
             threads: remi_pool::configured_threads(),
             compact_min_delta: CompactionPolicy::default().min_delta,
+            slow_request_ms: None,
         }
     }
 }
@@ -325,17 +336,92 @@ pub fn summarize_body(
 // ---------------------------------------------------------------------------
 // Server state
 
-/// Request/connection counters, all monotonic except the two gauges.
-#[derive(Debug, Default)]
+/// Request/connection counters, all monotonic except the two gauges
+/// (which saturate at zero on decrement — the historical
+/// `connections_open` underflow on the parked-connection revive path
+/// cannot recur). Every cell is an `Arc` created through the registry, so
+/// `/v1/metrics` renders the same instruments `/stats` reads.
 struct Metrics {
-    requests: AtomicU64,
-    ok: AtomicU64,
-    client_errors: AtomicU64,
-    server_errors: AtomicU64,
-    shed: AtomicU64,
-    connections_total: AtomicU64,
-    connections_open: AtomicU64,
-    inflight: AtomicU64,
+    requests: Arc<Counter>,
+    ok: Arc<Counter>,
+    client_errors: Arc<Counter>,
+    server_errors: Arc<Counter>,
+    shed: Arc<Counter>,
+    connections_total: Arc<Counter>,
+    connections_open: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+}
+
+impl Metrics {
+    /// Creates every counter/gauge through `registry` get-or-create so the
+    /// cells are exposition residents from boot.
+    fn register(registry: &Registry) -> Metrics {
+        let class =
+            |c: &str| registry.counter(&series("remi_http_responses_total", &[("class", c)]));
+        Metrics {
+            requests: registry.counter("remi_http_requests_total"),
+            ok: class("ok"),
+            client_errors: class("client_error"),
+            server_errors: class("server_error"),
+            shed: registry.counter("remi_http_shed_total"),
+            connections_total: registry.counter("remi_connections_total"),
+            connections_open: registry.gauge("remi_connections_open"),
+            inflight: registry.gauge("remi_http_inflight"),
+        }
+    }
+}
+
+/// The fixed request-phase vocabulary: each name is one histogram series
+/// (`remi_http_phase_duration_ns{phase=…}`) and one segment a [`Trace`]
+/// can close.
+const PHASES: &[&str] = &["parse", "admission", "cache", "mine", "ingest", "write"];
+
+/// Pre-resolved HTTP instruments. The per-route 200-status latency
+/// histograms are looked up once at boot (aligned with `router::TABLE`),
+/// so the hot path records without touching the registry lock; non-200
+/// series go through get-or-create, which only rare responses pay for.
+struct HttpMetrics {
+    /// `(route name, histogram)` for `status="200"`, one per table row.
+    route_ok: Vec<(&'static str, Arc<Histogram>)>,
+    /// `(phase name, histogram)`, one per [`PHASES`] entry.
+    phases: Vec<(&'static str, Arc<Histogram>)>,
+    /// Requests past the `--slow-request-ms` threshold.
+    slow: Arc<Counter>,
+}
+
+impl HttpMetrics {
+    fn register(registry: &Registry) -> HttpMetrics {
+        HttpMetrics {
+            route_ok: router::TABLE
+                .iter()
+                .map(|r| {
+                    let name = series(
+                        "remi_http_request_duration_ns",
+                        &[("route", r.name), ("status", "200")],
+                    );
+                    (r.name, registry.histogram(&name))
+                })
+                .collect(),
+            phases: PHASES
+                .iter()
+                .map(|&p| {
+                    let name = series("remi_http_phase_duration_ns", &[("phase", p)]);
+                    (p, registry.histogram(&name))
+                })
+                .collect(),
+            slow: registry.counter("remi_http_slow_requests_total"),
+        }
+    }
+}
+
+/// Per-request trace state threaded through dispatch: the timing span
+/// (started before the request parsed), the matched route's table name,
+/// and whether `?trace=1` asked for the phase breakdown to be echoed in
+/// the response body.
+pub(crate) struct Trace<'c> {
+    pub(crate) span: Span<'c>,
+    pub(crate) route: &'static str,
+    pub(crate) echo: bool,
 }
 
 pub(crate) struct AppState {
@@ -352,6 +438,16 @@ pub(crate) struct AppState {
     converted: Mutex<Option<(u64, u64, Arc<KnowledgeBase>)>>,
     cache: ResponseCache,
     metrics: Metrics,
+    /// Every named instrument `/v1/metrics` renders: the HTTP cells above,
+    /// the shared pool's scheduling counters, and the live KB's
+    /// publish/compaction instruments.
+    pub(crate) registry: Registry,
+    /// The one monotonic time source for request spans, idle deadlines,
+    /// and uptime (`remi-lint` rejects raw `Instant::now` in instrumented
+    /// files — all serve timing flows through this clock).
+    pub(crate) clock: MonoClock,
+    http: HttpMetrics,
+    slow_request_ms: Option<u64>,
     max_inflight: u64,
     /// Hard cap on simultaneously open connections (4 × `max_inflight`,
     /// min 8): idle parked connections are cheap, so this only bounds
@@ -371,7 +467,6 @@ pub(crate) struct AppState {
     /// A compaction task is currently folding the delta.
     compaction_running: AtomicBool,
     pub(crate) shutdown: CancelToken,
-    started: Instant,
 }
 
 impl AppState {
@@ -429,12 +524,12 @@ impl AppState {
     }
 }
 
-/// Decrements a gauge on drop.
-struct GaugeGuard<'a>(&'a AtomicU64);
+/// Decrements a gauge on drop (saturating — see [`remi_obs::Gauge::dec`]).
+struct GaugeGuard<'a>(&'a Gauge);
 
 impl Drop for GaugeGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
+        self.0.dec();
     }
 }
 
@@ -445,6 +540,8 @@ pub(crate) struct Response {
     status: u16,
     headers: Vec<(&'static str, String)>,
     body: String,
+    /// The `Content-Type` answered — JSON everywhere except `/metrics`.
+    content_type: &'static str,
 }
 
 impl Response {
@@ -453,6 +550,17 @@ impl Response {
             status: 200,
             headers: Vec::new(),
             body,
+            content_type: "application/json",
+        }
+    }
+
+    /// A `200` carrying a non-JSON body (`/metrics`' text exposition).
+    pub(crate) fn text(body: String) -> Response {
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -461,6 +569,7 @@ impl Response {
             status,
             headers: Vec::new(),
             body: error_body(message),
+            content_type: "application/json",
         }
     }
 
@@ -475,6 +584,7 @@ impl Response {
             status: e.status,
             headers: Vec::new(),
             body: obj.finish(),
+            content_type: "application/json",
         }
     }
 
@@ -488,10 +598,12 @@ impl Response {
 /// Consults the cache for `request_key` under the pinned snapshot's
 /// fingerprint, rendering and inserting on a miss. The `X-Remi-Cache`
 /// header reports which path answered; the body bytes are identical
-/// either way.
+/// either way. Closes the `cache` trace phase at the probe and the
+/// `mine` phase around the render.
 pub(crate) fn cached(
     state: &AppState,
     snap: &Snapshot,
+    trace: &mut Trace<'_>,
     request_key: String,
     render: impl FnOnce() -> Result<String, ApiError>,
 ) -> Response {
@@ -500,11 +612,15 @@ pub(crate) fn cached(
         kb: snap.fingerprint,
     };
     if let Some(body) = state.cache.get(&key) {
+        trace.span.phase("cache");
         let mut r = Response::ok(body.to_string());
         r.headers.push(("X-Remi-Cache", "hit".to_string()));
         return r;
     }
-    match render() {
+    trace.span.phase("cache");
+    let rendered = render();
+    trace.span.phase("mine");
+    match rendered {
         Ok(body) => {
             // Don't re-seed a generation that rotated away while we were
             // mining: the eager purge already dropped its entries. (The
@@ -527,8 +643,39 @@ pub(crate) fn handle_healthz(
     _snap: &Snapshot,
     _req: &Request,
     _tail: &str,
+    _trace: &mut Trace<'_>,
 ) -> Response {
     Response::ok(JsonObject::new().field_str("status", "ok").finish())
+}
+
+/// `GET /metrics`: every registered instrument (HTTP latency and phase
+/// histograms, connection/request counters, pool scheduling, KB
+/// publish/compaction) in Prometheus text exposition format, plus ad-hoc
+/// point-in-time series — cache and live-KB levels, uptime — sampled at
+/// render time.
+pub(crate) fn handle_metrics(
+    state: &AppState,
+    snap: &Snapshot,
+    _req: &Request,
+    _tail: &str,
+    _trace: &mut Trace<'_>,
+) -> Response {
+    let mut text = state.registry.render_prometheus();
+    let cache = state.cache.stats();
+    let live = state.live.stats();
+    let mut w = PromText::new();
+    w.counter("remi_cache_hits_total", cache.hits);
+    w.counter("remi_cache_misses_total", cache.misses);
+    w.counter("remi_cache_evictions_total", cache.evictions);
+    w.counter("remi_cache_purged_total", cache.purged);
+    w.gauge("remi_cache_entries", cache.entries);
+    w.gauge("remi_kb_epoch", snap.epoch);
+    w.gauge("remi_kb_delta_triples", live.delta_triples);
+    w.gauge("remi_kb_triples", snap.kb.num_triples() as u64);
+    w.counter("remi_kb_ingests_total", live.appends);
+    w.gauge("remi_uptime_seconds", state.clock.now_ns() / 1_000_000_000);
+    text.push_str(&w.into_string());
+    Response::text(text)
 }
 
 pub(crate) fn handle_stats(
@@ -536,6 +683,7 @@ pub(crate) fn handle_stats(
     snap: &Snapshot,
     _req: &Request,
     _tail: &str,
+    _trace: &mut Trace<'_>,
 ) -> Response {
     let kb = &snap.kb;
     let cache = state.cache.stats();
@@ -611,25 +759,53 @@ pub(crate) fn handle_stats(
         .field_raw(
             "server",
             &JsonObject::new()
-                .field_u64("requests", m.requests.load(Ordering::Relaxed))
-                .field_u64("ok", m.ok.load(Ordering::Relaxed))
-                .field_u64("client_errors", m.client_errors.load(Ordering::Relaxed))
-                .field_u64("server_errors", m.server_errors.load(Ordering::Relaxed))
-                .field_u64("shed", m.shed.load(Ordering::Relaxed))
-                .field_u64(
-                    "connections_total",
-                    m.connections_total.load(Ordering::Relaxed),
-                )
-                .field_u64(
-                    "connections_open",
-                    m.connections_open.load(Ordering::Relaxed),
-                )
-                .field_u64("inflight", m.inflight.load(Ordering::Relaxed))
+                .field_u64("requests", m.requests.get())
+                .field_u64("ok", m.ok.get())
+                .field_u64("client_errors", m.client_errors.get())
+                .field_u64("server_errors", m.server_errors.get())
+                .field_u64("shed", m.shed.get())
+                .field_u64("connections_total", m.connections_total.get())
+                .field_u64("connections_open", m.connections_open.get())
+                .field_u64("inflight", m.inflight.get())
                 .field_u64("max_inflight", state.max_inflight)
                 .field_u64("max_connections", state.max_conns)
-                .field_u64("uptime_ms", state.started.elapsed().as_millis() as u64)
+                .field_u64("uptime_ms", state.clock.now_ns() / 1_000_000)
                 .finish(),
         )
+        .field_raw("latency", &{
+            // Per-route latency quantiles (200s only — error paths are in
+            // `/v1/metrics` under their own status label).
+            let mut obj = JsonObject::new();
+            for (route, h) in &state.http.route_ok {
+                let s = h.snapshot();
+                obj = obj.field_raw(
+                    route,
+                    &JsonObject::new()
+                        .field_u64("count", s.count())
+                        .field_u64("p50_ns", s.p50())
+                        .field_u64("p90_ns", s.p90())
+                        .field_u64("p99_ns", s.p99())
+                        .field_u64("max_ns", s.max())
+                        .finish(),
+                );
+            }
+            obj.finish()
+        })
+        .field_raw("phases", &{
+            let mut obj = JsonObject::new();
+            for (phase, h) in &state.http.phases {
+                let s = h.snapshot();
+                obj = obj.field_raw(
+                    phase,
+                    &JsonObject::new()
+                        .field_u64("count", s.count())
+                        .field_u64("mean_ns", s.mean())
+                        .field_u64("p90_ns", s.p90())
+                        .finish(),
+                );
+            }
+            obj.finish()
+        })
         .finish();
     Response::ok(body)
 }
@@ -639,6 +815,7 @@ pub(crate) fn handle_describe_one(
     snap: &Snapshot,
     req: &Request,
     iri: &str,
+    trace: &mut Trace<'_>,
 ) -> Response {
     let params = match params::QueryParams::defaults(state.default_threads).merge_query(req) {
         Ok(p) => p,
@@ -648,6 +825,7 @@ pub(crate) fn handle_describe_one(
     cached(
         state,
         snap,
+        trace,
         format!("describe?entity={iri}&k={k}&threads={threads}"),
         // kb_for runs only on a miss: a cache hit must not materialise
         // the lazily-built secondary backend.
@@ -660,6 +838,7 @@ pub(crate) fn handle_describe_batch(
     snap: &Snapshot,
     req: &Request,
     _tail: &str,
+    trace: &mut Trace<'_>,
 ) -> Response {
     let doc = match json::parse(&req.body) {
         Ok(doc) => doc,
@@ -708,6 +887,7 @@ pub(crate) fn handle_describe_batch(
             None => misses.push((iri, vec![i])),
         }
     }
+    trace.span.phase("cache");
     if !misses.is_empty() {
         let kb = state.kb_for(snap, backend);
         // One miner (prominence ranking + enumeration context) shared
@@ -746,6 +926,7 @@ pub(crate) fn handle_describe_batch(
                 }
             }
         }
+        trace.span.phase("mine");
     }
     let results: Vec<String> = results
         .into_iter()
@@ -769,6 +950,7 @@ pub(crate) fn handle_ingest(
     _snap: &Snapshot,
     req: &Request,
     _tail: &str,
+    trace: &mut Trace<'_>,
 ) -> Response {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "body must be UTF-8 N-Triples");
@@ -776,7 +958,9 @@ pub(crate) fn handle_ingest(
     if body.trim().is_empty() {
         return Response::error(400, "empty body (expected N-Triples)");
     }
-    let outcome = match state.live.append_ntriples(body) {
+    let appended = state.live.append_ntriples(body);
+    trace.span.phase("ingest");
+    let outcome = match appended {
         Ok(outcome) => outcome,
         Err(e) => return Response::error(400, &e.to_string()),
     };
@@ -824,6 +1008,7 @@ pub(crate) fn handle_summarize(
     snap: &Snapshot,
     req: &Request,
     iri: &str,
+    trace: &mut Trace<'_>,
 ) -> Response {
     let params = match params::QueryParams::defaults(state.default_threads)
         .with_k(5)
@@ -836,6 +1021,7 @@ pub(crate) fn handle_summarize(
     cached(
         state,
         snap,
+        trace,
         format!("summarize?entity={iri}&k={k}&method={method}"),
         || {
             let ranks = if method == "linksum" {
@@ -856,27 +1042,31 @@ pub(crate) fn handle_summarize(
 
 /// Request-level admission control: mining work beyond the watermark is
 /// shed with `503` + `Retry-After` instead of queueing unboundedly.
+/// Closes the `admission` trace phase once the request is let through.
 pub(crate) fn with_admission(
     state: &AppState,
     req: &Request,
-    handler: impl FnOnce(&AppState, &Request) -> Response,
+    trace: &mut Trace<'_>,
+    handler: impl FnOnce(&AppState, &Request, &mut Trace<'_>) -> Response,
 ) -> Response {
-    let inflight = state.metrics.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+    let inflight = state.metrics.inflight.inc();
     let _guard = GaugeGuard(&state.metrics.inflight);
     if inflight > state.max_inflight {
-        state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        state.metrics.shed.inc();
         let mut r = Response::error(503, "server overloaded, retry later");
         r.headers.push(("Retry-After", "1".to_string()));
         return r;
     }
-    handler(state, req)
+    trace.span.phase("admission");
+    handler(state, req, trace)
 }
 
 /// Routes a request, turning panics into `500` and updating counters.
-fn respond(state: &AppState, req: &Request) -> Response {
-    state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    let response = std::panic::catch_unwind(AssertUnwindSafe(|| router::dispatch(state, req)))
-        .unwrap_or_else(|_| Response::error(500, "internal server error"));
+fn respond(state: &AppState, req: &Request, trace: &mut Trace<'_>) -> Response {
+    state.metrics.requests.inc();
+    let response =
+        std::panic::catch_unwind(AssertUnwindSafe(|| router::dispatch(state, req, trace)))
+            .unwrap_or_else(|_| Response::error(500, "internal server error"));
     let class = match response.status {
         200..=299 => &state.metrics.ok,
         503 => &state.metrics.shed, // already counted at the shed site
@@ -884,9 +1074,93 @@ fn respond(state: &AppState, req: &Request) -> Response {
         _ => &state.metrics.server_errors,
     };
     if response.status != 503 {
-        class.fetch_add(1, Ordering::Relaxed);
+        class.inc();
+    }
+    if trace.echo {
+        return with_trace_echo(response, trace);
     }
     response
+}
+
+/// Splices a `"trace"` object — the route, the total so far, and every
+/// phase closed before the write — into a 200 JSON object body when the
+/// request asked with `?trace=1`. The echo happens after the cache, per
+/// request, so cached bodies (and the cache key) stay trace-free.
+fn with_trace_echo(mut response: Response, trace: &Trace<'_>) -> Response {
+    if response.status != 200
+        || response.content_type != "application/json"
+        || !response.body.ends_with('}')
+    {
+        return response;
+    }
+    let phases: Vec<String> = trace
+        .span
+        .phases()
+        .iter()
+        .map(|(name, ns)| {
+            JsonObject::new()
+                .field_str("phase", name)
+                .field_u64("ns", *ns)
+                .finish()
+        })
+        .collect();
+    let obj = JsonObject::new()
+        .field_str("route", trace.route)
+        .field_u64("total_ns", trace.span.elapsed_ns())
+        .field_raw("phases", &json::array_raw(phases))
+        .finish();
+    response.body.pop();
+    if !response.body.ends_with('{') {
+        response.body.push(',');
+    }
+    response.body.push_str("\"trace\":");
+    response.body.push_str(&obj);
+    response.body.push('}');
+    response
+}
+
+/// Folds a finished request into the HTTP instruments: the per-route ×
+/// per-status latency histogram, one histogram per closed phase, and —
+/// past the `--slow-request-ms` threshold — the slow counter plus a
+/// structured one-line breakdown on stderr.
+fn finish_request(state: &AppState, trace: Trace<'_>, status: u16) {
+    let route = trace.route;
+    let report = trace.span.finish();
+    if status == 200 {
+        // The hot path: pre-resolved at boot, no registry lock.
+        if let Some((_, h)) = state.http.route_ok.iter().find(|(n, _)| *n == route) {
+            h.record(report.total_ns);
+        }
+    } else {
+        state
+            .registry
+            .histogram(&series(
+                "remi_http_request_duration_ns",
+                &[("route", route), ("status", &status.to_string())],
+            ))
+            .record(report.total_ns);
+    }
+    for (phase, ns) in &report.phases {
+        if let Some((_, h)) = state.http.phases.iter().find(|(n, _)| n == phase) {
+            h.record(*ns);
+        }
+    }
+    let Some(threshold_ms) = state.slow_request_ms else {
+        return;
+    };
+    if report.total_ns < threshold_ms.saturating_mul(1_000_000) {
+        return;
+    }
+    state.http.slow.inc();
+    let mut line = format!(
+        "slow-request route={route} status={status} total_us={}",
+        report.total_ns / 1_000
+    );
+    for (phase, ns) in &report.phases {
+        line.push_str(&format!(" {phase}_us={}", ns / 1_000));
+    }
+    // lint:allow(print-in-library): the slow-request log is the operator-facing diagnostic this endpoint exists to emit
+    eprintln!("{line}");
 }
 
 // ---------------------------------------------------------------------------
@@ -904,8 +1178,9 @@ fn respond(state: &AppState, req: &Request) -> Response {
 struct Conn {
     stream: TcpStream,
     parser: RequestParser,
-    /// Close when idle past this instant (refreshed per request).
-    expires: Instant,
+    /// Close when idle past this clock reading (refreshed per request;
+    /// nanoseconds on the server's [`MonoClock`]).
+    expires_ns: u64,
     /// Set when the connection was parked for fairness with complete
     /// input still buffered in the parser: the sweep revives it on the
     /// next tick instead of waiting for socket-visible bytes.
@@ -915,15 +1190,15 @@ struct Conn {
     _gauge: OpenGauge,
 }
 
-/// Decrements `connections_open` on drop.
+/// Decrements `connections_open` on drop. The decrement saturates at
+/// zero ([`remi_obs::Gauge::dec`]): a connection dropped twice on the
+/// parked-revive path pins the gauge at 0 instead of wrapping `/stats`'
+/// `connections_open` to 2^64-1.
 struct OpenGauge(Arc<AppState>);
 
 impl Drop for OpenGauge {
     fn drop(&mut self) {
-        self.0
-            .metrics
-            .connections_open
-            .fetch_sub(1, Ordering::AcqRel);
+        self.0.metrics.connections_open.dec();
     }
 }
 
@@ -943,7 +1218,12 @@ impl AppState {
     /// More open connections than pool workers: hot connections must
     /// yield between bursts or the rest starve.
     fn contended(&self) -> bool {
-        self.metrics.connections_open.load(Ordering::Relaxed) > remi_pool::global().threads() as u64
+        self.metrics.connections_open.get() > remi_pool::global().threads() as u64
+    }
+
+    /// The idle deadline a request refresh (or a fresh accept) grants.
+    fn idle_deadline_ns(&self) -> u64 {
+        self.clock.now_ns() + IDLE_TIMEOUT.as_nanos() as u64
     }
 }
 
@@ -964,25 +1244,43 @@ fn drive_connection(mut conn: Conn, state: &Arc<AppState>) {
     let mut burst = 0usize;
     loop {
         // Drain any fully-buffered (possibly pipelined) request first.
+        // The span opens before the parse attempt so the `parse` phase
+        // covers it; on NeedMore the span is dropped unused (one clock
+        // read, no allocation).
+        let mut span = Span::start(&state.clock);
         match conn.parser.try_parse() {
             Ok(Parsed::Complete(req)) => {
+                span.phase("parse");
+                let mut trace = Trace {
+                    span,
+                    route: "unmatched",
+                    echo: req.query_param("trace") == Some("1"),
+                };
                 // Draining on shutdown: answer every request already
                 // received (the parser may hold more complete pipelined
                 // ones), then close instead of waiting for new ones.
                 let draining = state.shutdown.is_cancelled();
                 let keep_alive = req.keep_alive && (!draining || conn.parser.buffered() > 0);
-                let response = respond(state, &req);
+                let response = respond(state, &req, &mut trace);
                 let headers: Vec<(&str, &str)> = response
                     .headers
                     .iter()
                     .map(|(n, v)| (*n, v.as_str()))
                     .collect();
-                let bytes =
-                    http::write_response(response.status, &headers, &response.body, keep_alive);
-                if conn.stream.write_all(&bytes).is_err() || !keep_alive {
+                let bytes = http::write_response_typed(
+                    response.status,
+                    response.content_type,
+                    &headers,
+                    &response.body,
+                    keep_alive,
+                );
+                let write_ok = conn.stream.write_all(&bytes).is_ok();
+                trace.span.phase("write");
+                finish_request(state, trace, response.status);
+                if !write_ok || !keep_alive {
                     return;
                 }
-                conn.expires = Instant::now() + IDLE_TIMEOUT;
+                conn.expires_ns = state.idle_deadline_ns();
                 burst += 1;
                 if burst >= FAIRNESS_BURST && state.contended() {
                     // Yield the worker even mid-pipeline: `resume` tells
@@ -1013,8 +1311,8 @@ fn drive_connection(mut conn: Conn, state: &Arc<AppState>) {
             Err(e) => {
                 // Protocol error: answer with its status and close (the
                 // stream is no longer in sync).
-                state.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                state.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                state.metrics.requests.inc();
+                state.metrics.client_errors.inc();
                 let bytes = http::write_response(e.status, &[], &error_body(&e.message), false);
                 let _ = conn.stream.write_all(&bytes);
                 return;
@@ -1026,7 +1324,7 @@ fn drive_connection(mut conn: Conn, state: &Arc<AppState>) {
             // are part of the drain guarantee.
             return;
         }
-        if Instant::now() >= conn.expires {
+        if state.clock.now_ns() >= conn.expires_ns {
             return;
         }
         match conn.stream.read(&mut buf) {
@@ -1097,7 +1395,7 @@ fn maybe_spawn_compaction(state: &Arc<AppState>, scope: &remi_pool::Scope<'_, '_
 /// connection changed state.
 fn sweep_parked(state: &Arc<AppState>, scope: &remi_pool::Scope<'_, '_>) -> bool {
     let mut progressed = false;
-    let now = Instant::now();
+    let now = state.clock.now_ns();
     let mut parked = state.parked.lock();
     let mut i = 0;
     while i < parked.len() {
@@ -1111,7 +1409,7 @@ fn sweep_parked(state: &Arc<AppState>, scope: &remi_pool::Scope<'_, '_>) -> bool
                 Ok(0) => Some(false), // peer closed
                 Ok(_) => Some(true),  // bytes waiting
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if now >= entry.expires {
+                    if now >= entry.expires_ns {
                         Some(false) // idled out
                     } else {
                         None // still parked
@@ -1157,21 +1455,14 @@ fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
                         if state.shutdown.is_cancelled() {
                             break;
                         }
-                        state
-                            .metrics
-                            .connections_total
-                            .fetch_add(1, Ordering::Relaxed);
-                        let open = state
-                            .metrics
-                            .connections_open
-                            .fetch_add(1, Ordering::AcqRel)
-                            + 1;
+                        state.metrics.connections_total.inc();
+                        let open = state.metrics.connections_open.inc();
                         let gauge = OpenGauge(Arc::clone(&state));
                         if open > state.max_conns {
                             // Connection-level shedding: bounds file
                             // descriptors and parser buffers; the mining
                             // watermark is enforced per request.
-                            state.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                            state.metrics.shed.inc();
                             let mut stream = stream;
                             let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                             let bytes = http::write_response(
@@ -1188,7 +1479,7 @@ fn accept_loop(listener: TcpListener, state: Arc<AppState>) {
                         let conn = Conn {
                             stream,
                             parser: RequestParser::new(),
-                            expires: Instant::now() + IDLE_TIMEOUT,
+                            expires_ns: state.idle_deadline_ns(),
                             resume: false,
                             _gauge: gauge,
                         };
@@ -1303,12 +1594,49 @@ pub fn serve(kb: KnowledgeBase, config: ServeConfig) -> std::io::Result<ServerHa
             delta_fraction: 0.0,
         },
     );
+    // One registry per server: the HTTP instruments are created through
+    // it, while the shared pool's scheduling counters and the live KB's
+    // publish/compaction instruments (both built standalone, registry-
+    // free) are attached by `Arc` so `/v1/metrics` renders them too.
+    let registry = Registry::new();
+    let pm = remi_pool::global().metrics();
+    registry.register_counter("remi_pool_steals_total", Arc::clone(&pm.steals));
+    registry.register_counter("remi_pool_claims_total", Arc::clone(&pm.claims));
+    registry.register_counter("remi_pool_parks_total", Arc::clone(&pm.parks));
+    registry.register_counter("remi_pool_revives_total", Arc::clone(&pm.revives));
+    registry.register_counter("remi_pool_help_drains_total", Arc::clone(&pm.help_drains));
+    registry.register_gauge("remi_pool_queue_depth", Arc::clone(&pm.queue_depth));
+    let ki = live.instruments();
+    registry.register_histogram("remi_kb_publish_duration_ns", Arc::clone(&ki.publish_ns));
+    registry.register_histogram(
+        "remi_kb_ingest_batch_triples",
+        Arc::clone(&ki.batch_triples),
+    );
+    registry.register_histogram(
+        "remi_kb_publish_delta_triples",
+        Arc::clone(&ki.delta_triples),
+    );
+    registry.register_histogram("remi_kb_compact_duration_ns", Arc::clone(&ki.compact_ns));
+    registry.register_counter(
+        "remi_kb_compactions_total{outcome=\"performed\"}",
+        Arc::clone(&ki.compactions_performed),
+    );
+    registry.register_counter(
+        "remi_kb_compactions_total{outcome=\"skipped\"}",
+        Arc::clone(&ki.compactions_skipped),
+    );
+    let metrics = Metrics::register(&registry);
+    let http = HttpMetrics::register(&registry);
     let state = Arc::new(AppState {
         live,
         primary: backend,
         converted: Mutex::new(None),
         cache: ResponseCache::new(config.cache_entries),
-        metrics: Metrics::default(),
+        metrics,
+        registry,
+        clock: MonoClock::new(),
+        http,
+        slow_request_ms: config.slow_request_ms,
         max_inflight: config.max_inflight.max(1) as u64,
         max_conns: (config.max_inflight.max(1) as u64).saturating_mul(4).max(8),
         default_threads: config.threads.max(1),
@@ -1317,7 +1645,6 @@ pub fn serve(kb: KnowledgeBase, config: ServeConfig) -> std::io::Result<ServerHa
         compaction_wanted: AtomicBool::new(false),
         compaction_running: AtomicBool::new(false),
         shutdown: CancelToken::new(),
-        started: Instant::now(),
     });
     let accept_state = Arc::clone(&state);
     // lint:allow(raw-thread-primitive): the accept loop must outlive any pool scope and owns the listener — a dedicated OS thread is the design, not a parallelism shortcut

@@ -17,7 +17,7 @@ use remi_pool::CancelToken;
 use crate::http::Request;
 use crate::json::{self, JsonObject};
 use crate::params::QueryParams;
-use crate::{cached, ApiError, AppState, Response};
+use crate::{cached, ApiError, AppState, Response, Trace};
 
 /// Extracts the `patterns` field: a non-empty array of objects whose
 /// `s`/`p`/`o` fields are strings.
@@ -116,6 +116,7 @@ pub(crate) fn handle_query(
     snap: &Snapshot,
     req: &Request,
     _tail: &str,
+    trace: &mut Trace<'_>,
 ) -> Response {
     let doc = match json::parse(&req.body) {
         Ok(doc) => doc,
@@ -129,16 +130,22 @@ pub(crate) fn handle_query(
         Ok(p) => p,
         Err(e) => return Response::api(&e),
     };
-    cached(state, snap, request_key(&patterns, params.limit), || {
-        // kb_for runs only on a miss: a cache hit must not materialise
-        // the lazily-built secondary backend.
-        query_body(
-            &state.kb_for(snap, params.backend),
-            &patterns,
-            params.limit,
-            Some(&state.shutdown),
-        )
-    })
+    cached(
+        state,
+        snap,
+        trace,
+        request_key(&patterns, params.limit),
+        || {
+            // kb_for runs only on a miss: a cache hit must not materialise
+            // the lazily-built secondary backend.
+            query_body(
+                &state.kb_for(snap, params.backend),
+                &patterns,
+                params.limit,
+                Some(&state.shutdown),
+            )
+        },
+    )
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 use remi_kb::delta::Snapshot;
 
 use crate::http::Request;
-use crate::{with_admission, AppState, Response};
+use crate::{with_admission, AppState, Response, Trace};
 
 /// How a route matches a request path.
 pub(crate) enum PathSpec {
@@ -34,9 +34,10 @@ impl PathSpec {
     }
 }
 
-/// A request handler: the pinned snapshot, the parsed request, and the
-/// path capture (empty for exact routes).
-pub(crate) type Handler = fn(&AppState, &Snapshot, &Request, &str) -> Response;
+/// A request handler: the pinned snapshot, the parsed request, the path
+/// capture (empty for exact routes), and the request's trace for phase
+/// boundaries.
+pub(crate) type Handler = fn(&AppState, &Snapshot, &Request, &str, &mut Trace<'_>) -> Response;
 
 /// One row of the route table.
 pub(crate) struct Route {
@@ -44,6 +45,10 @@ pub(crate) struct Route {
     pub method: &'static str,
     /// Path shape this row matches.
     pub path: PathSpec,
+    /// Metric label for this row: the `route` value of
+    /// `remi_http_request_duration_ns{route=…,status=…}` and the key of
+    /// `/stats`' `latency` section.
+    pub name: &'static str,
     /// Whether the handler runs behind the admission watermark (mining,
     /// query, and ingest work is shed with 503 beyond it; `/healthz` and
     /// `/stats` stay answerable under full load).
@@ -57,42 +62,56 @@ pub(crate) const TABLE: &[Route] = &[
     Route {
         method: "GET",
         path: PathSpec::Exact("/healthz"),
+        name: "healthz",
         admission: false,
         handler: crate::handle_healthz,
     },
     Route {
         method: "GET",
         path: PathSpec::Exact("/stats"),
+        name: "stats",
         admission: false,
         handler: crate::handle_stats,
     },
     Route {
         method: "GET",
+        path: PathSpec::Exact("/metrics"),
+        name: "metrics",
+        admission: false,
+        handler: crate::handle_metrics,
+    },
+    Route {
+        method: "GET",
         path: PathSpec::Prefix("/describe/"),
+        name: "describe",
         admission: true,
         handler: crate::handle_describe_one,
     },
     Route {
         method: "POST",
         path: PathSpec::Exact("/describe"),
+        name: "describe_batch",
         admission: true,
         handler: crate::handle_describe_batch,
     },
     Route {
         method: "GET",
         path: PathSpec::Prefix("/summarize/"),
+        name: "summarize",
         admission: true,
         handler: crate::handle_summarize,
     },
     Route {
         method: "POST",
         path: PathSpec::Exact("/ingest"),
+        name: "ingest",
         admission: true,
         handler: crate::handle_ingest,
     },
     Route {
         method: "POST",
         path: PathSpec::Exact("/query"),
+        name: "query",
         admission: true,
         handler: crate::query::handle_query,
     },
@@ -112,7 +131,7 @@ fn strip_version(path: &str) -> &str {
 /// request — mid-request ingests never tear a response). A path that
 /// matches rows only under other methods answers `405` with an `Allow`
 /// header listing exactly the methods the table declares for it.
-pub(crate) fn dispatch(state: &AppState, req: &Request) -> Response {
+pub(crate) fn dispatch(state: &AppState, req: &Request, trace: &mut Trace<'_>) -> Response {
     let snap = state.live.snapshot();
     let path = strip_version(&req.path);
     let mut allow: Vec<&'static str> = Vec::new();
@@ -121,12 +140,13 @@ pub(crate) fn dispatch(state: &AppState, req: &Request) -> Response {
             continue;
         };
         if route.method == req.method {
+            trace.route = route.name;
             return if route.admission {
-                with_admission(state, req, |state, req| {
-                    (route.handler)(state, &snap, req, tail)
+                with_admission(state, req, trace, |state, req, trace| {
+                    (route.handler)(state, &snap, req, tail, trace)
                 })
             } else {
-                (route.handler)(state, &snap, req, tail)
+                (route.handler)(state, &snap, req, tail, trace)
             };
         }
         if !allow.contains(&route.method) {

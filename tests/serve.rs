@@ -405,6 +405,154 @@ fn graceful_shutdown_drains_inflight_connections() {
     assert!(!still_up, "server still answering after shutdown");
 }
 
+/// `GET /metrics` renders a Prometheus text exposition covering the
+/// serve, pool, and kb layers — and traffic served before the scrape is
+/// visible in its route histogram.
+#[test]
+fn metrics_endpoint_exposes_prometheus_text() {
+    let synth = world();
+    let iri = &target_iris(&synth)[0];
+    let mut server = boot(synth.kb.clone(), ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let ok = client
+        .get(&format!("/describe/{}", percent_encode(iri)))
+        .unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    let resp = client.get("/v1/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let body = &resp.body;
+    for needle in [
+        "# TYPE remi_http_request_duration_ns histogram",
+        "remi_http_request_duration_ns_bucket{route=\"describe\",status=\"200\",le=\"",
+        "remi_http_request_duration_ns_count{route=\"describe\",status=\"200\"} 1",
+        "# TYPE remi_http_requests_total counter",
+        "remi_http_phase_duration_ns_count{phase=\"mine\"}",
+        "remi_pool_queue_depth",
+        "remi_pool_steals_total",
+        "remi_kb_publish_duration_ns_count",
+        "remi_kb_epoch 0",
+        "remi_cache_misses_total 1",
+        "remi_connections_total 1",
+        "remi_uptime_seconds",
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
+    // Cumulative histogram buckets end in an +Inf edge equal to _count.
+    assert!(
+        body.contains(
+            "remi_http_request_duration_ns_bucket{route=\"describe\",status=\"200\",le=\"+Inf\"} 1"
+        ),
+        "{body}"
+    );
+    server.shutdown();
+}
+
+/// `?trace=1` embeds the request's own phase timings in the JSON body;
+/// without it the body stays clean, and the cache entry is shared (the
+/// echo is applied per request, after the cache).
+#[test]
+fn trace_param_embeds_phase_timings() {
+    let synth = world();
+    let iri = &target_iris(&synth)[0];
+    let mut server = boot(synth.kb.clone(), ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let path = format!("/describe/{}", percent_encode(iri));
+
+    let plain = client.get(&path).unwrap();
+    assert_eq!(plain.status, 200, "{}", plain.body);
+    assert!(!plain.body.contains("\"trace\""), "{}", plain.body);
+
+    let traced = client.get(&format!("{path}?trace=1")).unwrap();
+    assert_eq!(traced.status, 200, "{}", traced.body);
+    assert_eq!(
+        traced.header("x-remi-cache"),
+        Some("hit"),
+        "trace=1 must not fork the cache key"
+    );
+    assert!(
+        traced.body.contains("\"trace\":{\"route\":\"describe\""),
+        "{}",
+        traced.body
+    );
+    assert!(
+        traced.body.contains("\"phases\":[{\"phase\":\"parse\""),
+        "{}",
+        traced.body
+    );
+    // The traced body is the plain body plus the trailing trace object.
+    let prefix = &plain.body[..plain.body.len() - 1];
+    assert!(traced.body.starts_with(prefix), "{}", traced.body);
+    server.shutdown();
+}
+
+/// With `--slow-request-ms 0` every request crosses the threshold: the
+/// structured slow log fires and `remi_http_slow_requests_total` counts
+/// it.
+#[test]
+fn slow_request_threshold_counts_and_logs() {
+    let synth = world();
+    let mut server = boot(
+        synth.kb.clone(),
+        ServeConfig {
+            slow_request_ms: Some(0),
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+
+    let metrics = client.get("/metrics").unwrap().body;
+    let count: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("remi_http_slow_requests_total "))
+        .and_then(|v| v.parse().ok())
+        .expect("slow-request counter exposed");
+    assert!(count >= 2, "expected ≥2 slow requests, saw {count}");
+    server.shutdown();
+}
+
+/// Connection churn never underflows the open-connections gauge: after
+/// clients come and go, `/stats` still reports a sane small number.
+#[test]
+fn connection_gauge_survives_churn() {
+    let synth = world();
+    let mut server = boot(synth.kb.clone(), ServeConfig::default());
+    let addr = server.addr();
+
+    for _ in 0..4 {
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+        // Dropping c closes the socket; the server-side sweep decrements
+        // the gauge (saturating — a double decrement must not wrap).
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let stats = c.get("/stats").unwrap();
+    let open = stats
+        .body
+        .split("\"connections_open\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|ch: char| !ch.is_ascii_digit())
+                .next()?
+                .parse::<u64>()
+                .ok()
+        })
+        .expect("stats reports connections_open");
+    assert!(
+        open <= 5,
+        "gauge wrapped or leaked: {open} ({})",
+        stats.body
+    );
+    server.shutdown();
+}
+
 /// `remi serve` (the CLI layer) wires flags through to a live server.
 #[test]
 fn cli_serve_round_trip() {
