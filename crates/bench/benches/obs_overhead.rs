@@ -7,7 +7,10 @@
 //! number: the issue gate is a ≤ ~50ns median for one record.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use remi_obs::{Counter, Histogram, MonoClock, Span};
+use remi_obs::{
+    Channel, Counter, EventSpec, FieldKind, FieldSpec, Histogram, MonoClock, Recorder, Severity,
+    Span,
+};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
@@ -43,6 +46,33 @@ fn bench(c: &mut Criterion) {
             span.phase("mine");
             span.phase("write");
             span.finish_into(&latency)
+        })
+    });
+
+    // One flight-recorder emit: a seq claim plus a seqlock-guarded slot
+    // write. It rides the kb/pool/serve hot paths (every solved BGP and
+    // every slow request emits), so the issue gate is a ≤ 100ns median.
+    let recorder = Recorder::new(1024);
+    let plan = recorder.define(EventSpec {
+        name: "bench_plan",
+        channel: Channel::Query,
+        severity: Severity::Info,
+        fields: &[
+            FieldSpec {
+                key: "patterns",
+                kind: FieldKind::U64,
+            },
+            FieldSpec {
+                key: "rows",
+                kind: FieldKind::U64,
+            },
+        ],
+    });
+    let mut ts = 0u64;
+    group.bench_function("event_record", |b| {
+        b.iter(|| {
+            ts = ts.wrapping_add(17);
+            recorder.emit(plan, black_box(ts), black_box(&[3, 128]));
         })
     });
 

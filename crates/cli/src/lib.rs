@@ -415,6 +415,9 @@ pub struct ServeOpts {
     /// Log requests slower than this many milliseconds to stderr
     /// (`None` disables the slow-request log).
     pub slow_request_ms: Option<u64>,
+    /// Flight-recorder ring capacity in events (bounds
+    /// `GET /v1/debug/events`).
+    pub event_capacity: usize,
 }
 
 impl Default for ServeOpts {
@@ -428,6 +431,7 @@ impl Default for ServeOpts {
             threads: defaults.threads,
             compact_min_delta: defaults.compact_min_delta,
             slow_request_ms: defaults.slow_request_ms,
+            event_capacity: defaults.event_capacity,
         }
     }
 }
@@ -446,13 +450,14 @@ pub fn cmd_serve(path: &Path, opts: &ServeOpts) -> Result<(remi_serve::ServerHan
         threads: opts.threads,
         compact_min_delta: opts.compact_min_delta,
         slow_request_ms: opts.slow_request_ms,
+        event_capacity: opts.event_capacity,
     };
     let handle = remi_serve::serve(kb, config)
         .map_err(|e| CliError(format!("cannot serve on {}: {e}", opts.addr)))?;
     let banner = format!(
         "serving {} on http://{} ({} backend, cache {} entries, max-inflight {})\n\
          routes (also under /v1): GET /healthz | GET /stats | GET /metrics | \
-         GET /describe/{{entity}} | POST /describe | \
+         GET /debug/events | GET /describe/{{entity}} | POST /describe | \
          GET /summarize/{{entity}} | POST /ingest | POST /query",
         path.display(),
         handle.addr(),
@@ -535,6 +540,7 @@ USAGE:
   remi serve <kb> [--addr HOST:PORT] [--backend csr|succinct]
                   [--cache-entries N] [--max-inflight N] [--threads N]
                   [--compact-threshold N] [--slow-request-ms N]
+                  [--event-capacity N]
 
 QUERYING:
   remi query evaluates 1-3 triple patterns joined on shared variables.
@@ -561,10 +567,20 @@ OBSERVABILITY:
   GET /metrics exposes counters, gauges, and log2-bucketed latency
   histograms for every route, pool scheduling, and kb publish/compaction
   (per-route quantiles also appear in /stats under \"latency\" and
-  \"phases\"). Appending ?trace=1 to any JSON endpoint embeds that
-  request's per-phase timings in the response body. --slow-request-ms N
-  logs any request slower than N ms to stderr with its phase breakdown
-  (0 logs every request).
+  \"phases\"); every route's per-status latency families are registered
+  at boot, so scrapes before traffic already expose them. Appending
+  ?trace=1 to any JSON endpoint embeds that request's per-phase timings
+  in the response body; ?explain=1 on POST /query embeds the planner's
+  plan trace (pattern order, estimated vs actual cardinalities, merge
+  vs nested join path) — both applied after the cache, so cached bodies
+  stay clean. A bounded in-memory flight recorder (--event-capacity N
+  events, default 1024) collects structured events from the planner
+  (query_plan, query_pattern), KB lifecycle (kb_publish, kb_compact),
+  pool anomalies (park/revive storms, help-drain stalls), and 500s;
+  GET /debug/events?channel=&severity=&since=&limit= reads it back as
+  JSON. --slow-request-ms N logs any request slower than N ms to stderr
+  with its phase breakdown plus the recorder tail (0 logs every
+  request); every 500 dumps the same tail.
 
 INGESTION:
   remi ingest appends N-Triples delta files to a KB through the same

@@ -319,6 +319,13 @@ fn run(args: &[String]) -> Result<Action, Failure> {
                                 .map_err(|_| err("--slow-request-ms takes a millisecond count"))?,
                         )
                     }
+                    "--event-capacity" => {
+                        opts.event_capacity = value()?
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| err("--event-capacity takes a positive int"))?
+                    }
                     other => return Err(err(&format!("unknown flag {other}"))),
                 }
             }

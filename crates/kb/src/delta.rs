@@ -587,6 +587,110 @@ pub struct KbInstruments {
     pub compactions_skipped: Arc<remi_obs::Counter>,
     /// The clock every duration above is measured against.
     pub clock: remi_obs::MonoClock,
+    /// Flight-recorder attachment for publish/compaction lifecycle
+    /// events — `None` until [`LiveKb::attach_events`] wires a recorder
+    /// in. Shared across forks like every other instrument, and behind a
+    /// lock because attachment happens once at boot while publishes are
+    /// already possible.
+    pub events: Arc<Mutex<Option<KbEvents>>>,
+}
+
+/// The compaction-outcome vocabulary of the `kb_compact` event.
+const COMPACT_OUTCOME: &[&str] = &["skipped", "folded"];
+
+/// The KB lifecycle's flight-recorder vocabulary: one `kb_publish` event
+/// per published epoch and one `kb_compact` event per compaction call
+/// (folded or skipped). Timestamps come from the injected clock, not the
+/// instruments' own [`remi_obs::MonoClock`], so a server's events share
+/// one time base and `FakeClock` tests reach these paths.
+#[derive(Clone)]
+pub struct KbEvents {
+    recorder: Arc<remi_obs::Recorder>,
+    clock: Arc<dyn remi_obs::Clock>,
+    publish: remi_obs::EventId,
+    compact: remi_obs::EventId,
+}
+
+impl std::fmt::Debug for KbEvents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KbEvents").finish_non_exhaustive()
+    }
+}
+
+impl KbEvents {
+    /// Interns the lifecycle event specs on `recorder`.
+    pub fn new(recorder: Arc<remi_obs::Recorder>, clock: Arc<dyn remi_obs::Clock>) -> KbEvents {
+        use remi_obs::{Channel, EventSpec, FieldKind, FieldSpec, Severity};
+        let publish = recorder.define(EventSpec {
+            name: "kb_publish",
+            channel: Channel::Kb,
+            severity: Severity::Info,
+            fields: &[
+                FieldSpec {
+                    key: "epoch",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "batch",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "delta",
+                    kind: FieldKind::U64,
+                },
+            ],
+        });
+        let compact = recorder.define(EventSpec {
+            name: "kb_compact",
+            channel: Channel::Kb,
+            severity: Severity::Info,
+            fields: &[
+                FieldSpec {
+                    key: "outcome",
+                    kind: FieldKind::Enum(COMPACT_OUTCOME),
+                },
+                FieldSpec {
+                    key: "folded",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "duration_us",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "epoch",
+                    kind: FieldKind::U64,
+                },
+            ],
+        });
+        KbEvents {
+            recorder,
+            clock,
+            publish,
+            compact,
+        }
+    }
+
+    fn record_publish(&self, epoch: u64, batch: usize, delta: usize) {
+        self.recorder.emit(
+            self.publish,
+            self.clock.now_ns(),
+            &[epoch, batch as u64, delta as u64],
+        );
+    }
+
+    fn record_compact(&self, folded: Option<usize>, duration_us: u64, epoch: u64) {
+        self.recorder.emit(
+            self.compact,
+            self.clock.now_ns(),
+            &[
+                folded.is_some() as u64,
+                folded.unwrap_or(0) as u64,
+                duration_us,
+                epoch,
+            ],
+        );
+    }
 }
 
 struct Writer {
@@ -800,6 +904,18 @@ impl LiveKb {
     /// This KB's ingestion instruments (see [`KbInstruments`]).
     pub fn instruments(&self) -> &KbInstruments {
         &self.instruments
+    }
+
+    /// Attaches a flight recorder: every subsequent publish and
+    /// compaction emits a lifecycle event timestamped on `clock`. Forks
+    /// share the attachment (instruments are fork-shared); re-attaching
+    /// replaces it.
+    pub fn attach_events(
+        &self,
+        recorder: Arc<remi_obs::Recorder>,
+        clock: Arc<dyn remi_obs::Clock>,
+    ) {
+        *self.instruments.events.lock() = Some(KbEvents::new(recorder, clock));
     }
 
     /// Appends a batch of triples, publishing one new epoch when at least
@@ -1022,6 +1138,13 @@ impl LiveKb {
             .publish_ns
             .record(self.instruments.clock.now_ns().saturating_sub(t0));
         self.instruments.delta_triples.record(w.delta.len() as u64);
+        if let Some(ev) = self.instruments.events.lock().as_ref() {
+            ev.record_publish(
+                published.0,
+                rotated.map_or(0, <[Triple]>::len),
+                w.delta.len(),
+            );
+        }
         published
     }
 
@@ -1057,6 +1180,9 @@ impl LiveKb {
             }
             _ => {
                 self.instruments.compactions_skipped.inc();
+                if let Some(ev) = self.instruments.events.lock().as_ref() {
+                    ev.record_compact(None, 0, snap.epoch);
+                }
                 return CompactOutcome {
                     epoch: snap.epoch,
                     ..CompactOutcome::default()
@@ -1085,6 +1211,9 @@ impl LiveKb {
         self.compactions.fetch_add(1, Ordering::Relaxed);
         self.last_compaction_us
             .store(duration.as_micros() as u64, Ordering::Relaxed);
+        if let Some(ev) = self.instruments.events.lock().as_ref() {
+            ev.record_compact(Some(folded.len()), duration.as_micros() as u64, epoch);
+        }
         CompactOutcome {
             performed: true,
             folded: folded.len(),
@@ -1125,6 +1254,45 @@ mod tests {
 
     fn iri3(s: &str, p: &str, o: &str) -> (Term, String, Term) {
         (Term::iri(s), p.to_string(), Term::iri(o))
+    }
+
+    #[test]
+    fn attached_recorder_sees_publish_and_compact_lifecycle() {
+        use remi_obs::{FakeClock, FieldValue, Recorder};
+        let live = LiveKb::new(base_kb());
+        let recorder = Recorder::shared(32);
+        let clock = Arc::new(FakeClock::new(100));
+        live.attach_events(Arc::clone(&recorder), Arc::clone(&clock) as _);
+
+        live.append([iri3("e:Nice", "p:cityIn", "e:France")]);
+        clock.advance(50);
+        assert!(live.compact().performed);
+        live.compact(); // empty delta: skipped
+
+        let events = recorder.events_since(0);
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        // Append publishes once; the fold publishes again, then reports.
+        assert_eq!(
+            names,
+            ["kb_publish", "kb_publish", "kb_compact", "kb_compact"]
+        );
+        assert_eq!(events[0].ts_ns, 100);
+        assert!(events[0].fields.contains(&("epoch", FieldValue::U64(1))));
+        assert!(events[0].fields.contains(&("batch", FieldValue::U64(1))));
+        assert_eq!(events[2].ts_ns, 150);
+        assert!(events[2]
+            .fields
+            .contains(&("outcome", FieldValue::Str("folded"))));
+        assert!(events[2].fields.contains(&("folded", FieldValue::U64(1))));
+        assert!(events[3]
+            .fields
+            .contains(&("outcome", FieldValue::Str("skipped"))));
+
+        // Forks share the attachment: a fork's publish lands in the same
+        // ring.
+        let fork = live.fork();
+        fork.append([iri3("e:Metz", "p:cityIn", "e:France")]);
+        assert_eq!(recorder.events_since(0).last().unwrap().name, "kb_publish");
     }
 
     #[test]

@@ -59,12 +59,12 @@ pub mod term;
 pub mod varint;
 
 pub use backend::{Backend, Bindings, PredView, StoreMemory, TripleStore};
-pub use delta::{content_fingerprint, CompactionPolicy, KbInstruments, LiveKb, Snapshot};
+pub use delta::{content_fingerprint, CompactionPolicy, KbEvents, KbInstruments, LiveKb, Snapshot};
 pub use error::{KbError, Result};
 pub use ids::{NodeId, PredId, Triple};
 pub use query::{
-    estimated_cardinality, parse_patterns, solve_bgp, BgpOutcome, PatternError, QueryError,
-    ResolvedQuery, Slot, SolutionIter, TriplePattern,
+    estimated_cardinality, parse_patterns, solve_bgp, solve_bgp_traced, BgpOutcome, PatternError,
+    PlanStep, PlanTrace, QueryError, QueryEvents, ResolvedQuery, Slot, SolutionIter, TriplePattern,
 };
 pub use store::{KbBuilder, KnowledgeBase};
 pub use term::{Term, TermKind};

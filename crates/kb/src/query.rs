@@ -28,9 +28,12 @@
 //! lists sorted ascending, groups in ascending key order), solutions —
 //! and therefore BGP rows — are bit-identical across backends.
 
+use std::sync::Arc;
+
 use crate::backend::{Bindings, BindingsIter, TripleStore};
 use crate::ids::{NodeId, PredId, Triple};
 use crate::store::KnowledgeBase;
+use remi_obs::{Channel, EventId, EventSpec, FieldKind, FieldSpec, Recorder, Severity};
 use remi_pool::CancelToken;
 
 /// Upper bound on patterns per BGP query.
@@ -338,6 +341,39 @@ pub struct BgpOutcome {
     pub truncated: bool,
 }
 
+/// One executed pattern of a [`PlanTrace`], in plan (execution) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// The pattern's index in the *request* order (the planner reorders).
+    pub pattern: usize,
+    /// The planner's [`estimated_cardinality`] for the pattern, unbound.
+    pub estimated: usize,
+    /// Matches this pattern actually produced during evaluation: triples
+    /// enumerated at its nested-loop position, or rows it admitted
+    /// through the merge intersection. The est-vs-actual pair is the
+    /// feedback signal the join-aware-statistics roadmap item needs.
+    pub matches: u64,
+}
+
+/// How one BGP evaluation ran: the chosen join order with
+/// estimated-vs-actual cardinalities, whether the sorted-merge fast path
+/// finished the join, and whether the row limit truncated enumeration.
+///
+/// Like [`BgpOutcome`], a trace is a function of the KB's *logical*
+/// content only — both storage backends plan the same order, estimate
+/// the same cardinalities, and enumerate the same matches, a property
+/// the differential suite pins down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanTrace {
+    /// One entry per pattern, in execution order.
+    pub steps: Vec<PlanStep>,
+    /// True when the sorted-merge intersection answered the tail of the
+    /// join instead of further nested-loop recursion.
+    pub merge_fast_path: bool,
+    /// Mirror of [`BgpOutcome::truncated`].
+    pub truncated: bool,
+}
+
 /// Joins up to [`MAX_PATTERNS`] patterns on their shared variables.
 ///
 /// Patterns are reordered greedily by [`estimated_cardinality`]
@@ -355,6 +391,19 @@ pub fn solve_bgp(
     limit: usize,
     cancel: Option<&CancelToken>,
 ) -> Result<BgpOutcome, QueryError> {
+    solve_bgp_traced(store, patterns, limit, cancel).map(|(out, _)| out)
+}
+
+/// [`solve_bgp`], additionally returning the [`PlanTrace`] of how the
+/// join ran — the `?explain=1` and flight-recorder entry point. The
+/// outcome is bit-identical to `solve_bgp`'s: tracing only counts work
+/// the evaluation does anyway.
+pub fn solve_bgp_traced(
+    store: &dyn TripleStore,
+    patterns: &[TriplePattern],
+    limit: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<(BgpOutcome, PlanTrace), QueryError> {
     if patterns.is_empty() {
         return Err(QueryError::NoPatterns);
     }
@@ -376,7 +425,11 @@ pub fn solve_bgp(
         }
     }
     let vars: Vec<u8> = (0..MAX_VARS as u8).filter(|&v| seen[v as usize]).collect();
-    let order = plan(store, patterns);
+    let est: Vec<usize> = patterns
+        .iter()
+        .map(|&p| estimated_cardinality(store, p))
+        .collect();
+    let order = plan(patterns, &est);
     let mut cx = EvalCx {
         store,
         patterns,
@@ -387,14 +440,31 @@ pub fn solve_bgp(
         env: [None; MAX_VARS],
         rows: Vec::new(),
         steps: 0,
+        matches: [0; MAX_PATTERNS],
+        merge_used: false,
     };
     let truncated = cx.eval(0)?;
-    let rows = cx.rows;
-    Ok(BgpOutcome {
-        vars,
-        rows,
+    let trace = PlanTrace {
+        steps: order
+            .iter()
+            .map(|&i| PlanStep {
+                pattern: i,
+                estimated: est.get(i).copied().unwrap_or(0),
+                matches: cx.matches.get(i).copied().unwrap_or(0),
+            })
+            .collect(),
+        merge_fast_path: cx.merge_used,
         truncated,
-    })
+    };
+    let rows = cx.rows;
+    Ok((
+        BgpOutcome {
+            vars,
+            rows,
+            truncated,
+        },
+        trace,
+    ))
 }
 
 /// Greedy join ordering: start from the smallest estimated pattern, then
@@ -402,11 +472,7 @@ pub fn solve_bgp(
 /// variable (falling back to the smallest disconnected one — a cross
 /// product — only when nothing connects). Ties break on the original
 /// pattern index, so plans are fully deterministic.
-fn plan(store: &dyn TripleStore, patterns: &[TriplePattern]) -> Vec<usize> {
-    let est: Vec<usize> = patterns
-        .iter()
-        .map(|&p| estimated_cardinality(store, p))
-        .collect();
+fn plan(patterns: &[TriplePattern], est: &[usize]) -> Vec<usize> {
     let mut order = Vec::with_capacity(patterns.len());
     let mut used = vec![false; patterns.len()];
     let mut bound = [false; MAX_VARS];
@@ -481,6 +547,10 @@ struct EvalCx<'a, 'b> {
     env: [Option<u32>; MAX_VARS],
     rows: Vec<Vec<u32>>,
     steps: u64,
+    /// Matches produced per pattern, indexed by *request* pattern index.
+    matches: [u64; MAX_PATTERNS],
+    /// Whether the sorted-merge fast path answered any join tail.
+    merge_used: bool,
 }
 
 impl EvalCx<'_, '_> {
@@ -520,12 +590,16 @@ impl EvalCx<'_, '_> {
         // directly-indexed binding list over one shared free variable —
         // intersect the sorted lists instead of nesting further.
         if let Some((v, lists)) = self.merge_candidate(depth) {
-            return self.merge_join(v, lists);
+            self.merge_used = true;
+            return self.merge_join(depth, v, lists);
         }
         let idx = self.order[depth];
         let pat = substitute(self.patterns[idx], &self.env);
         for t in SolutionIter::new(self.store, pat) {
             self.tick()?;
+            if let Some(n) = self.matches.get_mut(idx) {
+                *n += 1;
+            }
             self.bind(pat, t);
             let done = self.eval(depth + 1)?;
             self.unbind(pat);
@@ -574,8 +648,16 @@ impl EvalCx<'_, '_> {
     /// Sorted-merge intersection of the direct lists: the smallest list
     /// drives, membership in the others is checked in sorted order.
     /// Emits rows in ascending order of `v` — exactly the order the
-    /// nested-loop continuation would produce.
-    fn merge_join(&mut self, v: u8, lists: Vec<DirectList>) -> Result<bool, QueryError> {
+    /// nested-loop continuation would produce. Each emitted value counts
+    /// as one match for every pattern the intersection covers
+    /// (`order[depth..]`), mirroring what the nested loops would have
+    /// attributed.
+    fn merge_join(
+        &mut self,
+        depth: usize,
+        v: u8,
+        lists: Vec<DirectList>,
+    ) -> Result<bool, QueryError> {
         let np = self.store.num_preds() as u32;
         let lists: Vec<Bindings<'_>> = lists
             .iter()
@@ -595,6 +677,11 @@ impl EvalCx<'_, '_> {
                 .enumerate()
                 .all(|(i, b)| i == driver || b.contains_sorted(val));
             if hit {
+                for &idx in self.order.get(depth..).unwrap_or(&[]) {
+                    if let Some(n) = self.matches.get_mut(idx) {
+                        *n += 1;
+                    }
+                }
                 if let Some(cell) = self.env.get_mut(v as usize) {
                     *cell = Some(val);
                 }
@@ -608,6 +695,120 @@ impl EvalCx<'_, '_> {
             }
         }
         Ok(false)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder vocabulary
+
+/// The join-path vocabulary of the `query_plan` event's `path` field.
+const JOIN_PATH: &[&str] = &["nested", "merge"];
+
+/// The planner's flight-recorder vocabulary: pre-defined [`EventId`]s over
+/// a shared [`Recorder`], so emitting a whole plan is a handful of
+/// allocation-free `emit` calls. The kb crate owns the event shapes;
+/// callers (the server) own the recorder, the clock, and when to record.
+#[derive(Debug, Clone)]
+pub struct QueryEvents {
+    recorder: Arc<Recorder>,
+    plan: EventId,
+    pattern: EventId,
+    cancelled: EventId,
+}
+
+impl QueryEvents {
+    /// Interns the planner event specs on `recorder`.
+    pub fn new(recorder: Arc<Recorder>) -> QueryEvents {
+        let plan = recorder.define(EventSpec {
+            name: "query_plan",
+            channel: Channel::Query,
+            severity: Severity::Info,
+            fields: &[
+                FieldSpec {
+                    key: "patterns",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "rows",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "truncated",
+                    kind: FieldKind::Bool,
+                },
+                FieldSpec {
+                    key: "path",
+                    kind: FieldKind::Enum(JOIN_PATH),
+                },
+            ],
+        });
+        let pattern = recorder.define(EventSpec {
+            name: "query_pattern",
+            channel: Channel::Query,
+            severity: Severity::Debug,
+            fields: &[
+                FieldSpec {
+                    key: "step",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "pattern",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "estimated",
+                    kind: FieldKind::U64,
+                },
+                FieldSpec {
+                    key: "matches",
+                    kind: FieldKind::U64,
+                },
+            ],
+        });
+        let cancelled = recorder.define(EventSpec {
+            name: "query_cancelled",
+            channel: Channel::Query,
+            severity: Severity::Warn,
+            fields: &[FieldSpec {
+                key: "patterns",
+                kind: FieldKind::U64,
+            }],
+        });
+        QueryEvents {
+            recorder,
+            plan,
+            pattern,
+            cancelled,
+        }
+    }
+
+    /// Records one evaluated plan: a `query_pattern` event per step (in
+    /// execution order, est-vs-actual cardinalities) and one summarising
+    /// `query_plan` event.
+    pub fn record(&self, ts_ns: u64, trace: &PlanTrace, rows: usize) {
+        for (step, s) in trace.steps.iter().enumerate() {
+            self.recorder.emit(
+                self.pattern,
+                ts_ns,
+                &[step as u64, s.pattern as u64, s.estimated as u64, s.matches],
+            );
+        }
+        self.recorder.emit(
+            self.plan,
+            ts_ns,
+            &[
+                trace.steps.len() as u64,
+                rows as u64,
+                trace.truncated as u64,
+                trace.merge_fast_path as u64,
+            ],
+        );
+    }
+
+    /// Records a query aborted by its [`CancelToken`].
+    pub fn record_cancelled(&self, ts_ns: u64, patterns: usize) {
+        self.recorder
+            .emit(self.cancelled, ts_ns, &[patterns as u64]);
     }
 }
 
@@ -825,6 +1026,80 @@ mod tests {
         let kb = kb();
         let pat = TriplePattern::new(Slot::Var(0), Slot::Var(1), Slot::Var(2));
         assert_eq!(kb.store().solve(pat).count(), 5);
+    }
+
+    #[test]
+    fn traced_solve_mirrors_solve_and_is_backend_independent() {
+        let kb = kb();
+        let succ = kb.clone().with_backend(Backend::Succinct);
+        let a = Slot::Bound(node(&kb, "e:a"));
+        let b = Slot::Bound(node(&kb, "e:b"));
+        let r0 = Slot::Bound(pred(&kb, "p:r0"));
+        let r1 = Slot::Bound(pred(&kb, "p:r1"));
+        let scan = vec![TriplePattern::new(Slot::Var(0), Slot::Var(1), Slot::Var(2))];
+        let merge = vec![
+            TriplePattern::new(a, r0, Slot::Var(0)),
+            TriplePattern::new(Slot::Var(0), r1, b),
+        ];
+        for patterns in [&scan, &merge] {
+            let (out, trace) = solve_bgp_traced(kb.store(), patterns, 100, None).unwrap();
+            assert_eq!(out, solve_bgp(kb.store(), patterns, 100, None).unwrap());
+            let (sout, strace) = solve_bgp_traced(succ.store(), patterns, 100, None).unwrap();
+            assert_eq!(out, sout);
+            assert_eq!(trace, strace);
+            assert_eq!(trace.steps.len(), patterns.len());
+        }
+        // The merge case in detail: `a —r0→ {b,c}` intersected with
+        // `subjects(r1, b) = {c}` admits one row; each pattern counts it.
+        let (out, trace) = solve_bgp_traced(kb.store(), &merge, 100, None).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(trace.merge_fast_path);
+        assert!(!trace.truncated);
+        // The planner starts from the smaller estimate: pattern 1.
+        assert_eq!(trace.steps[0].pattern, 1);
+        for step in &trace.steps {
+            assert_eq!(step.matches, 1);
+            assert!(step.estimated >= 1, "{step:?}");
+        }
+        // The scan case: pure nested loop over all five triples.
+        let (_, trace) = solve_bgp_traced(kb.store(), &scan, 100, None).unwrap();
+        assert!(!trace.merge_fast_path);
+        assert_eq!(trace.steps[0].matches, 5);
+        assert_eq!(trace.steps[0].estimated, 5);
+    }
+
+    #[test]
+    fn query_events_record_plan_pattern_and_cancellation() {
+        use remi_obs::{Clock as _, FakeClock, FieldValue, Recorder};
+        let kb = kb();
+        let clock = FakeClock::new(10);
+        let recorder = Recorder::shared(32);
+        let events = QueryEvents::new(Arc::clone(&recorder));
+        let r0 = Slot::Bound(pred(&kb, "p:r0"));
+        let (out, trace) = solve_bgp_traced(
+            kb.store(),
+            &[TriplePattern::new(Slot::Var(0), r0, Slot::Var(1))],
+            2,
+            None,
+        )
+        .unwrap();
+        events.record(clock.now_ns(), &trace, out.rows.len());
+        clock.advance(5);
+        events.record_cancelled(clock.now_ns(), 1);
+        let recs = recorder.events_since(0);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].name, "query_pattern");
+        assert_eq!(recs[1].name, "query_plan");
+        assert_eq!(recs[1].ts_ns, 10);
+        assert!(recs[1]
+            .fields
+            .contains(&("truncated", FieldValue::Bool(true))));
+        assert!(recs[1]
+            .fields
+            .contains(&("path", FieldValue::Str("nested"))));
+        assert!(recs[1].fields.contains(&("rows", FieldValue::U64(2))));
+        assert_eq!(recs[2].name, "query_cancelled");
+        assert_eq!(recs[2].ts_ns, 15);
     }
 
     #[test]

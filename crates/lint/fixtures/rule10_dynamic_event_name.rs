@@ -1,0 +1,30 @@
+// lint:fixture-path crates/kb/src/events.rs
+//
+// Seeds: flight-recorder event names built at runtime. The recorder
+// interns specs by name once at boot so `emit` stays allocation-free;
+// a `format!`-built or locally-bound name defeats the interning and
+// puts an allocation on the emit hot path.
+
+use remi_obs::{Channel, EventSpec, Recorder, Severity};
+
+pub fn define_events(recorder: &Recorder, shard: usize) {
+    recorder.define(EventSpec {
+        name: &format!("kb_shard_{shard}_publish"), // lint:expect(dynamic-event-name)
+        channel: Channel::Kb,
+        severity: Severity::Info,
+        fields: &[],
+    });
+    let runtime_name = "kb_publish";
+    recorder.define(EventSpec {
+        name: runtime_name, // lint:expect(dynamic-event-name)
+        channel: Channel::Kb,
+        severity: Severity::Info,
+        fields: &[],
+    });
+    recorder.define(EventSpec {
+        name: "kb_publish", // a static literal name interns cleanly
+        channel: Channel::Kb,
+        severity: Severity::Info,
+        fields: &[],
+    });
+}

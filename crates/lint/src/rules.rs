@@ -106,6 +106,13 @@ pub const RULES: &[RuleInfo] = &[
         id: "malformed-allow",
         summary: "every lint:allow names known rules and carries a non-empty justification",
     },
+    RuleInfo {
+        id: "dynamic-event-name",
+        summary:
+            "flight-recorder event names are static string literals (`EventSpec { name: \"…\" }`) \
+                  — the recorder interns specs by name at boot, and a runtime-built name would \
+                  allocate on the emit hot path",
+    },
 ];
 
 /// True when `id` names a catalog rule.
@@ -285,6 +292,7 @@ pub fn check_file(path: &str, src: &str) -> FileReport {
     rule_print_in_library(&ctx, &info, &mut raw);
     rule_delta_lock_order(&ctx, &info, &mut raw);
     rule_hardcoded_test_port(&ctx, &info, &mut raw);
+    rule_dynamic_event_name(&ctx, &info, &mut raw);
 
     // Pass 3: suppression. An allow covers its own line and the next.
     for v in raw {
@@ -617,6 +625,7 @@ fn rule_panic_in_serve(ctx: &FileCtx<'_>, _info: &PathInfo, raw: &mut Vec<Violat
         "crates/serve/src/router.rs",
         "crates/serve/src/params.rs",
         "crates/serve/src/query.rs",
+        "crates/serve/src/events.rs",
     ];
     if !REQUEST_MODULES.contains(&ctx.path.as_str()) {
         return;
@@ -837,6 +846,52 @@ fn rule_delta_lock_order(ctx: &FileCtx<'_>, _info: &PathInfo, raw: &mut Vec<Viol
                         ),
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Rule 10: flight-recorder event names are static string literals.
+///
+/// `Recorder::define` interns specs by name once at boot so `emit` can
+/// stay allocation-free; a name built at runtime (`format!`, a local
+/// binding, a function result) defeats the interning and smuggles an
+/// allocation onto the emit hot path. Inside every `EventSpec { … }`
+/// struct literal the token after `name:` must therefore be a string
+/// literal. The rule applies everywhere — tests included — because the
+/// recorder's name-keyed dedup is the same in every context.
+fn rule_dynamic_event_name(ctx: &FileCtx<'_>, _info: &PathInfo, raw: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        if ctx.text(i) != "EventSpec" || ctx.text(i + 1) != "{" {
+            continue;
+        }
+        // The struct's own definition (`pub struct EventSpec {`) and any
+        // impl/trait block are declarations, not literals.
+        let prev = if i == 0 { "" } else { ctx.text(i - 1) };
+        if matches!(prev, "struct" | "impl" | "trait" | "enum" | "dyn") {
+            continue;
+        }
+        let Some(close) = ctx.matching_close(i + 1, "{", "}") else {
+            continue;
+        };
+        for k in i + 2..close {
+            // A `name:` field initializer — but not a `name::…` path.
+            if ctx.text(k) != "name" || ctx.text(k + 1) != ":" || ctx.text(k + 2) == ":" {
+                continue;
+            }
+            if ctx.kind(k + 2) != Some(TokenKind::Str) {
+                let value = ctx.text(k + 2).to_string();
+                push(
+                    ctx,
+                    raw,
+                    "dynamic-event-name",
+                    k,
+                    format!(
+                        "`EventSpec` name built at runtime (starts with `{value}`) — the \
+                         recorder interns names at boot, so `name:` must be a static string \
+                         literal"
+                    ),
+                );
             }
         }
     }

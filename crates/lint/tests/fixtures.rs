@@ -11,8 +11,8 @@ fn every_seeded_fixture_violation_flags() {
     let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     match remi_lint::runner::self_test(&fixtures) {
         Ok(summary) => {
-            assert!(summary.fixtures >= 9, "fixture files went missing");
-            assert!(summary.seeded >= 20, "seeded violations went missing");
+            assert!(summary.fixtures >= 10, "fixture files went missing");
+            assert!(summary.seeded >= 22, "seeded violations went missing");
         }
         Err(failures) => panic!("fixture self-test failed:\n{}", failures.join("\n")),
     }

@@ -1,0 +1,579 @@
+//! The flight recorder: a bounded, lock-free ring of structured events.
+//!
+//! Aggregate instruments ([`crate::Counter`], [`crate::Histogram`]) answer
+//! "how much"; the recorder answers "what happened just now" — the last N
+//! planner decisions, compactions, pool anomalies, and 500s, each as a
+//! structured event with a static name, a channel, a severity, and up to
+//! [`MAX_EVENT_FIELDS`] typed fields.
+//!
+//! The shape is registration + ring:
+//!
+//! * **Registration** ([`Recorder::define`]) interns an [`EventSpec`] —
+//!   static name, channel, severity, field vocabulary — and returns a
+//!   dense [`EventId`]. Registration takes the one lock in the module and
+//!   happens at boot; the spec table is append-only, so an id stays valid
+//!   for the recorder's lifetime and re-defining the same name (a forked
+//!   KB re-attaching, a test re-booting a server) returns the same id.
+//! * **Recording** ([`Recorder::emit`]) is allocation-free and O(1): one
+//!   relaxed `fetch_add` claims a sequence number, and the payload — spec
+//!   id, caller-supplied timestamp, field values — lands in the slot's
+//!   atomics with a seqlock-style validity protocol. No lock, no branch on
+//!   capacity: the ring wraps and old events are simply overwritten.
+//! * **Reading** ([`Recorder::events_since`], [`Recorder::tail`]) walks
+//!   the slots, double-checking each slot's sequence word around the
+//!   payload read and discarding slots that a writer touched in between.
+//!   A reader never blocks a writer.
+//!
+//! Timestamps are caller-supplied nanoseconds from an injected
+//! [`crate::Clock`], so `FakeClock` tests reach every path and the module
+//! itself never reads a wall clock.
+//!
+//! ## Torn reads, honestly
+//!
+//! Every cell is an `AtomicU64`, so a race can at worst garble one
+//! diagnostic record, never corrupt memory. The double-check catches any
+//! overwrite that happens while a reader is mid-slot; the one theoretical
+//! escape is a writer lapping the *entire* ring (capacity-many events)
+//! between a reader's two sequence loads, which would require the reader
+//! to be descheduled for the length of a full ring rotation. Such a
+//! record decodes as a well-formed event with stale fields — acceptable
+//! for a flight recorder, and the reason this stays safe code.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Hard cap on the number of typed fields one event may carry.
+pub const MAX_EVENT_FIELDS: usize = 4;
+
+/// Event severity, ordered: `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Per-step detail (e.g. one planner pattern's est-vs-actual).
+    Debug,
+    /// Normal lifecycle (plans, publishes, compactions).
+    Info,
+    /// Anomalies worth a look (storms, stalls, cancellations).
+    Warn,
+    /// Request-visible failures (500s).
+    Error,
+}
+
+impl Severity {
+    /// The lowercase wire name (`"debug"`, `"info"`, `"warn"`, `"error"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a wire name back to a severity.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "debug" => Some(Severity::Debug),
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+/// The emitting subsystem. One recorder serves the whole process; the
+/// channel is the coarse filter (`/v1/debug/events?channel=…`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Channel {
+    /// BGP planner / evaluator events.
+    Query,
+    /// KB lifecycle: epoch publishes, compactions.
+    Kb,
+    /// Executor anomalies: park/revive storms, help-drain stalls.
+    Pool,
+    /// Serve-layer events: 500s.
+    Http,
+}
+
+impl Channel {
+    /// The lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::Query => "query",
+            Channel::Kb => "kb",
+            Channel::Pool => "pool",
+            Channel::Http => "http",
+        }
+    }
+
+    /// Parses a wire name back to a channel.
+    pub fn parse(s: &str) -> Option<Channel> {
+        match s {
+            "query" => Some(Channel::Query),
+            "kb" => Some(Channel::Kb),
+            "pool" => Some(Channel::Pool),
+            "http" => Some(Channel::Http),
+            _ => None,
+        }
+    }
+}
+
+/// How one field's raw `u64` decodes.
+#[derive(Debug, Clone, Copy)]
+pub enum FieldKind {
+    /// A plain unsigned integer (count, duration, epoch…).
+    U64,
+    /// `0` = false, anything else = true.
+    Bool,
+    /// An index into a static vocabulary — the allocation-free way to put
+    /// a string-valued field (`path="merge"`) on the hot path.
+    Enum(&'static [&'static str]),
+}
+
+/// One typed field of an event spec.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldSpec {
+    /// The field's key — a static literal, like the event name.
+    pub key: &'static str,
+    /// How the recorded `u64` decodes.
+    pub kind: FieldKind,
+}
+
+/// The static description of one event kind. Names must be `'static`
+/// literals — the `dynamic-event-name` lint rule rejects anything built
+/// at runtime, which keeps [`Recorder::emit`] allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct EventSpec {
+    /// Static event name (`"query_plan"`, `"kb_compact"`, …).
+    pub name: &'static str,
+    /// The emitting subsystem.
+    pub channel: Channel,
+    /// Severity, fixed per event kind.
+    pub severity: Severity,
+    /// Field vocabulary, at most [`MAX_EVENT_FIELDS`] entries.
+    pub fields: &'static [FieldSpec],
+}
+
+/// A dense handle returned by [`Recorder::define`]; the only thing the
+/// hot path carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId(u16);
+
+/// One decoded field value of an [`EventRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldValue {
+    /// A plain integer.
+    U64(u64),
+    /// A boolean.
+    Bool(bool),
+    /// An enum field decoded through its static vocabulary.
+    Str(&'static str),
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One event read back out of the ring.
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Global sequence number (0-based, dense across the recorder).
+    pub seq: u64,
+    /// Caller-supplied timestamp, nanoseconds on the emitting clock.
+    pub ts_ns: u64,
+    /// The spec's static name.
+    pub name: &'static str,
+    /// The spec's channel.
+    pub channel: Channel,
+    /// The spec's severity.
+    pub severity: Severity,
+    /// Decoded `(key, value)` pairs, in spec order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl std::fmt::Display for EventRecord {
+    /// The one-line log form used by the slow-request and 500 tail dumps:
+    /// `seq=12 ts_us=3450 query/info query_plan patterns=2 path=merge`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seq={} ts_us={} {}/{} {}",
+            self.seq,
+            self.ts_ns / 1_000,
+            self.channel.name(),
+            self.severity.name(),
+            self.name
+        )?;
+        for (key, value) in &self.fields {
+            write!(f, " {key}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One ring slot: a seqlock word plus an all-atomic payload.
+///
+/// `seq` holds `record_seq + 1` when the slot is valid and `0` while a
+/// writer is mid-flight (sequence numbers are claimed from 0 up, so the
+/// +1 keeps 0 free as the "empty/being-written" sentinel).
+struct Slot {
+    seq: AtomicU64,
+    spec: AtomicU64,
+    ts_ns: AtomicU64,
+    vals: [AtomicU64; MAX_EVENT_FIELDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            spec: AtomicU64::new(0),
+            ts_ns: AtomicU64::new(0),
+            vals: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The flight recorder. One per server (plus one per test); every
+/// subsystem holds the same `Arc` and emits into the same ring.
+pub struct Recorder {
+    /// Append-only spec table; locked only by `define` and by readers
+    /// resolving ids back to specs — never by `emit`.
+    specs: Mutex<Vec<EventSpec>>,
+    /// Next sequence number to claim (== total events ever emitted).
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+    /// `slots.len() - 1`; the length is a power of two.
+    mask: u64,
+}
+
+impl Recorder {
+    /// A recorder holding the most recent `capacity` events (rounded up
+    /// to a power of two, minimum 8).
+    pub fn new(capacity: usize) -> Recorder {
+        let cap = capacity.max(8).next_power_of_two();
+        Recorder {
+            specs: Mutex::new(Vec::new()),
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            mask: (cap - 1) as u64,
+        }
+    }
+
+    /// A recorder behind an `Arc`, the shape every subsystem attaches.
+    pub fn shared(capacity: usize) -> Arc<Recorder> {
+        Arc::new(Recorder::new(capacity))
+    }
+
+    /// Interns `spec`, returning its id. Idempotent by name: defining the
+    /// same name twice (forked KBs, re-attached subsystems) returns the
+    /// first registration's id. Boot-time only — takes the spec lock.
+    ///
+    /// # Panics
+    ///
+    /// If the spec carries more than [`MAX_EVENT_FIELDS`] fields or the
+    /// table would exceed `u16::MAX` specs — both boot-time programming
+    /// errors, not runtime conditions.
+    pub fn define(&self, spec: EventSpec) -> EventId {
+        assert!(
+            spec.fields.len() <= MAX_EVENT_FIELDS,
+            "event {:?} declares {} fields (max {MAX_EVENT_FIELDS})",
+            spec.name,
+            spec.fields.len()
+        );
+        let mut specs = self.specs.lock();
+        if let Some(i) = specs.iter().position(|s| s.name == spec.name) {
+            return EventId(i as u16);
+        }
+        assert!(specs.len() < u16::MAX as usize, "event spec table overflow");
+        specs.push(spec);
+        EventId((specs.len() - 1) as u16)
+    }
+
+    /// Records one event: claims the next sequence number and writes the
+    /// payload into its ring slot. Allocation-free, O(1), no locks — one
+    /// relaxed `fetch_add` plus a bounded handful of atomic stores.
+    /// Unused field cells are zeroed so a reader never decodes a stale
+    /// value left by the slot's previous occupant.
+    #[inline]
+    pub fn emit(&self, id: EventId, ts_ns: u64, vals: &[u64]) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        // Invalidate, write payload, validate: a reader that overlaps any
+        // of this sees either the 0 sentinel or a changed sequence word
+        // and discards the slot.
+        slot.seq.store(0, Ordering::Release);
+        slot.spec.store(id.0 as u64, Ordering::Relaxed);
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        for (i, cell) in slot.vals.iter().enumerate() {
+            cell.store(vals.get(i).copied().unwrap_or(0), Ordering::Relaxed);
+        }
+        slot.seq.store(seq + 1, Ordering::Release);
+    }
+
+    /// Total events ever emitted (== the next sequence number). Readers
+    /// use this as the `since` cursor for incremental polls.
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// The ring capacity: the maximum number of events any read returns.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Every currently-readable event with `seq >= since`, ascending by
+    /// sequence number. At most [`Recorder::capacity`] records — the ring
+    /// bound, not the event-count history, is the memory bound.
+    pub fn events_since(&self, since: u64) -> Vec<EventRecord> {
+        let specs: Vec<EventSpec> = self.specs.lock().clone();
+        let mut out = Vec::with_capacity(self.slots.len().min(64));
+        for slot in self.slots.iter() {
+            let seq1 = slot.seq.load(Ordering::Acquire);
+            if seq1 == 0 {
+                continue; // empty or mid-write
+            }
+            let spec_idx = slot.spec.load(Ordering::Relaxed);
+            let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
+            let mut raw = [0u64; MAX_EVENT_FIELDS];
+            for (cell, out) in slot.vals.iter().zip(raw.iter_mut()) {
+                *out = cell.load(Ordering::Relaxed);
+            }
+            // Seqlock read fence: the payload loads above must settle
+            // before the re-check below observes a concurrent writer.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != seq1 {
+                continue; // a writer overlapped the read; discard
+            }
+            let seq = seq1 - 1;
+            if seq < since {
+                continue;
+            }
+            let Some(spec) = specs.get(spec_idx as usize) else {
+                continue; // torn slot from before this spec existed
+            };
+            let fields = spec
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let v = raw[i];
+                    let value = match f.kind {
+                        FieldKind::U64 => FieldValue::U64(v),
+                        FieldKind::Bool => FieldValue::Bool(v != 0),
+                        FieldKind::Enum(vocab) => match vocab.get(v as usize) {
+                            Some(s) => FieldValue::Str(s),
+                            None => FieldValue::U64(v),
+                        },
+                    };
+                    (f.key, value)
+                })
+                .collect();
+            out.push(EventRecord {
+                seq,
+                ts_ns,
+                name: spec.name,
+                channel: spec.channel,
+                severity: spec.severity,
+                fields,
+            });
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// The most recent `n` events, ascending by sequence number — the
+    /// slow-log / 500 tail dump.
+    pub fn tail(&self, n: usize) -> Vec<EventRecord> {
+        let mut all = self.events_since(0);
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("capacity", &self.capacity())
+            .field("head", &self.head())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, FakeClock};
+
+    const PATH: &[&str] = &["nested", "merge"];
+
+    const PLAN: EventSpec = EventSpec {
+        name: "query_plan",
+        channel: Channel::Query,
+        severity: Severity::Info,
+        fields: &[
+            FieldSpec {
+                key: "patterns",
+                kind: FieldKind::U64,
+            },
+            FieldSpec {
+                key: "truncated",
+                kind: FieldKind::Bool,
+            },
+            FieldSpec {
+                key: "path",
+                kind: FieldKind::Enum(PATH),
+            },
+        ],
+    };
+
+    const STALL: EventSpec = EventSpec {
+        name: "pool_help_drain_stall",
+        channel: Channel::Pool,
+        severity: Severity::Warn,
+        fields: &[FieldSpec {
+            key: "waited_us",
+            kind: FieldKind::U64,
+        }],
+    };
+
+    #[test]
+    fn define_is_idempotent_by_name() {
+        let r = Recorder::new(16);
+        let a = r.define(PLAN);
+        let b = r.define(PLAN);
+        assert_eq!(a, b);
+        assert_ne!(r.define(STALL), a);
+    }
+
+    #[test]
+    fn emitted_events_decode_with_typed_fields() {
+        let clock = FakeClock::new(1_000);
+        let r = Recorder::new(16);
+        let plan = r.define(PLAN);
+        r.emit(plan, clock.now_ns(), &[2, 0, 1]);
+        clock.advance(500);
+        r.emit(plan, clock.now_ns(), &[3, 1, 0]);
+
+        let events = r.events_since(0);
+        assert_eq!(events.len(), 2);
+        let first = &events[0];
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.ts_ns, 1_000);
+        assert_eq!(first.name, "query_plan");
+        assert_eq!(first.channel, Channel::Query);
+        assert_eq!(first.severity, Severity::Info);
+        assert_eq!(
+            first.fields,
+            vec![
+                ("patterns", FieldValue::U64(2)),
+                ("truncated", FieldValue::Bool(false)),
+                ("path", FieldValue::Str("merge")),
+            ]
+        );
+        let second = &events[1];
+        assert_eq!(second.seq, 1);
+        assert_eq!(second.ts_ns, 1_500);
+        assert_eq!(second.fields[2].1, FieldValue::Str("nested"));
+    }
+
+    #[test]
+    fn missing_and_excess_values_are_zero_filled_or_dropped() {
+        let r = Recorder::new(8);
+        let plan = r.define(PLAN);
+        // Fewer values than fields: the rest decode as zero.
+        r.emit(plan, 7, &[9]);
+        let e = &r.events_since(0)[0];
+        assert_eq!(e.fields[0].1, FieldValue::U64(9));
+        assert_eq!(e.fields[1].1, FieldValue::Bool(false));
+        assert_eq!(e.fields[2].1, FieldValue::Str("nested"));
+        // An enum value past the vocabulary decodes as the raw integer
+        // rather than panicking.
+        r.emit(plan, 8, &[1, 1, 99]);
+        let e = r.events_since(0).last().unwrap().clone();
+        assert_eq!(e.fields[2].1, FieldValue::U64(99));
+    }
+
+    #[test]
+    fn ring_wraps_and_bounds_reads_to_capacity() {
+        let r = Recorder::new(8);
+        let stall = r.define(STALL);
+        for i in 0..100u64 {
+            r.emit(stall, i, &[i]);
+        }
+        assert_eq!(r.head(), 100);
+        assert_eq!(r.capacity(), 8);
+        let events = r.events_since(0);
+        assert_eq!(events.len(), 8);
+        // Exactly the last `capacity` events, in order.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (92..100).collect::<Vec<_>>());
+        for e in &events {
+            assert_eq!(e.ts_ns, e.seq);
+            assert_eq!(e.fields[0].1, FieldValue::U64(e.seq));
+        }
+    }
+
+    #[test]
+    fn since_and_tail_cursors() {
+        let r = Recorder::new(16);
+        let stall = r.define(STALL);
+        for i in 0..10u64 {
+            r.emit(stall, i, &[i]);
+        }
+        assert_eq!(r.events_since(7).len(), 3);
+        assert_eq!(r.events_since(10).len(), 0);
+        let tail = r.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 8);
+        assert_eq!(tail[1].seq, 9);
+        assert!(r.tail(0).is_empty());
+    }
+
+    #[test]
+    fn display_renders_one_log_line() {
+        let r = Recorder::new(8);
+        let plan = r.define(PLAN);
+        r.emit(plan, 2_500, &[2, 1, 1]);
+        let e = &r.events_since(0)[0];
+        assert_eq!(
+            e.to_string(),
+            "seq=0 ts_us=2 query/info query_plan patterns=2 truncated=true path=merge"
+        );
+    }
+
+    #[test]
+    fn concurrent_emitters_never_produce_out_of_range_records() {
+        let r = Arc::new(Recorder::new(64));
+        let stall = r.define(STALL);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        r.emit(stall, t * 10_000 + i, &[i]);
+                    }
+                });
+            }
+            for _ in 0..50 {
+                let events = r.events_since(0);
+                assert!(events.len() <= r.capacity());
+                for w in events.windows(2) {
+                    assert!(w[0].seq < w[1].seq);
+                }
+            }
+        });
+        assert_eq!(r.head(), 4_000);
+        assert_eq!(r.events_since(0).len(), 64);
+    }
+}

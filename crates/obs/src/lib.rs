@@ -16,6 +16,10 @@
 //!   monotonic clock ([`MonoClock`] in production, [`FakeClock`] in tests)
 //!   and splits elapsed time into named child phases, so a describe request
 //!   decomposes into parse / admission / cache / mine / write.
+//! * **[`Recorder`]** — the flight recorder: a bounded lock-free ring of
+//!   structured events (static names, typed fields, severity, channel)
+//!   that subsystems emit into allocation-free; `/v1/debug/events` and
+//!   the slow-request/500 log tails read it back.
 //!
 //! Everything is nanosecond-denominated `u64`. The crate has no
 //! dependencies beyond the vendored `parking_lot` shim (registry interior
@@ -24,11 +28,16 @@
 #![forbid(unsafe_code)]
 
 mod clock;
+mod events;
 mod metrics;
 mod registry;
 mod span;
 
 pub use clock::{Clock, FakeClock, MonoClock};
+pub use events::{
+    Channel, EventId, EventRecord, EventSpec, FieldKind, FieldSpec, FieldValue, Recorder, Severity,
+    MAX_EVENT_FIELDS,
+};
 pub use metrics::{
     bucket_index, bucket_lower_edge, bucket_upper_edge, Counter, Gauge, Histogram,
     HistogramSnapshot, BUCKETS,

@@ -35,11 +35,13 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
-use remi_obs::{Counter, Gauge};
+use remi_obs::{
+    Channel, Clock, Counter, EventId, EventSpec, FieldKind, FieldSpec, Gauge, Recorder, Severity,
+};
 
 /// Scheduling observability: relaxed counters bumped at job boundaries,
 /// cheap enough to stay on permanently. Each field is an `Arc` so an
@@ -62,6 +64,122 @@ pub struct PoolMetrics {
     pub help_drains: Arc<Counter>,
     /// Queue depth sampled after each inject/take transition.
     pub queue_depth: Arc<Gauge>,
+}
+
+/// Storm detection window: parks/revives are counted per rolling window
+/// of this length, and a storm event fires when a window's count crosses
+/// [`STORM_THRESHOLD`].
+const STORM_WINDOW_NS: u64 = 100_000_000;
+/// Parks (or revives) within one [`STORM_WINDOW_NS`] window that
+/// constitute a storm — a pool oscillating between idle and busy this
+/// fast is burning its time in the parking lot, not in jobs.
+const STORM_THRESHOLD: u64 = 32;
+/// A help-drain wait longer than this is flagged as a stall: the waiting
+/// worker sat on a nested scope while siblings held its tasks.
+const STALL_NS: u64 = 10_000_000;
+
+/// Anomaly events for the flight recorder: park/revive storms and
+/// help-drain stalls. Attached after construction (the pool itself has no
+/// recorder), so every field lives behind a [`OnceLock`] in [`PoolState`]
+/// and the hot paths pay one `get()` when no recorder is attached.
+struct PoolEvents {
+    recorder: Arc<Recorder>,
+    clock: Arc<dyn Clock>,
+    park_storm: EventId,
+    revive_storm: EventId,
+    stall: EventId,
+    /// Start of the current storm window (ns from the attached clock).
+    window_start: AtomicU64,
+    window_parks: AtomicU64,
+    window_revives: AtomicU64,
+}
+
+impl PoolEvents {
+    fn new(recorder: Arc<Recorder>, clock: Arc<dyn Clock>) -> PoolEvents {
+        const COUNT_WINDOW: &[FieldSpec] = &[
+            FieldSpec {
+                key: "count",
+                kind: FieldKind::U64,
+            },
+            FieldSpec {
+                key: "window_ms",
+                kind: FieldKind::U64,
+            },
+        ];
+        let park_storm = recorder.define(EventSpec {
+            name: "pool_park_storm",
+            channel: Channel::Pool,
+            severity: Severity::Warn,
+            fields: COUNT_WINDOW,
+        });
+        let revive_storm = recorder.define(EventSpec {
+            name: "pool_revive_storm",
+            channel: Channel::Pool,
+            severity: Severity::Warn,
+            fields: COUNT_WINDOW,
+        });
+        let stall = recorder.define(EventSpec {
+            name: "pool_help_drain_stall",
+            channel: Channel::Pool,
+            severity: Severity::Warn,
+            fields: &[FieldSpec {
+                key: "waited_us",
+                kind: FieldKind::U64,
+            }],
+        });
+        let now = clock.now_ns();
+        PoolEvents {
+            recorder,
+            clock,
+            park_storm,
+            revive_storm,
+            stall,
+            window_start: AtomicU64::new(now),
+            window_parks: AtomicU64::new(0),
+            window_revives: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one park/revive into the rolling window, emitting the storm
+    /// event exactly once per window — when the count *reaches* the
+    /// threshold, not on every bump past it.
+    fn note(&self, counter: &AtomicU64, storm: EventId) {
+        let now = self.clock.now_ns();
+        let start = self.window_start.load(Ordering::Relaxed);
+        if now.saturating_sub(start) > STORM_WINDOW_NS
+            && self
+                .window_start
+                .compare_exchange(start, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            // One thread rolls the window; racing bumps land in whichever
+            // window they observe — storm detection is a heuristic, and an
+            // off-by-a-few count is fine.
+            self.window_parks.store(0, Ordering::Relaxed);
+            self.window_revives.store(0, Ordering::Relaxed);
+        }
+        let n = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if n == STORM_THRESHOLD {
+            self.recorder
+                .emit(storm, now, &[n, STORM_WINDOW_NS / 1_000_000]);
+        }
+    }
+
+    fn note_park(&self) {
+        self.note(&self.window_parks, self.park_storm);
+    }
+
+    fn note_revive(&self) {
+        self.note(&self.window_revives, self.revive_storm);
+    }
+
+    /// Flags a help-drain wait that exceeded [`STALL_NS`].
+    fn note_stall(&self, waited_ns: u64) {
+        if waited_ns >= STALL_NS {
+            self.recorder
+                .emit(self.stall, self.clock.now_ns(), &[waited_ns / 1_000]);
+        }
+    }
 }
 
 /// Acquires a std mutex, recovering from poisoning (a panicked task must
@@ -227,6 +345,9 @@ struct PoolState {
     wake: Condvar,
     shutdown: AtomicBool,
     metrics: PoolMetrics,
+    /// Flight-recorder hookup; empty until
+    /// [`ThreadPool::attach_events`] is called.
+    events: OnceLock<PoolEvents>,
 }
 
 impl PoolState {
@@ -295,12 +416,18 @@ fn worker_loop(state: Arc<PoolState>, home: usize) {
         }
         state.idlers.fetch_add(1, Ordering::AcqRel);
         state.metrics.parks.inc();
+        if let Some(events) = state.events.get() {
+            events.note_park();
+        }
         let guard = state
             .wake
             .wait(guard)
             .unwrap_or_else(PoisonError::into_inner);
         state.idlers.fetch_sub(1, Ordering::AcqRel);
         state.metrics.revives.inc();
+        if let Some(events) = state.events.get() {
+            events.note_revive();
+        }
         drop(guard);
     }
 }
@@ -325,6 +452,7 @@ impl ThreadPool {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             metrics: PoolMetrics::default(),
+            events: OnceLock::new(),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -369,6 +497,16 @@ impl ThreadPool {
         &self.state.metrics
     }
 
+    /// Attaches a flight recorder: the pool starts emitting
+    /// `pool_park_storm` / `pool_revive_storm` (≥ 32 parks or revives
+    /// inside a 100 ms window) and `pool_help_drain_stall` (a nested
+    /// scope wait exceeding 10 ms) events. The first attachment wins —
+    /// later calls are ignored, which keeps the [`global`] pool's wiring
+    /// stable when several servers share one process (tests).
+    pub fn attach_events(&self, recorder: Arc<Recorder>, clock: Arc<dyn Clock>) {
+        let _ = self.state.events.set(PoolEvents::new(recorder, clock));
+    }
+
     /// Structured concurrency: `f` receives a [`Scope`] whose tasks may
     /// borrow anything that outlives the `scope` call. Returns after every
     /// spawned task has completed; the first task panic is propagated.
@@ -390,7 +528,7 @@ impl ThreadPool {
         let result = {
             // Even if `f` panics, unwinding must not release the borrows
             // before the spawned tasks are done with them.
-            let wait_guard = WaitGuard(&scope.state, &self.state.metrics);
+            let wait_guard = WaitGuard(&scope.state, &self.state);
             let result = f(&scope);
             drop(wait_guard);
             result
@@ -459,28 +597,17 @@ impl ScopeState {
         None
     }
 
-    fn wait(&self, metrics: &PoolMetrics) {
+    fn wait(&self, pool: &PoolState) {
         if IS_POOL_WORKER.with(|w| w.get()) {
-            // Help-drain: run our own unclaimed tasks while other workers
-            // chew on the rest. The timed wait covers the race where a
-            // still-running sibling spawns more tasks onto this scope.
-            loop {
-                if *lock(&self.pending) == 0 {
-                    return;
-                }
-                if let Some(job) = self.claim_own_job() {
-                    metrics.help_drains.inc();
-                    job();
-                    continue;
-                }
-                let pending = lock(&self.pending);
-                if *pending == 0 {
-                    return;
-                }
-                let _ = self
-                    .done
-                    .wait_timeout(pending, std::time::Duration::from_millis(1));
+            // A worker waiting on its own nested scope is a stall risk —
+            // time the whole drain and let the recorder flag outliers.
+            let events = pool.events.get();
+            let started = events.map(|ev| ev.clock.now_ns());
+            self.help_drain(&pool.metrics);
+            if let (Some(ev), Some(t0)) = (events, started) {
+                ev.note_stall(ev.clock.now_ns().saturating_sub(t0));
             }
+            return;
         }
         let mut pending = lock(&self.pending);
         while *pending > 0 {
@@ -490,11 +617,34 @@ impl ScopeState {
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }
+
+    /// Help-drain: run our own unclaimed tasks while other workers
+    /// chew on the rest. The timed wait covers the race where a
+    /// still-running sibling spawns more tasks onto this scope.
+    fn help_drain(&self, metrics: &PoolMetrics) {
+        loop {
+            if *lock(&self.pending) == 0 {
+                return;
+            }
+            if let Some(job) = self.claim_own_job() {
+                metrics.help_drains.inc();
+                job();
+                continue;
+            }
+            let pending = lock(&self.pending);
+            if *pending == 0 {
+                return;
+            }
+            let _ = self
+                .done
+                .wait_timeout(pending, std::time::Duration::from_millis(1));
+        }
+    }
 }
 
 /// Blocks on drop until the scope's tasks are done — the linchpin of the
 /// lifetime-erasure safety argument (runs on both normal exit and unwind).
-struct WaitGuard<'a>(&'a ScopeState, &'a PoolMetrics);
+struct WaitGuard<'a>(&'a ScopeState, &'a PoolState);
 
 impl Drop for WaitGuard<'_> {
     fn drop(&mut self) {
@@ -858,5 +1008,102 @@ mod tests {
         let b = global() as *const ThreadPool;
         assert_eq!(a, b);
         assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn park_and_revive_storms_reach_the_recorder() {
+        let pool = ThreadPool::new(1);
+        let recorder = Recorder::shared(64);
+        // A frozen clock never rolls the storm window, so every park and
+        // revive accumulates into one window deterministically.
+        let clock = Arc::new(remi_obs::FakeClock::new(0));
+        pool.attach_events(Arc::clone(&recorder), clock);
+        for _ in 0..(STORM_THRESHOLD + 8) {
+            pool.scope(|s| s.spawn(|| {}));
+            // Give the lone worker time to drain and park again.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // Parks happen on the worker thread after `scope` returns; poll
+        // with a bounded deadline instead of asserting immediately.
+        let mut names = Vec::new();
+        for _ in 0..500 {
+            names = recorder
+                .events_since(0)
+                .into_iter()
+                .map(|e| e.name)
+                .collect::<Vec<_>>();
+            if names.contains(&"pool_park_storm") && names.contains(&"pool_revive_storm") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(
+            names.contains(&"pool_park_storm"),
+            "expected a park storm event, got {names:?}"
+        );
+        assert!(
+            names.contains(&"pool_revive_storm"),
+            "expected a revive storm event, got {names:?}"
+        );
+        // Each storm fires exactly once per window — the frozen clock
+        // means exactly once, full stop.
+        assert_eq!(names.iter().filter(|n| **n == "pool_park_storm").count(), 1);
+    }
+
+    #[test]
+    fn slow_help_drain_is_flagged_as_a_stall() {
+        let pool = ThreadPool::new(1);
+        let recorder = Recorder::shared(16);
+        let clock = Arc::new(remi_obs::FakeClock::new(0));
+        pool.attach_events(Arc::clone(&recorder), Arc::clone(&clock) as Arc<dyn Clock>);
+        let pool_ref = &pool;
+        let clock_ref = &clock;
+        pool.scope(|outer| {
+            outer.spawn(move || {
+                // Runs on the worker: the nested scope waits via
+                // help-drain, and the task advances the fake clock past
+                // the stall threshold.
+                pool_ref.scope(|inner| {
+                    inner.spawn(move || clock_ref.advance(STALL_NS + 1));
+                });
+            });
+        });
+        let events = recorder.events_since(0);
+        let stall = events
+            .iter()
+            .find(|e| e.name == "pool_help_drain_stall")
+            .expect("help-drain stall event");
+        assert_eq!(stall.severity, Severity::Warn);
+        assert_eq!(stall.channel, Channel::Pool);
+        let (key, value) = &stall.fields[0];
+        assert_eq!(*key, "waited_us");
+        assert_eq!(
+            format!("{value}"),
+            format!("{}", (STALL_NS + 1) / 1_000),
+            "waited_us must reflect the fake-clock advance"
+        );
+    }
+
+    #[test]
+    fn quiet_help_drains_emit_no_stall() {
+        let pool = ThreadPool::new(2);
+        let recorder = Recorder::shared(16);
+        let clock = Arc::new(remi_obs::FakeClock::new(0));
+        pool.attach_events(Arc::clone(&recorder), clock);
+        let pool_ref = &pool;
+        pool.scope(|outer| {
+            outer.spawn(move || {
+                pool_ref.scope(|inner| {
+                    inner.spawn(|| {});
+                });
+            });
+        });
+        assert!(
+            recorder
+                .events_since(0)
+                .iter()
+                .all(|e| e.name != "pool_help_drain_stall"),
+            "a fast drain under a frozen clock must not be flagged"
+        );
     }
 }

@@ -20,12 +20,18 @@
 //! client-observed latency side by side (`auto` scrapes the server this
 //! run booted).
 //!
+//! `--dump-metrics PATH` writes the scraped exposition to a file for
+//! `scripts/metrics_check.py`; `--dump-events PATH` does the same with
+//! the server's `GET /v1/debug/events` flight-recorder dump for
+//! `scripts/events_check.py`.
+//!
 //! Usage:
 //!   remi-serve-load <kb.{rkb,rkb2,nt}> [--requests N] [--clients C]
 //!                   [--backend csr|succinct] [--entities e:A,e:B,...]
 //!                   [--mode describe|summarize|healthz] [--cold]
 //!                   [--ingest-ratio F] [--query-ratio F]
 //!                   [--metrics-url auto|host:port]
+//!                   [--dump-metrics PATH] [--dump-events PATH]
 
 #![forbid(unsafe_code)]
 
@@ -50,6 +56,7 @@ struct Args {
     query_ratio: f64,
     metrics_url: Option<String>,
     dump_metrics: Option<String>,
+    dump_events: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -65,6 +72,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         query_ratio: 0.0,
         metrics_url: None,
         dump_metrics: None,
+        dump_events: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -120,6 +128,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--metrics-url" => args.metrics_url = Some(value()?),
             "--dump-metrics" => args.dump_metrics = Some(value()?),
+            "--dump-events" => args.dump_events = Some(value()?),
             p if !p.starts_with("--") && args.kb_path.is_empty() => args.kb_path = p.to_string(),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -129,7 +138,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     [--backend csr|succinct] [--entities a,b] \
                     [--mode describe|summarize|healthz] [--cold] \
                     [--ingest-ratio F] [--query-ratio F] \
-                    [--metrics-url auto|host:port] [--dump-metrics PATH]"
+                    [--metrics-url auto|host:port] [--dump-metrics PATH] \
+                    [--dump-events PATH]"
             .to_string());
     }
     // A dump without an explicit scrape target means "this run's server".
@@ -463,6 +473,19 @@ fn run(argv: &[String]) -> Result<String, String> {
         }
         None => None,
     };
+    // Flight-recorder dump, also before shutdown: the run's own server is
+    // the only one whose ring this process can reach.
+    if let Some(path) = &args.dump_events {
+        let mut ec = Client::connect(addr).map_err(|e| e.to_string())?;
+        let r = ec.get("/v1/debug/events").map_err(|e| e.to_string())?;
+        if r.status != 200 {
+            return Err(format!(
+                "/v1/debug/events answered {}: {}",
+                r.status, r.body
+            ));
+        }
+        std::fs::write(path, &r.body).map_err(|e| format!("writing {path}: {e}"))?;
+    }
     server.shutdown();
 
     let throughput = total as f64 / elapsed.as_secs_f64();

@@ -54,6 +54,7 @@ pub mod client;
 pub mod http;
 pub mod json;
 
+mod events;
 mod params;
 mod query;
 mod router;
@@ -71,7 +72,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use remi_obs::{
-    series, Clock as _, Counter, Gauge, Histogram, MonoClock, PromText, Registry, Span,
+    series, Clock as _, Counter, Gauge, Histogram, MonoClock, PromText, Recorder, Registry, Span,
 };
 
 use remi_core::topk::describe_top_k;
@@ -126,9 +127,14 @@ pub struct ServeConfig {
     pub compact_min_delta: usize,
     /// Requests slower than this many milliseconds bump
     /// `remi_http_slow_requests_total` and log a structured one-line
-    /// phase breakdown on stderr. `None` disables the log; `Some(0)`
-    /// logs every request (the test hook).
+    /// phase breakdown — plus the flight recorder's tail — on stderr.
+    /// `None` disables the log; `Some(0)` logs every request (the test
+    /// hook).
     pub slow_request_ms: Option<u64>,
+    /// Flight-recorder ring capacity in events (rounded up to a power of
+    /// two, minimum 8). Bounds `GET /v1/debug/events` responses and the
+    /// recorder's memory no matter how long the server runs.
+    pub event_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +147,7 @@ impl Default for ServeConfig {
             threads: remi_pool::configured_threads(),
             compact_min_delta: CompactionPolicy::default().min_delta,
             slow_request_ms: None,
+            event_capacity: 1024,
         }
     }
 }
@@ -389,8 +396,24 @@ struct HttpMetrics {
     slow: Arc<Counter>,
 }
 
+/// Status values whose per-route latency families are pre-registered at
+/// boot, so a `/v1/metrics` scrape before any traffic already exposes
+/// every route's histogram series (`scripts/metrics_check.py` asserts
+/// this). Only the `"200"` cells are kept pre-resolved on the hot path;
+/// the rest sit in the registry until a response of that status needs
+/// them via get-or-create.
+const PREREGISTERED_STATUSES: &[&str] = &["200", "400", "500", "503"];
+
 impl HttpMetrics {
     fn register(registry: &Registry) -> HttpMetrics {
+        for r in router::TABLE {
+            for status in PREREGISTERED_STATUSES {
+                registry.histogram(&series(
+                    "remi_http_request_duration_ns",
+                    &[("route", r.name), ("status", status)],
+                ));
+            }
+        }
         HttpMetrics {
             route_ok: router::TABLE
                 .iter()
@@ -422,6 +445,9 @@ pub(crate) struct Trace<'c> {
     pub(crate) span: Span<'c>,
     pub(crate) route: &'static str,
     pub(crate) echo: bool,
+    /// `?explain=1`: `POST /query` bypasses the cache and carries its own
+    /// plan trace in the response body (see `query.rs`).
+    pub(crate) explain: bool,
 }
 
 pub(crate) struct AppState {
@@ -457,6 +483,14 @@ pub(crate) struct AppState {
     /// PageRank for `linksum`, computed on demand; same keying as
     /// `converted`.
     ranks: Mutex<Option<(u64, u64, Arc<PageRank>)>>,
+    /// The process-wide flight recorder: the planner, the live KB, the
+    /// pool, and the HTTP layer all emit into this one bounded ring;
+    /// `GET /v1/debug/events` and the slow/500 stderr tails read it back.
+    pub(crate) events: Arc<Recorder>,
+    /// Planner event ids, interned at boot, emitted per `/query` miss.
+    pub(crate) query_events: remi_kb::QueryEvents,
+    /// Serve-layer event ids (500s, slow requests).
+    http_events: events::HttpEvents,
     /// Quiet keep-alive connections waiting for bytes (see the
     /// connection-handling section): their tasks have returned and the
     /// accept thread's poll loop revives them.
@@ -1076,6 +1110,18 @@ fn respond(state: &AppState, req: &Request, trace: &mut Trace<'_>) -> Response {
     if response.status != 503 {
         class.inc();
     }
+    if response.status >= 500 && response.status != 503 {
+        // A server error is exactly what the flight recorder exists for:
+        // record it, then dump the tail (which now includes this event)
+        // so the operator sees what led up to the failure.
+        state.http_events.record_error(
+            &state.events,
+            state.clock.now_ns(),
+            trace.route,
+            response.status,
+        );
+        events::dump_tail(state, "http-500");
+    }
     if trace.echo {
         return with_trace_echo(response, trace);
     }
@@ -1152,6 +1198,9 @@ fn finish_request(state: &AppState, trace: Trace<'_>, status: u16) {
         return;
     }
     state.http.slow.inc();
+    state
+        .http_events
+        .record_slow(&state.events, state.clock.now_ns(), route, report.total_ns);
     let mut line = format!(
         "slow-request route={route} status={status} total_us={}",
         report.total_ns / 1_000
@@ -1161,6 +1210,7 @@ fn finish_request(state: &AppState, trace: Trace<'_>, status: u16) {
     }
     // lint:allow(print-in-library): the slow-request log is the operator-facing diagnostic this endpoint exists to emit
     eprintln!("{line}");
+    events::dump_tail(state, "slow-request");
 }
 
 // ---------------------------------------------------------------------------
@@ -1255,6 +1305,7 @@ fn drive_connection(mut conn: Conn, state: &Arc<AppState>) {
                     span,
                     route: "unmatched",
                     echo: req.query_param("trace") == Some("1"),
+                    explain: req.query_param("explain") == Some("1"),
                 };
                 // Draining on shutdown: answer every request already
                 // received (the parser may hold more complete pipelined
@@ -1627,6 +1678,18 @@ pub fn serve(kb: KnowledgeBase, config: ServeConfig) -> std::io::Result<ServerHa
     );
     let metrics = Metrics::register(&registry);
     let http = HttpMetrics::register(&registry);
+    // One flight recorder per server, one clock anchor for every emitter:
+    // `MonoClock` is `Copy`, so the KB's and the pool's injected clocks
+    // share the request spans' time base and event timestamps line up
+    // with phase timings. The pool is process-wide — its first attachment
+    // wins, so in a multi-server process pool events land in the first
+    // server's ring (and only there).
+    let clock = MonoClock::new();
+    let events = Recorder::shared(config.event_capacity);
+    live.attach_events(Arc::clone(&events), Arc::new(clock));
+    remi_pool::global().attach_events(Arc::clone(&events), Arc::new(clock));
+    let query_events = remi_kb::QueryEvents::new(Arc::clone(&events));
+    let http_events = events::HttpEvents::new(&events);
     let state = Arc::new(AppState {
         live,
         primary: backend,
@@ -1634,12 +1697,15 @@ pub fn serve(kb: KnowledgeBase, config: ServeConfig) -> std::io::Result<ServerHa
         cache: ResponseCache::new(config.cache_entries),
         metrics,
         registry,
-        clock: MonoClock::new(),
+        clock,
         http,
         slow_request_ms: config.slow_request_ms,
         max_inflight: config.max_inflight.max(1) as u64,
         max_conns: (config.max_inflight.max(1) as u64).saturating_mul(4).max(8),
         default_threads: config.threads.max(1),
+        events,
+        query_events,
+        http_events,
         ranks: Mutex::new(None),
         parked: Mutex::new(Vec::new()),
         compaction_wanted: AtomicBool::new(false),

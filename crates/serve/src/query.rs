@@ -10,8 +10,9 @@
 //! instead of pinning workers through a drain.
 
 use remi_kb::delta::Snapshot;
-use remi_kb::query::{parse_patterns, solve_bgp, QueryError, MAX_PATTERNS};
+use remi_kb::query::{parse_patterns, solve_bgp_traced, PlanTrace, QueryError, MAX_PATTERNS};
 use remi_kb::{KnowledgeBase, NodeId, PredId};
+use remi_obs::Clock as _;
 use remi_pool::CancelToken;
 
 use crate::http::Request;
@@ -73,16 +74,30 @@ pub fn query_body(
     limit: usize,
     cancel: Option<&CancelToken>,
 ) -> Result<String, ApiError> {
+    query_body_traced(kb, patterns, limit, cancel).map(|(body, _, _)| body)
+}
+
+/// Like [`query_body`], but also returns the planner's [`PlanTrace`]
+/// (execution order, est-vs-actual cardinalities, join path) and the row
+/// count. The body is byte-identical to [`query_body`]'s — the trace
+/// rides alongside, never inside, so cached bodies stay explain-free.
+pub fn query_body_traced(
+    kb: &KnowledgeBase,
+    patterns: &[[String; 3]],
+    limit: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<(String, PlanTrace, usize), ApiError> {
     let q =
         parse_patterns(kb, patterns).map_err(|e| ApiError::bad_param("patterns", e.to_string()))?;
-    let out = solve_bgp(kb.store(), &q.patterns, limit, cancel).map_err(|e| match e {
-        QueryError::Cancelled => ApiError {
-            status: 503,
-            message: "query cancelled".to_string(),
-            param: None,
-        },
-        other => ApiError::bad_param("patterns", other.to_string()),
-    })?;
+    let (out, plan) =
+        solve_bgp_traced(kb.store(), &q.patterns, limit, cancel).map_err(|e| match e {
+            QueryError::Cancelled => ApiError {
+                status: 503,
+                message: "query cancelled".to_string(),
+                param: None,
+            },
+            other => ApiError::bad_param("patterns", other.to_string()),
+        })?;
     let names: Vec<&str> = out
         .vars
         .iter()
@@ -102,12 +117,53 @@ pub fn query_body(
             json::array_str(terms)
         })
         .collect();
-    Ok(JsonObject::new()
+    let count = rows.len();
+    let body = JsonObject::new()
         .field_raw("vars", &json::array_str(names))
-        .field_u64("count", rows.len() as u64)
+        .field_u64("count", count as u64)
         .field_bool("truncated", out.truncated)
         .field_raw("rows", &json::array_raw(rows))
-        .finish())
+        .finish();
+    Ok((body, plan, count))
+}
+
+/// Splices an `"explain"` object — the join path, the truncation flag,
+/// and one entry per executed pattern (execution order, estimated vs
+/// actual cardinality) — into a rendered query body. Mirrors the
+/// `?trace=1` echo: applied per request, after the cache would have
+/// answered, so the spliced body is never cached.
+fn with_explain(mut body: String, plan: &PlanTrace) -> String {
+    let steps: Vec<String> = plan
+        .steps
+        .iter()
+        .map(|s| {
+            JsonObject::new()
+                .field_u64("pattern", s.pattern as u64)
+                .field_u64("estimated", s.estimated as u64)
+                .field_u64("matches", s.matches)
+                .finish()
+        })
+        .collect();
+    let obj = JsonObject::new()
+        .field_str(
+            "path",
+            if plan.merge_fast_path {
+                "merge"
+            } else {
+                "nested"
+            },
+        )
+        .field_bool("truncated", plan.truncated)
+        .field_raw("patterns", &json::array_raw(steps))
+        .finish();
+    body.pop();
+    if !body.ends_with('{') {
+        body.push(',');
+    }
+    body.push_str("\"explain\":");
+    body.push_str(&obj);
+    body.push('}');
+    body
 }
 
 /// The `POST /query` handler (a row of the route table).
@@ -130,6 +186,37 @@ pub(crate) fn handle_query(
         Ok(p) => p,
         Err(e) => return Response::api(&e),
     };
+    if trace.explain {
+        // `?explain=1` bypasses the cache in both directions: the probe is
+        // skipped (a hit could not carry this request's plan) and the
+        // rendered body is never inserted (cached bodies stay
+        // explain-free, mirroring `?trace=1`). The cache *key* never
+        // mentions explain either — `request_key` is unchanged.
+        trace.span.phase("cache");
+        let result = query_body_traced(
+            &state.kb_for(snap, params.backend),
+            &patterns,
+            params.limit,
+            Some(&state.shutdown),
+        );
+        trace.span.phase("mine");
+        return match result {
+            Ok((body, plan, rows)) => {
+                state.query_events.record(state.clock.now_ns(), &plan, rows);
+                let mut r = Response::ok(with_explain(body, &plan));
+                r.headers.push(("X-Remi-Cache", "bypass".to_string()));
+                r
+            }
+            Err(e) => {
+                if e.status == 503 {
+                    state
+                        .query_events
+                        .record_cancelled(state.clock.now_ns(), patterns.len());
+                }
+                Response::api(&e)
+            }
+        };
+    }
     cached(
         state,
         snap,
@@ -138,12 +225,27 @@ pub(crate) fn handle_query(
         || {
             // kb_for runs only on a miss: a cache hit must not materialise
             // the lazily-built secondary backend.
-            query_body(
+            match query_body_traced(
                 &state.kb_for(snap, params.backend),
                 &patterns,
                 params.limit,
                 Some(&state.shutdown),
-            )
+            ) {
+                Ok((body, plan, rows)) => {
+                    // Planner events fire on the miss path only — a cache
+                    // hit never ran the planner.
+                    state.query_events.record(state.clock.now_ns(), &plan, rows);
+                    Ok(body)
+                }
+                Err(e) => {
+                    if e.status == 503 {
+                        state
+                            .query_events
+                            .record_cancelled(state.clock.now_ns(), patterns.len());
+                    }
+                    Err(e)
+                }
+            }
         },
     )
 }

@@ -82,6 +82,13 @@ pub(crate) const TABLE: &[Route] = &[
     },
     Route {
         method: "GET",
+        path: PathSpec::Exact("/debug/events"),
+        name: "debug_events",
+        admission: false,
+        handler: crate::events::handle_debug_events,
+    },
+    Route {
+        method: "GET",
         path: PathSpec::Prefix("/describe/"),
         name: "describe",
         admission: true,

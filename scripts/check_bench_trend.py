@@ -55,8 +55,9 @@ THRESHOLD_OVERRIDES = {
     "delta_ingest/": 0.60,
     "delta_ingest/append_publish_fixed100": 0.40,
     "delta_ingest/http_ingest": 1.00,
-    # Single-digit-ns atomic bumps and ~100ns span lifecycles: cache and
-    # frequency-scaling jitter dwarfs the default gate at this scale.
+    # Single-digit-ns atomic bumps, ~100ns span lifecycles, and the
+    # flight-recorder event_record emit: cache and frequency-scaling
+    # jitter dwarfs the default gate at this scale.
     "obs_overhead/": 0.55,
 }
 

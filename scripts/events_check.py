@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validates a `GET /v1/debug/events` flight-recorder dump.
+
+Usage: events_check.py <events.json>
+
+Run in CI against the dump from `remi-serve-load --dump-events`: after a
+mixed read/ingest/query run, the body must be well-formed JSON with the
+documented envelope (head, capacity, count, events), sequence numbers
+must be strictly increasing (the ring never reorders or duplicates), the
+event count must respect the ring bound, and every event must carry the
+typed shape the serve layer renders (seq, ts_ns, channel, severity,
+event, fields). A recorder regression — a torn read surviving to the
+API, an unbounded response, a channel the vocabulary forgot — fails here
+even when the server itself still answers 200s.
+"""
+
+import json
+import sys
+
+CHANNELS = {"query", "kb", "pool", "http"}
+SEVERITIES = {"debug", "info", "warn", "error"}
+
+
+def check(doc, errors):
+    for key in ("head", "capacity", "count", "events"):
+        if key not in doc:
+            errors.append(f"envelope is missing {key!r}")
+    if errors:
+        return
+    head, capacity, count = doc["head"], doc["capacity"], doc["count"]
+    events = doc["events"]
+    if not isinstance(events, list):
+        errors.append("events is not an array")
+        return
+    if count != len(events):
+        errors.append(f"count {count} != {len(events)} events in the body")
+    if capacity < 1 or (capacity & (capacity - 1)) != 0:
+        errors.append(f"capacity {capacity} is not a power of two")
+    if len(events) > capacity:
+        errors.append(
+            f"{len(events)} events exceed the ring capacity {capacity} — "
+            "the response is supposed to be bounded by the ring"
+        )
+    prev_seq = -1
+    for i, e in enumerate(events):
+        where = f"events[{i}]"
+        for key in ("seq", "ts_ns", "channel", "severity", "event", "fields"):
+            if key not in e:
+                errors.append(f"{where}: missing {key!r}")
+        if any(k not in e for k in ("seq", "channel", "severity", "fields")):
+            continue
+        if e["seq"] <= prev_seq:
+            errors.append(
+                f"{where}: seq {e['seq']} not strictly greater than {prev_seq} — "
+                "the ring reordered or duplicated an event"
+            )
+        prev_seq = e["seq"]
+        if e["seq"] >= head:
+            errors.append(f"{where}: seq {e['seq']} is at or past head {head}")
+        if e["channel"] not in CHANNELS:
+            errors.append(f"{where}: unknown channel {e['channel']!r}")
+        if e["severity"] not in SEVERITIES:
+            errors.append(f"{where}: unknown severity {e['severity']!r}")
+        if not isinstance(e["fields"], dict):
+            errors.append(f"{where}: fields is not an object")
+        else:
+            for k, v in e["fields"].items():
+                if not isinstance(v, (int, bool, str)):
+                    errors.append(
+                        f"{where}: field {k!r} has untyped value {v!r} "
+                        "(expected u64, bool, or enum string)"
+                    )
+    if not events:
+        errors.append(
+            "dump holds no events at all — a loadgen run with queries must "
+            "leave query_plan events in the ring"
+        )
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as fh:
+        text = fh.read()
+    errors = []
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        errors.append(f"body is not valid JSON: {exc}")
+        doc = None
+    if doc is not None:
+        check(doc, errors)
+    if errors:
+        for e in errors:
+            print(f"events-check: {e}", file=sys.stderr)
+        print(f"events-check: FAILED with {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(
+        f"events-check: ok — {doc['count']} events in a {doc['capacity']}-slot ring, "
+        f"head {doc['head']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -36,6 +36,42 @@ REQUIRED_PRESENT = [
     "remi_cache_hits_total",
 ]
 
+# The serve layer pre-registers every route x status latency family at
+# boot so dashboards see a stable series set before (and regardless of)
+# traffic. Keep both lists in sync with `router::TABLE` and
+# `PREREGISTERED_STATUSES` in crates/serve/src/lib.rs.
+PREREGISTERED_ROUTES = [
+    "healthz",
+    "stats",
+    "metrics",
+    "describe",
+    "describe_batch",
+    "summarize",
+    "ingest",
+    "query",
+    "debug_events",
+]
+PREREGISTERED_STATUSES = ["200", "400", "500", "503"]
+
+
+def check_preregistered(samples, errors):
+    """Every route x status latency series exists even with zero traffic."""
+    seen = set()
+    for (name, labels), _ in samples.items():
+        if name != "remi_http_request_duration_ns_count":
+            continue
+        route = re.search(r'route="([^"]*)"', labels)
+        status = re.search(r'status="([^"]*)"', labels)
+        if route and status:
+            seen.add((route.group(1), status.group(1)))
+    for route in PREREGISTERED_ROUTES:
+        for status in PREREGISTERED_STATUSES:
+            if (route, status) not in seen:
+                errors.append(
+                    f"pre-registered latency family missing: "
+                    f'remi_http_request_duration_ns{{route="{route}",status="{status}"}}'
+                )
+
 SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (-?[0-9]+(?:\.[0-9]+)?(?:e[+-]?[0-9]+)?)$")
 
 
@@ -128,6 +164,7 @@ def main(argv):
     if not samples:
         errors.append("exposition holds no samples at all")
     histo_series = check_histograms(samples, errors)
+    check_preregistered(samples, errors)
 
     by_name = {}
     for (name, _), value in samples.items():

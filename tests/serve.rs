@@ -518,6 +518,191 @@ fn slow_request_threshold_counts_and_logs() {
     server.shutdown();
 }
 
+/// `?explain=1` on `POST /query` carries the request's own plan trace,
+/// bypasses the cache in both directions, and renders the same explain
+/// object on both backends; plain requests stay explain-free.
+#[test]
+fn explain_param_embeds_plan_trace_and_bypasses_cache() {
+    let synth = world();
+    let kb = synth.kb.clone();
+    let pred = kb
+        .pred_ids()
+        .filter(|&p| !kb.is_inverse(p))
+        .max_by_key(|&p| kb.index(p).num_facts())
+        .map(|p| kb.pred_iri(p).to_string())
+        .expect("fixture has predicates");
+    let payload = format!(
+        "{{\"patterns\":[{{\"s\":\"?s\",\"p\":{},\"o\":\"?o\"}}],\"limit\":5}}",
+        remi_serve::json::escape(&pred)
+    );
+
+    let mut explains = Vec::new();
+    for backend in [Backend::Csr, Backend::Succinct] {
+        let mut server = boot(
+            kb.clone().with_backend(backend),
+            ServeConfig {
+                backend: Some(backend),
+                ..ServeConfig::default()
+            },
+        );
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let plain = client.post("/query", &payload).unwrap();
+        assert_eq!(plain.status, 200, "{}", plain.body);
+        assert_eq!(plain.header("x-remi-cache"), Some("miss"));
+        assert!(!plain.body.contains("\"explain\""), "{}", plain.body);
+
+        // Explain skips the cache probe even though the entry exists…
+        let explained = client.post("/query?explain=1", &payload).unwrap();
+        assert_eq!(explained.status, 200, "{}", explained.body);
+        assert_eq!(explained.header("x-remi-cache"), Some("bypass"));
+        // …and the body is the plain body plus the trailing explain
+        // object: pattern order with estimated-vs-actual cardinalities
+        // and the join-path choice.
+        let prefix = &plain.body[..plain.body.len() - 1];
+        assert!(explained.body.starts_with(prefix), "{}", explained.body);
+        assert!(
+            explained.body.contains("\"explain\":{\"path\":"),
+            "{}",
+            explained.body
+        );
+        assert!(
+            explained
+                .body
+                .contains("\"patterns\":[{\"pattern\":0,\"estimated\":"),
+            "{}",
+            explained.body
+        );
+
+        // The cache entry was neither read nor replaced: the next plain
+        // request hits and its body is still explain-free.
+        let warm = client.post("/query", &payload).unwrap();
+        assert_eq!(warm.header("x-remi-cache"), Some("hit"));
+        assert_eq!(warm.body, plain.body, "explain polluted the cache");
+
+        // The /v1 spelling renders the identical explain body.
+        let v1 = client.post("/v1/query?explain=1", &payload).unwrap();
+        assert_eq!(v1.body, explained.body, "/v1 explain diverged");
+
+        explains.push(explained.body);
+        server.shutdown();
+    }
+    assert_eq!(
+        explains[0], explains[1],
+        "explain traces must be backend-independent"
+    );
+}
+
+/// `GET /v1/debug/events` exposes the flight recorder: planner events
+/// from query misses, well-formed JSON with monotone sequence numbers,
+/// channel/severity/since filters, and a response bounded by the
+/// configured ring capacity.
+#[test]
+fn debug_events_endpoint_exposes_bounded_recorder() {
+    let synth = world();
+    let kb = synth.kb.clone();
+    let pred = kb
+        .pred_ids()
+        .filter(|&p| !kb.is_inverse(p))
+        .max_by_key(|&p| kb.index(p).num_facts())
+        .map(|p| kb.pred_iri(p).to_string())
+        .expect("fixture has predicates");
+    let capacity = 16;
+    let mut server = boot(
+        kb,
+        ServeConfig {
+            event_capacity: capacity,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Distinct limits defeat the cache, so every request runs the
+    // planner and emits events — far more than the ring holds.
+    for limit in 1..=(capacity + 8) {
+        let payload = format!(
+            "{{\"patterns\":[{{\"s\":\"?s\",\"p\":{},\"o\":\"?o\"}}],\"limit\":{limit}}}",
+            remi_serve::json::escape(&pred)
+        );
+        assert_eq!(client.post("/query", &payload).unwrap().status, 200);
+    }
+
+    let all = client.get("/v1/debug/events").unwrap();
+    assert_eq!(all.status, 200, "{}", all.body);
+    assert!(all.body.contains("\"head\":"), "{}", all.body);
+    assert!(
+        all.body.contains(&format!("\"capacity\":{capacity}")),
+        "{}",
+        all.body
+    );
+    assert!(
+        all.body.contains("\"event\":\"query_plan\""),
+        "{}",
+        all.body
+    );
+
+    // The ring bound holds no matter how many events were emitted.
+    let count: usize = all
+        .body
+        .split("\"count\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|ch: char| !ch.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .expect("events response reports count");
+    assert!(count <= capacity, "{count} events > capacity {capacity}");
+
+    // Sequence numbers are strictly increasing in the rendered order.
+    let seqs: Vec<u64> = all
+        .body
+        .split("\"seq\":")
+        .skip(1)
+        .filter_map(|rest| {
+            rest.split(|ch: char| !ch.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .collect();
+    assert_eq!(seqs.len(), count);
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+
+    // Channel and severity filters narrow the view.
+    let query_only = client.get("/v1/debug/events?channel=query").unwrap();
+    assert!(
+        !query_only.body.contains("\"channel\":\"kb\""),
+        "{}",
+        query_only.body
+    );
+    let warn_up = client
+        .get("/v1/debug/events?severity=warn&channel=query")
+        .unwrap();
+    assert!(
+        !warn_up.body.contains("\"severity\":\"info\""),
+        "{}",
+        warn_up.body
+    );
+    // `since` re-reads only the tail.
+    let last = *seqs.last().unwrap();
+    let since = client
+        .get(&format!("/v1/debug/events?since={last}"))
+        .unwrap();
+    assert!(
+        since.body.contains(&format!("\"seq\":{last}")),
+        "{}",
+        since.body
+    );
+
+    // Bad filter values are param-tagged 400s.
+    let bad = client.get("/v1/debug/events?channel=nope").unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("\"param\":\"channel\""), "{}", bad.body);
+    server.shutdown();
+}
+
 /// Connection churn never underflows the open-connections gauge: after
 /// clients come and go, `/stats` still reports a sane small number.
 #[test]
